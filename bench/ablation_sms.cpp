@@ -1,0 +1,176 @@
+/**
+ * @file
+ * SMS design-choice ablations (beyond the paper's figures):
+ *
+ *  (a) intra-warp borrow limit sweep — the paper fixes 4 concurrently
+ *      borrowed stacks per thread (§VI-B "based on heuristics");
+ *  (b) consecutive-flush budget sweep — the paper fixes 3;
+ *  (c) energy comparison — SMS vs enlarging the RB stack, quantifying
+ *      the §III-C motivation that bigger on-chip stacks cost energy.
+ *
+ * A subset of deep scenes is used: the knobs only matter once SH
+ * stacks actually overflow.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "src/sim/energy.hpp"
+
+using namespace sms;
+using namespace sms::benchutil;
+
+namespace {
+
+std::vector<std::shared_ptr<Workload>>
+deepScenes()
+{
+    std::vector<std::shared_ptr<Workload>> workloads;
+    for (SceneId id : {SceneId::SHIP, SceneId::CHSNT, SceneId::PARK,
+                       SceneId::FRST}) {
+        workloads.push_back(prepareWorkload(id, profileFromEnv()));
+    }
+    return workloads;
+}
+
+void
+runBorrowLimitSweep(const std::vector<std::shared_ptr<Workload>> &ws)
+{
+    std::printf("=== Ablation (a): borrow limit (paper fixes 4) ===\n\n");
+    std::vector<StackConfig> configs;
+    configs.push_back(StackConfig::baseline(8));
+    for (uint32_t limit : {0u, 1u, 2u, 4u, 8u}) {
+        StackConfig c = StackConfig::sms();
+        c.max_borrowed = limit;
+        configs.push_back(c);
+    }
+    SweepResult sweep = runSweep(ws, configs);
+
+    Table table;
+    table.setHeader({"max borrowed", "norm IPC", "global spills",
+                     "borrows", "flushes"});
+    for (size_t c = 1; c < configs.size(); ++c) {
+        uint64_t spills = 0, borrows = 0, flushes = 0;
+        for (size_t s = 0; s < ws.size(); ++s) {
+            spills += sweep.results[s][c].stack.global_stores;
+            borrows += sweep.results[s][c].stack.borrows;
+            flushes += sweep.results[s][c].stack.flushes;
+        }
+        table.addRow({std::to_string(configs[c].max_borrowed),
+                      Table::num(meanNormIpc(sweep, c), 3),
+                      std::to_string(spills), std::to_string(borrows),
+                      std::to_string(flushes)});
+    }
+    table.print();
+    std::printf("\n");
+}
+
+void
+runFlushLimitSweep(const std::vector<std::shared_ptr<Workload>> &ws)
+{
+    std::printf("=== Ablation (b): flush budget (paper fixes 3) ===\n\n");
+    std::vector<StackConfig> configs;
+    configs.push_back(StackConfig::baseline(8));
+    for (uint32_t limit : {0u, 1u, 3u, 6u}) {
+        StackConfig c = StackConfig::sms();
+        c.max_flushes = limit;
+        configs.push_back(c);
+    }
+    SweepResult sweep = runSweep(ws, configs);
+
+    Table table;
+    table.setHeader({"max flushes", "norm IPC", "flushes", "forced",
+                     "single moves"});
+    for (size_t c = 1; c < configs.size(); ++c) {
+        uint64_t flushes = 0, forced = 0, moves = 0;
+        for (size_t s = 0; s < ws.size(); ++s) {
+            flushes += sweep.results[s][c].stack.flushes;
+            forced += sweep.results[s][c].stack.forced_flushes;
+            moves += sweep.results[s][c].stack.single_moves;
+        }
+        table.addRow({std::to_string(configs[c].max_flushes),
+                      Table::num(meanNormIpc(sweep, c), 3),
+                      std::to_string(flushes), std::to_string(forced),
+                      std::to_string(moves)});
+    }
+    table.print();
+    std::printf("\n");
+}
+
+void
+runEnergyComparison(const std::vector<std::shared_ptr<Workload>> &ws)
+{
+    std::printf("=== Ablation (c): energy — SMS vs enlarging the RB "
+                "stack ===\n\n");
+    std::vector<StackConfig> configs{
+        StackConfig::baseline(8),  StackConfig::baseline(16),
+        StackConfig::baseline(32), StackConfig::sms(),
+        StackConfig::rbFull(),
+    };
+    SweepResult sweep = runSweep(ws, configs);
+
+    Table table;
+    table.setHeader({"config", "norm IPC", "energy (uJ)", "norm energy",
+                     "RB static %", "DRAM %"});
+    double base_energy = 0.0;
+    for (size_t c = 0; c < configs.size(); ++c) {
+        EnergyBreakdown total;
+        for (size_t s = 0; s < ws.size(); ++s) {
+            GpuConfig gpu = makeGpuConfig(configs[c]);
+            EnergyBreakdown e =
+                estimateEnergy(sweep.results[s][c], gpu);
+            total.rb_dynamic += e.rb_dynamic;
+            total.rb_static += e.rb_static;
+            total.shared += e.shared;
+            total.l1 += e.l1;
+            total.l2 += e.l2;
+            total.dram += e.dram;
+            total.ops += e.ops;
+        }
+        if (c == 0)
+            base_energy = total.total();
+        table.addRow(
+            {configs[c].name(),
+             Table::num(meanNormIpc(sweep, c), 3),
+             Table::num(total.total() / 1.0e6, 2),
+             Table::num(total.total() / base_energy, 3),
+             Table::num(100.0 * total.rb_static / total.total(), 1),
+             Table::num(100.0 * total.dram / total.total(), 1)});
+    }
+    table.print();
+    printPaperNote("§III-C/§VII-D motivation: enlarging the RB stack "
+                   "buys IPC at a growing static-storage energy cost; "
+                   "SMS reaches comparable IPC with 272 B of "
+                   "bookkeeping instead of kilobytes of extra stack");
+}
+
+void
+BM_EnergyEstimate(benchmark::State &state)
+{
+    SimResult r;
+    r.cycles = 100000;
+    r.stack.pushes = 1000000;
+    r.stack.pops = 1000000;
+    GpuConfig config = GpuConfig::tableI();
+    for (auto _ : state) {
+        EnergyBreakdown e = estimateEnergy(r, config);
+        benchmark::DoNotOptimize(e.total());
+    }
+}
+BENCHMARK(BM_EnergyEstimate);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto workloads = deepScenes();
+    runBorrowLimitSweep(workloads);
+    runFlushLimitSweep(workloads);
+    runEnergyComparison(workloads);
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Shared plumbing for the per-figure benchmark harnesses: workload
+ * preparation over the whole scene suite, configuration sweeps, and
+ * normalized-IPC aggregation matching how the paper reports results
+ * (per-scene normalized IPC, then the mean across scenes).
+ */
+
+#ifndef SMS_BENCH_BENCH_UTIL_HPP
+#define SMS_BENCH_BENCH_UTIL_HPP
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/scene/registry.hpp"
+#include "src/stats/histogram.hpp"
+#include "src/stats/table.hpp"
+#include "src/trace/render.hpp"
+#include "src/util/parallel.hpp"
+
+namespace sms {
+namespace benchutil {
+
+/** SMS_FULL=1 selects the Large geometry profile. */
+inline ScaleProfile
+profileFromEnv()
+{
+    const char *full = std::getenv("SMS_FULL");
+    if (full && full[0] == '1')
+        return ScaleProfile::Large;
+    return ScaleProfile::Small;
+}
+
+/** Prepare all 16 scene workloads in parallel (Table II order). */
+inline std::vector<std::shared_ptr<Workload>>
+prepareAllScenes(ScaleProfile profile = profileFromEnv())
+{
+    const auto &ids = allScenes();
+    std::vector<std::shared_ptr<Workload>> workloads(ids.size());
+    parallelFor(ids.size(), [&](size_t i) {
+        workloads[i] = prepareWorkload(ids[i], profile);
+    });
+    return workloads;
+}
+
+/** Result grid of a (scene x config) sweep. */
+struct SweepResult
+{
+    std::vector<StackConfig> configs;
+    std::vector<uint64_t> l1_overrides; ///< parallel to configs; 0 = auto
+    /** results[scene][config] */
+    std::vector<std::vector<SimResult>> results;
+};
+
+/**
+ * Run every workload under every configuration, in parallel over the
+ * full grid.
+ */
+inline SweepResult
+runSweep(const std::vector<std::shared_ptr<Workload>> &workloads,
+         const std::vector<StackConfig> &configs,
+         const std::vector<uint64_t> &l1_overrides = {})
+{
+    SweepResult sweep;
+    sweep.configs = configs;
+    sweep.l1_overrides = l1_overrides.empty()
+                             ? std::vector<uint64_t>(configs.size(), 0)
+                             : l1_overrides;
+    sweep.results.assign(workloads.size(),
+                         std::vector<SimResult>(configs.size()));
+    size_t total = workloads.size() * configs.size();
+    parallelFor(total, [&](size_t i) {
+        size_t s = i / configs.size();
+        size_t c = i % configs.size();
+        GpuConfig config =
+            makeGpuConfig(configs[c], sweep.l1_overrides[c]);
+        sweep.results[s][c] = runWorkload(*workloads[s], config);
+    });
+    return sweep;
+}
+
+/**
+ * Normalized IPC of configuration @p c for scene @p s against baseline
+ * column @p base.
+ */
+inline double
+normIpc(const SweepResult &sweep, size_t s, size_t c, size_t base = 0)
+{
+    return sweep.results[s][c].ipc() / sweep.results[s][base].ipc();
+}
+
+/** Mean normalized IPC across scenes (geometric, as is standard). */
+inline double
+meanNormIpc(const SweepResult &sweep, size_t c, size_t base = 0)
+{
+    std::vector<double> values;
+    values.reserve(sweep.results.size());
+    for (size_t s = 0; s < sweep.results.size(); ++s)
+        values.push_back(normIpc(sweep, s, c, base));
+    return geomean(values);
+}
+
+/** Mean normalized off-chip access count across scenes. */
+inline double
+meanNormOffchip(const SweepResult &sweep, size_t c, size_t base = 0)
+{
+    std::vector<double> values;
+    values.reserve(sweep.results.size());
+    for (size_t s = 0; s < sweep.results.size(); ++s) {
+        double b = static_cast<double>(
+            sweep.results[s][base].offchip_accesses);
+        double v =
+            static_cast<double>(sweep.results[s][c].offchip_accesses);
+        // Clamp so a config that eliminates off-chip traffic entirely
+        // does not zero the geometric mean.
+        double ratio = b > 0 ? v / b : 1.0;
+        values.push_back(ratio > 1.0e-6 ? ratio : 1.0e-6);
+    }
+    return geomean(values);
+}
+
+/** "paper vs measured" footer helper. */
+inline void
+printPaperNote(const std::string &note)
+{
+    std::printf("\npaper reference: %s\n", note.c_str());
+}
+
+} // namespace benchutil
+} // namespace sms
+
+#endif // SMS_BENCH_BENCH_UTIL_HPP

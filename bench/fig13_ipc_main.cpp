@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Fig. 13 — the paper's headline result: per-scene IPC improvement of
+ * the SMS architecture, normalized to the RB_8 baseline.
+ *
+ * Series: +SH_8 (secondary shared-memory stack), +SK (skewed bank
+ * access), +RA (dynamic intra-warp reallocation), and the impractical
+ * RB_FULL upper bound. Paper averages: +15.1%, +19.4%, +23.2%, +25.3%.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "src/core/warp_stack.hpp"
+
+using namespace sms;
+using namespace sms::benchutil;
+
+namespace {
+
+void
+runFig13()
+{
+    std::printf("=== Fig. 13: IPC improvement of SMS (normalized to "
+                "RB_8) ===\n\n");
+    auto workloads = prepareAllScenes();
+    std::vector<StackConfig> configs{
+        StackConfig::baseline(8),
+        StackConfig::withSh(8, 8, false, false), // +SH_8
+        StackConfig::withSh(8, 8, true, false),  // +SK
+        StackConfig::withSh(8, 8, true, true),   // +RA (full SMS)
+        StackConfig::rbFull(),
+    };
+    SweepResult sweep = runSweep(workloads, configs);
+
+    Table table;
+    table.setHeader({"scene", "+SH_8", "+SK", "+RA (SMS)", "RB_FULL"});
+    for (size_t s = 0; s < workloads.size(); ++s) {
+        std::vector<std::string> row{sceneName(workloads[s]->id)};
+        for (size_t c = 1; c < configs.size(); ++c)
+            row.push_back(Table::num(normIpc(sweep, s, c), 3));
+        table.addRow(row);
+    }
+    std::vector<std::string> mean_row{"GEOMEAN"};
+    for (size_t c = 1; c < configs.size(); ++c)
+        mean_row.push_back(Table::num(meanNormIpc(sweep, c), 3));
+    table.addRow(mean_row);
+    table.print();
+
+    std::printf("\nmean improvement: +SH_8 %+.1f%%, +SK %+.1f%%, "
+                "SMS %+.1f%%, RB_FULL %+.1f%%\n",
+                (meanNormIpc(sweep, 1) - 1.0) * 100.0,
+                (meanNormIpc(sweep, 2) - 1.0) * 100.0,
+                (meanNormIpc(sweep, 3) - 1.0) * 100.0,
+                (meanNormIpc(sweep, 4) - 1.0) * 100.0);
+    printPaperNote("+SH_8: +15.1%, +SK: +19.4%, +RA (SMS): +23.2%, "
+                   "RB_FULL: +25.3%");
+}
+
+/** Microbenchmark: hierarchical stack push/pop throughput. */
+void
+BM_HierarchicalStackChurn(benchmark::State &state)
+{
+    StackConfig config = StackConfig::sms();
+    for (auto _ : state) {
+        WarpStackModel stack(config, 0, 0x100000000ull);
+        StackTxnList txns;
+        uint64_t sink = 0;
+        for (int i = 0; i < 64; ++i)
+            stack.push(0, i, txns);
+        uint64_t v;
+        while (stack.pop(0, v, txns))
+            sink += v;
+        benchmark::DoNotOptimize(sink);
+        benchmark::DoNotOptimize(txns.size());
+    }
+}
+BENCHMARK(BM_HierarchicalStackChurn);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    runFig13();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

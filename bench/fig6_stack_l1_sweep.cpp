@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Fig. 6 — motivation sweeps.
+ *
+ * (a) IPC vs primary RB stack size {4, 8, 16, 32, FULL}, normalized to
+ *     RB_8 (paper: -18.4%, baseline, +19.9%, +25.2%, ~+25.3%).
+ * (b) IPC vs L1D size {16, 32, 64, 128, 256 KB} at RB_8, normalized to
+ *     64 KB (paper: -9.6%, -4.5%, baseline, +4.5%, +12.6%).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+using namespace sms;
+using namespace sms::benchutil;
+
+namespace {
+
+void
+runFig6a(const std::vector<std::shared_ptr<Workload>> &workloads)
+{
+    std::printf("=== Fig. 6a: IPC vs RB stack size (normalized to RB_8) "
+                "===\n\n");
+    std::vector<StackConfig> configs{
+        StackConfig::baseline(8),  StackConfig::baseline(4),
+        StackConfig::baseline(16), StackConfig::baseline(32),
+        StackConfig::rbFull(),
+    };
+    SweepResult sweep = runSweep(workloads, configs);
+
+    Table table;
+    std::vector<std::string> header{"scene"};
+    for (const StackConfig &c : configs)
+        header.push_back(c.name());
+    table.setHeader(header);
+    for (size_t s = 0; s < workloads.size(); ++s) {
+        std::vector<std::string> row{sceneName(workloads[s]->id)};
+        for (size_t c = 0; c < configs.size(); ++c)
+            row.push_back(Table::num(normIpc(sweep, s, c), 3));
+        table.addRow(row);
+    }
+    std::vector<std::string> mean_row{"GEOMEAN"};
+    for (size_t c = 0; c < configs.size(); ++c)
+        mean_row.push_back(Table::num(meanNormIpc(sweep, c), 3));
+    table.addRow(mean_row);
+    table.print();
+    printPaperNote("RB_4: -18.4%, RB_16: +19.9%, RB_32: +25.2%, "
+                   "RB_FULL: ~+25.3% vs RB_8");
+}
+
+void
+runFig6b(const std::vector<std::shared_ptr<Workload>> &workloads)
+{
+    std::printf("\n=== Fig. 6b: IPC vs L1D size (RB_8, normalized to "
+                "64KB) ===\n\n");
+    const uint64_t kKb = 1024;
+    std::vector<StackConfig> configs(5, StackConfig::baseline(8));
+    std::vector<uint64_t> l1_sizes{64 * kKb, 16 * kKb, 32 * kKb,
+                                   128 * kKb, 256 * kKb};
+    SweepResult sweep = runSweep(workloads, configs, l1_sizes);
+
+    Table table;
+    std::vector<std::string> header{"scene"};
+    for (uint64_t sz : l1_sizes)
+        header.push_back(std::to_string(sz / kKb) + "KB");
+    table.setHeader(header);
+    for (size_t s = 0; s < workloads.size(); ++s) {
+        std::vector<std::string> row{sceneName(workloads[s]->id)};
+        for (size_t c = 0; c < configs.size(); ++c)
+            row.push_back(Table::num(normIpc(sweep, s, c), 3));
+        table.addRow(row);
+    }
+    std::vector<std::string> mean_row{"GEOMEAN"};
+    for (size_t c = 0; c < configs.size(); ++c)
+        mean_row.push_back(Table::num(meanNormIpc(sweep, c), 3));
+    table.addRow(mean_row);
+    table.print();
+    printPaperNote("16KB: -9.6%, 32KB: -4.5%, 128KB: +4.5%, "
+                   "256KB: +12.6% vs 64KB");
+}
+
+void
+BM_CacheAccessPattern(benchmark::State &state)
+{
+    Cache cache({64 * 1024, 0, kLineBytes});
+    uint64_t i = 0;
+    for (auto _ : state) {
+        cache.access((i % 4096) * kLineBytes, false, TrafficClass::Node);
+        ++i;
+    }
+    benchmark::DoNotOptimize(cache.stats().misses());
+}
+BENCHMARK(BM_CacheAccessPattern);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto workloads = prepareAllScenes();
+    runFig6a(workloads);
+    runFig6b(workloads);
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Fig. 8 — effectiveness of the shared-memory traversal stack: IPC of
+ * RB_8 plus SH stacks of 4/8/16 entries (shared memory carved from the
+ * 64 KB unified array) against the RB_FULL upper bound, normalized to
+ * RB_8. Paper: +11.0%, +17.4%, +21.2%, +25.3%.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "src/memory/shared_memory.hpp"
+
+using namespace sms;
+using namespace sms::benchutil;
+
+namespace {
+
+void
+runFig8()
+{
+    std::printf("=== Fig. 8: IPC with different L1D/shared-memory "
+                "configurations ===\n\n");
+    auto workloads = prepareAllScenes();
+    std::vector<StackConfig> configs{
+        StackConfig::baseline(8),
+        StackConfig::withSh(8, 4),
+        StackConfig::withSh(8, 8),
+        StackConfig::withSh(8, 16),
+        StackConfig::rbFull(),
+    };
+    SweepResult sweep = runSweep(workloads, configs);
+
+    Table table;
+    table.setHeader({"scene", "RB_8+SH_4", "RB_8+SH_8", "RB_8+SH_16",
+                     "RB_FULL"});
+    for (size_t s = 0; s < workloads.size(); ++s) {
+        std::vector<std::string> row{sceneName(workloads[s]->id)};
+        for (size_t c = 1; c < configs.size(); ++c)
+            row.push_back(Table::num(normIpc(sweep, s, c), 3));
+        table.addRow(row);
+    }
+    std::vector<std::string> mean_row{"GEOMEAN"};
+    for (size_t c = 1; c < configs.size(); ++c)
+        mean_row.push_back(Table::num(meanNormIpc(sweep, c), 3));
+    table.addRow(mean_row);
+    table.print();
+
+    std::printf("\nshared-memory carve-out: SH_4 = %llu KB, SH_8 = %llu "
+                "KB, SH_16 = %llu KB (of 64 KB unified)\n",
+                static_cast<unsigned long long>(
+                    configs[1].sharedBytesPerSm() / 1024),
+                static_cast<unsigned long long>(
+                    configs[2].sharedBytesPerSm() / 1024),
+                static_cast<unsigned long long>(
+                    configs[3].sharedBytesPerSm() / 1024));
+    printPaperNote("RB_8+SH_4: +11.0%, RB_8+SH_8: +17.4%, RB_8+SH_16: "
+                   "+21.2%, RB_FULL: +25.3%");
+}
+
+/** Microbenchmark: warp-level bank-conflict computation. */
+void
+BM_BankConflictPasses(benchmark::State &state)
+{
+    std::vector<SharedLaneRequest> lanes;
+    for (uint32_t i = 0; i < kWarpSize; ++i)
+        lanes.push_back({i, i * 64ull, 8});
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(SharedMemory::conflictPasses(lanes));
+    }
+}
+BENCHMARK(BM_BankConflictPasses);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    runFig8();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

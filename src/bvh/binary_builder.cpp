@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Binned-SAH binary BVH builder.
+ *
+ * Standard top-down construction: at each node, primitives are binned by
+ * centroid along each axis, the cheapest SAH split is chosen, and the
+ * node becomes a leaf when small enough or when no split beats the leaf
+ * cost.
+ */
+
+#include "src/bvh/binary_bvh.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/util/check.hpp"
+
+namespace sms {
+
+namespace {
+
+/** Per-primitive build record. */
+struct PrimRef
+{
+    Aabb bounds;
+    Vec3 centroid;
+    uint32_t id;
+};
+
+/** One SAH bin: bounds and primitive count. */
+struct Bin
+{
+    Aabb bounds;
+    uint32_t count = 0;
+};
+
+} // namespace
+
+/** Recursive builder working over a mutable PrimRef span. */
+class BinaryBuilder
+{
+  public:
+    BinaryBuilder(BinaryBvh &out, std::vector<PrimRef> &refs,
+                  const BvhBuildParams &params)
+        : out_(out), refs_(refs), params_(params)
+    {}
+
+    /** Build the subtree over refs [begin, end); returns node index. */
+    uint32_t
+    buildRange(uint32_t begin, uint32_t end)
+    {
+        SMS_ASSERT(end > begin, "empty build range");
+        uint32_t node_idx = static_cast<uint32_t>(out_.nodes_.size());
+        out_.nodes_.emplace_back();
+
+        Aabb bounds;
+        Aabb centroid_bounds;
+        for (uint32_t i = begin; i < end; ++i) {
+            bounds.extend(refs_[i].bounds);
+            centroid_bounds.extend(refs_[i].centroid);
+        }
+        out_.nodes_[node_idx].bounds = bounds;
+
+        uint32_t count = end - begin;
+        if (count <= static_cast<uint32_t>(params_.max_leaf_prims)) {
+            makeLeaf(node_idx, begin, end);
+            return node_idx;
+        }
+
+        int best_axis = -1;
+        int best_bin = -1;
+        float best_cost = std::numeric_limits<float>::max();
+        const int nbins = params_.sah_bins;
+
+        for (int axis = 0; axis < 3; ++axis) {
+            float lo = centroid_bounds.lo[axis];
+            float hi = centroid_bounds.hi[axis];
+            if (hi - lo < 1.0e-8f)
+                continue; // degenerate axis; all centroids coincide
+
+            std::vector<Bin> bins(nbins);
+            float scale = nbins / (hi - lo);
+            for (uint32_t i = begin; i < end; ++i) {
+                int b = static_cast<int>((refs_[i].centroid[axis] - lo) *
+                                         scale);
+                b = std::clamp(b, 0, nbins - 1);
+                bins[b].bounds.extend(refs_[i].bounds);
+                bins[b].count += 1;
+            }
+
+            // Sweep: suffix areas first, then prefix while scoring.
+            std::vector<float> right_area(nbins, 0.0f);
+            std::vector<uint32_t> right_count(nbins, 0);
+            Aabb acc;
+            uint32_t cnt = 0;
+            for (int b = nbins - 1; b > 0; --b) {
+                acc.extend(bins[b].bounds);
+                cnt += bins[b].count;
+                right_area[b] = acc.surfaceArea();
+                right_count[b] = cnt;
+            }
+            acc = Aabb();
+            cnt = 0;
+            for (int b = 0; b < nbins - 1; ++b) {
+                acc.extend(bins[b].bounds);
+                cnt += bins[b].count;
+                if (cnt == 0 || right_count[b + 1] == 0)
+                    continue;
+                float cost = acc.surfaceArea() * cnt +
+                             right_area[b + 1] * right_count[b + 1];
+                if (cost < best_cost) {
+                    best_cost = cost;
+                    best_axis = axis;
+                    best_bin = b;
+                }
+            }
+        }
+
+        uint32_t mid;
+        if (best_axis < 0) {
+            // All centroids coincide: split in half by index.
+            mid = begin + count / 2;
+        } else {
+            // Compare SAH split cost against the leaf cost.
+            float leaf_cost = params_.prim_cost * count;
+            float split_cost =
+                2.0f * params_.node_cost +
+                params_.prim_cost * best_cost /
+                    std::max(bounds.surfaceArea(), 1.0e-12f);
+            if (split_cost >= leaf_cost && count <= 8) {
+                // SAH may terminate early only for small ranges; GPU
+                // driver BVHs keep leaves tiny, and large leaves would
+                // flatten the tree depth the paper's stacks exercise.
+                makeLeaf(node_idx, begin, end);
+                return node_idx;
+            }
+
+            float lo = centroid_bounds.lo[best_axis];
+            float hi = centroid_bounds.hi[best_axis];
+            float scale = params_.sah_bins / (hi - lo);
+            auto *split_point = std::partition(
+                refs_.data() + begin, refs_.data() + end,
+                [&](const PrimRef &r) {
+                    int b = static_cast<int>(
+                        (r.centroid[best_axis] - lo) * scale);
+                    b = std::clamp(b, 0, params_.sah_bins - 1);
+                    return b <= best_bin;
+                });
+            mid = static_cast<uint32_t>(split_point - refs_.data());
+            if (mid == begin || mid == end)
+                mid = begin + count / 2; // binning failed; fall back
+        }
+
+        uint32_t left = buildRange(begin, mid);
+        uint32_t right = buildRange(mid, end);
+        out_.nodes_[node_idx].left = left;
+        out_.nodes_[node_idx].right = right;
+        out_.nodes_[node_idx].prim_count = 0;
+        return node_idx;
+    }
+
+  private:
+    void
+    makeLeaf(uint32_t node_idx, uint32_t begin, uint32_t end)
+    {
+        BinaryNode &node = out_.nodes_[node_idx];
+        node.prim_offset = static_cast<uint32_t>(out_.prim_indices_.size());
+        node.prim_count = static_cast<uint16_t>(end - begin);
+        for (uint32_t i = begin; i < end; ++i)
+            out_.prim_indices_.push_back(refs_[i].id);
+    }
+
+    BinaryBvh &out_;
+    std::vector<PrimRef> &refs_;
+    const BvhBuildParams &params_;
+};
+
+BinaryBvh
+BinaryBvh::build(const Scene &scene, const BvhBuildParams &params)
+{
+    BinaryBvh bvh;
+    uint32_t n = scene.primitiveCount();
+    if (n == 0)
+        return bvh;
+
+    std::vector<PrimRef> refs(n);
+    for (uint32_t i = 0; i < n; ++i) {
+        refs[i].bounds = scene.primitiveBounds(i);
+        refs[i].centroid = scene.primitiveCentroid(i);
+        refs[i].id = i;
+    }
+
+    bvh.nodes_.reserve(2 * n);
+    bvh.prim_indices_.reserve(n);
+    BinaryBuilder builder(bvh, refs, params);
+    builder.buildRange(0, n);
+    return bvh;
+}
+
+uint32_t
+BinaryBvh::depth() const
+{
+    if (nodes_.empty())
+        return 0;
+    // Iterative DFS to avoid recursion limits on deep trees.
+    std::vector<std::pair<uint32_t, uint32_t>> stack{{0, 0}};
+    uint32_t max_depth = 0;
+    while (!stack.empty()) {
+        auto [idx, d] = stack.back();
+        stack.pop_back();
+        max_depth = std::max(max_depth, d);
+        const BinaryNode &node = nodes_[idx];
+        if (!node.isLeaf()) {
+            stack.push_back({node.left, d + 1});
+            stack.push_back({node.right, d + 1});
+        }
+    }
+    return max_depth;
+}
+
+double
+BinaryBvh::sahCost(const BvhBuildParams &params) const
+{
+    if (nodes_.empty())
+        return 0.0;
+    double root_area = nodes_[0].bounds.surfaceArea();
+    if (root_area <= 0.0)
+        return 0.0;
+    double cost = 0.0;
+    for (const BinaryNode &node : nodes_) {
+        double rel = node.bounds.surfaceArea() / root_area;
+        cost += rel * (node.isLeaf() ? params.prim_cost * node.prim_count
+                                     : params.node_cost);
+    }
+    return cost;
+}
+
+} // namespace sms

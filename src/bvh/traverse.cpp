@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Functional wide-BVH traversal implementation.
+ */
+
+#include "src/bvh/traverse.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/util/check.hpp"
+
+namespace sms {
+
+ChildHits
+intersectNodeChildren(const WideNode &node, const Ray &ray)
+{
+    ChildHits hits;
+    hits.tests = node.child_count;
+    for (uint8_t i = 0; i < node.child_count; ++i) {
+        float t;
+        if (node.child_bounds[i].intersect(ray, t)) {
+            hits.refs[hits.count] = node.children[i];
+            hits.t[hits.count] = t;
+            ++hits.count;
+        }
+    }
+    // Insertion sort nearest-first; at most six entries.
+    for (int i = 1; i < hits.count; ++i) {
+        ChildRef ref = hits.refs[i];
+        float t = hits.t[i];
+        int j = i - 1;
+        while (j >= 0 && hits.t[j] > t) {
+            hits.refs[j + 1] = hits.refs[j];
+            hits.t[j + 1] = hits.t[j];
+            --j;
+        }
+        hits.refs[j + 1] = ref;
+        hits.t[j + 1] = t;
+    }
+    return hits;
+}
+
+bool
+intersectLeaf(const Scene &scene, const WideBvh &bvh, ChildRef leaf,
+              Ray &ray, HitRecord &hit, bool any_hit, uint32_t &tested)
+{
+    SMS_ASSERT(leaf.isLeaf(), "intersectLeaf on non-leaf reference");
+    bool found = false;
+    const auto &prim_indices = bvh.primIndices();
+    uint32_t offset = leaf.primOffset();
+    uint32_t count = leaf.primCount();
+    for (uint32_t i = 0; i < count; ++i) {
+        uint32_t prim = prim_indices[offset + i];
+        ++tested;
+        if (scene.intersectPrimitive(prim, ray, hit)) {
+            found = true;
+            if (any_hit)
+                return true;
+        }
+    }
+    return found;
+}
+
+namespace {
+
+/** Shared DFS used by both closest-hit and any-hit queries. */
+HitRecord
+traverseImpl(const Scene &scene, const WideBvh &bvh, const Ray &in_ray,
+             bool any_hit, TraversalCounters *counters)
+{
+    HitRecord hit;
+    if (bvh.empty())
+        return hit;
+
+    Ray ray = in_ray;
+    TraversalCounters local;
+    TraversalCounters &ctr = counters ? *counters : local;
+
+    std::vector<ChildRef> stack;
+    stack.reserve(64);
+    ChildRef current = bvh.rootRef();
+
+    auto track_depth = [&]() {
+        if (stack.size() > ctr.max_stack_depth)
+            ctr.max_stack_depth = static_cast<uint32_t>(stack.size());
+    };
+
+    for (;;) {
+        if (current.isInternal()) {
+            ++ctr.nodes_visited;
+            const WideNode &node = bvh.nodes()[current.nodeIndex()];
+            ChildHits hits = intersectNodeChildren(node, ray);
+            ctr.box_tests += hits.tests;
+            if (hits.count > 0) {
+                // Push the far children so the nearest is visited first.
+                for (int i = hits.count - 1; i >= 1; --i) {
+                    stack.push_back(hits.refs[i]);
+                    ++ctr.stack_pushes;
+                }
+                track_depth();
+                current = hits.refs[0];
+                continue;
+            }
+        } else if (current.isLeaf()) {
+            ++ctr.leaf_visits;
+            uint32_t tested = 0;
+            bool found =
+                intersectLeaf(scene, bvh, current, ray, hit, any_hit,
+                              tested);
+            ctr.prim_tests += tested;
+            if (found && any_hit)
+                return hit;
+        } else {
+            panic("invalid child reference during traversal");
+        }
+
+        if (stack.empty())
+            break;
+        current = stack.back();
+        stack.pop_back();
+        ++ctr.stack_pops;
+    }
+    return hit;
+}
+
+} // namespace
+
+HitRecord
+traverseClosest(const Scene &scene, const WideBvh &bvh, const Ray &ray,
+                TraversalCounters *counters)
+{
+    return traverseImpl(scene, bvh, ray, false, counters);
+}
+
+bool
+traverseAnyHit(const Scene &scene, const WideBvh &bvh, const Ray &ray,
+               TraversalCounters *counters)
+{
+    return traverseImpl(scene, bvh, ray, true, counters).valid();
+}
+
+} // namespace sms

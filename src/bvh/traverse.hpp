@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Functional wide-BVH traversal.
+ *
+ * Two consumers share the per-node stepping logic defined here:
+ *  - the reference traverser (unbounded std::vector stack) used by the
+ *    path tracer and by correctness tests, and
+ *  - the timing simulator, which runs the same steps through the
+ *    hierarchical hardware stack model so images are identical across
+ *    all stack configurations (DESIGN.md invariant 2).
+ *
+ * Traversal follows the paper's Fig. 3 semantics: at an internal node
+ * the intersected children are sorted by entry distance; the closest is
+ * visited next while the rest are pushed far-to-near.
+ */
+
+#ifndef SMS_BVH_TRAVERSE_HPP
+#define SMS_BVH_TRAVERSE_HPP
+
+#include <cstdint>
+
+#include "src/bvh/wide_bvh.hpp"
+#include "src/geometry/ray.hpp"
+#include "src/scene/scene.hpp"
+
+namespace sms {
+
+/** Result of intersecting one wide node's child boxes. */
+struct ChildHits
+{
+    /** Hit children sorted nearest-first. */
+    std::array<ChildRef, kWideBvhWidth> refs;
+    std::array<float, kWideBvhWidth> t;
+    int count = 0;
+    /** Number of ray-box tests performed (== child_count of the node). */
+    int tests = 0;
+};
+
+/**
+ * Test a ray against all child AABBs of @p node, returning the hit
+ * children sorted nearest-first. Respects ray.tMax so already-found
+ * hits prune the result.
+ */
+ChildHits intersectNodeChildren(const WideNode &node, const Ray &ray);
+
+/**
+ * Test a ray against all primitives of a leaf reference.
+ *
+ * @param any_hit when true, stop at the first accepted hit
+ * @param tested  incremented by the number of primitive tests performed
+ * @return true when any primitive was hit (hit/ray updated)
+ */
+bool intersectLeaf(const Scene &scene, const WideBvh &bvh, ChildRef leaf,
+                   Ray &ray, HitRecord &hit, bool any_hit, uint32_t &tested);
+
+/** Per-traversal operation counts (basis of instruction counting). */
+struct TraversalCounters
+{
+    uint64_t nodes_visited = 0;
+    uint64_t box_tests = 0;
+    uint64_t leaf_visits = 0;
+    uint64_t prim_tests = 0;
+    uint64_t stack_pushes = 0;
+    uint64_t stack_pops = 0;
+    uint32_t max_stack_depth = 0;
+};
+
+/**
+ * Reference closest-hit traversal with an unbounded stack.
+ *
+ * @param counters optional operation counters
+ * @return the closest hit (invalid record when the ray misses)
+ */
+HitRecord traverseClosest(const Scene &scene, const WideBvh &bvh,
+                          const Ray &ray,
+                          TraversalCounters *counters = nullptr);
+
+/**
+ * Reference any-hit traversal (shadow rays): returns true when any
+ * primitive intersects the ray segment.
+ */
+bool traverseAnyHit(const Scene &scene, const WideBvh &bvh, const Ray &ray,
+                    TraversalCounters *counters = nullptr);
+
+} // namespace sms
+
+#endif // SMS_BVH_TRAVERSE_HPP

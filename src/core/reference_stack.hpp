@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Unbounded reference traversal stack — the functional oracle.
+ *
+ * Every hardware stack configuration must pop exactly the sequence this
+ * stack pops for the same push/pop trace (DESIGN.md invariant 1). It is
+ * also what RB_FULL behaves like functionally.
+ */
+
+#ifndef SMS_CORE_REFERENCE_STACK_HPP
+#define SMS_CORE_REFERENCE_STACK_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/check.hpp"
+
+namespace sms {
+
+/** Plain unbounded LIFO of 8-byte stack entries. */
+class ReferenceStack
+{
+  public:
+    void push(uint64_t value) { values_.push_back(value); }
+
+    uint64_t
+    pop()
+    {
+        SMS_ASSERT(!values_.empty(), "pop from empty reference stack");
+        uint64_t v = values_.back();
+        values_.pop_back();
+        return v;
+    }
+
+    bool empty() const { return values_.empty(); }
+    uint32_t depth() const { return static_cast<uint32_t>(values_.size()); }
+
+  private:
+    std::vector<uint64_t> values_;
+};
+
+} // namespace sms
+
+#endif // SMS_CORE_REFERENCE_STACK_HPP

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * StackConfig helpers: naming, skew formula, overhead arithmetic.
+ */
+
+#include "src/core/stack_config.hpp"
+
+#include "src/util/check.hpp"
+
+namespace sms {
+
+namespace {
+
+/** ceil(log2(v)) for v >= 1. */
+uint32_t
+ceilLog2(uint32_t v)
+{
+    uint32_t bits = 0;
+    uint32_t capacity = 1;
+    while (capacity < v) {
+        capacity <<= 1;
+        ++bits;
+    }
+    return bits;
+}
+
+} // namespace
+
+uint32_t
+StackConfig::overheadBitsPerThread() const
+{
+    if (!hasShStack())
+        return 0;
+    // Top and Bottom index fields: log2(sh_entries) bits each.
+    uint32_t bits = 2 * ceilLog2(sh_entries);
+    // Overflow flag.
+    bits += 1;
+    if (intra_warp_realloc) {
+        // Idle (1) + Next TID (5) + Priority (2) + Flush (2).
+        bits += 1 + 5 + 2 + 2;
+    }
+    return bits;
+}
+
+uint64_t
+StackConfig::overheadBytesPerSm(uint32_t warps) const
+{
+    uint64_t bits = static_cast<uint64_t>(overheadBitsPerThread()) *
+                    kWarpSize * warps;
+    return (bits + 7) / 8;
+}
+
+std::string
+StackConfig::name() const
+{
+    if (rb_unbounded)
+        return "RB_FULL";
+    std::string out = strprintf("RB_%u", rb_entries);
+    if (hasShStack()) {
+        out += strprintf("+SH_%u", sh_entries);
+        if (skewed_bank_access)
+            out += "+SK";
+        if (intra_warp_realloc)
+            out += "+RA";
+    }
+    return out;
+}
+
+uint32_t
+skewBaseEntry(uint32_t tid, uint32_t sh_entries)
+{
+    SMS_ASSERT(sh_entries > 0, "skew base needs a non-empty SH stack");
+    uint32_t k = kWarpSize / (sh_entries * 2);
+    if (k == 0)
+        k = 1;
+    return (tid / k) % sh_entries;
+}
+
+} // namespace sms

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Traversal-stack configuration: the knobs the paper sweeps (RB size,
+ * SH size, skewed bank access, intra-warp reallocation) plus the
+ * hardware-overhead arithmetic of §VI-C.
+ */
+
+#ifndef SMS_CORE_STACK_CONFIG_HPP
+#define SMS_CORE_STACK_CONFIG_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace sms {
+
+/** Threads per warp, fixed at 32 throughout the paper. */
+constexpr uint32_t kWarpSize = 32;
+
+/** Bytes of one traversal-stack entry (a node address). */
+constexpr uint32_t kStackEntryBytes = 8;
+
+/**
+ * Configuration of the per-thread traversal stack hierarchy.
+ *
+ * rb_entries is the primary ray-buffer stack (paper RB_N);
+ * sh_entries > 0 enables the secondary shared-memory stack (SH_M);
+ * skewed_bank_access and intra_warp_realloc enable the two SMS
+ * optimizations (+SK, +RA).
+ */
+struct StackConfig
+{
+    uint32_t rb_entries = 8;
+    /** RB_FULL: unbounded on-chip stack, never spills. */
+    bool rb_unbounded = false;
+
+    /** SH stack entries per thread; 0 disables the SH stack. */
+    uint32_t sh_entries = 0;
+    bool skewed_bank_access = false;
+    bool intra_warp_realloc = false;
+
+    /** Maximum concurrently borrowed SH stacks per thread (§VI-B). */
+    uint32_t max_borrowed = 4;
+    /** Maximum consecutive flushes per allocated SH stack (§VI-B). */
+    uint32_t max_flushes = 3;
+
+    /** The paper's baseline: 8-entry RB stack, nothing else. */
+    static StackConfig
+    baseline(uint32_t rb = 8)
+    {
+        StackConfig c;
+        c.rb_entries = rb;
+        return c;
+    }
+
+    /** RB_FULL: impractical full on-chip per-ray stack. */
+    static StackConfig
+    rbFull()
+    {
+        StackConfig c;
+        c.rb_unbounded = true;
+        return c;
+    }
+
+    /** RB_N + SH_M with optional optimizations. */
+    static StackConfig
+    withSh(uint32_t rb, uint32_t sh, bool skew = false, bool realloc = false)
+    {
+        StackConfig c;
+        c.rb_entries = rb;
+        c.sh_entries = sh;
+        c.skewed_bank_access = skew;
+        c.intra_warp_realloc = realloc;
+        return c;
+    }
+
+    /** The full SMS design: RB_8 + SH_8 + SK + RA. */
+    static StackConfig
+    sms(uint32_t rb = 8, uint32_t sh = 8)
+    {
+        return withSh(rb, sh, true, true);
+    }
+
+    bool hasShStack() const { return sh_entries > 0; }
+
+    /** Shared-memory bytes reserved per warp (32 threads). */
+    uint64_t
+    sharedBytesPerWarp() const
+    {
+        return static_cast<uint64_t>(kWarpSize) * sh_entries *
+               kStackEntryBytes;
+    }
+
+    /** Shared-memory bytes reserved per SM for @p warps RT-unit warps. */
+    uint64_t
+    sharedBytesPerSm(uint32_t warps = 4) const
+    {
+        return sharedBytesPerWarp() * warps;
+    }
+
+    /**
+     * Extra ray-buffer storage bits per thread for SH bookkeeping
+     * (Top, Bottom, Overflow; plus Next TID, Idle, Priority, Flush when
+     * reallocation is enabled) — §VI-C.
+     */
+    uint32_t overheadBitsPerThread() const;
+
+    /** Total bookkeeping overhead bytes per SM (32 threads x 4 warps). */
+    uint64_t overheadBytesPerSm(uint32_t warps = 4) const;
+
+    /** Human-readable name, e.g. "RB_8+SH_8+SK+RA" or "RB_FULL". */
+    std::string name() const;
+};
+
+/**
+ * Skewed base-entry formula from §VI-B:
+ *   base = (tid / k) mod N, with k = 32 / (N * 2).
+ * For N >= 16 the divisor k collapses to 1 (every thread's stack spans
+ * all banks), which the max() guard encodes.
+ */
+uint32_t skewBaseEntry(uint32_t tid, uint32_t sh_entries);
+
+} // namespace sms
+
+#endif // SMS_CORE_STACK_CONFIG_HPP

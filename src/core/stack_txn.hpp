@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Memory transactions emitted by the stack manager.
+ *
+ * A push or pop on the hierarchical stack produces an ordered per-lane
+ * list of transactions (spills, reloads, flush bursts). The timing
+ * simulator groups same-position transactions across the warp's lanes
+ * into warp-level shared/global accesses, mirroring how the RT unit's
+ * memory scheduler collects requests (§IV-A), and honours the paper's
+ * rule that a thread's transactions issue sequentially (§VI-A).
+ */
+
+#ifndef SMS_CORE_STACK_TXN_HPP
+#define SMS_CORE_STACK_TXN_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "src/memory/request.hpp"
+
+namespace sms {
+
+/** Kind of stack-manager memory transaction. */
+enum class StackTxnKind : uint8_t
+{
+    SharedLoad,  ///< SH stack -> RB stack (or SH -> global staging)
+    SharedStore, ///< RB stack -> SH stack (or global -> SH staging)
+    GlobalLoad,  ///< off-chip local memory -> on-chip
+    GlobalStore, ///< on-chip -> off-chip local memory
+};
+
+/** One stack-manager transaction for one lane. */
+struct StackTxn
+{
+    StackTxnKind kind;
+    Addr addr;
+    uint32_t bytes = 8;
+};
+
+/** Ordered transaction list of one lane for one stack operation. */
+using StackTxnList = std::vector<StackTxn>;
+
+/** Counters over all stack-manager activity of one warp. */
+struct WarpStackStats
+{
+    uint64_t pushes = 0;
+    uint64_t pops = 0;
+    uint64_t rb_spills = 0;       ///< RB overflow spills (to SH or global)
+    uint64_t rb_refills = 0;      ///< reloads into the RB bottom
+    uint64_t sh_stores = 0;       ///< shared-memory stores
+    uint64_t sh_loads = 0;        ///< shared-memory loads
+    uint64_t global_stores = 0;   ///< off-chip spill stores
+    uint64_t global_loads = 0;    ///< off-chip spill reloads
+    uint64_t borrows = 0;         ///< SH stacks borrowed (RA)
+    uint64_t flushes = 0;         ///< bottom-stack flushes (RA)
+    uint64_t forced_flushes = 0;  ///< flushes past the paper's budget
+    uint64_t flushed_entries = 0; ///< entries moved by flushes
+    uint64_t single_moves = 0;    ///< SH-bottom -> global single moves
+    uint32_t max_logical_depth = 0;
+
+    void
+    merge(const WarpStackStats &o)
+    {
+        pushes += o.pushes;
+        pops += o.pops;
+        rb_spills += o.rb_spills;
+        rb_refills += o.rb_refills;
+        sh_stores += o.sh_stores;
+        sh_loads += o.sh_loads;
+        global_stores += o.global_stores;
+        global_loads += o.global_loads;
+        borrows += o.borrows;
+        flushes += o.flushes;
+        forced_flushes += o.forced_flushes;
+        flushed_entries += o.flushed_entries;
+        single_moves += o.single_moves;
+        if (o.max_logical_depth > max_logical_depth)
+            max_logical_depth = o.max_logical_depth;
+    }
+};
+
+} // namespace sms
+
+#endif // SMS_CORE_STACK_TXN_HPP

@@ -1,0 +1,474 @@
+/**
+ * @file
+ * Hierarchical traversal-stack implementation (see warp_stack.hpp).
+ */
+
+#include "src/core/warp_stack.hpp"
+
+#include <algorithm>
+
+#include "src/util/check.hpp"
+
+namespace sms {
+
+WarpStackModel::WarpStackModel(const StackConfig &config, Addr shared_base,
+                               Addr local_base)
+    : config_(config), shared_base_(shared_base), local_base_(local_base)
+{
+    SMS_ASSERT(config.rb_entries >= 1 || config.rb_unbounded,
+               "RB stack needs at least one entry");
+    lanes_.resize(kWarpSize);
+    if (config_.hasShStack()) {
+        segments_.resize(kWarpSize);
+        for (uint32_t lane = 0; lane < kWarpSize; ++lane) {
+            Segment &seg = segments_[lane];
+            seg.slots.assign(config_.sh_entries, 0);
+            seg.owner = lane;
+            seg.base = config_.skewed_bank_access
+                           ? skewBaseEntry(lane, config_.sh_entries)
+                           : 0;
+            seg.top = seg.base;
+            seg.bottom = seg.base;
+            // Each lane's chain starts with its dedicated segment.
+            lanes_[lane].chain.push_back(lane);
+        }
+    }
+}
+
+Addr
+WarpStackModel::sharedSlotAddr(uint32_t owner_lane, uint32_t slot) const
+{
+    return shared_base_ +
+           (static_cast<Addr>(owner_lane) * config_.sh_entries + slot) *
+               kStackEntryBytes;
+}
+
+Addr
+WarpStackModel::globalSlotAddr(uint32_t lane, uint32_t slot) const
+{
+    // Interleaved per-thread local memory: consecutive spill slots of
+    // one thread are kWarpSize entries apart, so lanes spilling the
+    // same slot index coalesce while divergent depths do not (§II-C).
+    return local_base_ +
+           (static_cast<Addr>(slot) * kWarpSize + lane) * kStackEntryBytes;
+}
+
+bool
+WarpStackModel::laneEmpty(uint32_t lane) const
+{
+    return logicalDepth(lane) == 0;
+}
+
+uint32_t
+WarpStackModel::logicalDepth(uint32_t lane) const
+{
+    const LaneState &ls = lanes_[lane];
+    return static_cast<uint32_t>(ls.rb.size()) + shDepth(lane) +
+           static_cast<uint32_t>(ls.global.size());
+}
+
+uint32_t
+WarpStackModel::shDepth(uint32_t lane) const
+{
+    uint32_t total = 0;
+    for (uint32_t seg_id : lanes_[lane].chain)
+        total += segments_[seg_id].count;
+    return total;
+}
+
+uint32_t
+WarpStackModel::borrowedCount(uint32_t lane) const
+{
+    uint32_t n = 0;
+    for (uint32_t seg_id : lanes_[lane].chain)
+        if (segments_[seg_id].owner != lane)
+            ++n;
+    return n;
+}
+
+void
+WarpStackModel::observe(uint32_t lane)
+{
+    if (observer_)
+        observer_->onStackAccess(lane, logicalDepth(lane));
+}
+
+void
+WarpStackModel::push(uint32_t lane, uint64_t value, StackTxnList &txns)
+{
+    SMS_ASSERT(lane < kWarpSize, "lane %u out of range", lane);
+    LaneState &ls = lanes_[lane];
+    SMS_ASSERT(!ls.finished, "push on finished lane %u", lane);
+
+    if (!config_.rb_unbounded && ls.rb.size() == config_.rb_entries)
+        spillFromRb(lane, txns);
+
+    ls.rb.push_back(value);
+    ++stats_.pushes;
+    uint32_t depth = logicalDepth(lane);
+    if (depth > stats_.max_logical_depth)
+        stats_.max_logical_depth = depth;
+    observe(lane);
+}
+
+void
+WarpStackModel::spillFromRb(uint32_t lane, StackTxnList &txns)
+{
+    LaneState &ls = lanes_[lane];
+    uint64_t oldest = ls.rb.front();
+    ls.rb.pop_front();
+    ++stats_.rb_spills;
+    if (config_.hasShStack())
+        shPushTop(lane, oldest, txns);
+    else
+        pushGlobal(lane, oldest, txns);
+}
+
+void
+WarpStackModel::shPushTop(uint32_t lane, uint64_t value, StackTxnList &txns)
+{
+    LaneState &ls = lanes_[lane];
+    SMS_ASSERT(!ls.chain.empty(), "lane %u has no SH segment", lane);
+
+    Segment *top = &segments_[ls.chain.back()];
+    if (top->full()) {
+        bool resolved = false;
+        if (config_.intra_warp_realloc) {
+            if (borrowedCount(lane) < config_.max_borrowed &&
+                tryBorrow(lane)) {
+                resolved = true;
+            } else if (ls.chain.size() > 1 &&
+                       tryFlushBottom(lane, txns)) {
+                // Flushing exists because *linked* stacks are not
+                // contiguous (§VI-B); with a single dedicated segment
+                // the plain single-entry move below applies.
+                resolved = true;
+            } else if (ls.chain.size() > 1) {
+                // The paper sizes the flush budget so this never
+                // happens on its workloads (§VI-B: 72 entries suffice).
+                // Beyond that envelope, correctness requires flushing
+                // anyway; the forced flush is counted separately.
+                bool flushed = tryFlushBottom(lane, txns, true);
+                SMS_ASSERT(flushed, "forced flush failed");
+                ++stats_.forced_flushes;
+                resolved = true;
+            }
+        }
+        if (!resolved) {
+            // Single-entry move: oldest SH value migrates off-chip
+            // (shared load + global store), freeing one slot (§VI-A).
+            singleMoveToGlobal(lane, txns);
+        }
+        top = &segments_[ls.chain.back()];
+        SMS_ASSERT(!top->full(), "SH top still full after overflow fix");
+    }
+
+    // Circular push at the segment top.
+    if (top->empty()) {
+        top->top = top->base;
+        top->bottom = top->base;
+    } else {
+        top->top = (top->top + 1) % config_.sh_entries;
+    }
+    top->slots[top->top] = value;
+    ++top->count;
+    txns.push_back({StackTxnKind::SharedStore,
+                    sharedSlotAddr(top->owner, top->top),
+                    kStackEntryBytes});
+    ++stats_.sh_stores;
+}
+
+uint64_t
+WarpStackModel::shPopTop(uint32_t lane, StackTxnList &txns)
+{
+    LaneState &ls = lanes_[lane];
+    // Find the topmost non-empty segment (empty own segments may sit in
+    // the chain after flush promotions; they hold nothing).
+    int idx = static_cast<int>(ls.chain.size()) - 1;
+    while (idx >= 0 && segments_[ls.chain[idx]].empty())
+        --idx;
+    SMS_ASSERT(idx >= 0, "shPopTop on empty SH chain (lane %u)", lane);
+
+    Segment &seg = segments_[ls.chain[idx]];
+    uint64_t value = seg.slots[seg.top];
+    txns.push_back({StackTxnKind::SharedLoad,
+                    sharedSlotAddr(seg.owner, seg.top), kStackEntryBytes});
+    ++stats_.sh_loads;
+    --seg.count;
+    if (seg.empty()) {
+        seg.top = seg.base;
+        seg.bottom = seg.base;
+        seg.flushes = 0; // drained: consecutive-flush budget resets
+    } else {
+        seg.top = (seg.top + config_.sh_entries - 1) % config_.sh_entries;
+    }
+
+    releaseIfEmptyBorrowed(lane);
+    return value;
+}
+
+void
+WarpStackModel::releaseIfEmptyBorrowed(uint32_t lane)
+{
+    LaneState &ls = lanes_[lane];
+    // Release empty borrowed segments from the top of the chain; the
+    // paper releases the top stack the moment it empties (§V-B).
+    while (!ls.chain.empty()) {
+        Segment &seg = segments_[ls.chain.back()];
+        if (seg.owner == lane || !seg.empty())
+            break;
+        seg.borrower = -1;
+        seg.flushes = 0;
+        seg.available = lanes_[seg.owner].finished;
+        ls.chain.pop_back();
+    }
+}
+
+void
+WarpStackModel::shPushBottom(uint32_t lane, uint64_t value,
+                             StackTxnList &txns)
+{
+    LaneState &ls = lanes_[lane];
+    Segment &seg = segments_[ls.chain.front()];
+    SMS_ASSERT(!seg.full(), "shPushBottom on full bottom segment");
+    if (seg.empty()) {
+        seg.top = seg.base;
+        seg.bottom = seg.base;
+    } else {
+        seg.bottom =
+            (seg.bottom + config_.sh_entries - 1) % config_.sh_entries;
+    }
+    seg.slots[seg.bottom] = value;
+    ++seg.count;
+    txns.push_back({StackTxnKind::SharedStore,
+                    sharedSlotAddr(seg.owner, seg.bottom),
+                    kStackEntryBytes});
+    ++stats_.sh_stores;
+}
+
+bool
+WarpStackModel::shBottomHasSpace(uint32_t lane) const
+{
+    const LaneState &ls = lanes_[lane];
+    if (ls.chain.empty())
+        return false;
+    return !segments_[ls.chain.front()].full();
+}
+
+bool
+WarpStackModel::tryBorrow(uint32_t lane)
+{
+    // Deterministic policy: borrow the available segment with the
+    // lowest owner lane id.
+    for (uint32_t owner = 0; owner < kWarpSize; ++owner) {
+        Segment &seg = segments_[owner];
+        if (!seg.available)
+            continue;
+        SMS_ASSERT(seg.empty(), "available segment %u not empty", owner);
+        seg.available = false;
+        seg.borrower = static_cast<int32_t>(lane);
+        seg.flushes = 0;
+        seg.top = seg.base;
+        seg.bottom = seg.base;
+        lanes_[lane].chain.push_back(owner);
+        ++stats_.borrows;
+        return true;
+    }
+    return false;
+}
+
+bool
+WarpStackModel::tryFlushBottom(uint32_t lane, StackTxnList &txns,
+                               bool ignore_budget)
+{
+    LaneState &ls = lanes_[lane];
+    uint32_t bottom_id = ls.chain.front();
+    Segment &seg = segments_[bottom_id];
+
+    if (seg.empty()) {
+        // Nothing to flush: promoting the empty bottom segment to the
+        // top provides capacity for free (possible when the dedicated
+        // segment drained while borrowed segments still hold entries).
+        if (ls.chain.size() == 1)
+            return false; // it is already the top and it is full-checked
+        ls.chain.erase(ls.chain.begin());
+        ls.chain.push_back(bottom_id);
+        return true;
+    }
+
+    if (seg.flushes >= config_.max_flushes && !ignore_budget)
+        return false;
+
+    // Flush the entire bottom segment to global memory, oldest first,
+    // then promote the emptied segment to the top of the chain (§VI-B).
+    uint32_t flushed = seg.count;
+    while (!seg.empty()) {
+        uint64_t value = seg.slots[seg.bottom];
+        txns.push_back({StackTxnKind::SharedLoad,
+                        sharedSlotAddr(seg.owner, seg.bottom),
+                        kStackEntryBytes});
+        ++stats_.sh_loads;
+        --seg.count;
+        if (!seg.empty()) {
+            seg.bottom = (seg.bottom + 1) % config_.sh_entries;
+        }
+        pushGlobal(lane, value, txns);
+    }
+    seg.top = seg.base;
+    seg.bottom = seg.base;
+    ++seg.flushes;
+    ++stats_.flushes;
+    stats_.flushed_entries += flushed;
+
+    if (ls.chain.size() > 1) {
+        ls.chain.erase(ls.chain.begin());
+        ls.chain.push_back(bottom_id);
+    }
+    return true;
+}
+
+void
+WarpStackModel::singleMoveToGlobal(uint32_t lane, StackTxnList &txns)
+{
+    LaneState &ls = lanes_[lane];
+    // Oldest SH entry lives at the bottom of the bottom-most non-empty
+    // segment.
+    size_t idx = 0;
+    while (idx < ls.chain.size() && segments_[ls.chain[idx]].empty())
+        ++idx;
+    SMS_ASSERT(idx < ls.chain.size(),
+               "single move with empty SH chain (lane %u)", lane);
+    Segment &seg = segments_[ls.chain[idx]];
+
+    uint64_t value = seg.slots[seg.bottom];
+    txns.push_back({StackTxnKind::SharedLoad,
+                    sharedSlotAddr(seg.owner, seg.bottom),
+                    kStackEntryBytes});
+    ++stats_.sh_loads;
+    --seg.count;
+    if (seg.empty()) {
+        seg.top = seg.base;
+        seg.bottom = seg.base;
+        seg.flushes = 0;
+    } else {
+        seg.bottom = (seg.bottom + 1) % config_.sh_entries;
+    }
+    pushGlobal(lane, value, txns);
+    ++stats_.single_moves;
+}
+
+void
+WarpStackModel::pushGlobal(uint32_t lane, uint64_t value,
+                           StackTxnList &txns)
+{
+    LaneState &ls = lanes_[lane];
+    ls.global.push_back(value);
+    uint32_t slot = static_cast<uint32_t>(ls.global.size()) - 1;
+    if (slot + 1 > ls.global_high_water)
+        ls.global_high_water = slot + 1;
+    txns.push_back({StackTxnKind::GlobalStore, globalSlotAddr(lane, slot),
+                    kStackEntryBytes});
+    ++stats_.global_stores;
+}
+
+uint64_t
+WarpStackModel::popGlobal(uint32_t lane, StackTxnList &txns)
+{
+    LaneState &ls = lanes_[lane];
+    SMS_ASSERT(!ls.global.empty(), "popGlobal on empty spill region");
+    uint32_t slot = static_cast<uint32_t>(ls.global.size()) - 1;
+    uint64_t value = ls.global.back();
+    ls.global.pop_back();
+    txns.push_back({StackTxnKind::GlobalLoad, globalSlotAddr(lane, slot),
+                    kStackEntryBytes});
+    ++stats_.global_loads;
+    return value;
+}
+
+bool
+WarpStackModel::pop(uint32_t lane, uint64_t &value, StackTxnList &txns)
+{
+    SMS_ASSERT(lane < kWarpSize, "lane %u out of range", lane);
+    LaneState &ls = lanes_[lane];
+    if (laneEmpty(lane))
+        return false;
+
+    observe(lane); // record the occupied depth this pop touches
+    SMS_ASSERT(!ls.rb.empty(), "logical depth > 0 but RB empty");
+    value = ls.rb.back();
+    ls.rb.pop_back();
+    ++stats_.pops;
+
+    // Eager refill (Fig. 7 steps 2/5/6).
+    if (config_.hasShStack() && shDepth(lane) > 0) {
+        uint64_t from_sh = shPopTop(lane, txns);
+        ls.rb.push_front(from_sh);
+        ++stats_.rb_refills;
+        if (!ls.global.empty() && shBottomHasSpace(lane)) {
+            uint64_t from_global = popGlobal(lane, txns);
+            shPushBottom(lane, from_global, txns);
+        }
+    } else if (!ls.global.empty()) {
+        uint64_t from_global = popGlobal(lane, txns);
+        ls.rb.push_front(from_global);
+        ++stats_.rb_refills;
+    }
+    return true;
+}
+
+void
+WarpStackModel::abandonLane(uint32_t lane)
+{
+    LaneState &ls = lanes_[lane];
+    ls.rb.clear();
+    ls.global.clear();
+    if (config_.hasShStack()) {
+        for (uint32_t seg_id : ls.chain) {
+            Segment &seg = segments_[seg_id];
+            seg.count = 0;
+            seg.top = seg.base;
+            seg.bottom = seg.base;
+        }
+    }
+    finishLane(lane);
+}
+
+void
+WarpStackModel::finishLane(uint32_t lane)
+{
+    LaneState &ls = lanes_[lane];
+    SMS_ASSERT(laneEmpty(lane), "finishLane with non-empty stack");
+    ls.finished = true;
+    if (!config_.hasShStack())
+        return;
+
+    // Release any leftover borrowed segments (all empty by now); only
+    // the dedicated segment stays in the chain. Flush promotions can
+    // leave the dedicated segment anywhere in the chain, so filter by
+    // ownership rather than position.
+    std::vector<uint32_t> kept;
+    for (uint32_t seg_id : ls.chain) {
+        Segment &seg = segments_[seg_id];
+        SMS_ASSERT(seg.empty(), "releasing non-empty segment");
+        if (seg.owner == lane) {
+            kept.push_back(seg_id);
+            continue;
+        }
+        seg.borrower = -1;
+        seg.flushes = 0;
+        seg.available = lanes_[seg.owner].finished;
+    }
+    SMS_ASSERT(kept.size() == 1, "lane %u lost its dedicated segment",
+               lane);
+    ls.chain = std::move(kept);
+
+    // The dedicated segment becomes borrowable if nobody borrowed it
+    // already while we were running (impossible) — mark it idle.
+    Segment &own = segments_[lane];
+    if (own.borrower < 0) {
+        own.available = config_.intra_warp_realloc;
+        own.flushes = 0;
+    }
+}
+
+} // namespace sms

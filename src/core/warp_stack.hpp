@@ -1,0 +1,185 @@
+/**
+ * @file
+ * The SMS hierarchical traversal stack for one warp — the paper's core
+ * contribution (§IV-§VI).
+ *
+ * Each of the 32 lanes owns:
+ *  - a primary RB stack (rb_entries newest values, on-chip ray buffer),
+ *  - optionally a chain of SH-stack segments in shared memory
+ *    (its dedicated segment plus, with reallocation, segments borrowed
+ *    from early-finished lanes), holding the middle of the stack,
+ *  - an unbounded per-thread spill region in global memory holding the
+ *    oldest values.
+ *
+ * Pushes that overflow the RB spill its oldest value downward; pops
+ * eagerly refill upward (SH top -> RB bottom, then global top -> SH
+ * bottom), exactly following Fig. 7 and §VI-A. Every operation returns
+ * the per-lane transaction list the stack manager would issue, and the
+ * model is value-exact: pops always return what an unbounded stack
+ * would return.
+ */
+
+#ifndef SMS_CORE_WARP_STACK_HPP
+#define SMS_CORE_WARP_STACK_HPP
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/core/stack_config.hpp"
+#include "src/core/stack_txn.hpp"
+#include "src/memory/request.hpp"
+#include "src/util/check.hpp"
+
+namespace sms {
+
+/** Observer invoked with the logical stack depth at every push/pop. */
+class DepthObserver
+{
+  public:
+    virtual ~DepthObserver() = default;
+    /** @param lane lane id; @param depth logical depth after the op */
+    virtual void onStackAccess(uint32_t lane, uint32_t depth) = 0;
+};
+
+/**
+ * Hierarchical traversal stacks of all 32 lanes of one warp.
+ *
+ * Instances are created per trace-ray warp instruction: a warp leaves
+ * the RT unit only when all its lanes finished (§V-B), so SH segments
+ * can never stay borrowed across warps.
+ */
+class WarpStackModel
+{
+  public:
+    /**
+     * @param config      stack configuration
+     * @param shared_base simulated shared-memory base of this warp
+     *                    slot's SH stack file
+     * @param local_base  simulated global-memory base of this warp's
+     *                    per-thread spill regions
+     */
+    WarpStackModel(const StackConfig &config, Addr shared_base,
+                   Addr local_base);
+
+    /** Push @p value on @p lane's stack; transactions appended. */
+    void push(uint32_t lane, uint64_t value, StackTxnList &txns);
+
+    /**
+     * Pop @p lane's stack top.
+     * @return false when the stack is empty (traversal is over)
+     */
+    bool pop(uint32_t lane, uint64_t &value, StackTxnList &txns);
+
+    /**
+     * Read @p lane's stack top without popping — the RT unit reads the
+     * top entry to obtain the next fetch address (§II-B) before the
+     * operation completes and the actual pop happens. No transactions:
+     * the top always resides in the on-chip RB stack.
+     */
+    uint64_t
+    peek(uint32_t lane) const
+    {
+        SMS_ASSERT(!lanes_[lane].rb.empty(), "peek on empty stack");
+        return lanes_[lane].rb.back();
+    }
+
+    /** True when @p lane's logical stack holds no values. */
+    bool laneEmpty(uint32_t lane) const;
+
+    /** Logical stack depth of @p lane (across all three levels). */
+    uint32_t logicalDepth(uint32_t lane) const;
+
+    /**
+     * Mark @p lane's traversal complete; with reallocation enabled its
+     * dedicated SH segment becomes borrowable by other lanes.
+     */
+    void finishLane(uint32_t lane);
+
+    /**
+     * Terminate @p lane's traversal with entries still on the stack
+     * (any-hit early-out). Hardware just resets the stack pointers, so
+     * no memory transactions are generated; the lane then counts as
+     * finished exactly like finishLane().
+     */
+    void abandonLane(uint32_t lane);
+
+    bool laneFinished(uint32_t lane) const { return lanes_[lane].finished; }
+
+    /** Install a depth observer (may be nullptr). */
+    void setDepthObserver(DepthObserver *observer) { observer_ = observer; }
+
+    const WarpStackStats &stats() const { return stats_; }
+    const StackConfig &config() const { return config_; }
+
+    /** Number of segments currently borrowed by @p lane (tests). */
+    uint32_t borrowedCount(uint32_t lane) const;
+
+    /** Entries currently resident in @p lane's SH chain (tests). */
+    uint32_t shDepth(uint32_t lane) const;
+
+    /** Entries currently spilled to global memory for @p lane (tests). */
+    uint32_t
+    globalDepth(uint32_t lane) const
+    {
+        return static_cast<uint32_t>(lanes_[lane].global.size());
+    }
+
+    /** Shared-memory address of segment-local entry slot (tests). */
+    Addr sharedSlotAddr(uint32_t owner_lane, uint32_t slot) const;
+
+  private:
+    /** One per-lane SH segment (a circular queue in shared memory). */
+    struct Segment
+    {
+        std::vector<uint64_t> slots;
+        uint32_t top = 0;
+        uint32_t bottom = 0;
+        uint32_t count = 0;
+        uint32_t base = 0;     ///< skewed initial slot
+        uint32_t flushes = 0;  ///< consecutive-flush counter
+        uint32_t owner = 0;    ///< owning lane (fixed)
+        int32_t borrower = -1; ///< borrowing lane, -1 when not borrowed
+        bool available = false; ///< idle: owner finished, not borrowed
+
+        bool full() const { return count == slots.size(); }
+        bool empty() const { return count == 0; }
+    };
+
+    struct LaneState
+    {
+        std::deque<uint64_t> rb;          ///< front = oldest, back = top
+        std::vector<uint32_t> chain;      ///< segment ids, front = bottom
+        std::vector<uint64_t> global;     ///< back = newest spill
+        uint32_t global_high_water = 0;   ///< slots ever used (addressing)
+        bool finished = false;
+    };
+
+    void spillFromRb(uint32_t lane, StackTxnList &txns);
+    void shPushTop(uint32_t lane, uint64_t value, StackTxnList &txns);
+    uint64_t shPopTop(uint32_t lane, StackTxnList &txns);
+    void shPushBottom(uint32_t lane, uint64_t value, StackTxnList &txns);
+    bool shBottomHasSpace(uint32_t lane) const;
+    bool tryBorrow(uint32_t lane);
+    bool tryFlushBottom(uint32_t lane, StackTxnList &txns,
+                        bool ignore_budget = false);
+    void singleMoveToGlobal(uint32_t lane, StackTxnList &txns);
+    void pushGlobal(uint32_t lane, uint64_t value, StackTxnList &txns);
+    uint64_t popGlobal(uint32_t lane, StackTxnList &txns);
+    void releaseIfEmptyBorrowed(uint32_t lane);
+    void observe(uint32_t lane);
+
+    Addr globalSlotAddr(uint32_t lane, uint32_t slot) const;
+
+    StackConfig config_;
+    Addr shared_base_;
+    Addr local_base_;
+    std::vector<Segment> segments_; ///< kWarpSize segments (may be empty)
+    std::vector<LaneState> lanes_;
+    WarpStackStats stats_;
+    DepthObserver *observer_ = nullptr;
+};
+
+} // namespace sms
+
+#endif // SMS_CORE_WARP_STACK_HPP

@@ -1,0 +1,13 @@
+/**
+ * @file
+ * Out-of-line anchor for the Aabb translation unit (keeps the library
+ * non-empty and gives the header a home for future non-inline helpers).
+ */
+
+#include "src/geometry/aabb.hpp"
+
+namespace sms {
+
+// All Aabb members are currently inline; nothing out-of-line yet.
+
+} // namespace sms

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Axis-aligned bounding box with the slab intersection test used by the
+ * simulated ray-box units.
+ */
+
+#ifndef SMS_GEOMETRY_AABB_HPP
+#define SMS_GEOMETRY_AABB_HPP
+
+#include <limits>
+
+#include "src/geometry/ray.hpp"
+#include "src/geometry/vec3.hpp"
+
+namespace sms {
+
+/** Axis-aligned bounding box [lo, hi]. Default-constructed boxes are empty. */
+struct Aabb
+{
+    Vec3 lo{std::numeric_limits<float>::max(),
+            std::numeric_limits<float>::max(),
+            std::numeric_limits<float>::max()};
+    Vec3 hi{std::numeric_limits<float>::lowest(),
+            std::numeric_limits<float>::lowest(),
+            std::numeric_limits<float>::lowest()};
+
+    Aabb() = default;
+    Aabb(const Vec3 &l, const Vec3 &h) : lo(l), hi(h) {}
+
+    bool
+    empty() const
+    {
+        return lo.x > hi.x || lo.y > hi.y || lo.z > hi.z;
+    }
+
+    /** Grow to include a point. */
+    void
+    extend(const Vec3 &p)
+    {
+        lo = min(lo, p);
+        hi = max(hi, p);
+    }
+
+    /** Grow to include another box. */
+    void
+    extend(const Aabb &b)
+    {
+        lo = min(lo, b.lo);
+        hi = max(hi, b.hi);
+    }
+
+    Vec3 centroid() const { return (lo + hi) * 0.5f; }
+    Vec3 extent() const { return hi - lo; }
+
+    /** Surface area; 0 for empty boxes (used by the SAH builder). */
+    float
+    surfaceArea() const
+    {
+        if (empty())
+            return 0.0f;
+        Vec3 e = extent();
+        return 2.0f * (e.x * e.y + e.y * e.z + e.z * e.x);
+    }
+
+    /** True when the point lies inside or on the boundary. */
+    bool
+    contains(const Vec3 &p) const
+    {
+        return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y &&
+               p.z >= lo.z && p.z <= hi.z;
+    }
+
+    /** True when the other box lies fully inside this one. */
+    bool
+    contains(const Aabb &b) const
+    {
+        return b.empty() || (contains(b.lo) && contains(b.hi));
+    }
+
+    /**
+     * Slab test against a ray segment.
+     *
+     * @param ray   the ray (invDir must be populated)
+     * @param tHit  on hit, receives the entry distance clamped to tMin
+     * @return true when the box overlaps [ray.tMin, ray.tMax]
+     */
+    bool
+    intersect(const Ray &ray, float &tHit) const
+    {
+        float t0 = ray.tMin;
+        float t1 = ray.tMax;
+        for (int axis = 0; axis < 3; ++axis) {
+            float inv = ray.invDir[axis];
+            float near = (lo[axis] - ray.origin[axis]) * inv;
+            float far = (hi[axis] - ray.origin[axis]) * inv;
+            if (near > far) {
+                float tmp = near;
+                near = far;
+                far = tmp;
+            }
+            // NaN (0 * inf) propagates as "no constraint" because the
+            // comparisons below are false for NaN.
+            if (near > t0)
+                t0 = near;
+            if (far < t1)
+                t1 = far;
+            if (t0 > t1)
+                return false;
+        }
+        tHit = t0;
+        return true;
+    }
+
+    /** Union of two boxes. */
+    static Aabb
+    merge(const Aabb &a, const Aabb &b)
+    {
+        Aabb out = a;
+        out.extend(b);
+        return out;
+    }
+};
+
+} // namespace sms
+
+#endif // SMS_GEOMETRY_AABB_HPP

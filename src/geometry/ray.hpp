@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Ray representation shared by the functional tracer and the timing model.
+ */
+
+#ifndef SMS_GEOMETRY_RAY_HPP
+#define SMS_GEOMETRY_RAY_HPP
+
+#include <cstdint>
+#include <limits>
+
+#include "src/geometry/vec3.hpp"
+
+namespace sms {
+
+/** Sentinel "no hit" distance. */
+constexpr float kRayInfinity = std::numeric_limits<float>::infinity();
+
+/**
+ * A ray segment [tMin, tMax] along origin + t * dir.
+ *
+ * invDir caches the reciprocal direction for slab tests; components of a
+ * zero direction axis become +/-inf, which the slab test handles via the
+ * IEEE inf*0 = NaN fallback comparisons.
+ */
+struct Ray
+{
+    Vec3 origin;
+    Vec3 dir;
+    Vec3 invDir;
+    float tMin = 1.0e-4f;
+    float tMax = kRayInfinity;
+
+    Ray() = default;
+
+    Ray(const Vec3 &o, const Vec3 &d, float tmin = 1.0e-4f,
+        float tmax = kRayInfinity)
+        : origin(o), dir(d), tMin(tmin), tMax(tmax)
+    {
+        invDir = {1.0f / d.x, 1.0f / d.y, 1.0f / d.z};
+    }
+
+    Vec3 at(float t) const { return origin + dir * t; }
+};
+
+/** Primitive kinds a leaf may reference. */
+enum class PrimitiveKind : uint8_t { Triangle, Sphere };
+
+/** Result of the closest-hit query against a scene. */
+struct HitRecord
+{
+    float t = kRayInfinity;
+    uint32_t primitive = UINT32_MAX;    ///< index into the scene primitives
+    PrimitiveKind kind = PrimitiveKind::Triangle;
+    float u = 0.0f;                     ///< barycentric u (triangles)
+    float v = 0.0f;                     ///< barycentric v (triangles)
+    Vec3 normal;                        ///< geometric unit normal at hit
+
+    bool valid() const { return primitive != UINT32_MAX; }
+};
+
+} // namespace sms
+
+#endif // SMS_GEOMETRY_RAY_HPP

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Ray-sphere intersection using the numerically robust quadratic form.
+ */
+
+#include "src/geometry/sphere.hpp"
+
+#include <cmath>
+
+namespace sms {
+
+bool
+Sphere::intersect(const Ray &ray, float &t) const
+{
+    const Vec3 oc = ray.origin - center;
+    const float a = dot(ray.dir, ray.dir);
+    const float half_b = dot(oc, ray.dir);
+    const float c = dot(oc, oc) - radius * radius;
+    const float disc = half_b * half_b - a * c;
+    if (disc < 0.0f)
+        return false;
+
+    const float sqrt_disc = std::sqrt(disc);
+    float root = (-half_b - sqrt_disc) / a;
+    if (root < ray.tMin || root > ray.tMax) {
+        root = (-half_b + sqrt_disc) / a;
+        if (root < ray.tMin || root > ray.tMax)
+            return false;
+    }
+    t = root;
+    return true;
+}
+
+} // namespace sms

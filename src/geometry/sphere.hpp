@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Procedural sphere primitive.
+ *
+ * LumiBench's WKND scene ("Ray Tracing in One Weekend") contains zero
+ * triangles — all geometry is procedural spheres intersected in the
+ * shader/RT unit. We support the same primitive kind so the scene suite
+ * can include a faithful WKND stand-in.
+ */
+
+#ifndef SMS_GEOMETRY_SPHERE_HPP
+#define SMS_GEOMETRY_SPHERE_HPP
+
+#include "src/geometry/aabb.hpp"
+#include "src/geometry/ray.hpp"
+#include "src/geometry/vec3.hpp"
+
+namespace sms {
+
+/** Sphere given by center and radius. */
+struct Sphere
+{
+    Vec3 center;
+    float radius = 1.0f;
+
+    Sphere() = default;
+    Sphere(const Vec3 &c, float r) : center(c), radius(r) {}
+
+    Aabb
+    bounds() const
+    {
+        Vec3 r(radius, radius, radius);
+        return Aabb(center - r, center + r);
+    }
+
+    /**
+     * Ray-sphere intersection against [ray.tMin, ray.tMax].
+     *
+     * @param ray the query ray
+     * @param t   nearest in-range hit distance output
+     * @return true when the ray hits the sphere surface in range
+     */
+    bool
+    intersect(const Ray &ray, float &t) const;
+
+    /** Outward unit normal at a surface point. */
+    Vec3
+    normalAt(const Vec3 &p) const
+    {
+        return normalize(p - center);
+    }
+};
+
+} // namespace sms
+
+#endif // SMS_GEOMETRY_SPHERE_HPP

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Möller–Trumbore ray-triangle intersection.
+ */
+
+#include "src/geometry/triangle.hpp"
+
+#include <cmath>
+
+namespace sms {
+
+bool
+Triangle::intersect(const Ray &ray, float &t, float &u, float &v) const
+{
+    const Vec3 e1 = v1 - v0;
+    const Vec3 e2 = v2 - v0;
+    const Vec3 pvec = cross(ray.dir, e2);
+    const float det = dot(e1, pvec);
+
+    // Cull near-degenerate configurations; |det| below epsilon means the
+    // ray is (numerically) parallel to the triangle plane.
+    constexpr float kEps = 1.0e-9f;
+    if (std::fabs(det) < kEps)
+        return false;
+
+    const float inv_det = 1.0f / det;
+    const Vec3 tvec = ray.origin - v0;
+    const float uu = dot(tvec, pvec) * inv_det;
+    if (uu < 0.0f || uu > 1.0f)
+        return false;
+
+    const Vec3 qvec = cross(tvec, e1);
+    const float vv = dot(ray.dir, qvec) * inv_det;
+    if (vv < 0.0f || uu + vv > 1.0f)
+        return false;
+
+    const float tt = dot(e2, qvec) * inv_det;
+    if (tt < ray.tMin || tt > ray.tMax)
+        return false;
+
+    t = tt;
+    u = uu;
+    v = vv;
+    return true;
+}
+
+} // namespace sms

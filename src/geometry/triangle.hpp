@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Triangle primitive and the Möller–Trumbore intersection routine that the
+ * simulated ray-triangle units execute.
+ */
+
+#ifndef SMS_GEOMETRY_TRIANGLE_HPP
+#define SMS_GEOMETRY_TRIANGLE_HPP
+
+#include "src/geometry/aabb.hpp"
+#include "src/geometry/ray.hpp"
+#include "src/geometry/vec3.hpp"
+
+namespace sms {
+
+/** Triangle given by three vertices, wound counter-clockwise. */
+struct Triangle
+{
+    Vec3 v0, v1, v2;
+
+    Triangle() = default;
+    Triangle(const Vec3 &a, const Vec3 &b, const Vec3 &c)
+        : v0(a), v1(b), v2(c)
+    {}
+
+    /** Tight bounding box. */
+    Aabb
+    bounds() const
+    {
+        Aabb box;
+        box.extend(v0);
+        box.extend(v1);
+        box.extend(v2);
+        return box;
+    }
+
+    Vec3 centroid() const { return (v0 + v1 + v2) * (1.0f / 3.0f); }
+
+    /** Unnormalized geometric normal (v1-v0) x (v2-v0). */
+    Vec3 geometricNormal() const { return cross(v1 - v0, v2 - v0); }
+
+    float area() const { return 0.5f * length(geometricNormal()); }
+
+    /**
+     * Möller–Trumbore intersection against [ray.tMin, ray.tMax].
+     *
+     * @param ray the query ray
+     * @param t   hit distance output
+     * @param u   barycentric coordinate of v1
+     * @param v   barycentric coordinate of v2
+     * @return true when the ray hits the triangle interior or edge
+     */
+    bool
+    intersect(const Ray &ray, float &t, float &u, float &v) const;
+};
+
+} // namespace sms
+
+#endif // SMS_GEOMETRY_TRIANGLE_HPP

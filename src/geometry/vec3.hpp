@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Minimal 3-component float vector used by all geometry code.
+ */
+
+#ifndef SMS_GEOMETRY_VEC3_HPP
+#define SMS_GEOMETRY_VEC3_HPP
+
+#include <cmath>
+
+namespace sms {
+
+/** 3-component float vector with the usual arithmetic operators. */
+struct Vec3
+{
+    float x = 0.0f;
+    float y = 0.0f;
+    float z = 0.0f;
+
+    constexpr Vec3() = default;
+    constexpr Vec3(float xx, float yy, float zz) : x(xx), y(yy), z(zz) {}
+    constexpr explicit Vec3(float s) : x(s), y(s), z(s) {}
+
+    constexpr float
+    operator[](int i) const
+    {
+        return i == 0 ? x : (i == 1 ? y : z);
+    }
+
+    constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+
+    constexpr Vec3 &
+    operator+=(const Vec3 &o)
+    {
+        x += o.x; y += o.y; z += o.z;
+        return *this;
+    }
+
+    constexpr Vec3 &
+    operator-=(const Vec3 &o)
+    {
+        x -= o.x; y -= o.y; z -= o.z;
+        return *this;
+    }
+
+    constexpr Vec3 &
+    operator*=(float s)
+    {
+        x *= s; y *= s; z *= s;
+        return *this;
+    }
+};
+
+constexpr Vec3
+operator+(Vec3 a, const Vec3 &b)
+{
+    return a += b;
+}
+
+constexpr Vec3
+operator-(Vec3 a, const Vec3 &b)
+{
+    return a -= b;
+}
+
+constexpr Vec3
+operator*(Vec3 a, float s)
+{
+    return a *= s;
+}
+
+constexpr Vec3
+operator*(float s, Vec3 a)
+{
+    return a *= s;
+}
+
+constexpr Vec3
+operator*(const Vec3 &a, const Vec3 &b)
+{
+    return {a.x * b.x, a.y * b.y, a.z * b.z};
+}
+
+constexpr Vec3
+operator/(Vec3 a, float s)
+{
+    return a *= (1.0f / s);
+}
+
+constexpr bool
+operator==(const Vec3 &a, const Vec3 &b)
+{
+    return a.x == b.x && a.y == b.y && a.z == b.z;
+}
+
+constexpr float
+dot(const Vec3 &a, const Vec3 &b)
+{
+    return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+constexpr Vec3
+cross(const Vec3 &a, const Vec3 &b)
+{
+    return {a.y * b.z - a.z * b.y,
+            a.z * b.x - a.x * b.z,
+            a.x * b.y - a.y * b.x};
+}
+
+inline float
+length(const Vec3 &v)
+{
+    return std::sqrt(dot(v, v));
+}
+
+constexpr float
+lengthSquared(const Vec3 &v)
+{
+    return dot(v, v);
+}
+
+inline Vec3
+normalize(const Vec3 &v)
+{
+    float len = length(v);
+    return len > 0.0f ? v / len : Vec3(0.0f);
+}
+
+constexpr Vec3
+min(const Vec3 &a, const Vec3 &b)
+{
+    return {a.x < b.x ? a.x : b.x,
+            a.y < b.y ? a.y : b.y,
+            a.z < b.z ? a.z : b.z};
+}
+
+constexpr Vec3
+max(const Vec3 &a, const Vec3 &b)
+{
+    return {a.x > b.x ? a.x : b.x,
+            a.y > b.y ? a.y : b.y,
+            a.z > b.z ? a.z : b.z};
+}
+
+/** Component index (0..2) of the largest component. */
+constexpr int
+maxAxis(const Vec3 &v)
+{
+    if (v.x >= v.y && v.x >= v.z)
+        return 0;
+    return v.y >= v.z ? 1 : 2;
+}
+
+/** Reflect direction d about unit normal n. */
+constexpr Vec3
+reflect(const Vec3 &d, const Vec3 &n)
+{
+    return d - 2.0f * dot(d, n) * n;
+}
+
+/** Linear interpolation a + t (b - a). */
+constexpr Vec3
+lerp(const Vec3 &a, const Vec3 &b, float t)
+{
+    return a + (b - a) * t;
+}
+
+} // namespace sms
+
+#endif // SMS_GEOMETRY_VEC3_HPP

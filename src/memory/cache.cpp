@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Cache tag-model implementation.
+ */
+
+#include "src/memory/cache.hpp"
+
+#include "src/util/check.hpp"
+
+namespace sms {
+
+namespace {
+
+bool
+isPowerOfTwo(uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+Cache::Cache(const CacheConfig &config) : config_(config)
+{
+    SMS_ASSERT(config.line_bytes > 0 && isPowerOfTwo(config.line_bytes),
+               "line size must be a power of two");
+    uint64_t total_lines = config.size_bytes / config.line_bytes;
+    SMS_ASSERT(total_lines > 0, "cache smaller than one line");
+
+    if (config.ways == 0 || config.ways >= total_lines) {
+        // Fully associative: one set holding every line.
+        num_sets_ = 1;
+        num_ways_ = static_cast<uint32_t>(total_lines);
+    } else {
+        SMS_ASSERT(total_lines % config.ways == 0,
+                   "lines (%llu) not divisible by ways (%u)",
+                   static_cast<unsigned long long>(total_lines),
+                   config.ways);
+        num_ways_ = config.ways;
+        // Modulo indexing supports non-power-of-two set counts (the
+        // 3 MB / 16-way L2 of Table I has 1536 sets).
+        num_sets_ = static_cast<uint32_t>(total_lines / config.ways);
+    }
+    lines_.resize(static_cast<size_t>(num_sets_) * num_ways_);
+}
+
+uint32_t
+Cache::setIndex(Addr line_addr) const
+{
+    return static_cast<uint32_t>((line_addr / config_.line_bytes) %
+                                 num_sets_);
+}
+
+Cache::Result
+Cache::access(Addr line_addr, bool write, TrafficClass cls)
+{
+    SMS_ASSERT(line_addr % config_.line_bytes == 0,
+               "unaligned cache access 0x%llx",
+               static_cast<unsigned long long>(line_addr));
+    Result result;
+    if (write)
+        ++stats_.stores;
+    else
+        ++stats_.loads;
+
+    Line *set = &lines_[static_cast<size_t>(setIndex(line_addr)) *
+                        num_ways_];
+    ++lru_clock_;
+
+    // Hit path.
+    for (uint32_t w = 0; w < num_ways_; ++w) {
+        Line &line = set[w];
+        if (line.valid && line.tag == line_addr) {
+            line.lru = lru_clock_;
+            line.dirty = line.dirty || write;
+            result.hit = true;
+            return result;
+        }
+    }
+
+    if (write)
+        ++stats_.store_misses;
+    else
+        ++stats_.load_misses;
+    ++class_misses_[static_cast<int>(cls)];
+
+    // No-write-allocate caches write around on store misses.
+    if (write && !config_.allocate_on_store)
+        return result;
+
+    Line *victim = &set[0];
+    for (uint32_t w = 0; w < num_ways_; ++w) {
+        Line &line = set[w];
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+        if (line.lru < victim->lru)
+            victim = &line;
+    }
+    if (victim->valid && victim->dirty) {
+        result.evicted_dirty = true;
+        result.evicted_line = victim->tag;
+        ++stats_.writebacks;
+    }
+    victim->valid = true;
+    victim->tag = line_addr;
+    victim->dirty = write;
+    victim->lru = lru_clock_;
+    return result;
+}
+
+bool
+Cache::probe(Addr line_addr) const
+{
+    const Line *set = &lines_[static_cast<size_t>(setIndex(line_addr)) *
+                              num_ways_];
+    for (uint32_t w = 0; w < num_ways_; ++w)
+        if (set[w].valid && set[w].tag == line_addr)
+            return true;
+    return false;
+}
+
+void
+Cache::reset()
+{
+    for (Line &line : lines_)
+        line = Line();
+}
+
+} // namespace sms

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Set-associative write-back cache tag model with true-LRU replacement.
+ *
+ * Covers both caches of Table I: the L1D (fully associative — modeled
+ * as a single set whose way count equals the line count) and the L2
+ * (16-way). Only tags are modeled; data never matters for timing.
+ */
+
+#ifndef SMS_MEMORY_CACHE_HPP
+#define SMS_MEMORY_CACHE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "src/memory/request.hpp"
+
+namespace sms {
+
+/** Geometry and policy parameters of one cache. */
+struct CacheConfig
+{
+    uint64_t size_bytes = 64 * 1024;
+    /** 0 selects fully associative (ways = lines). */
+    uint32_t ways = 0;
+    uint32_t line_bytes = kLineBytes;
+    /**
+     * Allocate a line on a store miss. GPU L1Ds are write-through /
+     * no-write-allocate (stores that miss write around the cache);
+     * the L2 is write-back / write-allocate.
+     */
+    bool allocate_on_store = true;
+};
+
+/**
+ * Tag-only cache with per-set true-LRU ordering.
+ *
+ * access() combines lookup and fill: on a miss the line is allocated
+ * immediately (the caller adds next-level latency to the request's
+ * completion time) and the evicted line, if dirty, is reported so the
+ * caller can issue a writeback.
+ */
+class Cache
+{
+  public:
+    /** Outcome of one line access. */
+    struct Result
+    {
+        bool hit = false;
+        bool evicted_dirty = false;
+        Addr evicted_line = 0;
+    };
+
+    explicit Cache(const CacheConfig &config);
+
+    /**
+     * Access one line.
+     *
+     * @param line_addr line-aligned address
+     * @param write     true for stores (marks the line dirty)
+     * @param cls       traffic class for statistics
+     */
+    Result access(Addr line_addr, bool write, TrafficClass cls);
+
+    /** True when the line is currently resident (no state change). */
+    bool probe(Addr line_addr) const;
+
+    /** Drop all lines (statistics are kept). */
+    void reset();
+
+    const LevelStats &stats() const { return stats_; }
+
+    /** Per-traffic-class miss counts. */
+    uint64_t
+    missesByClass(TrafficClass cls) const
+    {
+        return class_misses_[static_cast<int>(cls)];
+    }
+
+    uint32_t numSets() const { return num_sets_; }
+    uint32_t numWays() const { return num_ways_; }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        uint64_t lru = 0; ///< larger = more recently used
+    };
+
+    uint32_t setIndex(Addr line_addr) const;
+
+    CacheConfig config_;
+    uint32_t num_sets_ = 1;
+    uint32_t num_ways_ = 1;
+    std::vector<Line> lines_; ///< num_sets_ x num_ways_, row-major
+    uint64_t lru_clock_ = 0;
+    LevelStats stats_;
+    uint64_t class_misses_[kTrafficClassCount] = {0, 0, 0};
+};
+
+} // namespace sms
+
+#endif // SMS_MEMORY_CACHE_HPP

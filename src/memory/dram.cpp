@@ -1,0 +1,12 @@
+/**
+ * @file
+ * Out-of-line anchor for the Dram translation unit.
+ */
+
+#include "src/memory/dram.hpp"
+
+namespace sms {
+
+// Dram is header-only today; this file anchors the library target.
+
+} // namespace sms

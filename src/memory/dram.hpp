@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Off-chip DRAM model: fixed access latency plus a bandwidth-limited
+ * service queue shared by all SMs.
+ *
+ * The queue is what makes stack-spill traffic expensive in the same way
+ * the paper measures: per-thread spill addresses do not coalesce, so a
+ * burst of spills occupies many service slots and delays geometry
+ * fetches behind it.
+ */
+
+#ifndef SMS_MEMORY_DRAM_HPP
+#define SMS_MEMORY_DRAM_HPP
+
+#include "src/memory/request.hpp"
+
+namespace sms {
+
+/** DRAM timing and bandwidth parameters. */
+struct DramConfig
+{
+    /** Latency from service start to data return. */
+    Cycle access_latency = 250;
+    /** Minimum cycles between consecutive line services (bandwidth). */
+    Cycle service_interval = 4;
+};
+
+/** Per-class off-chip access counters. */
+struct DramStats
+{
+    uint64_t loads = 0;
+    uint64_t stores = 0;
+    uint64_t by_class[kTrafficClassCount] = {0, 0, 0};
+    /** Total cycles requests waited for a service slot. */
+    uint64_t queue_wait_cycles = 0;
+
+    uint64_t accesses() const { return loads + stores; }
+};
+
+/**
+ * Bandwidth-limited DRAM. One request = one cache line.
+ */
+class Dram
+{
+  public:
+    explicit Dram(const DramConfig &config) : config_(config) {}
+
+    /**
+     * Issue a line request at cycle @p now.
+     *
+     * @return the cycle the data is available (loads) or committed
+     *         (stores)
+     */
+    Cycle
+    access(Cycle now, bool write, TrafficClass cls)
+    {
+        Cycle start = now > next_free_ ? now : next_free_;
+        stats_.queue_wait_cycles += start - now;
+        next_free_ = start + config_.service_interval;
+        if (write)
+            ++stats_.stores;
+        else
+            ++stats_.loads;
+        ++stats_.by_class[static_cast<int>(cls)];
+        return start + config_.access_latency;
+    }
+
+    const DramStats &stats() const { return stats_; }
+
+  private:
+    DramConfig config_;
+    Cycle next_free_ = 0;
+    DramStats stats_;
+};
+
+} // namespace sms
+
+#endif // SMS_MEMORY_DRAM_HPP

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Glue for the global-memory path: per-SM L1D caches in front of a
+ * shared L2 and a bandwidth-limited DRAM (Table I hierarchy).
+ */
+
+#ifndef SMS_MEMORY_MEMORY_SYSTEM_HPP
+#define SMS_MEMORY_MEMORY_SYSTEM_HPP
+
+#include <memory>
+#include <vector>
+
+#include "src/memory/cache.hpp"
+#include "src/memory/dram.hpp"
+#include "src/memory/request.hpp"
+
+namespace sms {
+
+/** Parameters of the full global-memory hierarchy. */
+struct MemoryHierarchyConfig
+{
+    CacheConfig l1{64 * 1024, 0, kLineBytes}; ///< fully associative
+    Cycle l1_latency = 20;
+    /**
+     * Line lookups the SM's L1 can start per cycle (the RT unit's
+     * fetcher is wide: a warp's node fetch issues many sectors).
+     */
+    uint32_t l1_ports = 4;
+
+    CacheConfig l2{3 * 1024 * 1024, 16, kLineBytes};
+    Cycle l2_latency = 160; ///< total latency of an L1-miss/L2-hit
+    /** Line services the shared L2 can start per cycle. */
+    uint32_t l2_ports = 4;
+
+    DramConfig dram;
+};
+
+/**
+ * The global-memory path for all SMs.
+ *
+ * accessLine()/accessRange() return the completion cycle of a request
+ * issued at a given cycle, updating cache state in issue order — the
+ * caller (the simulator's event loop) is responsible for calling in
+ * non-decreasing time order.
+ */
+class MemorySystem
+{
+  public:
+    MemorySystem(const MemoryHierarchyConfig &config, uint32_t num_sms);
+
+    /** Access one line from SM @p sm. @return data-ready cycle. */
+    Cycle accessLine(uint32_t sm, Addr line_addr, bool write,
+                     TrafficClass cls, Cycle now);
+
+    /**
+     * Access an arbitrary byte range (split into line requests issued
+     * back-to-back on the SM's L1 port). @return last completion cycle.
+     */
+    Cycle accessRange(uint32_t sm, Addr addr, uint64_t bytes, bool write,
+                      TrafficClass cls, Cycle now);
+
+    const Cache &l1(uint32_t sm) const { return *l1s_[sm]; }
+    const Cache &l2() const { return *l2_; }
+    const Dram &dram() const { return *dram_; }
+
+    /** Total off-chip (DRAM) accesses, the paper's Fig. 15b metric. */
+    uint64_t offchipAccesses() const { return dram_->stats().accesses(); }
+
+  private:
+    /** Grant an L2 port slot at or after @p at. */
+    Cycle l2PortGrant(Cycle at);
+
+    MemoryHierarchyConfig config_;
+    std::vector<std::unique_ptr<Cache>> l1s_;
+    std::vector<Cycle> l1_port_free_;
+    std::vector<uint32_t> l1_slot_credit_;
+    std::unique_ptr<Cache> l2_;
+    Cycle l2_port_free_ = 0;
+    uint32_t l2_slot_credit_ = 0;
+    std::unique_ptr<Dram> dram_;
+};
+
+} // namespace sms
+
+#endif // SMS_MEMORY_MEMORY_SYSTEM_HPP

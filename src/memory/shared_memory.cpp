@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Shared-memory bank-conflict model implementation.
+ */
+
+#include "src/memory/shared_memory.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "src/util/check.hpp"
+
+namespace sms {
+
+uint32_t
+SharedMemory::conflictPasses(const std::vector<SharedLaneRequest> &lanes)
+{
+    if (lanes.empty())
+        return 0;
+
+    // Count distinct words per bank. An 8 B stack entry spans two
+    // adjacent 4 B words (two banks). Lanes accessing the *same* word
+    // broadcast and cost nothing extra; different words in the same
+    // bank serialize.
+    std::array<std::vector<Addr>, kSharedBanks> words;
+    for (const SharedLaneRequest &req : lanes) {
+        SMS_ASSERT(req.bytes % kBankWordBytes == 0,
+                   "shared request must be word-aligned in size");
+        for (uint32_t off = 0; off < req.bytes; off += kBankWordBytes) {
+            Addr word = (req.addr + off) / kBankWordBytes;
+            uint32_t bank = static_cast<uint32_t>(word % kSharedBanks);
+            words[bank].push_back(word);
+        }
+    }
+
+    uint32_t passes = 1;
+    for (auto &bank_words : words) {
+        std::sort(bank_words.begin(), bank_words.end());
+        auto end = std::unique(bank_words.begin(), bank_words.end());
+        uint32_t distinct =
+            static_cast<uint32_t>(end - bank_words.begin());
+        passes = std::max(passes, distinct);
+    }
+    return passes;
+}
+
+Cycle
+SharedMemory::access(Cycle now, const std::vector<SharedLaneRequest> &lanes)
+{
+    if (lanes.empty())
+        return now;
+
+    uint32_t passes = conflictPasses(lanes);
+    ++stats_.accesses;
+    stats_.lane_requests += lanes.size();
+    stats_.conflict_cycles += passes - 1;
+
+    Cycle start = now > next_free_ ? now : next_free_;
+    // The access occupies the shared-memory pipeline for one cycle per
+    // pass; data returns after the base latency on top of the last pass.
+    next_free_ = start + passes;
+    return start + passes - 1 + base_latency_;
+}
+
+} // namespace sms

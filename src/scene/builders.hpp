@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Shared mesh-building helpers used by the procedural scene generators.
+ *
+ * Each helper appends triangles (or spheres) to a Scene with a given
+ * material. All helpers are deterministic; any randomness comes from an
+ * explicitly passed Pcg32.
+ */
+
+#ifndef SMS_SCENE_BUILDERS_HPP
+#define SMS_SCENE_BUILDERS_HPP
+
+#include <cstdint>
+#include <functional>
+
+#include "src/scene/scene.hpp"
+#include "src/util/rng.hpp"
+
+namespace sms {
+namespace builders {
+
+/** Append the two triangles of a quad (a, b, c, d counter-clockwise). */
+void addQuad(Scene &scene, const Vec3 &a, const Vec3 &b, const Vec3 &c,
+             const Vec3 &d, uint16_t material);
+
+/** Append the 12 triangles of an axis-aligned box. */
+void addBox(Scene &scene, const Aabb &box, uint16_t material);
+
+/**
+ * Append a heightfield terrain over [x0,x1]x[z0,z1] with res x res quads.
+ * @param height function (x, z) -> y
+ */
+void addTerrain(Scene &scene, float x0, float z0, float x1, float z1,
+                int res, const std::function<float(float, float)> &height,
+                uint16_t material);
+
+/**
+ * Append a triangulated sphere by icosahedron subdivision.
+ * Triangle count is 20 * 4^subdiv.
+ */
+void addIcosphere(Scene &scene, const Vec3 &center, float radius,
+                  int subdiv, uint16_t material);
+
+/**
+ * Append a bumpy "organic" blob: icosphere with deterministic radial
+ * noise. Stand-in for dense scanned meshes (BUNNY, FOX, ROBOT).
+ */
+void addBlob(Scene &scene, const Vec3 &center, float radius, int subdiv,
+             float noise_amp, uint64_t seed, uint16_t material);
+
+/** Append an open prism/cylinder with @p sides side quads plus caps. */
+void addCylinder(Scene &scene, const Vec3 &base_center, float radius,
+                 float height, int sides, uint16_t material);
+
+/** Append a cone (triangle fan) with @p sides side triangles. */
+void addCone(Scene &scene, const Vec3 &base_center, float radius,
+             float height, int sides, uint16_t material);
+
+/**
+ * Append a long thin two-triangle ribbon from @p a to @p b with the given
+ * (small) width. Produces the long-thin-primitive leaves that make the
+ * SHIP scene leaf-heavy in the paper.
+ */
+void addRibbon(Scene &scene, const Vec3 &a, const Vec3 &b, float width,
+               uint16_t material);
+
+/** Append a stylized tree (cone canopy layers + cylinder trunk). */
+void addTree(Scene &scene, const Vec3 &root, float height, float canopy,
+             int detail, uint16_t material_trunk, uint16_t material_leaf);
+
+/**
+ * Scatter small random tetrahedra inside a box — clutter geometry for
+ * PARTY/CRNVL-style scenes.
+ */
+void addClutter(Scene &scene, const Aabb &region, int count, float size,
+                Pcg32 &rng, uint16_t material);
+
+} // namespace builders
+} // namespace sms
+
+#endif // SMS_SCENE_BUILDERS_HPP

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Internal declarations of the per-scene generator functions.
+ * Users should go through makeScene() in registry.hpp.
+ */
+
+#ifndef SMS_SCENE_GENERATORS_HPP
+#define SMS_SCENE_GENERATORS_HPP
+
+#include "src/scene/registry.hpp"
+#include "src/scene/scene.hpp"
+
+namespace sms {
+namespace generators {
+
+/**
+ * Resolution/count multiplier for a scale profile.
+ * Linear dimension scaling; terrain-style generators square it.
+ */
+float profileScale(ScaleProfile profile);
+
+Scene makeWknd(ScaleProfile profile);
+Scene makeSprng(ScaleProfile profile);
+Scene makeFox(ScaleProfile profile);
+Scene makeLands(ScaleProfile profile);
+Scene makeCrnvl(ScaleProfile profile);
+Scene makeSpnza(ScaleProfile profile);
+Scene makeBath(ScaleProfile profile);
+Scene makeRobot(ScaleProfile profile);
+Scene makeCar(ScaleProfile profile);
+Scene makeParty(ScaleProfile profile);
+Scene makeFrst(ScaleProfile profile);
+Scene makeBunny(ScaleProfile profile);
+Scene makeShip(ScaleProfile profile);
+Scene makeRef(ScaleProfile profile);
+Scene makeChsnt(ScaleProfile profile);
+Scene makePark(ScaleProfile profile);
+
+} // namespace generators
+} // namespace sms
+
+#endif // SMS_SCENE_GENERATORS_HPP

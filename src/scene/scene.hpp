@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Scene container: primitives, materials, camera and light.
+ *
+ * Scenes are generated procedurally (see registry.hpp) as deterministic
+ * stand-ins for the LumiBench suite used by the paper. A scene exposes a
+ * unified primitive index space: ids [0, triangleCount) are triangles,
+ * ids [triangleCount, primitiveCount) are spheres. The BVH builder and
+ * traversal code only ever deal in these unified ids.
+ */
+
+#ifndef SMS_SCENE_SCENE_HPP
+#define SMS_SCENE_SCENE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/geometry/aabb.hpp"
+#include "src/geometry/ray.hpp"
+#include "src/geometry/sphere.hpp"
+#include "src/geometry/triangle.hpp"
+#include "src/geometry/vec3.hpp"
+
+namespace sms {
+
+/** Simple surface description for the path tracer's shading model. */
+struct Material
+{
+    Vec3 albedo{0.8f, 0.8f, 0.8f};
+    Vec3 emission{0.0f, 0.0f, 0.0f};
+    /** 0 = pure diffuse, 1 = pure mirror. */
+    float reflectivity = 0.0f;
+};
+
+/** Pinhole camera description. */
+struct CameraDesc
+{
+    Vec3 position{0.0f, 1.0f, 5.0f};
+    Vec3 lookAt{0.0f, 0.0f, 0.0f};
+    Vec3 up{0.0f, 1.0f, 0.0f};
+    float verticalFovDeg = 45.0f;
+};
+
+/** Single point light used for shadow rays. */
+struct LightDesc
+{
+    Vec3 position{0.0f, 10.0f, 0.0f};
+    Vec3 intensity{60.0f, 60.0f, 60.0f};
+};
+
+/**
+ * A renderable scene. Primitive id p resolves to triangles[p] when
+ * p < triangleCount(), otherwise to spheres[p - triangleCount()].
+ */
+class Scene
+{
+  public:
+    std::string name;
+    CameraDesc camera;
+    LightDesc light;
+
+    uint32_t triangleCount() const { return (uint32_t)triangles_.size(); }
+    uint32_t sphereCount() const { return (uint32_t)spheres_.size(); }
+
+    uint32_t
+    primitiveCount() const
+    {
+        return triangleCount() + sphereCount();
+    }
+
+    const std::vector<Triangle> &triangles() const { return triangles_; }
+    const std::vector<Sphere> &spheres() const { return spheres_; }
+    const std::vector<Material> &materials() const { return materials_; }
+
+    /** Register a material, returning its id. */
+    uint16_t addMaterial(const Material &m);
+
+    /** Append a triangle with the given material id. */
+    void addTriangle(const Triangle &t, uint16_t material);
+
+    /** Append a sphere with the given material id. */
+    void addSphere(const Sphere &s, uint16_t material);
+
+    /** Kind of the unified primitive id. */
+    PrimitiveKind
+    primitiveKind(uint32_t id) const
+    {
+        return id < triangleCount() ? PrimitiveKind::Triangle
+                                    : PrimitiveKind::Sphere;
+    }
+
+    /** Bounding box of the unified primitive id. */
+    Aabb primitiveBounds(uint32_t id) const;
+
+    /** Centroid of the unified primitive id. */
+    Vec3 primitiveCentroid(uint32_t id) const;
+
+    /** Material of the unified primitive id. */
+    const Material &primitiveMaterial(uint32_t id) const;
+
+    /**
+     * Intersect one primitive, updating @p hit and shrinking @p ray.tMax
+     * on success.
+     *
+     * @return true when the primitive is hit within the ray segment
+     */
+    bool intersectPrimitive(uint32_t id, Ray &ray, HitRecord &hit) const;
+
+    /** Bounding box of all primitives. */
+    Aabb bounds() const;
+
+    /**
+     * Closest hit by brute force over all primitives. O(n) — reference
+     * oracle for BVH traversal tests, never used by the simulator.
+     */
+    HitRecord intersectBruteForce(const Ray &ray) const;
+
+    /** Total bytes of primitive data as laid out in simulated memory. */
+    uint64_t primitiveDataBytes() const;
+
+  private:
+    std::vector<Triangle> triangles_;
+    std::vector<Sphere> spheres_;
+    std::vector<uint16_t> triangle_materials_;
+    std::vector<uint16_t> sphere_materials_;
+    std::vector<Material> materials_;
+};
+
+} // namespace sms
+
+#endif // SMS_SCENE_SCENE_HPP

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Energy estimation implementation.
+ */
+
+#include "src/sim/energy.hpp"
+
+namespace sms {
+
+EnergyBreakdown
+estimateEnergy(const SimResult &result, const GpuConfig &config,
+               const EnergyModel &model)
+{
+    EnergyBreakdown e;
+
+    // Every push/pop touches one RB entry; spills/refills touch one
+    // more on their way through.
+    double rb_events =
+        static_cast<double>(result.stack.pushes + result.stack.pops +
+                            result.stack.rb_spills +
+                            result.stack.rb_refills);
+    e.rb_dynamic = rb_events * model.rb_entry_pj;
+
+    // Static cost of the provisioned RB storage: entries x threads x
+    // warps x SMs, leaking for the whole frame. RB_FULL is charged for
+    // the deepest stack it actually needed (a best case for it).
+    double provisioned_entries =
+        config.stack.rb_unbounded
+            ? static_cast<double>(result.stack.max_logical_depth)
+            : static_cast<double>(config.stack.rb_entries);
+    double storage = provisioned_entries * kWarpSize *
+                     config.max_warps_per_rt * config.num_sms;
+    e.rb_static = storage * model.rb_leak_pj_per_entry_kcycle *
+                  (static_cast<double>(result.cycles) / 1000.0);
+
+    e.shared = static_cast<double>(result.shared_mem.lane_requests) *
+               model.shared_pj;
+    e.l1 = static_cast<double>(result.l1.accesses()) * model.l1_pj;
+    e.l2 = static_cast<double>(result.l2.accesses()) * model.l2_pj;
+    e.dram = static_cast<double>(result.dram.accesses()) * model.dram_pj;
+    e.ops = static_cast<double>(result.ops.box_tests +
+                                result.ops.prim_tests) *
+            model.op_pj;
+    return e;
+}
+
+} // namespace sms

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * First-order energy estimation over simulation results.
+ *
+ * The paper motivates SMS with the energy cost of on-chip storage
+ * (§III-C, §VII-D: enlarging the RB stack "incurs substantial hardware
+ * cost and energy consumption") but does not quantify it. This
+ * extension applies AccelWattch/McPAT-style per-event energies to the
+ * simulator's counters so the RB-vs-SH-vs-DRAM trade-off can be
+ * compared in Joules as well as cycles.
+ *
+ * Constants are rough 28 nm-class per-access energies; only their
+ * relative magnitudes (register file << shared << L1 << L2 << DRAM)
+ * matter for the comparisons made here.
+ */
+
+#ifndef SMS_SIM_ENERGY_HPP
+#define SMS_SIM_ENERGY_HPP
+
+#include "src/sim/gpu_sim.hpp"
+
+namespace sms {
+
+/** Per-event energy constants in picojoules. */
+struct EnergyModel
+{
+    /** One RB-stack entry access (small SRAM/register file). */
+    double rb_entry_pj = 2.0;
+    /** One 8 B shared-memory access (per lane request). */
+    double shared_pj = 11.0;
+    /** One L1D line lookup. */
+    double l1_pj = 25.0;
+    /** One L2 line access. */
+    double l2_pj = 80.0;
+    /** One DRAM line transfer. */
+    double dram_pj = 1300.0;
+    /** One ray-box or ray-triangle test in the RT unit. */
+    double op_pj = 6.0;
+    /**
+     * Static leakage of the RB stack storage per thread-entry per
+     * kilocycle — what makes over-provisioned RB stacks costly.
+     */
+    double rb_leak_pj_per_entry_kcycle = 0.4;
+};
+
+/** Energy attributed to each subsystem, in picojoules. */
+struct EnergyBreakdown
+{
+    double rb_dynamic = 0.0;
+    double rb_static = 0.0;
+    double shared = 0.0;
+    double l1 = 0.0;
+    double l2 = 0.0;
+    double dram = 0.0;
+    double ops = 0.0;
+
+    double
+    total() const
+    {
+        return rb_dynamic + rb_static + shared + l1 + l2 + dram + ops;
+    }
+};
+
+/**
+ * Estimate frame energy from a simulation result.
+ *
+ * @param result   the simulated frame
+ * @param config   the GPU configuration that produced it (for the RB
+ *                 storage provisioned per SM)
+ * @param model    per-event energies
+ */
+EnergyBreakdown estimateEnergy(const SimResult &result,
+                               const GpuConfig &config,
+                               const EnergyModel &model = {});
+
+} // namespace sms
+
+#endif // SMS_SIM_ENERGY_HPP

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * GPU configuration helpers.
+ */
+
+#include "src/sim/gpu_config.hpp"
+
+#include "src/util/check.hpp"
+
+namespace sms {
+
+GpuConfig
+GpuConfig::tableI()
+{
+    GpuConfig config;
+    config.num_sms = 8;
+    config.max_warps_per_rt = 4;
+    config.unified_bytes = 64 * 1024;
+    // Fully associative, write-through / no-write-allocate (stores
+    // that miss write around to the L2).
+    config.mem.l1 = {64 * 1024, 0, kLineBytes, false};
+    config.mem.l1_latency = 20;
+    config.mem.l2 = {384 * 1024, 16, kLineBytes};
+    config.mem.l2_latency = 160;
+    config.shared_latency = 20;
+    config.stack = StackConfig::baseline(8);
+    return config;
+}
+
+uint64_t
+GpuConfig::effectiveL1Bytes() const
+{
+    if (l1_override_bytes != 0)
+        return l1_override_bytes;
+    uint64_t carve = sharedStackBytes();
+    if (carve >= unified_bytes) {
+        // A user-facing configuration error, not a simulator bug.
+        fatal("SH stacks (%llu B) do not fit in the %llu B unified "
+              "array",
+              static_cast<unsigned long long>(carve),
+              static_cast<unsigned long long>(unified_bytes));
+    }
+    return unified_bytes - carve;
+}
+
+MemoryHierarchyConfig
+GpuConfig::resolvedMemConfig() const
+{
+    MemoryHierarchyConfig resolved = mem;
+    resolved.l1.size_bytes = effectiveL1Bytes();
+    return resolved;
+}
+
+} // namespace sms

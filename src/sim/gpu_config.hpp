@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Whole-GPU configuration: the Table I baseline parameters plus the
+ * stack configuration under test and the RT-unit operation timings.
+ */
+
+#ifndef SMS_SIM_GPU_CONFIG_HPP
+#define SMS_SIM_GPU_CONFIG_HPP
+
+#include <cstdint>
+
+#include "src/core/stack_config.hpp"
+#include "src/memory/memory_system.hpp"
+
+namespace sms {
+
+/** Fixed-function operation latencies inside the RT unit. */
+struct RtUnitTiming
+{
+    /** Ray-box phase latency of one internal-node visit (6-wide test). */
+    Cycle box_op = 10;
+    /** Base latency of a leaf visit. */
+    Cycle leaf_op_base = 10;
+    /** Additional latency per primitive tested in a leaf. */
+    Cycle leaf_op_per_prim = 5;
+    /** Stack-manager bookkeeping latency per transaction round. */
+    Cycle stack_round = 2;
+    /**
+     * SIMT-core shading latency between a warp's trace instructions
+     * (hit shading + next-bounce setup). Runs outside the RT unit.
+     */
+    Cycle shading_latency = 200;
+};
+
+/**
+ * GPU configuration under test.
+ *
+ * unified_bytes is the L1D/shared-memory array (64 KB in Table I);
+ * enabling an SH stack carves its footprint out of the L1D
+ * (§IV-B: SH_8 => 8 KB shared + 56 KB L1D). l1_override_bytes forces
+ * an explicit L1D size instead (used by the Fig. 6b sweep).
+ */
+struct GpuConfig
+{
+    uint32_t num_sms = 8;
+    uint32_t max_warps_per_rt = 4;
+
+    uint64_t unified_bytes = 64 * 1024;
+    /** When non-zero, bypasses the carve-out and sets the L1D size. */
+    uint64_t l1_override_bytes = 0;
+
+    MemoryHierarchyConfig mem;
+    Cycle shared_latency = 20;
+
+    StackConfig stack;
+    RtUnitTiming timing;
+
+    /** Per-lane instructions charged for shading per closest-hit job. */
+    uint32_t shading_instructions = 32;
+    /** Per-lane instructions charged per shadow (any-hit) job. */
+    uint32_t shadow_instructions = 8;
+
+    /** The paper's Table I baseline (mobile SoC GPU). */
+    static GpuConfig tableI();
+
+    /** Effective L1D bytes after the shared-memory carve-out. */
+    uint64_t effectiveL1Bytes() const;
+
+    /** Shared-memory bytes reserved for SH stacks per SM. */
+    uint64_t
+    sharedStackBytes() const
+    {
+        return stack.sharedBytesPerSm(max_warps_per_rt);
+    }
+
+    /** Finalized memory-hierarchy config (L1 size resolved). */
+    MemoryHierarchyConfig resolvedMemConfig() const;
+};
+
+} // namespace sms
+
+#endif // SMS_SIM_GPU_CONFIG_HPP

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Global event loop of the GPU timing simulation.
+ */
+
+#include "src/sim/gpu_sim.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <queue>
+#include <set>
+
+#include "src/util/check.hpp"
+
+namespace sms {
+
+namespace {
+
+/** Base of the simulated per-thread local (spill) address space. */
+constexpr Addr kLocalSpillBase = 0x100000000ull;
+/** Bytes reserved per warp job for spill slots (256 slots x 32 x 8 B). */
+constexpr Addr kLocalSpillStride = 0x10000ull;
+/** Number of distinct spill frames before addresses recycle. */
+constexpr Addr kLocalSpillFrames = 8192;
+
+/** Depth observer feeding the global histogram and optional trace. */
+class DepthCollector : public DepthObserver
+{
+  public:
+    DepthCollector(SimResult &result, uint32_t warp_id, bool traced)
+        : result_(result), warp_id_(warp_id), traced_(traced)
+    {}
+
+    void
+    onStackAccess(uint32_t lane, uint32_t depth) override
+    {
+        result_.depth_hist.add(depth);
+        if (traced_) {
+            result_.depth_trace.push_back(
+                {warp_id_, access_index_++, lane, depth});
+        }
+    }
+
+  private:
+    SimResult &result_;
+    uint32_t warp_id_;
+    bool traced_;
+    uint32_t access_index_ = 0;
+};
+
+/** One RT-unit occupancy slot executing a job. */
+struct InFlight
+{
+    std::unique_ptr<TraversalSim> sim;
+    std::unique_ptr<DepthCollector> collector;
+    uint32_t job_index = 0;
+    uint32_t slot = 0;
+    /** false: next event runs stepFetch; true: runs stepStack. */
+    bool in_stack_phase = false;
+};
+
+/** Job bookkeeping. */
+struct JobState
+{
+    Cycle ready = 0;
+    bool is_ready = false;
+    bool completed = false;
+    Cycle completion = 0;
+};
+
+} // namespace
+
+SimResult
+simulateJobs(const Scene &scene, const WideBvh &bvh,
+             const WarpJobList &jobs, const GpuConfig &config,
+             const SimOptions &options)
+{
+    SimResult result;
+    result.jobs = static_cast<uint32_t>(jobs.size());
+
+    MemorySystem mem(config.resolvedMemConfig(), config.num_sms);
+    std::vector<SharedMemory> shared_mems(
+        config.num_sms, SharedMemory(config.shared_latency));
+
+    std::set<uint32_t> traced_warps(options.depth_trace_warps.begin(),
+                                    options.depth_trace_warps.end());
+    std::set<uint32_t> seen_warps;
+
+    // Dependency edges: children of each job.
+    std::vector<std::vector<uint32_t>> children(jobs.size());
+    std::vector<JobState> states(jobs.size());
+    for (uint32_t j = 0; j < jobs.size(); ++j) {
+        SMS_ASSERT(jobs[j].job_id == j, "jobs must be indexed by job_id");
+        if (jobs[j].parent >= 0) {
+            SMS_ASSERT(static_cast<uint32_t>(jobs[j].parent) < j,
+                       "parent must precede child");
+            children[static_cast<uint32_t>(jobs[j].parent)].push_back(j);
+        } else {
+            states[j].is_ready = true;
+            states[j].ready = 0;
+        }
+        result.rays += jobs[j].activeLanes();
+        seen_warps.insert(jobs[j].warp_id);
+    }
+    result.warps = static_cast<uint32_t>(seen_warps.size());
+
+    // Per-SM RT-unit occupancy.
+    struct SmState
+    {
+        std::vector<uint32_t> free_slots;
+        /** Ready jobs waiting for a slot, ordered (ready, job). */
+        std::set<std::pair<Cycle, uint32_t>> pending;
+    };
+    std::vector<SmState> sms(config.num_sms);
+    for (auto &sm : sms)
+        for (uint32_t s = 0; s < config.max_warps_per_rt; ++s)
+            sm.free_slots.push_back(config.max_warps_per_rt - 1 - s);
+
+    // Event queue: (cycle, sequence, in-flight index). The sequence
+    // breaks ties deterministically.
+    using Event = std::tuple<Cycle, uint64_t, uint32_t>;
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+    uint64_t seq = 0;
+
+    std::vector<InFlight> inflight;
+    std::vector<uint32_t> free_inflight;
+
+    uint64_t shared_bytes_per_warp = config.stack.sharedBytesPerWarp();
+
+    auto admit = [&](uint32_t job_index, uint32_t sm_id, Cycle cycle) {
+        SmState &sm = sms[sm_id];
+        SMS_ASSERT(!sm.free_slots.empty(), "admit without free slot");
+        uint32_t slot = sm.free_slots.back();
+        sm.free_slots.pop_back();
+
+        const WarpJob &job = jobs[job_index];
+        Addr shared_base = slot * shared_bytes_per_warp;
+        Addr local_base =
+            kLocalSpillBase +
+            (job.job_id % kLocalSpillFrames) * kLocalSpillStride;
+
+        uint32_t idx;
+        if (!free_inflight.empty()) {
+            idx = free_inflight.back();
+            free_inflight.pop_back();
+        } else {
+            idx = static_cast<uint32_t>(inflight.size());
+            inflight.emplace_back();
+        }
+        InFlight &fl = inflight[idx];
+        fl.job_index = job_index;
+        fl.slot = slot;
+        fl.in_stack_phase = false;
+        fl.collector = std::make_unique<DepthCollector>(
+            result, job.warp_id, traced_warps.count(job.warp_id) > 0);
+        fl.sim = std::make_unique<TraversalSim>(
+            scene, bvh, config, job, sm_id, shared_base, local_base, mem,
+            shared_mems[sm_id], fl.collector.get());
+        events.emplace(cycle, seq++, idx);
+    };
+
+    auto sm_of = [&](uint32_t job_index) {
+        return jobs[job_index].warp_id % config.num_sms;
+    };
+
+    auto schedule_sm = [&](uint32_t sm_id, Cycle now) {
+        SmState &sm = sms[sm_id];
+        while (!sm.free_slots.empty() && !sm.pending.empty()) {
+            auto it = sm.pending.begin();
+            auto [ready, job_index] = *it;
+            sm.pending.erase(it);
+            admit(job_index, sm_id, std::max(now, ready));
+        }
+    };
+
+    // Seed: initially-ready jobs enter their SM's pending queue.
+    for (uint32_t j = 0; j < jobs.size(); ++j)
+        if (states[j].is_ready)
+            sms[sm_of(j)].pending.insert({states[j].ready, j});
+    for (uint32_t s = 0; s < config.num_sms; ++s)
+        schedule_sm(s, 0);
+
+    uint32_t completed_jobs = 0;
+    while (!events.empty()) {
+        auto [cycle, event_seq, idx] = events.top();
+        (void)event_seq;
+        events.pop();
+        InFlight &fl = inflight[idx];
+
+        if (fl.in_stack_phase) {
+            Cycle done = fl.sim->stepStack(cycle);
+            SMS_ASSERT(done >= cycle, "time went backwards");
+            fl.in_stack_phase = false;
+            events.emplace(done, seq++, idx);
+            continue;
+        }
+        if (!fl.sim->done()) {
+            Cycle op_done = fl.sim->stepFetch(cycle);
+            SMS_ASSERT(op_done >= cycle, "time went backwards");
+            fl.in_stack_phase = true;
+            events.emplace(op_done, seq++, idx);
+            continue;
+        }
+
+        // Job complete: harvest, free the slot, release dependents.
+        uint32_t job_index = fl.job_index;
+        uint32_t sm_id = sm_of(job_index);
+        states[job_index].completed = true;
+        states[job_index].completion = cycle;
+        ++completed_jobs;
+
+        result.ops.merge(fl.sim->counters());
+        result.stack.merge(fl.sim->stackStats());
+        result.instructions += fl.sim->counters().instructions;
+        result.mismatches += fl.sim->mismatches();
+        if (cycle > result.cycles)
+            result.cycles = cycle;
+
+        sms[sm_id].free_slots.push_back(fl.slot);
+        fl.sim.reset();
+        fl.collector.reset();
+        free_inflight.push_back(idx);
+
+        for (uint32_t child : children[job_index]) {
+            JobState &cs = states[child];
+            // Shadow batches launch straight from the hit results; the
+            // next bounce additionally waits for shading.
+            Cycle extra = jobs[child].any_hit
+                              ? 0
+                              : config.timing.shading_latency;
+            cs.ready = cycle + extra;
+            cs.is_ready = true;
+            sms[sm_of(child)].pending.insert({cs.ready, child});
+        }
+        schedule_sm(sm_id, cycle);
+        // A child may target a different SM with idle slots.
+        for (uint32_t child : children[job_index]) {
+            uint32_t child_sm = sm_of(child);
+            if (child_sm != sm_id)
+                schedule_sm(child_sm, cycle);
+        }
+    }
+
+    SMS_ASSERT(completed_jobs == jobs.size(),
+               "deadlock: %u of %zu jobs completed", completed_jobs,
+               jobs.size());
+
+    // Aggregate memory statistics.
+    for (uint32_t s = 0; s < config.num_sms; ++s) {
+        const LevelStats &l1 = mem.l1(s).stats();
+        result.l1.loads += l1.loads;
+        result.l1.stores += l1.stores;
+        result.l1.load_misses += l1.load_misses;
+        result.l1.store_misses += l1.store_misses;
+        result.l1.writebacks += l1.writebacks;
+
+        const SharedMemStats &sh = shared_mems[s].stats();
+        result.shared_mem.accesses += sh.accesses;
+        result.shared_mem.lane_requests += sh.lane_requests;
+        result.shared_mem.conflict_cycles += sh.conflict_cycles;
+    }
+    result.l2 = mem.l2().stats();
+    result.dram = mem.dram().stats();
+    result.offchip_accesses = mem.offchipAccesses();
+    return result;
+}
+
+} // namespace sms

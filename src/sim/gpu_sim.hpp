@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Top-level GPU timing simulation: distributes warp jobs over SMs,
+ * models the 4-deep RT-unit warp buffer per SM, and advances in-flight
+ * warps through a deterministic global event loop so the shared L2 and
+ * DRAM observe accesses in simulated-time order.
+ */
+
+#ifndef SMS_SIM_GPU_SIM_HPP
+#define SMS_SIM_GPU_SIM_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "src/bvh/wide_bvh.hpp"
+#include "src/core/stack_txn.hpp"
+#include "src/memory/memory_system.hpp"
+#include "src/memory/shared_memory.hpp"
+#include "src/scene/scene.hpp"
+#include "src/sim/gpu_config.hpp"
+#include "src/sim/traversal_sim.hpp"
+#include "src/sim/warp_job.hpp"
+#include "src/stats/histogram.hpp"
+
+namespace sms {
+
+/** One record of the per-access depth trace (Fig. 10). */
+struct DepthTraceRecord
+{
+    uint32_t warp_id;
+    uint32_t access_index; ///< per-warp running access count
+    uint32_t lane;
+    uint32_t depth;
+};
+
+/** Optional simulation instrumentation knobs. */
+struct SimOptions
+{
+    /** Record a (warp, access, lane, depth) trace for these warp ids. */
+    std::vector<uint32_t> depth_trace_warps;
+};
+
+/** Aggregated outcome of one simulated frame. */
+struct SimResult
+{
+    Cycle cycles = 0;
+    uint64_t instructions = 0;
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(instructions) / cycles : 0.0;
+    }
+
+    JobCounters ops;
+    WarpStackStats stack;
+    SharedMemStats shared_mem;
+    LevelStats l1;
+    LevelStats l2;
+    DramStats dram;
+    uint64_t offchip_accesses = 0; ///< Fig. 15b metric
+
+    Histogram depth_hist{63}; ///< logical stack depth at each push/pop
+    std::vector<DepthTraceRecord> depth_trace;
+
+    uint32_t jobs = 0;
+    uint32_t warps = 0;
+    uint64_t rays = 0;
+    uint32_t mismatches = 0; ///< lanes disagreeing with the oracle
+};
+
+/**
+ * Simulate a frame's warp jobs on the configured GPU.
+ *
+ * Deterministic: identical inputs produce identical results.
+ */
+SimResult simulateJobs(const Scene &scene, const WideBvh &bvh,
+                       const WarpJobList &jobs, const GpuConfig &config,
+                       const SimOptions &options = {});
+
+} // namespace sms
+
+#endif // SMS_SIM_GPU_SIM_HPP

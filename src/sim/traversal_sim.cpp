@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Warp-job execution implementation.
+ */
+
+#include "src/sim/traversal_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/util/check.hpp"
+
+namespace sms {
+
+TraversalSim::TraversalSim(const Scene &scene, const WideBvh &bvh,
+                           const GpuConfig &config, const WarpJob &job,
+                           uint32_t sm, Addr shared_base, Addr local_base,
+                           MemorySystem &mem, SharedMemory &shared_mem,
+                           DepthObserver *observer)
+    : scene_(scene), bvh_(bvh), config_(config), job_(job), sm_(sm),
+      mem_(mem), shared_mem_(shared_mem),
+      stack_(config.stack, shared_base, local_base)
+{
+    stack_.setDepthObserver(observer);
+    for (uint32_t i = 0; i < kWarpSize; ++i) {
+        Lane &lane = lanes_[i];
+        if (!job_.active[i] || bvh_.empty()) {
+            // Masked-off lanes count as finished immediately; with
+            // reallocation their SH segments are borrowable from the
+            // start.
+            stack_.finishLane(i);
+            continue;
+        }
+        lane.ray = job_.rays[i];
+        lane.running = true;
+        ++running_lanes_;
+        // Seed the traversal stack with the root reference (§II-B: the
+        // next fetch address is always read from the stack top).
+        StackTxnList seed;
+        stack_.push(i, bvh_.rootRef().stackValue(), seed);
+        SMS_ASSERT(seed.empty(), "root push cannot spill");
+    }
+    // Per-lane instruction charge for the shading work surrounding this
+    // trace call (constant across stack configurations).
+    uint32_t shade = job_.any_hit ? config.shadow_instructions
+                                  : config.shading_instructions;
+    counters_.instructions +=
+        static_cast<uint64_t>(shade) * job_.activeLanes();
+}
+
+void
+TraversalSim::finishLaneAndValidate(uint32_t lane_id, bool abandoned)
+{
+    Lane &lane = lanes_[lane_id];
+    if (abandoned)
+        stack_.abandonLane(lane_id);
+    else
+        stack_.finishLane(lane_id);
+    lane.running = false;
+    SMS_ASSERT(running_lanes_ > 0, "lane underflow");
+    --running_lanes_;
+
+    // Compare against the functional oracle recorded at job generation.
+    if (job_.any_hit) {
+        if (lane.hit.valid() != job_.expected_hit[lane_id])
+            ++mismatches_;
+        return;
+    }
+    if (lane.hit.valid() != job_.expected_hit[lane_id]) {
+        ++mismatches_;
+        return;
+    }
+    if (lane.hit.valid() &&
+        (lane.hit.primitive != job_.expected_prim[lane_id] ||
+         std::fabs(lane.hit.t - job_.expected_t[lane_id]) >
+             1.0e-4f * std::max(1.0f, job_.expected_t[lane_id]))) {
+        ++mismatches_;
+    }
+}
+
+Cycle
+TraversalSim::stepFetch(Cycle now)
+{
+    SMS_ASSERT(!done(), "step on completed job");
+    ++counters_.steps;
+
+    // ------------------------------------------------------------------
+    // FETCH: collect the cache lines this iteration needs across all
+    // running lanes. Lanes visiting the same node coalesce into the
+    // same line requests, as the RT unit's memory scheduler does.
+    // ------------------------------------------------------------------
+    std::vector<std::pair<Addr, TrafficClass>> lines;
+    auto add_range = [&](Addr addr, uint64_t bytes, TrafficClass cls) {
+        Addr line = lineAlign(addr);
+        uint32_t n = linesCovering(addr, bytes);
+        for (uint32_t i = 0; i < n; ++i)
+            lines.emplace_back(line + i * static_cast<Addr>(kLineBytes),
+                               cls);
+    };
+    for (uint32_t i = 0; i < kWarpSize; ++i) {
+        Lane &lane = lanes_[i];
+        if (!lane.running)
+            continue;
+        ChildRef current = ChildRef::fromStackValue(stack_.peek(i));
+        if (current.isInternal()) {
+            add_range(bvh_.nodeAddress(current.nodeIndex()),
+                      WideBvh::kNodeBytes, TrafficClass::Node);
+        } else {
+            uint32_t offset = current.primOffset();
+            uint32_t count = current.primCount();
+            for (uint32_t p = 0; p < count; ++p) {
+                uint32_t prim = bvh_.primIndices()[offset + p];
+                add_range(bvh_.primitiveAddress(scene_, prim),
+                          bvh_.primitiveFetchBytes(scene_, prim),
+                          TrafficClass::Primitive);
+            }
+        }
+    }
+    std::sort(lines.begin(), lines.end());
+    lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
+
+    Cycle fetch_done = now;
+    for (const auto &[line, cls] : lines) {
+        Cycle c = mem_.accessLine(sm_, line, false, cls, now);
+        fetch_done = std::max(fetch_done, c);
+    }
+
+    // ------------------------------------------------------------------
+    // OP: intersection latency — the slowest lane's operation gates the
+    // warp (SIMT lockstep).
+    // ------------------------------------------------------------------
+    Cycle op_latency = 0;
+    for (uint32_t i = 0; i < kWarpSize; ++i) {
+        Lane &lane = lanes_[i];
+        if (!lane.running)
+            continue;
+        ChildRef current = ChildRef::fromStackValue(stack_.peek(i));
+        Cycle lat;
+        if (current.isInternal()) {
+            lat = config_.timing.box_op;
+        } else {
+            lat = config_.timing.leaf_op_base +
+                  config_.timing.leaf_op_per_prim * current.primCount();
+        }
+        op_latency = std::max(op_latency, lat);
+    }
+    Cycle op_done = fetch_done + op_latency;
+    counters_.fetch_cycles += fetch_done - now;
+    counters_.op_cycles += op_latency;
+    return op_done;
+}
+
+Cycle
+TraversalSim::stepStack(Cycle now)
+{
+    // ------------------------------------------------------------------
+    // STACK UPDATE: apply the traversal step per lane; the stack
+    // manager's transactions execute afterwards in warp rounds. The
+    // manager must have drained the previous iteration's chain first.
+    // ------------------------------------------------------------------
+    Cycle start = now > manager_free_ ? now : manager_free_;
+    std::array<StackTxnList, kWarpSize> txns;
+    for (uint32_t i = 0; i < kWarpSize; ++i) {
+        Lane &lane = lanes_[i];
+        if (!lane.running)
+            continue;
+
+        // Pop the entry being visited (reloads spilled values), then
+        // push the intersected children so the nearest ends on top.
+        uint64_t top_value;
+        bool popped = stack_.pop(i, top_value, txns[i]);
+        SMS_ASSERT(popped, "running lane with empty stack");
+        ++counters_.instructions;
+        ChildRef current = ChildRef::fromStackValue(top_value);
+
+        if (current.isInternal()) {
+            ++counters_.node_visits;
+            const WideNode &node = bvh_.nodes()[current.nodeIndex()];
+            ChildHits hits = intersectNodeChildren(node, lane.ray);
+            counters_.box_tests += hits.tests;
+            counters_.instructions += hits.tests;
+            for (int c = hits.count - 1; c >= 0; --c) {
+                stack_.push(i, hits.refs[c].stackValue(), txns[i]);
+                ++counters_.instructions;
+            }
+        } else {
+            ++counters_.leaf_visits;
+            uint32_t tested = 0;
+            bool found = intersectLeaf(scene_, bvh_, current, lane.ray,
+                                       lane.hit, job_.any_hit, tested);
+            counters_.prim_tests += tested;
+            counters_.instructions += tested;
+            if (found && job_.any_hit) {
+                // Any-hit early termination: the stack is discarded.
+                finishLaneAndValidate(i, true);
+                continue;
+            }
+        }
+
+        if (stack_.laneEmpty(i))
+            finishLaneAndValidate(i, false);
+    }
+
+    // The manager's chain runs in the background; the warp retires the
+    // iteration once the manager has accepted the work.
+    Cycle chain_done = runStackRounds(start, txns);
+    manager_free_ = chain_done;
+    counters_.stack_cycles += start - now; // manager-stall visible to warp
+    return start + config_.timing.stack_round;
+}
+
+Cycle
+TraversalSim::runStackRounds(
+    Cycle start, const std::array<StackTxnList, kWarpSize> &txns)
+{
+    size_t max_len = 0;
+    for (const StackTxnList &list : txns)
+        max_len = std::max(max_len, list.size());
+    if (max_len == 0)
+        return start;
+
+    Cycle t = start;
+    Cycle last_store_done = start;
+    std::vector<SharedLaneRequest> shared_loads;
+    std::vector<SharedLaneRequest> shared_stores;
+    for (size_t round = 0; round < max_len; ++round) {
+        shared_loads.clear();
+        shared_stores.clear();
+        Cycle load_done = t;
+        for (uint32_t lane = 0; lane < kWarpSize; ++lane) {
+            if (round >= txns[lane].size())
+                continue;
+            const StackTxn &txn = txns[lane][round];
+            switch (txn.kind) {
+              case StackTxnKind::SharedLoad:
+                shared_loads.push_back({lane, txn.addr, txn.bytes});
+                break;
+              case StackTxnKind::SharedStore:
+                shared_stores.push_back({lane, txn.addr, txn.bytes});
+                break;
+              case StackTxnKind::GlobalLoad:
+                load_done = std::max(
+                    load_done, mem_.accessRange(sm_, txn.addr, txn.bytes,
+                                                false,
+                                                TrafficClass::Stack, t));
+                break;
+              case StackTxnKind::GlobalStore:
+                // Stores are fire-and-forget: they consume bandwidth
+                // but do not gate the next transaction (§VI-A only
+                // requires *loads* to return before the next request).
+                last_store_done = std::max(
+                    last_store_done,
+                    mem_.accessRange(sm_, txn.addr, txn.bytes, true,
+                                     TrafficClass::Stack, t));
+                break;
+            }
+        }
+        if (!shared_loads.empty())
+            load_done =
+                std::max(load_done, shared_mem_.access(t, shared_loads));
+        if (!shared_stores.empty()) {
+            last_store_done = std::max(
+                last_store_done, shared_mem_.access(t, shared_stores));
+        }
+        // Paper §VI-A: a thread's next transaction issues only after the
+        // previous *load* returned; stores stream.
+        t = load_done + config_.timing.stack_round;
+    }
+    // Stores drain through write buffers; the step retires when the
+    // last load returns. Store bandwidth was still charged above.
+    (void)last_store_done;
+    return t;
+}
+
+} // namespace sms

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Cycle-approximate execution of one warp job inside the RT unit.
+ *
+ * Each step() mirrors one iteration of the RT-unit pipeline (§II-B):
+ * for every active lane the top stack entry is *read* to obtain the
+ * fetch address, node/leaf data is fetched through the global-memory
+ * path (with per-warp coalescing into cache lines), the intersection
+ * operation runs, then the stack manager pops the visited entry and
+ * pushes all intersected children (nearest on top) — the pop's reloads
+ * and the pushes' spills execute in warp-collected rounds against
+ * shared and global memory.
+ *
+ * The traversal itself is value-exact: lanes visit the same nodes in
+ * the same order as the functional reference traverser, and final hits
+ * are checked against the expectations recorded in the WarpJob.
+ */
+
+#ifndef SMS_SIM_TRAVERSAL_SIM_HPP
+#define SMS_SIM_TRAVERSAL_SIM_HPP
+
+#include <array>
+#include <cstdint>
+
+#include "src/bvh/traverse.hpp"
+#include "src/bvh/wide_bvh.hpp"
+#include "src/core/warp_stack.hpp"
+#include "src/memory/memory_system.hpp"
+#include "src/memory/shared_memory.hpp"
+#include "src/sim/gpu_config.hpp"
+#include "src/sim/warp_job.hpp"
+
+namespace sms {
+
+/** Operation counters accumulated by one warp job's traversal. */
+struct JobCounters
+{
+    uint64_t steps = 0;
+    uint64_t node_visits = 0;
+    uint64_t leaf_visits = 0;
+    uint64_t box_tests = 0;
+    uint64_t prim_tests = 0;
+    uint64_t instructions = 0;
+    /** Accumulated per-phase step durations (diagnostics). */
+    uint64_t fetch_cycles = 0;
+    uint64_t op_cycles = 0;
+    uint64_t stack_cycles = 0;
+
+    void
+    merge(const JobCounters &o)
+    {
+        steps += o.steps;
+        node_visits += o.node_visits;
+        leaf_visits += o.leaf_visits;
+        box_tests += o.box_tests;
+        prim_tests += o.prim_tests;
+        instructions += o.instructions;
+        fetch_cycles += o.fetch_cycles;
+        op_cycles += o.op_cycles;
+        stack_cycles += o.stack_cycles;
+    }
+};
+
+/**
+ * In-flight execution state of one warp job on one RT-unit slot.
+ */
+class TraversalSim
+{
+  public:
+    TraversalSim(const Scene &scene, const WideBvh &bvh,
+                 const GpuConfig &config, const WarpJob &job, uint32_t sm,
+                 Addr shared_base, Addr local_base, MemorySystem &mem,
+                 SharedMemory &shared_mem, DepthObserver *observer);
+
+    /** True when every lane finished its traversal. */
+    bool done() const { return running_lanes_ == 0; }
+
+    /**
+     * Phase 1 of one warp-synchronous pipeline iteration: issue the
+     * node/leaf fetches at @p now and account the intersection-op
+     * latency. @return the cycle the operation results are available
+     * (when stepStack() must run).
+     */
+    Cycle stepFetch(Cycle now);
+
+    /**
+     * Phase 2: apply the traversal update and hand the resulting
+     * spill/reload transactions to the stack manager. The warp retires
+     * the iteration as soon as the manager accepts the work (popped
+     * values always come from the on-chip RB stack); the manager's
+     * load chain completes in the background and gates the *next*
+     * iteration's stack phase. @return the iteration's retire cycle.
+     *
+     * The two phases are scheduled as separate events so every memory
+     * model is touched in non-decreasing simulated-time order.
+     */
+    Cycle stepStack(Cycle now);
+
+    const JobCounters &counters() const { return counters_; }
+    const WarpStackStats &stackStats() const { return stack_.stats(); }
+
+    /** Lanes whose final hit disagreed with the functional oracle. */
+    uint32_t mismatches() const { return mismatches_; }
+
+    const WarpJob &job() const { return job_; }
+
+  private:
+    struct Lane
+    {
+        Ray ray;
+        HitRecord hit;
+        bool running = false;
+    };
+
+    void finishLaneAndValidate(uint32_t lane_id, bool abandoned);
+    Cycle runStackRounds(Cycle start,
+                         const std::array<StackTxnList, kWarpSize> &txns);
+
+    const Scene &scene_;
+    const WideBvh &bvh_;
+    const GpuConfig &config_;
+    WarpJob job_;
+    uint32_t sm_;
+    MemorySystem &mem_;
+    SharedMemory &shared_mem_;
+    WarpStackModel stack_;
+
+    std::array<Lane, kWarpSize> lanes_;
+    uint32_t running_lanes_ = 0;
+    JobCounters counters_;
+    uint32_t mismatches_ = 0;
+    /**
+     * The warp's stack manager is busy until this cycle completing the
+     * previous iteration's spill/reload chain (Fig. 11 has one manager
+     * per RT unit warp; §VI-A issues its requests sequentially). The
+     * warp itself proceeds — pops are served from the on-chip RB stack
+     * — but the next stack phase must wait for the manager.
+     */
+    Cycle manager_free_ = 0;
+};
+
+} // namespace sms
+
+#endif // SMS_SIM_TRAVERSAL_SIM_HPP

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Warp jobs: one trace-ray warp instruction as presented to the RT
+ * unit, plus its dependency edge to the previous segment of the same
+ * warp (shading must finish before the next bounce is traced).
+ */
+
+#ifndef SMS_SIM_WARP_JOB_HPP
+#define SMS_SIM_WARP_JOB_HPP
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/core/stack_config.hpp"
+#include "src/geometry/ray.hpp"
+
+namespace sms {
+
+/** One warp-level trace-ray instruction. */
+struct WarpJob
+{
+    uint32_t job_id = 0;
+    /** Persistent warp id: all jobs of a warp run on the same SM. */
+    uint32_t warp_id = 0;
+    /** Path segment index (0 = camera rays). */
+    uint32_t segment = 0;
+    /** Job that must complete (plus shading) before this one starts. */
+    int32_t parent = -1;
+    /** Shadow-ray batch: any-hit semantics, no child jobs. */
+    bool any_hit = false;
+
+    std::array<Ray, kWarpSize> rays;
+    /** Lane participation mask (paths die at different depths). */
+    std::array<bool, kWarpSize> active{};
+
+    /**
+     * Functional results recorded at job generation; the timing
+     * simulator re-derives them through the hardware stack model and
+     * verifies equality (DESIGN.md invariant 2).
+     */
+    std::array<float, kWarpSize> expected_t{};
+    std::array<uint32_t, kWarpSize> expected_prim{};
+    std::array<bool, kWarpSize> expected_hit{};
+
+    uint32_t
+    activeLanes() const
+    {
+        uint32_t n = 0;
+        for (bool a : active)
+            n += a ? 1 : 0;
+        return n;
+    }
+};
+
+/** A full frame's worth of warp jobs (dependency-ordered by id). */
+using WarpJobList = std::vector<WarpJob>;
+
+} // namespace sms
+
+#endif // SMS_SIM_WARP_JOB_HPP

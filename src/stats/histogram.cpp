@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Histogram and summary-statistic implementations.
+ */
+
+#include "src/stats/histogram.hpp"
+
+#include <cmath>
+
+#include "src/util/check.hpp"
+
+namespace sms {
+
+void
+Histogram::merge(const Histogram &other)
+{
+    SMS_ASSERT(counts_.size() == other.counts_.size(),
+               "merging histograms with different bucket counts");
+    for (size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    total_ += other.total_;
+    sum_ += other.sum_;
+    if (other.max_seen_ > max_seen_)
+        max_seen_ = other.max_seen_;
+}
+
+uint32_t
+Histogram::median() const
+{
+    if (total_ == 0)
+        return 0;
+    uint64_t half = (total_ + 1) / 2;
+    uint64_t running = 0;
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        running += counts_[i];
+        if (running >= half)
+            return static_cast<uint32_t>(i);
+    }
+    return static_cast<uint32_t>(counts_.size() - 1);
+}
+
+uint64_t
+Histogram::countInRange(uint32_t lo, uint32_t hi) const
+{
+    uint64_t count = 0;
+    size_t last = counts_.size() - 1;
+    size_t begin = lo < counts_.size() ? lo : last;
+    size_t end = hi < counts_.size() ? hi : last;
+    for (size_t i = begin; i <= end; ++i)
+        count += counts_[i];
+    return count;
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        SMS_ASSERT(v > 0.0, "geomean requires positive values, got %f", v);
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+} // namespace sms

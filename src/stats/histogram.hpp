@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Integer-bucket histogram and running summary statistics.
+ *
+ * Used for the stack-depth distributions of Fig. 4 / Fig. 5 and for the
+ * assorted latency statistics reported by the timing model.
+ */
+
+#ifndef SMS_STATS_HISTOGRAM_HPP
+#define SMS_STATS_HISTOGRAM_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sms {
+
+/**
+ * Histogram over non-negative integer samples with unit-width buckets.
+ * Samples beyond the configured maximum land in a saturating last bucket.
+ */
+class Histogram
+{
+  public:
+    /** @param max_value largest distinguishable sample (inclusive) */
+    explicit Histogram(uint32_t max_value = 63)
+        : counts_(static_cast<size_t>(max_value) + 1, 0)
+    {}
+
+    /** Record one sample. */
+    void
+    add(uint32_t value)
+    {
+        size_t idx = value < counts_.size() ? value : counts_.size() - 1;
+        ++counts_[idx];
+        total_ += 1;
+        sum_ += value;
+        if (value > max_seen_)
+            max_seen_ = value;
+    }
+
+    /** Merge another histogram of the same bucket count into this one. */
+    void merge(const Histogram &other);
+
+    uint64_t total() const { return total_; }
+    uint32_t maxSeen() const { return max_seen_; }
+
+    /** Arithmetic mean of all samples (0 when empty). */
+    double
+    mean() const
+    {
+        return total_ ? static_cast<double>(sum_) / total_ : 0.0;
+    }
+
+    /** Median sample (lower median; 0 when empty). */
+    uint32_t median() const;
+
+    /** Count of samples in [lo, hi] (clamped to bucket range). */
+    uint64_t countInRange(uint32_t lo, uint32_t hi) const;
+
+    /** Fraction of samples in [lo, hi] (0 when empty). */
+    double
+    fractionInRange(uint32_t lo, uint32_t hi) const
+    {
+        return total_ ? static_cast<double>(countInRange(lo, hi)) / total_
+                      : 0.0;
+    }
+
+    uint64_t
+    bucket(uint32_t value) const
+    {
+        return value < counts_.size() ? counts_[value] : 0;
+    }
+
+    size_t bucketCount() const { return counts_.size(); }
+
+  private:
+    std::vector<uint64_t> counts_;
+    uint64_t total_ = 0;
+    uint64_t sum_ = 0;
+    uint32_t max_seen_ = 0;
+};
+
+/** Running mean/min/max tracker for real-valued samples. */
+class RunningStat
+{
+  public:
+    void
+    add(double v)
+    {
+        ++n_;
+        sum_ += v;
+        if (n_ == 1 || v < min_)
+            min_ = v;
+        if (n_ == 1 || v > max_)
+            max_ = v;
+    }
+
+    uint64_t count() const { return n_; }
+    double sum() const { return sum_; }
+    double mean() const { return n_ ? sum_ / n_ : 0.0; }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+
+  private:
+    uint64_t n_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Geometric mean of a vector of positive values (0 when empty). */
+double geomean(const std::vector<double> &values);
+
+} // namespace sms
+
+#endif // SMS_STATS_HISTOGRAM_HPP

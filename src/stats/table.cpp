@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Table printer implementation.
+ */
+
+#include "src/stats/table.hpp"
+
+#include <cstdio>
+
+#include "src/util/check.hpp"
+
+namespace sms {
+
+void
+Table::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    SMS_ASSERT(header_.empty() || row.size() == header_.size(),
+               "row has %zu cells, header has %zu", row.size(),
+               header_.size());
+    rows_.push_back(std::move(row));
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    return strprintf("%.*f", precision, v);
+}
+
+std::string
+Table::pct(double fraction, int precision)
+{
+    return strprintf("%+.*f%%", precision, fraction * 100.0);
+}
+
+std::string
+Table::render() const
+{
+    std::vector<size_t> widths;
+    auto account = [&](const std::vector<std::string> &row) {
+        if (widths.size() < row.size())
+            widths.resize(row.size(), 0);
+        for (size_t i = 0; i < row.size(); ++i)
+            if (row[i].size() > widths[i])
+                widths[i] = row[i].size();
+    };
+    account(header_);
+    for (const auto &row : rows_)
+        account(row);
+
+    auto emit = [&](const std::vector<std::string> &row, std::string &out) {
+        for (size_t i = 0; i < row.size(); ++i) {
+            out += row[i];
+            if (i + 1 < row.size())
+                out += std::string(widths[i] - row[i].size() + 2, ' ');
+        }
+        out += '\n';
+    };
+
+    std::string out;
+    if (!header_.empty()) {
+        emit(header_, out);
+        size_t rule = 0;
+        for (size_t i = 0; i < header_.size(); ++i)
+            rule += widths[i] + (i + 1 < header_.size() ? 2 : 0);
+        out += std::string(rule, '-');
+        out += '\n';
+    }
+    for (const auto &row : rows_)
+        emit(row, out);
+    return out;
+}
+
+void
+Table::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+} // namespace sms

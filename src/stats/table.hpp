@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Fixed-width ASCII table printer used by every benchmark harness to
+ * print the paper's tables and figure series.
+ */
+
+#ifndef SMS_STATS_TABLE_HPP
+#define SMS_STATS_TABLE_HPP
+
+#include <string>
+#include <vector>
+
+namespace sms {
+
+/**
+ * Simple column-aligned table. Add a header row, then data rows; render()
+ * pads every column to its widest cell.
+ */
+class Table
+{
+  public:
+    /** Set the header row (also defines the column count). */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a data row; must match the header's column count. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format a double with the given precision. */
+    static std::string num(double v, int precision = 2);
+
+    /** Convenience: format a percentage ("+12.3%"). */
+    static std::string pct(double fraction, int precision = 1);
+
+    /** Render to a string, one line per row. */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace sms
+
+#endif // SMS_STATS_TABLE_HPP

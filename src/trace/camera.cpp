@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Pinhole camera implementation.
+ */
+
+#include "src/trace/camera.hpp"
+
+#include <cmath>
+
+namespace sms {
+
+Camera::Camera(const CameraDesc &desc, uint32_t width, uint32_t height)
+    : width_(width), height_(height)
+{
+    constexpr float kPi = 3.14159265358979323846f;
+    float aspect = static_cast<float>(width) / static_cast<float>(height);
+    float theta = desc.verticalFovDeg * kPi / 180.0f;
+    float half_h = std::tan(theta / 2.0f);
+    float half_w = aspect * half_h;
+
+    origin_ = desc.position;
+    Vec3 w = normalize(desc.position - desc.lookAt);
+    Vec3 u = normalize(cross(desc.up, w));
+    Vec3 v = cross(w, u);
+
+    lower_left_ = origin_ - u * half_w - v * half_h - w;
+    horizontal_ = u * (2.0f * half_w);
+    vertical_ = v * (2.0f * half_h);
+}
+
+Ray
+Camera::generateRay(uint32_t px, uint32_t py, float jx, float jy) const
+{
+    float s = (static_cast<float>(px) + jx) / static_cast<float>(width_);
+    float t = (static_cast<float>(py) + jy) / static_cast<float>(height_);
+    Vec3 target = lower_left_ + horizontal_ * s + vertical_ * t;
+    return Ray(origin_, normalize(target - origin_), 1.0e-3f);
+}
+
+} // namespace sms

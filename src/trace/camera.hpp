@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Pinhole camera generating primary rays from pixel coordinates.
+ */
+
+#ifndef SMS_TRACE_CAMERA_HPP
+#define SMS_TRACE_CAMERA_HPP
+
+#include <cstdint>
+
+#include "src/geometry/ray.hpp"
+#include "src/scene/scene.hpp"
+
+namespace sms {
+
+/** Pinhole camera with a precomputed screen basis. */
+class Camera
+{
+  public:
+    /**
+     * @param desc   scene camera description
+     * @param width  image width in pixels
+     * @param height image height in pixels
+     */
+    Camera(const CameraDesc &desc, uint32_t width, uint32_t height);
+
+    /**
+     * Primary ray through pixel (px, py) with sub-pixel jitter
+     * (jx, jy) in [0, 1).
+     */
+    Ray generateRay(uint32_t px, uint32_t py, float jx, float jy) const;
+
+    uint32_t width() const { return width_; }
+    uint32_t height() const { return height_; }
+
+  private:
+    uint32_t width_;
+    uint32_t height_;
+    Vec3 origin_;
+    Vec3 lower_left_;
+    Vec3 horizontal_;
+    Vec3 vertical_;
+};
+
+} // namespace sms
+
+#endif // SMS_TRACE_CAMERA_HPP

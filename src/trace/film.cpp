@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Film implementation.
+ */
+
+#include "src/trace/film.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace sms {
+
+void
+Film::normalize(uint32_t samples)
+{
+    if (samples == 0)
+        return;
+    float inv = 1.0f / static_cast<float>(samples);
+    for (Vec3 &p : pixels_)
+        p *= inv;
+}
+
+uint64_t
+Film::contentHash() const
+{
+    uint64_t h = 1469598103934665603ull; // FNV-1a offset basis
+    auto mix = [&h](float f) {
+        uint32_t bits;
+        std::memcpy(&bits, &f, sizeof(bits));
+        for (int i = 0; i < 4; ++i) {
+            h ^= (bits >> (8 * i)) & 0xffu;
+            h *= 1099511628211ull;
+        }
+    };
+    for (const Vec3 &p : pixels_) {
+        mix(p.x);
+        mix(p.y);
+        mix(p.z);
+    }
+    return h;
+}
+
+bool
+Film::writePpm(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+    std::fprintf(f, "P6\n%u %u\n255\n", width_, height_);
+    auto to_byte = [](float v) {
+        float g = std::sqrt(std::clamp(v, 0.0f, 1.0f)); // gamma 2
+        return static_cast<unsigned char>(g * 255.0f + 0.5f);
+    };
+    // PPM rows run top to bottom; the film's y axis points up.
+    for (uint32_t y = height_; y-- > 0;) {
+        for (uint32_t x = 0; x < width_; ++x) {
+            const Vec3 &p = at(x, y);
+            unsigned char rgb[3] = {to_byte(p.x), to_byte(p.y),
+                                    to_byte(p.z)};
+            std::fwrite(rgb, 1, 3, f);
+        }
+    }
+    std::fclose(f);
+    return true;
+}
+
+} // namespace sms

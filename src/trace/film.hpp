@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Accumulation film and PPM output.
+ */
+
+#ifndef SMS_TRACE_FILM_HPP
+#define SMS_TRACE_FILM_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/geometry/vec3.hpp"
+
+namespace sms {
+
+/** Linear-RGB accumulation buffer. */
+class Film
+{
+  public:
+    Film(uint32_t width, uint32_t height)
+        : width_(width), height_(height),
+          pixels_(static_cast<size_t>(width) * height)
+    {}
+
+    uint32_t width() const { return width_; }
+    uint32_t height() const { return height_; }
+
+    /** Accumulate radiance into a pixel (call once per sample). */
+    void
+    add(uint32_t x, uint32_t y, const Vec3 &radiance)
+    {
+        pixels_[static_cast<size_t>(y) * width_ + x] += radiance;
+    }
+
+    const Vec3 &
+    at(uint32_t x, uint32_t y) const
+    {
+        return pixels_[static_cast<size_t>(y) * width_ + x];
+    }
+
+    /** Divide every pixel by the sample count. */
+    void normalize(uint32_t samples);
+
+    /**
+     * Deterministic content hash (FNV over the float bit patterns);
+     * used by the image-invariance tests.
+     */
+    uint64_t contentHash() const;
+
+    /** Write a gamma-2 8-bit PPM. @return false on I/O failure. */
+    bool writePpm(const std::string &path) const;
+
+  private:
+    uint32_t width_;
+    uint32_t height_;
+    std::vector<Vec3> pixels_;
+};
+
+} // namespace sms
+
+#endif // SMS_TRACE_FILM_HPP

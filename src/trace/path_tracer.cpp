@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Path tracer / warp-job generator implementation.
+ */
+
+#include "src/trace/path_tracer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/bvh/traverse.hpp"
+#include "src/trace/camera.hpp"
+#include "src/util/check.hpp"
+#include "src/util/rng.hpp"
+
+namespace sms {
+
+namespace {
+
+constexpr float kPi = 3.14159265358979323846f;
+
+/** Simple sky gradient for rays escaping the scene. */
+Vec3
+skyColor(const Vec3 &dir)
+{
+    float t = 0.5f * (dir.y + 1.0f);
+    return lerp(Vec3{0.9f, 0.9f, 0.95f}, Vec3{0.45f, 0.6f, 0.9f}, t) *
+           0.8f;
+}
+
+/** Cosine-weighted hemisphere sample around unit normal n. */
+Vec3
+cosineSample(const Vec3 &n, Pcg32 &rng)
+{
+    float r1 = rng.nextFloat();
+    float r2 = rng.nextFloat();
+    float phi = 2.0f * kPi * r1;
+    float sqrt_r2 = std::sqrt(r2);
+    // Build an orthonormal basis around n.
+    Vec3 helper = std::fabs(n.x) > 0.9f ? Vec3{0, 1, 0} : Vec3{1, 0, 0};
+    Vec3 u = normalize(cross(helper, n));
+    Vec3 v = cross(n, u);
+    Vec3 dir = u * (std::cos(phi) * sqrt_r2) +
+               v * (std::sin(phi) * sqrt_r2) +
+               n * std::sqrt(std::max(0.0f, 1.0f - r2));
+    return normalize(dir);
+}
+
+/** Per-path mutable state while generating a warp's job chain. */
+struct PathState
+{
+    Ray ray;
+    Vec3 throughput{1.0f, 1.0f, 1.0f};
+    Vec3 radiance{0.0f, 0.0f, 0.0f};
+    uint32_t pixel_x = 0;
+    uint32_t pixel_y = 0;
+    Pcg32 rng;
+    bool alive = false;
+};
+
+} // namespace
+
+RenderParams
+RenderParams::forScene(SceneId id)
+{
+    RenderParams params;
+    if (id == SceneId::CHSNT || id == SceneId::ROBOT ||
+        id == SceneId::PARK) {
+        // §VII-A: the three long-running scenes render at reduced scale.
+        params.width = 32;
+        params.height = 32;
+        params.spp = 1;
+    }
+    return params;
+}
+
+RenderOutput
+renderAndBuildJobs(const Scene &scene, const WideBvh &bvh,
+                   const RenderParams &params)
+{
+    SMS_ASSERT(params.width > 0 && params.height > 0 && params.spp > 0,
+               "degenerate render params");
+    RenderOutput out(params.width, params.height);
+    Camera camera(scene.camera, params.width, params.height);
+
+    uint64_t total_paths = static_cast<uint64_t>(params.width) *
+                           params.height * params.spp;
+    uint32_t warp_count =
+        static_cast<uint32_t>((total_paths + kWarpSize - 1) / kWarpSize);
+
+    for (uint32_t warp = 0; warp < warp_count; ++warp) {
+        std::array<PathState, kWarpSize> paths;
+
+        // Initialize the warp's 32 paths (row-major pixel order with
+        // spp-major sampling, like a launch grid).
+        for (uint32_t lane = 0; lane < kWarpSize; ++lane) {
+            uint64_t path_index =
+                static_cast<uint64_t>(warp) * kWarpSize + lane;
+            if (path_index >= total_paths)
+                continue;
+            uint64_t pixel_index = path_index / params.spp;
+            uint32_t sample = static_cast<uint32_t>(
+                path_index % params.spp);
+            PathState &p = paths[lane];
+            p.pixel_x = static_cast<uint32_t>(pixel_index % params.width);
+            p.pixel_y = static_cast<uint32_t>(pixel_index / params.width);
+            p.rng = Pcg32(splitmix64(params.seed ^ (pixel_index << 8)),
+                          sample + 1);
+            float jx = params.spp > 1 ? p.rng.nextFloat() : 0.5f;
+            float jy = params.spp > 1 ? p.rng.nextFloat() : 0.5f;
+            p.ray = camera.generateRay(p.pixel_x, p.pixel_y, jx, jy);
+            p.alive = true;
+        }
+
+        int32_t prev_job = -1;
+        for (uint32_t segment = 0; segment <= params.max_bounces;
+             ++segment) {
+            // ---- Closest-hit trace call -------------------------------
+            WarpJob closest;
+            closest.job_id = static_cast<uint32_t>(out.jobs.size());
+            closest.warp_id = warp;
+            closest.segment = segment;
+            closest.parent = prev_job;
+            closest.any_hit = false;
+
+            std::array<HitRecord, kWarpSize> hits;
+            uint32_t active = 0;
+            for (uint32_t lane = 0; lane < kWarpSize; ++lane) {
+                PathState &p = paths[lane];
+                if (!p.alive)
+                    continue;
+                closest.active[lane] = true;
+                closest.rays[lane] = p.ray;
+                hits[lane] = traverseClosest(scene, bvh, p.ray);
+                closest.expected_hit[lane] = hits[lane].valid();
+                closest.expected_t[lane] = hits[lane].t;
+                closest.expected_prim[lane] = hits[lane].primitive;
+                ++active;
+                ++out.rays;
+            }
+            if (active == 0)
+                break;
+            out.jobs.push_back(closest);
+            prev_job = static_cast<int32_t>(closest.job_id);
+
+            // ---- Shading + shadow-ray trace call ----------------------
+            WarpJob shadow;
+            shadow.job_id = static_cast<uint32_t>(out.jobs.size());
+            shadow.warp_id = warp;
+            shadow.segment = segment;
+            shadow.parent = prev_job;
+            shadow.any_hit = true;
+            uint32_t shadow_lanes = 0;
+
+            for (uint32_t lane = 0; lane < kWarpSize; ++lane) {
+                PathState &p = paths[lane];
+                if (!p.alive)
+                    continue;
+                const HitRecord &hit = hits[lane];
+                if (!hit.valid()) {
+                    p.radiance += p.throughput * skyColor(p.ray.dir);
+                    p.alive = false;
+                    continue;
+                }
+
+                const Material &mat =
+                    scene.primitiveMaterial(hit.primitive);
+                p.radiance += p.throughput * mat.emission;
+
+                Vec3 hit_point = p.ray.at(hit.t);
+                if (params.shadow_rays) {
+                    Vec3 to_light = scene.light.position - hit_point;
+                    float dist = length(to_light);
+                    if (dist > 1.0e-4f) {
+                        Vec3 ldir = to_light / dist;
+                        float cos_l = dot(hit.normal, ldir);
+                        if (cos_l > 0.0f) {
+                            Ray sray(hit_point, ldir, 1.0e-3f,
+                                     dist - 1.0e-3f);
+                            bool occluded =
+                                traverseAnyHit(scene, bvh, sray);
+                            shadow.active[lane] = true;
+                            shadow.rays[lane] = sray;
+                            shadow.expected_hit[lane] = occluded;
+                            ++shadow_lanes;
+                            ++out.rays;
+                            if (!occluded) {
+                                float atten = 1.0f / (dist * dist);
+                                p.radiance +=
+                                    p.throughput * mat.albedo *
+                                    (cos_l * atten / kPi) *
+                                    scene.light.intensity;
+                            }
+                        }
+                    }
+                }
+
+                // Next bounce.
+                if (segment == params.max_bounces) {
+                    p.alive = false;
+                    continue;
+                }
+                Vec3 next_dir;
+                if (p.rng.nextFloat() < mat.reflectivity) {
+                    next_dir = normalize(reflect(p.ray.dir, hit.normal));
+                } else {
+                    next_dir = cosineSample(hit.normal, p.rng);
+                }
+                p.throughput = p.throughput * mat.albedo;
+                // Russian-roulette-free cutoff on tiny throughput.
+                float max_c = std::max(
+                    {p.throughput.x, p.throughput.y, p.throughput.z});
+                if (max_c < 0.01f) {
+                    p.alive = false;
+                    continue;
+                }
+                p.ray = Ray(hit_point, next_dir, 1.0e-3f);
+            }
+
+            if (shadow_lanes > 0) {
+                out.jobs.push_back(shadow);
+                prev_job = static_cast<int32_t>(shadow.job_id);
+            }
+        }
+
+        // Resolve the warp's paths into the film.
+        for (uint32_t lane = 0; lane < kWarpSize; ++lane) {
+            uint64_t path_index =
+                static_cast<uint64_t>(warp) * kWarpSize + lane;
+            if (path_index >= total_paths)
+                continue;
+            const PathState &p = paths[lane];
+            out.film.add(p.pixel_x, p.pixel_y, p.radiance);
+        }
+    }
+
+    out.film.normalize(params.spp);
+    return out;
+}
+
+} // namespace sms

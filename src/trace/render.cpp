@@ -1,0 +1,47 @@
+/**
+ * @file
+ * High-level render driver implementation.
+ */
+
+#include "src/trace/render.hpp"
+
+#include "src/util/check.hpp"
+
+namespace sms {
+
+std::shared_ptr<Workload>
+prepareWorkload(SceneId id, ScaleProfile profile,
+                const RenderParams *params)
+{
+    Scene scene = makeScene(id, profile);
+    WideBvh bvh = WideBvh::build(scene);
+    RenderParams rp = params ? *params : RenderParams::forScene(id);
+    RenderOutput render = renderAndBuildJobs(scene, bvh, rp);
+    return std::make_shared<Workload>(id, std::move(scene), std::move(bvh),
+                                      rp, std::move(render));
+}
+
+GpuConfig
+makeGpuConfig(const StackConfig &stack, uint64_t l1_override_bytes)
+{
+    GpuConfig config = GpuConfig::tableI();
+    config.stack = stack;
+    config.l1_override_bytes = l1_override_bytes;
+    return config;
+}
+
+SimResult
+runWorkload(const Workload &workload, const GpuConfig &config,
+            const SimOptions &options)
+{
+    SimResult result = simulateJobs(workload.scene, workload.bvh,
+                                    workload.render.jobs, config, options);
+    SMS_ASSERT(result.mismatches == 0,
+               "timing simulation diverged from the functional oracle "
+               "(%u lanes) on scene %s under %s",
+               result.mismatches, sceneName(workload.id),
+               config.stack.name().c_str());
+    return result;
+}
+
+} // namespace sms

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * High-level driver: prepare a scene workload once (scene, BVH, warp
+ * jobs, reference image), then run it under many GPU configurations —
+ * the shape of every experiment in the paper's evaluation.
+ */
+
+#ifndef SMS_TRACE_RENDER_HPP
+#define SMS_TRACE_RENDER_HPP
+
+#include <memory>
+
+#include "src/bvh/wide_bvh.hpp"
+#include "src/scene/registry.hpp"
+#include "src/sim/gpu_sim.hpp"
+#include "src/trace/path_tracer.hpp"
+
+namespace sms {
+
+/** A fully prepared, configuration-independent workload. */
+struct Workload
+{
+    SceneId id;
+    Scene scene;
+    WideBvh bvh;
+    RenderParams params;
+    RenderOutput render;
+
+    Workload(SceneId id_, Scene scene_, WideBvh bvh_, RenderParams params_,
+             RenderOutput render_)
+        : id(id_), scene(std::move(scene_)), bvh(std::move(bvh_)),
+          params(params_), render(std::move(render_))
+    {}
+};
+
+/**
+ * Build the scene, its BVH6, and the warp-job stream.
+ *
+ * @param id      scene to build
+ * @param profile geometry scale
+ * @param params  render parameters; defaults to RenderParams::forScene
+ */
+std::shared_ptr<Workload>
+prepareWorkload(SceneId id, ScaleProfile profile = ScaleProfile::Small,
+                const RenderParams *params = nullptr);
+
+/** GPU config with the given stack setup (Table I otherwise). */
+GpuConfig makeGpuConfig(const StackConfig &stack,
+                        uint64_t l1_override_bytes = 0);
+
+/** Simulate a prepared workload under one configuration. */
+SimResult runWorkload(const Workload &workload, const GpuConfig &config,
+                      const SimOptions &options = {});
+
+} // namespace sms
+
+#endif // SMS_TRACE_RENDER_HPP

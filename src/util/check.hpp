@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic() is for internal invariant violations (simulator bugs); fatal()
+ * is for user-facing configuration errors that make continuing pointless.
+ * SMS_ASSERT is a release-mode-checked invariant used throughout the
+ * timing and stack models, where silent corruption would invalidate
+ * every downstream statistic.
+ */
+
+#ifndef SMS_UTIL_CHECK_HPP
+#define SMS_UTIL_CHECK_HPP
+
+#include <cstdarg>
+#include <string>
+
+namespace sms {
+
+/** Print a formatted message describing a simulator bug and abort(). */
+[[noreturn]] void panic(const char *fmt, ...);
+
+/** Print a formatted message describing a user error and exit(1). */
+[[noreturn]] void fatal(const char *fmt, ...);
+
+/** Print a formatted one-shot warning to stderr. */
+void warn(const char *fmt, ...);
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...);
+
+/** va_list flavour of strprintf(). */
+std::string vstrprintf(const char *fmt, va_list args);
+
+} // namespace sms
+
+/**
+ * Invariant check that stays on in release builds. The timing model is a
+ * measurement instrument; failing loudly beats producing wrong statistics.
+ */
+#define SMS_ASSERT(cond, ...)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::sms::panic("assertion '%s' failed at %s:%d: %s", #cond,       \
+                         __FILE__, __LINE__,                                \
+                         ::sms::strprintf("" __VA_ARGS__).c_str());         \
+        }                                                                   \
+    } while (0)
+
+#endif // SMS_UTIL_CHECK_HPP

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Minimal deterministic work-sharing helper for the benchmark drivers.
+ *
+ * Simulations are independent (each owns its memory models), so benches
+ * fan scene x configuration grids across threads. Results are stored by
+ * index, keeping output ordering deterministic regardless of thread
+ * interleaving.
+ */
+
+#ifndef SMS_UTIL_PARALLEL_HPP
+#define SMS_UTIL_PARALLEL_HPP
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace sms {
+
+/**
+ * Run fn(i) for i in [0, n) across up to @p threads workers.
+ * Blocks until all iterations finish. fn must be thread-safe.
+ */
+inline void
+parallelFor(size_t n, const std::function<void(size_t)> &fn,
+            unsigned threads = 0)
+{
+    if (n == 0)
+        return;
+    if (threads == 0) {
+        threads = std::thread::hardware_concurrency();
+        if (threads == 0)
+            threads = 4;
+    }
+    if (threads > n)
+        threads = static_cast<unsigned>(n);
+    if (threads <= 1) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    std::atomic<size_t> next{0};
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+        workers.emplace_back([&]() {
+            for (;;) {
+                size_t i = next.fetch_add(1);
+                if (i >= n)
+                    return;
+                fn(i);
+            }
+        });
+    }
+    for (std::thread &w : workers)
+        w.join();
+}
+
+} // namespace sms
+
+#endif // SMS_UTIL_PARALLEL_HPP

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Tests for the cache tag model (LRU, associativity, write policies),
+ * the DRAM bandwidth queue, and the line-geometry helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/memory/cache.hpp"
+#include "src/memory/dram.hpp"
+#include "src/memory/request.hpp"
+
+namespace sms {
+namespace {
+
+constexpr Addr kLine = kLineBytes;
+
+TEST(LineMath, AlignAndCover)
+{
+    EXPECT_EQ(lineAlign(0), 0u);
+    EXPECT_EQ(lineAlign(127), 0u);
+    EXPECT_EQ(lineAlign(128), 128u);
+    EXPECT_EQ(linesCovering(0, 0), 0u);
+    EXPECT_EQ(linesCovering(0, 1), 1u);
+    EXPECT_EQ(linesCovering(0, 128), 1u);
+    EXPECT_EQ(linesCovering(0, 129), 2u);
+    EXPECT_EQ(linesCovering(120, 16), 2u);
+    EXPECT_EQ(linesCovering(100, 300), 4u);
+}
+
+TEST(Cache, HitAfterFill)
+{
+    Cache cache({1024, 0, kLineBytes});
+    EXPECT_FALSE(cache.access(0, false, TrafficClass::Node).hit);
+    EXPECT_TRUE(cache.access(0, false, TrafficClass::Node).hit);
+    EXPECT_EQ(cache.stats().loads, 2u);
+    EXPECT_EQ(cache.stats().load_misses, 1u);
+}
+
+TEST(Cache, FullyAssociativeGeometry)
+{
+    Cache cache({8 * kLine, 0, kLineBytes});
+    EXPECT_EQ(cache.numSets(), 1u);
+    EXPECT_EQ(cache.numWays(), 8u);
+}
+
+TEST(Cache, SetAssociativeGeometry)
+{
+    Cache cache({64 * kLine, 4, kLineBytes});
+    EXPECT_EQ(cache.numWays(), 4u);
+    EXPECT_EQ(cache.numSets(), 16u);
+}
+
+TEST(Cache, NonPowerOfTwoSetCount)
+{
+    // The Table I L2: 3MB/16-way/128B lines = 1536 sets.
+    Cache cache({3 * 1024 * 1024, 16, kLineBytes});
+    EXPECT_EQ(cache.numSets(), 1536u);
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed)
+{
+    Cache cache({2 * kLine, 0, kLineBytes});
+    cache.access(0 * kLine, false, TrafficClass::Node);
+    cache.access(1 * kLine, false, TrafficClass::Node);
+    cache.access(0 * kLine, false, TrafficClass::Node); // refresh line 0
+    cache.access(2 * kLine, false, TrafficClass::Node); // evicts line 1
+    EXPECT_TRUE(cache.probe(0 * kLine));
+    EXPECT_FALSE(cache.probe(1 * kLine));
+    EXPECT_TRUE(cache.probe(2 * kLine));
+}
+
+TEST(Cache, DirtyEvictionReported)
+{
+    Cache cache({kLine, 0, kLineBytes});
+    cache.access(0, true, TrafficClass::Stack); // dirty fill
+    Cache::Result r = cache.access(kLine, false, TrafficClass::Node);
+    EXPECT_TRUE(r.evicted_dirty);
+    EXPECT_EQ(r.evicted_line, 0u);
+    EXPECT_EQ(cache.stats().writebacks, 1u);
+}
+
+TEST(Cache, CleanEvictionSilent)
+{
+    Cache cache({kLine, 0, kLineBytes});
+    cache.access(0, false, TrafficClass::Node);
+    Cache::Result r = cache.access(kLine, false, TrafficClass::Node);
+    EXPECT_FALSE(r.evicted_dirty);
+}
+
+TEST(Cache, NoWriteAllocateWritesAround)
+{
+    CacheConfig config{4 * kLine, 0, kLineBytes, false};
+    Cache cache(config);
+    Cache::Result r = cache.access(0, true, TrafficClass::Stack);
+    EXPECT_FALSE(r.hit);
+    EXPECT_FALSE(cache.probe(0)); // store miss did not allocate
+    // A load allocates; a subsequent store hits and dirties it.
+    cache.access(0, false, TrafficClass::Stack);
+    EXPECT_TRUE(cache.access(0, true, TrafficClass::Stack).hit);
+    Cache::Result evict = cache.access(kLine, false, TrafficClass::Node);
+    (void)evict;
+    EXPECT_EQ(cache.stats().store_misses, 1u);
+}
+
+TEST(Cache, SetsAreIndependent)
+{
+    // Two lines mapping to different sets never evict each other.
+    Cache cache({4 * kLine, 2, kLineBytes}); // 2 sets x 2 ways
+    cache.access(0 * kLine, false, TrafficClass::Node); // set 0
+    cache.access(2 * kLine, false, TrafficClass::Node); // set 0
+    cache.access(1 * kLine, false, TrafficClass::Node); // set 1
+    cache.access(4 * kLine, false, TrafficClass::Node); // set 0, evicts
+    EXPECT_TRUE(cache.probe(1 * kLine));
+    EXPECT_FALSE(cache.probe(0 * kLine));
+}
+
+TEST(Cache, ClassMissAccounting)
+{
+    Cache cache({8 * kLine, 0, kLineBytes});
+    cache.access(0, false, TrafficClass::Node);
+    cache.access(kLine, false, TrafficClass::Stack);
+    cache.access(2 * kLine, false, TrafficClass::Stack);
+    EXPECT_EQ(cache.missesByClass(TrafficClass::Node), 1u);
+    EXPECT_EQ(cache.missesByClass(TrafficClass::Stack), 2u);
+    EXPECT_EQ(cache.missesByClass(TrafficClass::Primitive), 0u);
+}
+
+TEST(Cache, ResetDropsLinesKeepsStats)
+{
+    Cache cache({8 * kLine, 0, kLineBytes});
+    cache.access(0, false, TrafficClass::Node);
+    cache.reset();
+    EXPECT_FALSE(cache.probe(0));
+    EXPECT_EQ(cache.stats().loads, 1u);
+}
+
+TEST(Cache, MissRateComputation)
+{
+    Cache cache({8 * kLine, 0, kLineBytes});
+    cache.access(0, false, TrafficClass::Node);
+    cache.access(0, false, TrafficClass::Node);
+    EXPECT_DOUBLE_EQ(cache.stats().missRate(), 0.5);
+}
+
+// ---------------------------------------------------------------------
+// DRAM
+// ---------------------------------------------------------------------
+
+TEST(Dram, LatencyWithoutContention)
+{
+    Dram dram({200, 4});
+    EXPECT_EQ(dram.access(1000, false, TrafficClass::Node), 1200u);
+}
+
+TEST(Dram, BandwidthSerializesBackToBack)
+{
+    Dram dram({200, 4});
+    Cycle a = dram.access(0, false, TrafficClass::Node);
+    Cycle b = dram.access(0, false, TrafficClass::Node);
+    Cycle c = dram.access(0, false, TrafficClass::Node);
+    EXPECT_EQ(a, 200u);
+    EXPECT_EQ(b, 204u);
+    EXPECT_EQ(c, 208u);
+    EXPECT_EQ(dram.stats().queue_wait_cycles, 4u + 8u);
+}
+
+TEST(Dram, IdleGapsResetQueue)
+{
+    Dram dram({200, 4});
+    dram.access(0, false, TrafficClass::Node);
+    Cycle later = dram.access(1000, false, TrafficClass::Node);
+    EXPECT_EQ(later, 1200u);
+}
+
+TEST(Dram, CountsByClassAndDirection)
+{
+    Dram dram({200, 4});
+    dram.access(0, false, TrafficClass::Node);
+    dram.access(0, true, TrafficClass::Stack);
+    dram.access(0, true, TrafficClass::Stack);
+    EXPECT_EQ(dram.stats().loads, 1u);
+    EXPECT_EQ(dram.stats().stores, 2u);
+    EXPECT_EQ(dram.stats().accesses(), 3u);
+    EXPECT_EQ(dram.stats().by_class[(int)TrafficClass::Stack], 2u);
+}
+
+} // namespace
+} // namespace sms

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Tests for the first-order energy model extension.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/sim/energy.hpp"
+#include "src/trace/render.hpp"
+
+namespace sms {
+namespace {
+
+TEST(Energy, ZeroResultZeroDynamicEnergy)
+{
+    SimResult r;
+    GpuConfig config = GpuConfig::tableI();
+    EnergyBreakdown e = estimateEnergy(r, config);
+    EXPECT_DOUBLE_EQ(e.rb_dynamic, 0.0);
+    EXPECT_DOUBLE_EQ(e.dram, 0.0);
+    EXPECT_DOUBLE_EQ(e.rb_static, 0.0); // zero cycles -> zero leakage
+    EXPECT_DOUBLE_EQ(e.total(), 0.0);
+}
+
+TEST(Energy, ComponentsScaleWithCounters)
+{
+    SimResult r;
+    r.cycles = 1000;
+    r.stack.pushes = 100;
+    r.stack.pops = 100;
+    r.dram.loads = 10;
+    GpuConfig config = GpuConfig::tableI();
+    EnergyModel model;
+    EnergyBreakdown e = estimateEnergy(r, config, model);
+    EXPECT_DOUBLE_EQ(e.rb_dynamic, 200.0 * model.rb_entry_pj);
+    EXPECT_DOUBLE_EQ(e.dram, 10.0 * model.dram_pj);
+    EXPECT_GT(e.rb_static, 0.0);
+    EXPECT_GT(e.total(), e.rb_dynamic);
+}
+
+TEST(Energy, BiggerRbStacksLeakMore)
+{
+    SimResult r;
+    r.cycles = 100000;
+    GpuConfig rb8 = makeGpuConfig(StackConfig::baseline(8));
+    GpuConfig rb32 = makeGpuConfig(StackConfig::baseline(32));
+    EXPECT_GT(estimateEnergy(r, rb32).rb_static,
+              estimateEnergy(r, rb8).rb_static);
+}
+
+TEST(Energy, HierarchyOrderingOfPerEventCosts)
+{
+    // The whole argument rests on register file << shared << L1 <<
+    // L2 << DRAM; keep the constants ordered.
+    EnergyModel m;
+    EXPECT_LT(m.rb_entry_pj, m.shared_pj);
+    EXPECT_LT(m.shared_pj, m.l1_pj);
+    EXPECT_LT(m.l1_pj, m.l2_pj);
+    EXPECT_LT(m.l2_pj, m.dram_pj);
+}
+
+TEST(Energy, SmsReducesTotalEnergyOnDeepScene)
+{
+    RenderParams params;
+    params.width = 20;
+    params.height = 20;
+    auto workload =
+        prepareWorkload(SceneId::SHIP, ScaleProfile::Tiny, &params);
+    GpuConfig base_cfg = makeGpuConfig(StackConfig::baseline(8));
+    GpuConfig sms_cfg = makeGpuConfig(StackConfig::sms());
+    SimResult base = runWorkload(*workload, base_cfg);
+    SimResult sms = runWorkload(*workload, sms_cfg);
+    EnergyBreakdown base_e = estimateEnergy(base, base_cfg);
+    EnergyBreakdown sms_e = estimateEnergy(sms, sms_cfg);
+    // SMS trades DRAM energy for much cheaper shared-memory energy.
+    EXPECT_LT(sms_e.dram, base_e.dram);
+    EXPECT_GT(sms_e.shared, 0.0);
+    EXPECT_LT(sms_e.total(), base_e.total());
+}
+
+} // namespace
+} // namespace sms

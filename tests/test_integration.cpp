@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Cross-module integration tests: whole-pipeline runs over generated
+ * scenes under the paper's configuration matrix, checking the global
+ * invariants that the evaluation (and the paper's argument) rest on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/trace/render.hpp"
+
+namespace sms {
+namespace {
+
+struct ScenePoint
+{
+    SceneId id;
+    const char *label;
+};
+
+class PipelineTest : public ::testing::TestWithParam<ScenePoint>
+{
+  protected:
+    std::shared_ptr<Workload>
+    makeWorkloadForParam()
+    {
+        RenderParams params;
+        params.width = 20;
+        params.height = 20;
+        params.spp = 1;
+        params.max_bounces = 2;
+        return prepareWorkload(GetParam().id, ScaleProfile::Tiny,
+                               &params);
+    }
+};
+
+TEST_P(PipelineTest, AllConfigurationsAgreeWithOracle)
+{
+    auto workload = makeWorkloadForParam();
+    const StackConfig configs[] = {
+        StackConfig::baseline(8), StackConfig::baseline(2),
+        StackConfig::rbFull(),    StackConfig::withSh(8, 8),
+        StackConfig::sms(),       StackConfig::sms(4, 16),
+    };
+    uint64_t instructions = 0;
+    for (const StackConfig &config : configs) {
+        SimResult r = runWorkload(*workload, makeGpuConfig(config));
+        EXPECT_EQ(r.mismatches, 0u) << config.name();
+        if (instructions == 0)
+            instructions = r.instructions;
+        // Functional behaviour (and thus the rendered image) is
+        // configuration-independent by construction; the instruction
+        // stream must be too.
+        EXPECT_EQ(r.instructions, instructions) << config.name();
+    }
+}
+
+TEST_P(PipelineTest, HierarchyOrderingHolds)
+{
+    // FULL >= SMS >= SH-only >= baseline in IPC (allowing a small
+    // tolerance for timing noise on tiny workloads).
+    auto workload = makeWorkloadForParam();
+    double base =
+        runWorkload(*workload, makeGpuConfig(StackConfig::baseline(8)))
+            .ipc();
+    double sh =
+        runWorkload(*workload, makeGpuConfig(StackConfig::withSh(8, 8)))
+            .ipc();
+    double full =
+        runWorkload(*workload, makeGpuConfig(StackConfig::rbFull()))
+            .ipc();
+    EXPECT_GE(sh, base * 0.97) << "SH stack should not hurt much";
+    EXPECT_GE(full, base * 0.99) << "RB_FULL is the upper bound";
+    EXPECT_GE(full, sh * 0.97);
+}
+
+TEST_P(PipelineTest, OffchipStackTrafficEliminatedBySufficientSh)
+{
+    auto workload = makeWorkloadForParam();
+    SimResult base =
+        runWorkload(*workload, makeGpuConfig(StackConfig::baseline(8)));
+    SimResult big_sh = runWorkload(
+        *workload, makeGpuConfig(StackConfig::withSh(8, 16)));
+    // Stack-class DRAM traffic must shrink (usually to zero) once the
+    // SH stack covers the depth profile.
+    EXPECT_LE(big_sh.dram.by_class[(int)TrafficClass::Stack],
+              base.dram.by_class[(int)TrafficClass::Stack]);
+    EXPECT_LE(big_sh.stack.global_stores, base.stack.global_stores);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenes, PipelineTest,
+    ::testing::Values(ScenePoint{SceneId::SHIP, "SHIP"},
+                      ScenePoint{SceneId::BUNNY, "BUNNY"},
+                      ScenePoint{SceneId::CHSNT, "CHSNT"},
+                      ScenePoint{SceneId::WKND, "WKND"}),
+    [](const auto &info) { return std::string(info.param.label); });
+
+TEST(Integration, SweepAcrossRbSizesIsMonotonicInSpills)
+{
+    RenderParams params;
+    params.width = 20;
+    params.height = 20;
+    auto workload =
+        prepareWorkload(SceneId::SHIP, ScaleProfile::Tiny, &params);
+    uint64_t previous_spills = UINT64_MAX;
+    for (uint32_t rb : {2u, 4u, 8u, 16u, 32u}) {
+        SimResult r = runWorkload(*workload,
+                                  makeGpuConfig(StackConfig::baseline(rb)));
+        EXPECT_LE(r.stack.rb_spills, previous_spills) << "RB_" << rb;
+        previous_spills = r.stack.rb_spills;
+    }
+}
+
+TEST(Integration, SmsRecoversSmallRbPerformance)
+{
+    // Fig. 15's qualitative claim: RB_2+SMS beats plain RB_2 and the
+    // SMS configs dramatically cut its off-chip traffic.
+    RenderParams params;
+    params.width = 20;
+    params.height = 20;
+    auto workload =
+        prepareWorkload(SceneId::SHIP, ScaleProfile::Tiny, &params);
+    SimResult rb2 =
+        runWorkload(*workload, makeGpuConfig(StackConfig::baseline(2)));
+    SimResult rb2_sms =
+        runWorkload(*workload, makeGpuConfig(StackConfig::sms(2, 8)));
+    EXPECT_GT(rb2_sms.ipc(), rb2.ipc());
+    EXPECT_LT(rb2_sms.offchip_accesses, rb2.offchip_accesses);
+}
+
+TEST(Integration, StackDepthHistogramMatchesReferenceCounters)
+{
+    // The simulator's depth histogram must count exactly one sample
+    // per push/pop the stack model performed.
+    RenderParams params;
+    params.width = 16;
+    params.height = 16;
+    auto workload =
+        prepareWorkload(SceneId::BUNNY, ScaleProfile::Tiny, &params);
+    SimResult r =
+        runWorkload(*workload, makeGpuConfig(StackConfig::baseline(8)));
+    EXPECT_EQ(r.depth_hist.total(), r.stack.pushes + r.stack.pops);
+}
+
+TEST(Integration, SharedMemoryNeverUsedWithoutShStack)
+{
+    RenderParams params;
+    params.width = 16;
+    params.height = 16;
+    auto workload =
+        prepareWorkload(SceneId::CHSNT, ScaleProfile::Tiny, &params);
+    for (uint32_t rb : {2u, 8u}) {
+        SimResult r = runWorkload(*workload,
+                                  makeGpuConfig(StackConfig::baseline(rb)));
+        EXPECT_EQ(r.shared_mem.accesses, 0u);
+        EXPECT_EQ(r.shared_mem.conflict_cycles, 0u);
+    }
+}
+
+TEST(Integration, WorkloadPreparationIsDeterministic)
+{
+    auto a = prepareWorkload(SceneId::REF, ScaleProfile::Tiny);
+    auto b = prepareWorkload(SceneId::REF, ScaleProfile::Tiny);
+    EXPECT_EQ(a->render.film.contentHash(), b->render.film.contentHash());
+    EXPECT_EQ(a->render.jobs.size(), b->render.jobs.size());
+    EXPECT_EQ(a->bvh.nodes().size(), b->bvh.nodes().size());
+}
+
+} // namespace
+} // namespace sms

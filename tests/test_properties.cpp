@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Randomized property tests: conservation laws and structural
+ * invariants of the hierarchical stack that must hold at every moment
+ * of any execution, swept over seeds and configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/core/reference_stack.hpp"
+#include "src/core/warp_stack.hpp"
+#include "src/util/rng.hpp"
+
+namespace sms {
+namespace {
+
+constexpr Addr kSharedBase = 0x0;
+constexpr Addr kLocalBase = 0x100000000ull;
+
+struct PropertyCase
+{
+    StackConfig config;
+    uint64_t seed;
+    const char *label;
+};
+
+class StackPropertyTest : public ::testing::TestWithParam<PropertyCase>
+{
+};
+
+/** Count transactions of a kind in a list. */
+uint32_t
+count(const StackTxnList &txns, StackTxnKind kind)
+{
+    uint32_t n = 0;
+    for (const StackTxn &t : txns)
+        n += t.kind == kind ? 1 : 0;
+    return n;
+}
+
+TEST_P(StackPropertyTest, ConservationAndBoundsAtEveryStep)
+{
+    const PropertyCase &tc = GetParam();
+    const StackConfig &cfg = tc.config;
+    WarpStackModel model(cfg, kSharedBase, kLocalBase);
+    std::array<ReferenceStack, kWarpSize> oracle;
+
+    // Half the warp finishes up front so reallocation (when enabled)
+    // actually has lenders.
+    for (uint32_t lane = 24; lane < kWarpSize; ++lane)
+        model.finishLane(lane);
+
+    Pcg32 rng(tc.seed);
+    uint64_t value = 1;
+    uint64_t depth_observed = 0;
+
+    class CountingObserver : public DepthObserver
+    {
+      public:
+        void
+        onStackAccess(uint32_t, uint32_t) override
+        {
+            ++count;
+        }
+        uint64_t count = 0;
+    } observer;
+    model.setDepthObserver(&observer);
+
+    for (int step = 0; step < 15000; ++step) {
+        uint32_t lane = rng.nextBounded(24);
+        StackTxnList txns;
+        if (oracle[lane].empty() || rng.nextFloat() < 0.55f) {
+            model.push(lane, value, txns);
+            oracle[lane].push(value++);
+        } else {
+            // peek must equal the value pop returns.
+            uint64_t top = model.peek(lane);
+            uint64_t got;
+            ASSERT_TRUE(model.pop(lane, got, txns));
+            ASSERT_EQ(top, got);
+            ASSERT_EQ(got, oracle[lane].pop());
+        }
+        ++depth_observed;
+
+        // --- per-step invariants -----------------------------------
+        const WarpStackStats &s = model.stats();
+        // Transactions against each level balance with what is
+        // resident there.
+        uint64_t resident_global = 0;
+        uint64_t resident_sh = 0;
+        for (uint32_t l = 0; l < 24; ++l) {
+            resident_global += model.globalDepth(l);
+            resident_sh += model.shDepth(l);
+        }
+        ASSERT_EQ(s.global_stores, s.global_loads + resident_global);
+        ASSERT_EQ(s.sh_stores, s.sh_loads + resident_sh);
+
+        // Structural bounds.
+        ASSERT_LE(model.borrowedCount(lane), cfg.max_borrowed);
+        if (cfg.hasShStack()) {
+            ASSERT_LE(model.shDepth(lane),
+                      (1 + model.borrowedCount(lane)) * cfg.sh_entries);
+        } else {
+            ASSERT_EQ(model.shDepth(lane), 0u);
+        }
+        ASSERT_EQ(model.logicalDepth(lane), oracle[lane].depth());
+
+        // Shared addresses always land inside the warp's stack file.
+        for (const StackTxn &t : txns) {
+            if (t.kind == StackTxnKind::SharedLoad ||
+                t.kind == StackTxnKind::SharedStore) {
+                ASSERT_GE(t.addr, kSharedBase);
+                ASSERT_LT(t.addr, kSharedBase +
+                                      kWarpSize * cfg.sh_entries *
+                                          kStackEntryBytes);
+            } else {
+                ASSERT_GE(t.addr, kLocalBase);
+            }
+        }
+    }
+
+    // The depth observer saw exactly one event per push/pop.
+    EXPECT_EQ(observer.count, model.stats().pushes + model.stats().pops);
+    EXPECT_EQ(observer.count, depth_observed);
+}
+
+TEST_P(StackPropertyTest, TxnKindsMatchConfiguration)
+{
+    const PropertyCase &tc = GetParam();
+    WarpStackModel model(tc.config, kSharedBase, kLocalBase);
+    Pcg32 rng(tc.seed ^ 0xabcdef);
+    ReferenceStack oracle;
+    StackTxnList all;
+    uint64_t v = 1;
+    for (int i = 0; i < 4000; ++i) {
+        StackTxnList txns;
+        if (oracle.empty() || rng.nextFloat() < 0.56f) {
+            model.push(9, v, txns);
+            oracle.push(v++);
+        } else {
+            uint64_t got;
+            model.pop(9, got, txns);
+            ASSERT_EQ(got, oracle.pop());
+        }
+        all.insert(all.end(), txns.begin(), txns.end());
+    }
+    uint32_t shared = count(all, StackTxnKind::SharedLoad) +
+                      count(all, StackTxnKind::SharedStore);
+    if (!tc.config.hasShStack()) {
+        EXPECT_EQ(shared, 0u) << "no SH stack, no shared traffic";
+    }
+    if (tc.config.rb_unbounded) {
+        EXPECT_TRUE(all.empty()) << "RB_FULL never touches memory";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, StackPropertyTest,
+    ::testing::Values(
+        PropertyCase{StackConfig::baseline(8), 101, "rb8_a"},
+        PropertyCase{StackConfig::baseline(8), 202, "rb8_b"},
+        PropertyCase{StackConfig::baseline(3), 303, "rb3"},
+        PropertyCase{StackConfig::rbFull(), 404, "full"},
+        PropertyCase{StackConfig::withSh(8, 8), 505, "sh8_a"},
+        PropertyCase{StackConfig::withSh(8, 8), 606, "sh8_b"},
+        PropertyCase{StackConfig::withSh(4, 4, true, false), 707,
+                     "sh4sk"},
+        PropertyCase{StackConfig::sms(), 808, "sms_a"},
+        PropertyCase{StackConfig::sms(), 909, "sms_b"},
+        PropertyCase{StackConfig::sms(2, 8), 1010, "sms28"},
+        PropertyCase{StackConfig::sms(8, 16), 1111, "sms816"},
+        PropertyCase{StackConfig::sms(8, 4), 1212, "sms84"}),
+    [](const auto &info) { return std::string(info.param.label); });
+
+TEST(ReferenceStack, LifoSemantics)
+{
+    ReferenceStack stack;
+    EXPECT_TRUE(stack.empty());
+    stack.push(1);
+    stack.push(2);
+    EXPECT_EQ(stack.depth(), 2u);
+    EXPECT_EQ(stack.pop(), 2u);
+    EXPECT_EQ(stack.pop(), 1u);
+    EXPECT_TRUE(stack.empty());
+}
+
+TEST(ReferenceStack, PopEmptyDies)
+{
+    ReferenceStack stack;
+    EXPECT_DEATH(stack.pop(), "pop from empty reference stack");
+}
+
+} // namespace
+} // namespace sms

@@ -1,0 +1,320 @@
+/**
+ * @file
+ * Tests for the scene container and the 16 procedural LumiBench
+ * stand-in generators (determinism, structure, unified primitive ids).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "src/scene/builders.hpp"
+#include "src/scene/registry.hpp"
+#include "src/scene/scene.hpp"
+#include "src/util/rng.hpp"
+
+namespace sms {
+namespace {
+
+/** Cheap structural fingerprint of a scene. */
+uint64_t
+sceneFingerprint(const Scene &scene)
+{
+    uint64_t h = 14695981039346656037ull;
+    auto mix = [&h](float f) {
+        uint32_t bits;
+        static_assert(sizeof(bits) == sizeof(f));
+        std::memcpy(&bits, &f, sizeof(bits));
+        h = (h ^ bits) * 1099511628211ull;
+    };
+    for (const Triangle &t : scene.triangles()) {
+        mix(t.v0.x);
+        mix(t.v1.y);
+        mix(t.v2.z);
+    }
+    for (const Sphere &s : scene.spheres()) {
+        mix(s.center.x);
+        mix(s.radius);
+    }
+    return h;
+}
+
+TEST(Scene, AddAndQueryPrimitives)
+{
+    Scene scene;
+    uint16_t mat = scene.addMaterial({{1, 0, 0}, {0, 0, 0}, 0.0f});
+    scene.addTriangle(Triangle({0, 0, 0}, {1, 0, 0}, {0, 1, 0}), mat);
+    scene.addSphere(Sphere({5, 0, 0}, 1.0f), mat);
+
+    EXPECT_EQ(scene.triangleCount(), 1u);
+    EXPECT_EQ(scene.sphereCount(), 1u);
+    EXPECT_EQ(scene.primitiveCount(), 2u);
+    EXPECT_EQ(scene.primitiveKind(0), PrimitiveKind::Triangle);
+    EXPECT_EQ(scene.primitiveKind(1), PrimitiveKind::Sphere);
+    EXPECT_EQ(scene.primitiveMaterial(1).albedo, Vec3(1, 0, 0));
+}
+
+TEST(Scene, PrimitiveBoundsAndCentroid)
+{
+    Scene scene;
+    uint16_t mat = scene.addMaterial({});
+    scene.addTriangle(Triangle({0, 0, 0}, {2, 0, 0}, {0, 2, 0}), mat);
+    scene.addSphere(Sphere({5, 5, 5}, 2.0f), mat);
+
+    Aabb tb = scene.primitiveBounds(0);
+    EXPECT_TRUE(tb.contains(Vec3{2, 0, 0}));
+    EXPECT_NEAR(length(scene.primitiveCentroid(1) - Vec3(5, 5, 5)), 0.0f,
+                1e-6f);
+    EXPECT_TRUE(scene.primitiveBounds(1).contains(Vec3{7, 5, 5}));
+}
+
+TEST(Scene, IntersectPrimitiveShrinksRay)
+{
+    Scene scene;
+    uint16_t mat = scene.addMaterial({});
+    scene.addTriangle(Triangle({-1, -1, 2}, {1, -1, 2}, {0, 1, 2}), mat);
+    scene.addTriangle(Triangle({-1, -1, 5}, {1, -1, 5}, {0, 1, 5}), mat);
+
+    Ray ray({0, 0, 0}, {0, 0, 1});
+    HitRecord hit;
+    EXPECT_TRUE(scene.intersectPrimitive(1, ray, hit));
+    EXPECT_NEAR(hit.t, 5.0f, 1e-4f);
+    // The nearer triangle now wins and re-shrinks tMax.
+    EXPECT_TRUE(scene.intersectPrimitive(0, ray, hit));
+    EXPECT_NEAR(hit.t, 2.0f, 1e-4f);
+    EXPECT_EQ(hit.primitive, 0u);
+    // The far one can no longer hit within the shrunk segment.
+    EXPECT_FALSE(scene.intersectPrimitive(1, ray, hit));
+}
+
+TEST(Scene, NormalFacesIncomingRay)
+{
+    Scene scene;
+    uint16_t mat = scene.addMaterial({});
+    scene.addTriangle(Triangle({-1, -1, 2}, {1, -1, 2}, {0, 1, 2}), mat);
+    Ray forward({0, 0, 0}, {0, 0, 1});
+    HitRecord hit;
+    ASSERT_TRUE(scene.intersectPrimitive(0, forward, hit));
+    EXPECT_LT(dot(hit.normal, forward.dir), 0.0f);
+
+    Ray backward({0, 0, 4}, {0, 0, -1});
+    HitRecord hit2;
+    ASSERT_TRUE(scene.intersectPrimitive(0, backward, hit2));
+    EXPECT_LT(dot(hit2.normal, backward.dir), 0.0f);
+}
+
+TEST(Scene, BruteForcePicksClosest)
+{
+    Scene scene;
+    uint16_t mat = scene.addMaterial({});
+    scene.addSphere(Sphere({0, 0, 10}, 1.0f), mat);
+    scene.addSphere(Sphere({0, 0, 5}, 1.0f), mat);
+    HitRecord hit = scene.intersectBruteForce(Ray({0, 0, 0}, {0, 0, 1}));
+    ASSERT_TRUE(hit.valid());
+    EXPECT_EQ(hit.primitive, 1u);
+    EXPECT_NEAR(hit.t, 4.0f, 1e-4f);
+}
+
+TEST(SceneRegistry, NamesRoundTrip)
+{
+    for (SceneId id : allScenes()) {
+        EXPECT_EQ(sceneFromName(sceneName(id)), id);
+    }
+    EXPECT_STREQ(sceneName(SceneId::WKND), "WKND");
+    EXPECT_STREQ(sceneName(SceneId::PARK), "PARK");
+}
+
+TEST(SceneRegistry, PaperInfoMatchesTableII)
+{
+    EXPECT_DOUBLE_EQ(paperSceneInfo(SceneId::ROBOT).triangles_millions,
+                     20.6);
+    EXPECT_DOUBLE_EQ(paperSceneInfo(SceneId::ROBOT).bvh_mb, 1869.0);
+    EXPECT_DOUBLE_EQ(paperSceneInfo(SceneId::WKND).triangles_millions,
+                     0.0);
+    EXPECT_DOUBLE_EQ(paperSceneInfo(SceneId::SHIP).bvh_mb, 0.5);
+}
+
+class SceneGeneratorTest : public ::testing::TestWithParam<SceneId>
+{
+};
+
+TEST_P(SceneGeneratorTest, DeterministicAcrossBuilds)
+{
+    Scene a = makeScene(GetParam(), ScaleProfile::Tiny);
+    Scene b = makeScene(GetParam(), ScaleProfile::Tiny);
+    EXPECT_EQ(a.primitiveCount(), b.primitiveCount());
+    EXPECT_EQ(sceneFingerprint(a), sceneFingerprint(b));
+}
+
+TEST_P(SceneGeneratorTest, HasGeometryAndFiniteBounds)
+{
+    Scene scene = makeScene(GetParam(), ScaleProfile::Tiny);
+    EXPECT_GT(scene.primitiveCount(), 0u);
+    Aabb bounds = scene.bounds();
+    EXPECT_FALSE(bounds.empty());
+    for (int axis = 0; axis < 3; ++axis) {
+        EXPECT_TRUE(std::isfinite(bounds.lo[axis]));
+        EXPECT_TRUE(std::isfinite(bounds.hi[axis]));
+    }
+}
+
+TEST_P(SceneGeneratorTest, NameMatchesRegistry)
+{
+    Scene scene = makeScene(GetParam(), ScaleProfile::Tiny);
+    EXPECT_EQ(scene.name, sceneName(GetParam()));
+}
+
+TEST_P(SceneGeneratorTest, ScaleProfilesOrdered)
+{
+    Scene tiny = makeScene(GetParam(), ScaleProfile::Tiny);
+    Scene small = makeScene(GetParam(), ScaleProfile::Small);
+    EXPECT_LT(tiny.primitiveCount(), small.primitiveCount());
+}
+
+TEST_P(SceneGeneratorTest, CameraSeesTheScene)
+{
+    // The camera must not sit inside a primitive-free void pointing
+    // away: a ray toward lookAt should hit something or at least the
+    // scene bounds.
+    Scene scene = makeScene(GetParam(), ScaleProfile::Tiny);
+    Vec3 dir = normalize(scene.camera.lookAt - scene.camera.position);
+    Ray ray(scene.camera.position, dir);
+    float t;
+    EXPECT_TRUE(scene.bounds().intersect(ray, t));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScenes, SceneGeneratorTest,
+                         ::testing::ValuesIn(allScenes()),
+                         [](const auto &info) {
+                             return std::string(sceneName(info.param));
+                         });
+
+TEST(SceneCharacter, WkndIsSpheresOnly)
+{
+    Scene scene = makeScene(SceneId::WKND, ScaleProfile::Tiny);
+    EXPECT_EQ(scene.triangleCount(), 0u);
+    EXPECT_GT(scene.sphereCount(), 10u);
+}
+
+TEST(SceneCharacter, ShipHasLongThinPrimitives)
+{
+    Scene scene = makeScene(SceneId::SHIP, ScaleProfile::Small);
+    // Count triangles whose bounding box is much longer in one axis
+    // than the others (the rigging ribbons).
+    uint32_t thin = 0;
+    for (const Triangle &t : scene.triangles()) {
+        Vec3 e = t.bounds().extent();
+        float longest = std::max({e.x, e.y, e.z});
+        float shortest = std::min({e.x, e.y, e.z});
+        float mid = e.x + e.y + e.z - longest - shortest;
+        if (longest > 3.0f && mid < longest * 0.5f)
+            ++thin;
+    }
+    EXPECT_GT(thin, 100u);
+}
+
+TEST(SceneCharacter, ComplexScenesAreLargest)
+{
+    auto count = [](SceneId id) {
+        return makeScene(id, ScaleProfile::Tiny).primitiveCount();
+    };
+    // The paper's "simple" trio must stay well below the dense meshes.
+    EXPECT_LT(count(SceneId::REF), count(SceneId::CHSNT));
+    EXPECT_LT(count(SceneId::BATH), count(SceneId::PARTY));
+    EXPECT_LT(count(SceneId::SHIP), count(SceneId::FRST));
+}
+
+TEST(Builders, QuadProducesTwoTriangles)
+{
+    Scene scene;
+    uint16_t mat = scene.addMaterial({});
+    builders::addQuad(scene, {0, 0, 0}, {1, 0, 0}, {1, 1, 0}, {0, 1, 0},
+                      mat);
+    EXPECT_EQ(scene.triangleCount(), 2u);
+}
+
+TEST(Builders, BoxProducesTwelveTriangles)
+{
+    Scene scene;
+    uint16_t mat = scene.addMaterial({});
+    builders::addBox(scene, Aabb({0, 0, 0}, {1, 1, 1}), mat);
+    EXPECT_EQ(scene.triangleCount(), 12u);
+    // The box mesh bounds must equal the requested box.
+    Aabb bounds = scene.bounds();
+    EXPECT_TRUE(bounds.contains(Vec3{1, 1, 1}));
+    EXPECT_TRUE(bounds.contains(Vec3{0, 0, 0}));
+    EXPECT_FALSE(bounds.contains(Vec3{1.1f, 0, 0}));
+}
+
+TEST(Builders, TerrainResolutionCounts)
+{
+    Scene scene;
+    uint16_t mat = scene.addMaterial({});
+    builders::addTerrain(scene, 0, 0, 10, 10, 5,
+                         [](float, float) { return 0.0f; }, mat);
+    EXPECT_EQ(scene.triangleCount(), 2u * 5 * 5);
+}
+
+TEST(Builders, IcosphereSubdivisionCounts)
+{
+    Scene scene;
+    uint16_t mat = scene.addMaterial({});
+    builders::addIcosphere(scene, {0, 0, 0}, 1.0f, 0, mat);
+    EXPECT_EQ(scene.triangleCount(), 20u);
+    Scene scene2;
+    uint16_t mat2 = scene2.addMaterial({});
+    builders::addIcosphere(scene2, {0, 0, 0}, 1.0f, 2, mat2);
+    EXPECT_EQ(scene2.triangleCount(), 20u * 16);
+}
+
+TEST(Builders, IcosphereVerticesOnSphere)
+{
+    Scene scene;
+    uint16_t mat = scene.addMaterial({});
+    builders::addIcosphere(scene, {1, 2, 3}, 2.0f, 2, mat);
+    for (const Triangle &t : scene.triangles()) {
+        for (const Vec3 &v : {t.v0, t.v1, t.v2})
+            EXPECT_NEAR(length(v - Vec3(1, 2, 3)), 2.0f, 1e-4f);
+    }
+}
+
+TEST(Builders, BlobIsDeterministicAndBounded)
+{
+    Scene a, b;
+    uint16_t ma = a.addMaterial({});
+    uint16_t mb = b.addMaterial({});
+    builders::addBlob(a, {0, 0, 0}, 1.0f, 2, 0.3f, 42, ma);
+    builders::addBlob(b, {0, 0, 0}, 1.0f, 2, 0.3f, 42, mb);
+    ASSERT_EQ(a.triangleCount(), b.triangleCount());
+    EXPECT_EQ(sceneFingerprint(a), sceneFingerprint(b));
+    // Displacement is bounded by the noise amplitude.
+    for (const Triangle &t : a.triangles())
+        EXPECT_LT(length(t.v0), 1.0f * (1.0f + 0.3f * 1.5f) + 0.01f);
+}
+
+TEST(Builders, RibbonIsThin)
+{
+    Scene scene;
+    uint16_t mat = scene.addMaterial({});
+    builders::addRibbon(scene, {0, 0, 0}, {10, 0, 0}, 0.1f, mat);
+    EXPECT_EQ(scene.triangleCount(), 2u);
+    Vec3 e = scene.bounds().extent();
+    EXPECT_NEAR(e.x, 10.0f, 1e-4f);
+    EXPECT_LE(std::max(e.y, e.z), 0.11f);
+}
+
+TEST(Builders, ClutterStaysInsideRegion)
+{
+    Scene scene;
+    uint16_t mat = scene.addMaterial({});
+    Pcg32 rng(11);
+    Aabb region({0, 0, 0}, {4, 4, 4});
+    builders::addClutter(scene, region, 50, 0.2f, rng, mat);
+    EXPECT_EQ(scene.triangleCount(), 200u); // 4 faces per tetrahedron
+    Aabb padded({-0.3f, -0.3f, -0.3f}, {4.3f, 4.3f, 4.3f});
+    EXPECT_TRUE(padded.contains(scene.bounds()));
+}
+
+} // namespace
+} // namespace sms

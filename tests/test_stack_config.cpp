@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Tests for StackConfig: naming, presets, the skewed base-entry formula
+ * of §VI-B and the hardware-overhead arithmetic of §VI-C.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/core/stack_config.hpp"
+
+namespace sms {
+namespace {
+
+TEST(StackConfig, PresetBaseline)
+{
+    StackConfig c = StackConfig::baseline(8);
+    EXPECT_EQ(c.rb_entries, 8u);
+    EXPECT_FALSE(c.rb_unbounded);
+    EXPECT_FALSE(c.hasShStack());
+    EXPECT_EQ(c.name(), "RB_8");
+}
+
+TEST(StackConfig, PresetFull)
+{
+    StackConfig c = StackConfig::rbFull();
+    EXPECT_TRUE(c.rb_unbounded);
+    EXPECT_EQ(c.name(), "RB_FULL");
+}
+
+TEST(StackConfig, PresetSms)
+{
+    StackConfig c = StackConfig::sms();
+    EXPECT_EQ(c.rb_entries, 8u);
+    EXPECT_EQ(c.sh_entries, 8u);
+    EXPECT_TRUE(c.skewed_bank_access);
+    EXPECT_TRUE(c.intra_warp_realloc);
+    EXPECT_EQ(c.name(), "RB_8+SH_8+SK+RA");
+}
+
+TEST(StackConfig, NameVariants)
+{
+    EXPECT_EQ(StackConfig::withSh(4, 16).name(), "RB_4+SH_16");
+    EXPECT_EQ(StackConfig::withSh(8, 8, true, false).name(),
+              "RB_8+SH_8+SK");
+    EXPECT_EQ(StackConfig::baseline(32).name(), "RB_32");
+}
+
+TEST(StackConfig, SharedMemoryFootprint)
+{
+    // §IV-B: an 8-entry SH stack per thread needs 8 KB per SM
+    // (8 B x 8 entries x 32 threads x 4 warps).
+    StackConfig c = StackConfig::withSh(8, 8);
+    EXPECT_EQ(c.sharedBytesPerWarp(), 32u * 8u * 8u);
+    EXPECT_EQ(c.sharedBytesPerSm(4), 8u * 1024u);
+    EXPECT_EQ(StackConfig::withSh(8, 4).sharedBytesPerSm(4), 4096u);
+    EXPECT_EQ(StackConfig::withSh(8, 16).sharedBytesPerSm(4),
+              16u * 1024u);
+    EXPECT_EQ(StackConfig::baseline().sharedBytesPerSm(4), 0u);
+}
+
+TEST(StackConfig, OverheadArithmeticMatchesPaper)
+{
+    // §VI-C with SH_8: Top/Bottom = 3 bits each, Overflow 1 bit.
+    StackConfig sh = StackConfig::withSh(8, 8);
+    EXPECT_EQ(sh.overheadBitsPerThread(), 2u * 3u + 1u);
+
+    // The paper quotes the Top+Bottom storage alone as 96 bytes
+    // (2 fields x 3 bits x 32 threads x 4 warps).
+    EXPECT_EQ(2u * 3u * 32u * 4u / 8u, 96u);
+
+    // With reallocation: +Idle(1) +NextTID(5) +Priority(2) +Flush(2)
+    // = 17 bits per thread; the paper's 11-bit figure counts only the
+    // management fields (Overflow..Flush), 11 x 32 x 4 / 8 = 176 B.
+    StackConfig sms = StackConfig::sms();
+    EXPECT_EQ(sms.overheadBitsPerThread(), 6u + 1u + 1u + 5u + 2u + 2u);
+    uint32_t mgmt_bits = sms.overheadBitsPerThread() - 6u;
+    EXPECT_EQ(mgmt_bits, 11u);
+    EXPECT_EQ(mgmt_bits * 32u * 4u / 8u, 176u);
+
+    // Grand total per SM: 96 + 176 = 272 bytes (§VI-C).
+    EXPECT_EQ(sms.overheadBytesPerSm(4), 272u);
+
+    // No SH stack -> no overhead.
+    EXPECT_EQ(StackConfig::baseline().overheadBytesPerSm(4), 0u);
+}
+
+TEST(StackConfig, OverheadScalesWithEntryCount)
+{
+    // SH_16 needs 4-bit Top/Bottom fields.
+    StackConfig c = StackConfig::withSh(8, 16);
+    EXPECT_EQ(c.overheadBitsPerThread(), 2u * 4u + 1u);
+    // SH_4 needs 2-bit fields.
+    EXPECT_EQ(StackConfig::withSh(8, 4).overheadBitsPerThread(),
+              2u * 2u + 1u);
+}
+
+TEST(SkewFormula, MatchesFig9ForSh8)
+{
+    // N = 8 -> k = 2: threads 0,1 -> entry 0; 2,3 -> entry 1; ...;
+    // 16,17 -> entry 0 again.
+    EXPECT_EQ(skewBaseEntry(0, 8), 0u);
+    EXPECT_EQ(skewBaseEntry(1, 8), 0u);
+    EXPECT_EQ(skewBaseEntry(2, 8), 1u);
+    EXPECT_EQ(skewBaseEntry(3, 8), 1u);
+    EXPECT_EQ(skewBaseEntry(15, 8), 7u);
+    EXPECT_EQ(skewBaseEntry(16, 8), 0u);
+    EXPECT_EQ(skewBaseEntry(17, 8), 0u);
+    EXPECT_EQ(skewBaseEntry(18, 8), 1u);
+    EXPECT_EQ(skewBaseEntry(31, 8), 7u);
+}
+
+TEST(SkewFormula, Sh4AndSh16)
+{
+    // N = 4 -> k = 4: groups of four threads share a base entry.
+    EXPECT_EQ(skewBaseEntry(0, 4), 0u);
+    EXPECT_EQ(skewBaseEntry(3, 4), 0u);
+    EXPECT_EQ(skewBaseEntry(4, 4), 1u);
+    EXPECT_EQ(skewBaseEntry(15, 4), 3u);
+    EXPECT_EQ(skewBaseEntry(16, 4), 0u);
+
+    // N = 16 -> k = 1: every thread gets its own base entry mod 16.
+    EXPECT_EQ(skewBaseEntry(0, 16), 0u);
+    EXPECT_EQ(skewBaseEntry(5, 16), 5u);
+    EXPECT_EQ(skewBaseEntry(17, 16), 1u);
+}
+
+TEST(SkewFormula, LargeStacksGuardDivisor)
+{
+    // N = 32 would make k = 32/(2N) = 0; the guard clamps k to 1.
+    for (uint32_t tid = 0; tid < kWarpSize; ++tid)
+        EXPECT_EQ(skewBaseEntry(tid, 32), tid % 32);
+}
+
+TEST(SkewFormula, AlwaysInRange)
+{
+    for (uint32_t n : {2u, 4u, 8u, 16u, 32u})
+        for (uint32_t tid = 0; tid < kWarpSize; ++tid)
+            EXPECT_LT(skewBaseEntry(tid, n), n);
+}
+
+} // namespace
+} // namespace sms

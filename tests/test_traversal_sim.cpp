@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Direct tests of the RT-unit pipeline model (TraversalSim) and the
+ * GpuConfig plumbing, at a finer grain than the whole-GPU suite.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/bvh/traverse.hpp"
+#include "src/sim/traversal_sim.hpp"
+#include "src/trace/render.hpp"
+
+namespace sms {
+namespace {
+
+/** Six well-separated triangles: a guaranteed two-level BVH. */
+Scene
+twoTriangleScene()
+{
+    Scene scene;
+    uint16_t mat = scene.addMaterial({});
+    for (int i = 0; i < 6; ++i) {
+        float x = -5.0f + 2.0f * i;
+        float z = 5.0f + 2.0f * i;
+        scene.addTriangle(
+            Triangle({x - 1, -1, z}, {x + 1, -1, z}, {x, 1, z}), mat);
+    }
+    return scene;
+}
+
+/** Job with one active lane shooting at the first triangle. */
+WarpJob
+singleLaneJob(const Scene &scene, const WideBvh &bvh)
+{
+    WarpJob job;
+    job.job_id = 0;
+    job.warp_id = 0;
+    Ray ray({-5, 0, 0}, {0, 0, 1}, 1e-4f);
+    job.rays[0] = ray;
+    job.active[0] = true;
+    HitRecord hit = traverseClosest(scene, bvh, ray);
+    job.expected_hit[0] = hit.valid();
+    job.expected_t[0] = hit.t;
+    job.expected_prim[0] = hit.primitive;
+    return job;
+}
+
+struct Rig
+{
+    Scene scene;
+    WideBvh bvh;
+    GpuConfig config;
+    MemorySystem mem;
+    SharedMemory shared;
+
+    Rig()
+        : scene(twoTriangleScene()), bvh(WideBvh::build(scene)),
+          config(GpuConfig::tableI()),
+          mem(config.resolvedMemConfig(), config.num_sms),
+          shared(config.shared_latency)
+    {}
+};
+
+TEST(TraversalSim, RunsSingleLaneJobToCompletion)
+{
+    Rig rig;
+    WarpJob job = singleLaneJob(rig.scene, rig.bvh);
+    TraversalSim sim(rig.scene, rig.bvh, rig.config, job, 0, 0,
+                     0x100000000ull, rig.mem, rig.shared, nullptr);
+    ASSERT_FALSE(sim.done());
+
+    Cycle now = 0;
+    int guard = 0;
+    while (!sim.done()) {
+        Cycle op_done = sim.stepFetch(now);
+        EXPECT_GE(op_done, now);
+        Cycle done = sim.stepStack(op_done);
+        EXPECT_GE(done, op_done);
+        now = done;
+        ASSERT_LT(++guard, 1000) << "traversal did not terminate";
+    }
+    EXPECT_EQ(sim.mismatches(), 0u);
+    EXPECT_GE(sim.counters().steps, 2u); // at least root + a leaf
+    EXPECT_GT(sim.counters().box_tests, 0u);
+    EXPECT_GT(sim.counters().prim_tests, 0u);
+    // Shallow traversal: the 8-entry RB stack never spills.
+    EXPECT_EQ(sim.stackStats().rb_spills, 0u);
+}
+
+TEST(TraversalSim, InactiveJobCompletesImmediately)
+{
+    Rig rig;
+    WarpJob job;
+    job.job_id = 0;
+    TraversalSim sim(rig.scene, rig.bvh, rig.config, job, 0, 0,
+                     0x100000000ull, rig.mem, rig.shared, nullptr);
+    EXPECT_TRUE(sim.done());
+    EXPECT_EQ(sim.mismatches(), 0u);
+}
+
+TEST(TraversalSim, WrongOracleIsDetected)
+{
+    // The validation path must actually fire: corrupt the oracle and
+    // expect a mismatch to be reported.
+    Rig rig;
+    WarpJob job = singleLaneJob(rig.scene, rig.bvh);
+    job.expected_hit[0] = !job.expected_hit[0];
+    TraversalSim sim(rig.scene, rig.bvh, rig.config, job, 0, 0,
+                     0x100000000ull, rig.mem, rig.shared, nullptr);
+    Cycle now = 0;
+    while (!sim.done())
+        now = sim.stepStack(sim.stepFetch(now));
+    EXPECT_EQ(sim.mismatches(), 1u);
+}
+
+TEST(TraversalSim, AnyHitTerminatesEarly)
+{
+    Rig rig;
+    WarpJob closest = singleLaneJob(rig.scene, rig.bvh);
+    WarpJob shadow = closest;
+    shadow.any_hit = true;
+    // An occluded shadow ray along the same path.
+    shadow.expected_hit[0] = true;
+
+    auto run_steps = [&](const WarpJob &job) {
+        TraversalSim sim(rig.scene, rig.bvh, rig.config, job, 0, 0,
+                         0x100000000ull, rig.mem, rig.shared, nullptr);
+        Cycle now = 0;
+        while (!sim.done())
+            now = sim.stepStack(sim.stepFetch(now));
+        EXPECT_EQ(sim.mismatches(), 0u);
+        return sim.counters().prim_tests;
+    };
+    uint64_t closest_tests = run_steps(closest);
+    uint64_t shadow_tests = run_steps(shadow);
+    // The any-hit query can stop at the first accepted hit.
+    EXPECT_LE(shadow_tests, closest_tests);
+}
+
+TEST(TraversalSim, DepthObserverReceivesRootPush)
+{
+    class Counter : public DepthObserver
+    {
+      public:
+        void
+        onStackAccess(uint32_t, uint32_t depth) override
+        {
+            ++events;
+            if (depth > max_depth)
+                max_depth = depth;
+        }
+        uint32_t events = 0;
+        uint32_t max_depth = 0;
+    };
+
+    Rig rig;
+    WarpJob job = singleLaneJob(rig.scene, rig.bvh);
+    Counter obs;
+    TraversalSim sim(rig.scene, rig.bvh, rig.config, job, 0, 0,
+                     0x100000000ull, rig.mem, rig.shared, &obs);
+    Cycle now = 0;
+    while (!sim.done())
+        now = sim.stepStack(sim.stepFetch(now));
+    EXPECT_GT(obs.events, 0u);
+    EXPECT_GE(obs.max_depth, 1u);
+}
+
+TEST(TraversalSim, FetchTouchesNodeAndPrimitiveTraffic)
+{
+    Rig rig;
+    WarpJob job = singleLaneJob(rig.scene, rig.bvh);
+    TraversalSim sim(rig.scene, rig.bvh, rig.config, job, 0, 0,
+                     0x100000000ull, rig.mem, rig.shared, nullptr);
+    Cycle now = 0;
+    while (!sim.done())
+        now = sim.stepStack(sim.stepFetch(now));
+    EXPECT_GT(rig.mem.l1(0).stats().loads, 0u);
+    EXPECT_GT(rig.mem.l1(0).missesByClass(TrafficClass::Node), 0u);
+    EXPECT_GT(rig.mem.l1(0).missesByClass(TrafficClass::Primitive), 0u);
+}
+
+// ---------------------------------------------------------------------
+// GpuConfig
+// ---------------------------------------------------------------------
+
+TEST(GpuConfig, TableIDefaults)
+{
+    GpuConfig config = GpuConfig::tableI();
+    EXPECT_EQ(config.num_sms, 8u);
+    EXPECT_EQ(config.max_warps_per_rt, 4u);
+    EXPECT_EQ(config.unified_bytes, 64u * 1024u);
+    EXPECT_EQ(config.mem.l1_latency, 20u);
+    EXPECT_EQ(config.mem.l2_latency, 160u);
+    EXPECT_EQ(config.mem.l2.ways, 16u);
+    EXPECT_FALSE(config.mem.l1.allocate_on_store); // write-around L1
+    EXPECT_TRUE(config.stack.name() == "RB_8");
+}
+
+TEST(GpuConfig, ResolvedMemConfigAppliesCarveOut)
+{
+    GpuConfig config = GpuConfig::tableI();
+    config.stack = StackConfig::withSh(8, 8);
+    MemoryHierarchyConfig resolved = config.resolvedMemConfig();
+    EXPECT_EQ(resolved.l1.size_bytes, 56u * 1024u);
+    EXPECT_EQ(config.sharedStackBytes(), 8u * 1024u);
+}
+
+TEST(GpuConfig, OverrideBeatsCarveOut)
+{
+    GpuConfig config = GpuConfig::tableI();
+    config.stack = StackConfig::withSh(8, 8);
+    config.l1_override_bytes = 128 * 1024;
+    EXPECT_EQ(config.effectiveL1Bytes(), 128u * 1024u);
+}
+
+TEST(GpuConfig, OversizedShStackIsFatal)
+{
+    GpuConfig config = GpuConfig::tableI();
+    config.stack = StackConfig::withSh(8, 64); // 64 KB: nothing left
+    EXPECT_EXIT(config.effectiveL1Bytes(), ::testing::ExitedWithCode(1),
+                "do not fit");
+}
+
+} // namespace
+} // namespace sms

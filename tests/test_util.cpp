@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Unit tests for src/util and src/stats: formatting, RNG determinism,
+ * histograms, summary statistics and the table printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/stats/histogram.hpp"
+#include "src/stats/table.hpp"
+#include "src/util/check.hpp"
+#include "src/util/rng.hpp"
+
+namespace sms {
+namespace {
+
+TEST(Strprintf, FormatsLikePrintf)
+{
+    EXPECT_EQ(strprintf("abc"), "abc");
+    EXPECT_EQ(strprintf("%d-%s", 42, "x"), "42-x");
+    EXPECT_EQ(strprintf("%.2f", 3.14159), "3.14");
+    EXPECT_EQ(strprintf(""), "");
+}
+
+TEST(Strprintf, LongStringsDoNotTruncate)
+{
+    std::string big(10000, 'a');
+    std::string out = strprintf("%s!", big.c_str());
+    EXPECT_EQ(out.size(), big.size() + 1);
+    EXPECT_EQ(out.back(), '!');
+}
+
+TEST(Pcg32, DeterministicStream)
+{
+    Pcg32 a(123, 7);
+    Pcg32 b(123, 7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.nextU32(), b.nextU32());
+}
+
+TEST(Pcg32, DifferentSeedsDiffer)
+{
+    Pcg32 a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.nextU32() == b.nextU32() ? 1 : 0;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Pcg32, FloatRange)
+{
+    Pcg32 rng(99);
+    for (int i = 0; i < 10000; ++i) {
+        float f = rng.nextFloat();
+        EXPECT_GE(f, 0.0f);
+        EXPECT_LT(f, 1.0f);
+    }
+}
+
+TEST(Pcg32, RangeRespectsBounds)
+{
+    Pcg32 rng(5);
+    for (int i = 0; i < 10000; ++i) {
+        float f = rng.nextRange(-3.0f, 7.0f);
+        EXPECT_GE(f, -3.0f);
+        EXPECT_LT(f, 7.0f);
+    }
+}
+
+TEST(Pcg32, BoundedIsUnbiasedEnough)
+{
+    Pcg32 rng(31337);
+    constexpr uint32_t kBound = 7;
+    uint64_t counts[kBound] = {};
+    constexpr int kSamples = 70000;
+    for (int i = 0; i < kSamples; ++i) {
+        uint32_t v = rng.nextBounded(kBound);
+        ASSERT_LT(v, kBound);
+        ++counts[v];
+    }
+    for (uint64_t c : counts) {
+        EXPECT_GT(c, kSamples / kBound * 0.9);
+        EXPECT_LT(c, kSamples / kBound * 1.1);
+    }
+}
+
+TEST(Pcg32, BoundedEdgeCases)
+{
+    Pcg32 rng(1);
+    EXPECT_EQ(rng.nextBounded(0), 0u);
+    EXPECT_EQ(rng.nextBounded(1), 0u);
+}
+
+TEST(Splitmix64, AvalanchesNearbyKeys)
+{
+    std::set<uint64_t> outputs;
+    for (uint64_t i = 0; i < 1000; ++i)
+        outputs.insert(splitmix64(i));
+    EXPECT_EQ(outputs.size(), 1000u);
+}
+
+TEST(Histogram, BasicCounting)
+{
+    Histogram h(15);
+    h.add(0);
+    h.add(3);
+    h.add(3);
+    h.add(15);
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_EQ(h.bucket(3), 2u);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.maxSeen(), 15u);
+    EXPECT_DOUBLE_EQ(h.mean(), (0 + 3 + 3 + 15) / 4.0);
+}
+
+TEST(Histogram, SaturatesAtLastBucket)
+{
+    Histogram h(7);
+    h.add(100);
+    EXPECT_EQ(h.bucket(7), 1u);
+    EXPECT_EQ(h.maxSeen(), 100u);
+}
+
+TEST(Histogram, Median)
+{
+    Histogram h(31);
+    for (uint32_t v : {1u, 2u, 2u, 3u, 9u})
+        h.add(v);
+    EXPECT_EQ(h.median(), 2u);
+    Histogram empty(31);
+    EXPECT_EQ(empty.median(), 0u);
+}
+
+TEST(Histogram, RangeQueries)
+{
+    Histogram h(31);
+    for (uint32_t v = 0; v < 20; ++v)
+        h.add(v);
+    EXPECT_EQ(h.countInRange(9, 16), 8u);
+    EXPECT_DOUBLE_EQ(h.fractionInRange(0, 8), 9.0 / 20.0);
+    EXPECT_EQ(h.countInRange(100, 200), 0u);
+}
+
+TEST(Histogram, MergeAccumulates)
+{
+    Histogram a(15), b(15);
+    a.add(2);
+    b.add(2);
+    b.add(14);
+    a.merge(b);
+    EXPECT_EQ(a.total(), 3u);
+    EXPECT_EQ(a.bucket(2), 2u);
+    EXPECT_EQ(a.maxSeen(), 14u);
+}
+
+TEST(RunningStat, TracksMinMeanMax)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    s.add(2.0);
+    s.add(-1.0);
+    s.add(5.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.min(), -1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+}
+
+TEST(Geomean, MatchesClosedForm)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0, 1.0}), 2.0);
+    EXPECT_NEAR(geomean({1.0, 2.0, 4.0}), 2.0, 1e-12);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    Table t;
+    t.setHeader({"a", "bbbb"});
+    t.addRow({"xx", "y"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("a   bbbb"), std::string::npos);
+    EXPECT_NE(out.find("xx  y"), std::string::npos);
+    EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, NumberFormatting)
+{
+    EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+    EXPECT_EQ(Table::pct(0.231), "+23.1%");
+    EXPECT_EQ(Table::pct(-0.05), "-5.0%");
+}
+
+} // namespace
+} // namespace sms

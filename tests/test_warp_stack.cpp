@@ -1,0 +1,589 @@
+/**
+ * @file
+ * Tests for the SMS hierarchical traversal stack (the paper's core
+ * contribution). The headline property: for ANY push/pop sequence and
+ * ANY configuration, pops return exactly what an unbounded reference
+ * stack returns, while the emitted memory transactions follow the
+ * paper's §IV/§VI protocols.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/core/reference_stack.hpp"
+#include "src/core/warp_stack.hpp"
+#include "src/util/rng.hpp"
+
+namespace sms {
+namespace {
+
+constexpr Addr kSharedBase = 0;
+constexpr Addr kLocalBase = 0x100000000ull;
+
+uint32_t
+countKind(const StackTxnList &txns, StackTxnKind kind)
+{
+    uint32_t n = 0;
+    for (const StackTxn &t : txns)
+        n += t.kind == kind ? 1 : 0;
+    return n;
+}
+
+// ---------------------------------------------------------------------
+// Oracle equivalence (the central invariant)
+// ---------------------------------------------------------------------
+
+struct OracleCase
+{
+    StackConfig config;
+    uint64_t seed;
+    const char *label;
+};
+
+class StackOracleTest : public ::testing::TestWithParam<OracleCase>
+{
+};
+
+TEST_P(StackOracleTest, RandomChurnMatchesReference)
+{
+    const OracleCase &tc = GetParam();
+    WarpStackModel model(tc.config, kSharedBase, kLocalBase);
+    std::array<ReferenceStack, kWarpSize> oracle;
+    Pcg32 rng(tc.seed);
+    uint64_t next_value = 1;
+
+    for (int step = 0; step < 20000; ++step) {
+        uint32_t lane = rng.nextBounded(kWarpSize);
+        StackTxnList txns;
+        // Bias toward pushes so stacks grow deep enough to exercise
+        // every spill level, with bursts of pops mixed in.
+        bool do_push =
+            oracle[lane].empty() || rng.nextFloat() < 0.54f;
+        if (do_push) {
+            model.push(lane, next_value, txns);
+            oracle[lane].push(next_value);
+            ++next_value;
+        } else {
+            uint64_t got = 0;
+            ASSERT_TRUE(model.pop(lane, got, txns));
+            uint64_t want = oracle[lane].pop();
+            ASSERT_EQ(got, want)
+                << tc.label << " step " << step << " lane " << lane;
+        }
+        ASSERT_EQ(model.logicalDepth(lane), oracle[lane].depth());
+        ASSERT_EQ(model.laneEmpty(lane), oracle[lane].empty());
+    }
+
+    // Drain everything; order must still match.
+    for (uint32_t lane = 0; lane < kWarpSize; ++lane) {
+        StackTxnList txns;
+        uint64_t got;
+        while (model.pop(lane, got, txns))
+            ASSERT_EQ(got, oracle[lane].pop()) << "drain lane " << lane;
+        ASSERT_TRUE(oracle[lane].empty());
+    }
+}
+
+TEST_P(StackOracleTest, DeepSpikeThenFullDrain)
+{
+    // One lane pushes far past every capacity boundary, then drains.
+    const OracleCase &tc = GetParam();
+    WarpStackModel model(tc.config, kSharedBase, kLocalBase);
+    StackTxnList txns;
+    constexpr uint32_t kDepth = 150;
+    for (uint64_t v = 1; v <= kDepth; ++v)
+        model.push(0, v, txns);
+    EXPECT_EQ(model.logicalDepth(0), kDepth);
+    for (uint64_t v = kDepth; v >= 1; --v) {
+        uint64_t got;
+        ASSERT_TRUE(model.pop(0, got, txns));
+        ASSERT_EQ(got, v);
+    }
+    EXPECT_TRUE(model.laneEmpty(0));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, StackOracleTest,
+    ::testing::Values(
+        OracleCase{StackConfig::baseline(8), 1, "rb8"},
+        OracleCase{StackConfig::baseline(2), 2, "rb2"},
+        OracleCase{StackConfig::baseline(1), 3, "rb1"},
+        OracleCase{StackConfig::rbFull(), 4, "full"},
+        OracleCase{StackConfig::withSh(8, 8), 5, "sh8"},
+        OracleCase{StackConfig::withSh(8, 4), 6, "sh4"},
+        OracleCase{StackConfig::withSh(8, 16), 7, "sh16"},
+        OracleCase{StackConfig::withSh(2, 8), 8, "rb2sh8"},
+        OracleCase{StackConfig::withSh(8, 8, true, false), 9, "sk"},
+        OracleCase{StackConfig::withSh(8, 8, false, true), 10, "ra"},
+        OracleCase{StackConfig::sms(), 11, "sms"},
+        OracleCase{StackConfig::sms(2, 4), 12, "sms24"},
+        OracleCase{StackConfig::sms(4, 16), 13, "sms416"}),
+    [](const auto &info) { return std::string(info.param.label); });
+
+// With reallocation, idle lanes lend their stacks; re-run the churn
+// with half the warp finished so borrowing actually happens.
+TEST(StackOracle, ChurnWithFinishedLanesAndBorrowing)
+{
+    StackConfig config = StackConfig::sms();
+    WarpStackModel model(config, kSharedBase, kLocalBase);
+    // Lanes 16..31 never traverse: mark finished immediately.
+    for (uint32_t lane = 16; lane < 32; ++lane)
+        model.finishLane(lane);
+
+    std::array<ReferenceStack, 16> oracle;
+    Pcg32 rng(777);
+    uint64_t next_value = 1;
+    for (int step = 0; step < 30000; ++step) {
+        uint32_t lane = rng.nextBounded(16);
+        StackTxnList txns;
+        if (oracle[lane].empty() || rng.nextFloat() < 0.55f) {
+            model.push(lane, next_value, txns);
+            oracle[lane].push(next_value++);
+        } else {
+            uint64_t got;
+            ASSERT_TRUE(model.pop(lane, got, txns));
+            ASSERT_EQ(got, oracle[lane].pop()) << "step " << step;
+        }
+    }
+    EXPECT_GT(model.stats().borrows, 0u);
+    for (uint32_t lane = 0; lane < 16; ++lane) {
+        StackTxnList txns;
+        uint64_t got;
+        while (model.pop(lane, got, txns))
+            ASSERT_EQ(got, oracle[lane].pop());
+    }
+}
+
+// Lanes that finish mid-run lend their stacks to the remaining lanes.
+TEST(StackOracle, StaggeredFinishersLendStacks)
+{
+    StackConfig config = StackConfig::sms();
+    WarpStackModel model(config, kSharedBase, kLocalBase);
+    Pcg32 rng(4242);
+    StackTxnList txns;
+
+    // Every lane grows a small stack, then lanes finish one by one
+    // while lane 0 keeps digging deeper.
+    std::array<ReferenceStack, kWarpSize> oracle;
+    uint64_t v = 1;
+    for (uint32_t lane = 0; lane < kWarpSize; ++lane) {
+        for (int i = 0; i < 6; ++i) {
+            model.push(lane, v, txns);
+            oracle[lane].push(v++);
+        }
+    }
+    for (uint32_t lane = 1; lane < kWarpSize; ++lane) {
+        uint64_t got;
+        while (model.pop(lane, got, txns))
+            ASSERT_EQ(got, oracle[lane].pop());
+        model.finishLane(lane);
+        // Lane 0 digs deeper after each finisher.
+        for (int i = 0; i < 12; ++i) {
+            model.push(0, v, txns);
+            oracle[0].push(v++);
+        }
+    }
+    EXPECT_GT(model.borrowedCount(0), 0u);
+    EXPECT_LE(model.borrowedCount(0), config.max_borrowed);
+    uint64_t got;
+    while (model.pop(0, got, txns))
+        ASSERT_EQ(got, oracle[0].pop());
+    EXPECT_TRUE(oracle[0].empty());
+}
+
+// ---------------------------------------------------------------------
+// Transaction protocol (§II-C baseline, §IV/§VI SMS)
+// ---------------------------------------------------------------------
+
+TEST(StackTxns, BaselineSpillsToGlobalOnOverflow)
+{
+    WarpStackModel model(StackConfig::baseline(8), kSharedBase,
+                         kLocalBase);
+    StackTxnList txns;
+    for (uint64_t v = 1; v <= 8; ++v)
+        model.push(0, v, txns);
+    EXPECT_TRUE(txns.empty()) << "no spill until the RB overflows";
+
+    model.push(0, 9, txns);
+    ASSERT_EQ(txns.size(), 1u);
+    EXPECT_EQ(txns[0].kind, StackTxnKind::GlobalStore);
+    EXPECT_EQ(model.globalDepth(0), 1u);
+}
+
+TEST(StackTxns, BaselinePopReloadsMostRecentSpill)
+{
+    WarpStackModel model(StackConfig::baseline(8), kSharedBase,
+                         kLocalBase);
+    StackTxnList txns;
+    for (uint64_t v = 1; v <= 10; ++v)
+        model.push(0, v, txns);
+    txns.clear();
+    uint64_t got;
+    ASSERT_TRUE(model.pop(0, got, txns));
+    EXPECT_EQ(got, 10u);
+    ASSERT_EQ(countKind(txns, StackTxnKind::GlobalLoad), 1u);
+    EXPECT_EQ(model.globalDepth(0), 1u);
+}
+
+TEST(StackTxns, ShAbsorbsRbOverflow)
+{
+    WarpStackModel model(StackConfig::withSh(8, 8), kSharedBase,
+                         kLocalBase);
+    StackTxnList txns;
+    for (uint64_t v = 1; v <= 9; ++v)
+        model.push(0, v, txns);
+    // One spill, into shared memory, not global.
+    EXPECT_EQ(countKind(txns, StackTxnKind::SharedStore), 1u);
+    EXPECT_EQ(countKind(txns, StackTxnKind::GlobalStore), 0u);
+    EXPECT_EQ(model.shDepth(0), 1u);
+    EXPECT_EQ(model.globalDepth(0), 0u);
+}
+
+TEST(StackTxns, ShOverflowSingleMoveSequence)
+{
+    // §VI-A push with both stacks full: shared load + global store +
+    // shared store.
+    WarpStackModel model(StackConfig::withSh(8, 8), kSharedBase,
+                         kLocalBase);
+    StackTxnList txns;
+    for (uint64_t v = 1; v <= 16; ++v)
+        model.push(0, v, txns);
+    EXPECT_EQ(model.shDepth(0), 8u);
+    txns.clear();
+    model.push(0, 17, txns);
+    ASSERT_EQ(txns.size(), 3u);
+    EXPECT_EQ(txns[0].kind, StackTxnKind::SharedLoad);
+    EXPECT_EQ(txns[1].kind, StackTxnKind::GlobalStore);
+    EXPECT_EQ(txns[2].kind, StackTxnKind::SharedStore);
+    EXPECT_EQ(model.globalDepth(0), 1u);
+}
+
+TEST(StackTxns, PopRefillsShThenGlobal)
+{
+    // §VI-A pop with spills in both levels: SH top -> RB, then global
+    // top -> SH bottom (shared load, then global load + shared store).
+    WarpStackModel model(StackConfig::withSh(8, 8), kSharedBase,
+                         kLocalBase);
+    StackTxnList txns;
+    for (uint64_t v = 1; v <= 17; ++v)
+        model.push(0, v, txns);
+    txns.clear();
+    uint64_t got;
+    ASSERT_TRUE(model.pop(0, got, txns));
+    EXPECT_EQ(got, 17u);
+    EXPECT_EQ(countKind(txns, StackTxnKind::SharedLoad), 1u);
+    EXPECT_EQ(countKind(txns, StackTxnKind::GlobalLoad), 1u);
+    EXPECT_EQ(countKind(txns, StackTxnKind::SharedStore), 1u);
+    EXPECT_EQ(model.globalDepth(0), 0u);
+    EXPECT_EQ(model.shDepth(0), 8u);
+}
+
+TEST(StackTxns, RbAlwaysHoldsTopWhenNonEmpty)
+{
+    // The eager refill keeps the logical top on-chip: peek never needs
+    // memory.
+    WarpStackModel model(StackConfig::withSh(4, 4), kSharedBase,
+                         kLocalBase);
+    StackTxnList txns;
+    Pcg32 rng(5);
+    ReferenceStack oracle;
+    uint64_t v = 1;
+    for (int i = 0; i < 3000; ++i) {
+        if (oracle.empty() || rng.nextFloat() < 0.53f) {
+            model.push(3, v, txns);
+            oracle.push(v++);
+        } else {
+            EXPECT_EQ(model.peek(3), oracle.pop());
+            uint64_t got;
+            model.pop(3, got, txns);
+        }
+    }
+}
+
+TEST(StackTxns, SharedAddressesStayInOwnRegionWithoutRealloc)
+{
+    StackConfig config = StackConfig::withSh(8, 8);
+    WarpStackModel model(config, kSharedBase, kLocalBase);
+    StackTxnList txns;
+    for (uint64_t v = 1; v <= 40; ++v)
+        model.push(5, v, txns);
+    uint64_t got;
+    for (int i = 0; i < 40; ++i)
+        model.pop(5, got, txns);
+    Addr region_lo = 5 * 8 * kStackEntryBytes;
+    Addr region_hi = region_lo + 8 * kStackEntryBytes;
+    for (const StackTxn &t : txns) {
+        if (t.kind == StackTxnKind::SharedLoad ||
+            t.kind == StackTxnKind::SharedStore) {
+            EXPECT_GE(t.addr, region_lo);
+            EXPECT_LT(t.addr, region_hi);
+        }
+    }
+}
+
+TEST(StackTxns, GlobalAddressesInterleaveByLane)
+{
+    WarpStackModel model(StackConfig::baseline(2), kSharedBase,
+                         kLocalBase);
+    StackTxnList txns0, txns7;
+    for (uint64_t v = 1; v <= 3; ++v)
+        model.push(0, v, txns0);
+    for (uint64_t v = 1; v <= 3; ++v)
+        model.push(7, v, txns7);
+    ASSERT_EQ(txns0.size(), 1u);
+    ASSERT_EQ(txns7.size(), 1u);
+    // Same spill slot, lanes 0 and 7: addresses differ by 7 entries.
+    EXPECT_EQ(txns7[0].addr - txns0[0].addr, 7u * kStackEntryBytes);
+    EXPECT_GE(txns0[0].addr, kLocalBase);
+}
+
+TEST(StackTxns, SkewChangesFirstSpillSlot)
+{
+    StackConfig plain = StackConfig::withSh(8, 8, false, false);
+    StackConfig skewed = StackConfig::withSh(8, 8, true, false);
+    WarpStackModel a(plain, kSharedBase, kLocalBase);
+    WarpStackModel b(skewed, kSharedBase, kLocalBase);
+    StackTxnList ta, tb;
+    for (uint64_t v = 1; v <= 9; ++v) {
+        a.push(6, v, ta);
+        b.push(6, v, tb);
+    }
+    ASSERT_EQ(ta.size(), 1u);
+    ASSERT_EQ(tb.size(), 1u);
+    // Lane 6, SH_8: skew base entry = (6/2) % 8 = 3.
+    EXPECT_EQ(a.sharedSlotAddr(6, 0), ta[0].addr);
+    EXPECT_EQ(b.sharedSlotAddr(6, 3), tb[0].addr);
+}
+
+// ---------------------------------------------------------------------
+// Dynamic intra-warp reallocation (§V-B, §VI-B)
+// ---------------------------------------------------------------------
+
+TEST(Realloc, BorrowOnlyFromFinishedLanes)
+{
+    StackConfig config = StackConfig::sms();
+    WarpStackModel model(config, kSharedBase, kLocalBase);
+    StackTxnList txns;
+    // No lane has finished: overflowing lane 0 must fall back to a
+    // single move (no borrow possible).
+    for (uint64_t v = 1; v <= 17; ++v)
+        model.push(0, v, txns);
+    EXPECT_EQ(model.borrowedCount(0), 0u);
+    EXPECT_EQ(model.stats().borrows, 0u);
+    EXPECT_EQ(model.globalDepth(0), 1u);
+}
+
+TEST(Realloc, BorrowsUpToLimitThenFlushes)
+{
+    StackConfig config = StackConfig::sms();
+    WarpStackModel model(config, kSharedBase, kLocalBase);
+    for (uint32_t lane = 1; lane < 32; ++lane)
+        model.finishLane(lane);
+
+    StackTxnList txns;
+    // Fill RB (8) + own SH (8) + 4 borrowed SH stacks (32): 48 entries
+    // on-chip — the paper's §VI-B capacity figure.
+    for (uint64_t v = 1; v <= 48; ++v)
+        model.push(0, v, txns);
+    EXPECT_EQ(model.borrowedCount(0), 4u);
+    EXPECT_EQ(model.globalDepth(0), 0u);
+    EXPECT_EQ(model.stats().flushes, 0u);
+
+    // The 49th entry cannot borrow (limit 4): the bottom stack is
+    // flushed to global memory (8 entries).
+    model.push(0, 49, txns);
+    EXPECT_EQ(model.stats().flushes, 1u);
+    EXPECT_EQ(model.globalDepth(0), 8u);
+
+    // Everything still pops in order.
+    for (uint64_t v = 49; v >= 1; --v) {
+        uint64_t got;
+        ASSERT_TRUE(model.pop(0, got, txns));
+        ASSERT_EQ(got, v);
+    }
+}
+
+TEST(Realloc, BorrowedStackReleasedWhenDrained)
+{
+    StackConfig config = StackConfig::sms();
+    WarpStackModel model(config, kSharedBase, kLocalBase);
+    for (uint32_t lane = 1; lane < 32; ++lane)
+        model.finishLane(lane);
+
+    StackTxnList txns;
+    for (uint64_t v = 1; v <= 24; ++v) // RB 8 + own 8 + 1 borrowed 8
+        model.push(0, v, txns);
+    EXPECT_EQ(model.borrowedCount(0), 1u);
+
+    uint64_t got;
+    for (int i = 0; i < 9; ++i)
+        model.pop(0, got, txns);
+    // The borrowed segment drained (8 refills + 1) and was released.
+    EXPECT_EQ(model.borrowedCount(0), 0u);
+}
+
+TEST(Realloc, ReleasedStackBorrowableByOthers)
+{
+    StackConfig config = StackConfig::sms();
+    WarpStackModel model(config, kSharedBase, kLocalBase);
+    for (uint32_t lane = 2; lane < 32; ++lane)
+        model.finishLane(lane);
+
+    StackTxnList txns;
+    for (uint64_t v = 1; v <= 24; ++v)
+        model.push(0, v, txns);
+    EXPECT_EQ(model.borrowedCount(0), 1u);
+    uint64_t got;
+    while (model.pop(0, got, txns))
+        ;
+    model.finishLane(0);
+
+    // Lane 1 can now borrow from the released pool (including lane 0's
+    // own stack).
+    for (uint64_t v = 1; v <= 48; ++v)
+        model.push(1, v, txns);
+    EXPECT_EQ(model.borrowedCount(1), 4u);
+    EXPECT_EQ(model.globalDepth(1), 0u);
+}
+
+TEST(Realloc, FlushBudgetBoundsConsecutiveFlushes)
+{
+    StackConfig config = StackConfig::sms();
+    WarpStackModel model(config, kSharedBase, kLocalBase);
+    // Exactly one finished lane: chain is own + 1 borrowed = 16 SH
+    // entries; §VI-B: 3 flushes per stack simulate further capacity.
+    model.finishLane(1);
+    for (uint32_t lane = 2; lane < 32; ++lane) {
+        StackTxnList tmp;
+        model.push(lane, 1, tmp); // keep the others busy (not idle)
+    }
+
+    StackTxnList txns;
+    uint64_t pushed = 0;
+    for (uint64_t v = 1; v <= 200; ++v) {
+        model.push(0, v, txns);
+        ++pushed;
+    }
+    // Flush counters cap at max_flushes per segment between drains;
+    // pushing past the paper's 72-entry envelope requires forced
+    // flushes, which the stats expose separately.
+    EXPECT_GT(model.stats().flushes, 0u);
+    EXPECT_GT(model.stats().forced_flushes, 0u);
+    for (uint64_t v = pushed; v >= 1; --v) {
+        uint64_t got;
+        ASSERT_TRUE(model.pop(0, got, txns));
+        ASSERT_EQ(got, v);
+    }
+}
+
+TEST(Realloc, AbandonReleasesEverything)
+{
+    StackConfig config = StackConfig::sms();
+    WarpStackModel model(config, kSharedBase, kLocalBase);
+    for (uint32_t lane = 1; lane < 32; ++lane)
+        model.finishLane(lane);
+    StackTxnList txns;
+    for (uint64_t v = 1; v <= 40; ++v)
+        model.push(0, v, txns);
+    EXPECT_GT(model.borrowedCount(0), 0u);
+    model.abandonLane(0);
+    EXPECT_TRUE(model.laneEmpty(0));
+    EXPECT_TRUE(model.laneFinished(0));
+    EXPECT_EQ(model.borrowedCount(0), 0u);
+
+    // All 32 segments are idle again: a hypothetical borrower could
+    // take four of them. (Verified via a fresh lane's behaviour —
+    // every lane is finished now, so nothing more to check beyond
+    // stats coherence.)
+    EXPECT_EQ(model.shDepth(0), 0u);
+}
+
+TEST(Realloc, StatsStayCoherent)
+{
+    StackConfig config = StackConfig::sms();
+    WarpStackModel model(config, kSharedBase, kLocalBase);
+    for (uint32_t lane = 8; lane < 32; ++lane)
+        model.finishLane(lane);
+    Pcg32 rng(9001);
+    std::array<ReferenceStack, 8> oracle;
+    uint64_t v = 1;
+    StackTxnList txns;
+    for (int i = 0; i < 20000; ++i) {
+        uint32_t lane = rng.nextBounded(8);
+        if (oracle[lane].empty() || rng.nextFloat() < 0.56f) {
+            model.push(lane, v, txns);
+            oracle[lane].push(v++);
+        } else {
+            uint64_t got;
+            model.pop(lane, got, txns);
+            ASSERT_EQ(got, oracle[lane].pop());
+        }
+    }
+    const WarpStackStats &s = model.stats();
+    EXPECT_EQ(s.pushes, v - 1);
+    EXPECT_EQ(s.global_loads + model.globalDepth(0) +
+                  model.globalDepth(1) + model.globalDepth(2) +
+                  model.globalDepth(3) + model.globalDepth(4) +
+                  model.globalDepth(5) + model.globalDepth(6) +
+                  model.globalDepth(7),
+              s.global_stores);
+    EXPECT_GE(s.rb_spills, s.rb_refills);
+    EXPECT_LE(s.max_logical_depth, v);
+}
+
+// ---------------------------------------------------------------------
+// Depth observation
+// ---------------------------------------------------------------------
+
+class RecordingObserver : public DepthObserver
+{
+  public:
+    void
+    onStackAccess(uint32_t lane, uint32_t depth) override
+    {
+        events.emplace_back(lane, depth);
+    }
+    std::vector<std::pair<uint32_t, uint32_t>> events;
+};
+
+TEST(DepthObserver, SeesEveryPushAndPop)
+{
+    WarpStackModel model(StackConfig::baseline(8), kSharedBase,
+                         kLocalBase);
+    RecordingObserver obs;
+    model.setDepthObserver(&obs);
+    StackTxnList txns;
+    model.push(2, 10, txns);
+    model.push(2, 11, txns);
+    uint64_t got;
+    model.pop(2, got, txns);
+    ASSERT_EQ(obs.events.size(), 3u);
+    // Push records depth after the push; pop records the occupied
+    // depth it touches.
+    EXPECT_EQ(obs.events[0], std::make_pair(2u, 1u));
+    EXPECT_EQ(obs.events[1], std::make_pair(2u, 2u));
+    EXPECT_EQ(obs.events[2], std::make_pair(2u, 2u));
+}
+
+TEST(Errors, PopFromEmptyReturnsFalse)
+{
+    WarpStackModel model(StackConfig::sms(), kSharedBase, kLocalBase);
+    StackTxnList txns;
+    uint64_t got;
+    EXPECT_FALSE(model.pop(0, got, txns));
+    EXPECT_TRUE(txns.empty());
+}
+
+TEST(Errors, FinishRequiresEmptyStack)
+{
+    WarpStackModel model(StackConfig::baseline(8), kSharedBase,
+                         kLocalBase);
+    StackTxnList txns;
+    model.push(0, 1, txns);
+    EXPECT_DEATH(model.finishLane(0), "finishLane with non-empty stack");
+}
+
+} // namespace
+} // namespace sms
