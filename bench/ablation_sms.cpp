@@ -36,7 +36,8 @@ deepScenes()
 }
 
 void
-runBorrowLimitSweep(const std::vector<std::shared_ptr<Workload>> &ws)
+runBorrowLimitSweep(const std::vector<std::shared_ptr<Workload>> &ws,
+                    JsonReporter &reporter)
 {
     std::printf("=== Ablation (a): borrow limit (paper fixes 4) ===\n\n");
     std::vector<StackConfig> configs;
@@ -65,10 +66,12 @@ runBorrowLimitSweep(const std::vector<std::shared_ptr<Workload>> &ws)
     }
     table.print();
     std::printf("\n");
+    reporter.addSweep(sweep, 0, "results_borrow");
 }
 
 void
-runFlushLimitSweep(const std::vector<std::shared_ptr<Workload>> &ws)
+runFlushLimitSweep(const std::vector<std::shared_ptr<Workload>> &ws,
+                   JsonReporter &reporter)
 {
     std::printf("=== Ablation (b): flush budget (paper fixes 3) ===\n\n");
     std::vector<StackConfig> configs;
@@ -97,10 +100,12 @@ runFlushLimitSweep(const std::vector<std::shared_ptr<Workload>> &ws)
     }
     table.print();
     std::printf("\n");
+    reporter.addSweep(sweep, 0, "results_flush");
 }
 
 void
-runEnergyComparison(const std::vector<std::shared_ptr<Workload>> &ws)
+runEnergyComparison(const std::vector<std::shared_ptr<Workload>> &ws,
+                    JsonReporter &reporter)
 {
     std::printf("=== Ablation (c): energy — SMS vs enlarging the RB "
                 "stack ===\n\n");
@@ -115,6 +120,7 @@ runEnergyComparison(const std::vector<std::shared_ptr<Workload>> &ws)
     table.setHeader({"config", "norm IPC", "energy (uJ)", "norm energy",
                      "RB static %", "DRAM %"});
     double base_energy = 0.0;
+    JsonValue energy = JsonValue::array();
     for (size_t c = 0; c < configs.size(); ++c) {
         EnergyBreakdown total;
         for (size_t s = 0; s < ws.size(); ++s) {
@@ -138,8 +144,21 @@ runEnergyComparison(const std::vector<std::shared_ptr<Workload>> &ws)
              Table::num(total.total() / base_energy, 3),
              Table::num(100.0 * total.rb_static / total.total(), 1),
              Table::num(100.0 * total.dram / total.total(), 1)});
+        if (reporter.enabled()) {
+            JsonValue row = JsonValue::object();
+            row["config"] = configs[c].name();
+            row["config_index"] = c;
+            row["energy_pj"] = total.total();
+            row["norm_energy"] = total.total() / base_energy;
+            row["rb_static_pj"] = total.rb_static;
+            row["dram_pj"] = total.dram;
+            energy.push(row);
+        }
     }
     table.print();
+    reporter.addSweep(sweep, 0, "results_energy");
+    if (reporter.enabled())
+        reporter.record()["energy"] = energy;
     printPaperNote("§III-C/§VII-D motivation: enlarging the RB stack "
                    "buys IPC at a growing static-storage energy cost; "
                    "SMS reaches comparable IPC with 272 B of "
@@ -166,10 +185,12 @@ BENCHMARK(BM_EnergyEstimate);
 int
 main(int argc, char **argv)
 {
+    JsonReporter reporter("ablation", argc, argv);
     auto workloads = deepScenes();
-    runBorrowLimitSweep(workloads);
-    runFlushLimitSweep(workloads);
-    runEnergyComparison(workloads);
+    runBorrowLimitSweep(workloads, reporter);
+    runFlushLimitSweep(workloads, reporter);
+    runEnergyComparison(workloads, reporter);
+    reporter.finish();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

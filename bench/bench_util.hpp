@@ -1,43 +1,102 @@
 /**
  * @file
  * Shared plumbing for the per-figure benchmark harnesses: workload
- * preparation over the whole scene suite, configuration sweeps, and
+ * preparation over the whole scene suite, configuration sweeps,
  * normalized-IPC aggregation matching how the paper reports results
- * (per-scene normalized IPC, then the mean across scenes).
+ * (per-scene normalized IPC, then the mean across scenes), and the
+ * machine-readable JSON record every harness appends when SMS_JSON or
+ * --json is set.
  */
 
 #ifndef SMS_BENCH_BENCH_UTIL_HPP
 #define SMS_BENCH_BENCH_UTIL_HPP
 
+#include <chrono>
+#include <cmath>
 #include <cstdlib>
+#include <cstring>
+#include <limits>
 #include <memory>
 #include <string>
+#include <sys/stat.h>
 #include <vector>
 
 #include "src/scene/registry.hpp"
 #include "src/stats/histogram.hpp"
+#include "src/stats/report.hpp"
 #include "src/stats/table.hpp"
 #include "src/trace/render.hpp"
+#include "src/util/check.hpp"
 #include "src/util/parallel.hpp"
 
 namespace sms {
 namespace benchutil {
 
-/** SMS_FULL=1 selects the Large geometry profile. */
+/** Display name of a geometry scale profile. */
+inline const char *
+profileName(ScaleProfile profile)
+{
+    switch (profile) {
+    case ScaleProfile::Tiny: return "Tiny";
+    case ScaleProfile::Small: return "Small";
+    case ScaleProfile::Large: return "Large";
+    }
+    return "?";
+}
+
+/**
+ * SMS_FULL=1 selects the Large geometry profile; 0/unset the Small one.
+ * Anything else is a misconfiguration: warn and fall back to Small
+ * rather than silently running the wrong profile.
+ */
 inline ScaleProfile
 profileFromEnv()
 {
     const char *full = std::getenv("SMS_FULL");
-    if (full && full[0] == '1')
+    if (!full || !*full || std::strcmp(full, "0") == 0)
+        return ScaleProfile::Small;
+    if (std::strcmp(full, "1") == 0)
         return ScaleProfile::Large;
+    warn("SMS_FULL='%s' is not a recognized value (expected 0 or 1); "
+         "using the Small profile",
+         full);
     return ScaleProfile::Small;
 }
 
-/** Prepare all 16 scene workloads in parallel (Table II order). */
+/**
+ * Scene subset under test: all 16 Table II scenes, or the
+ * comma-separated names in SMS_SCENES (e.g. SMS_SCENES=WKND,BUNNY for
+ * a CI smoke run). Unknown names are fatal.
+ */
+inline std::vector<SceneId>
+scenesFromEnv()
+{
+    const auto &all = allScenes();
+    const char *filter = std::getenv("SMS_SCENES");
+    if (!filter || !*filter)
+        return {all.begin(), all.end()};
+    std::vector<SceneId> ids;
+    std::string spec(filter);
+    size_t pos = 0;
+    while (pos <= spec.size()) {
+        size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        std::string name = spec.substr(pos, comma - pos);
+        if (!name.empty())
+            ids.push_back(sceneFromName(name));
+        pos = comma + 1;
+    }
+    if (ids.empty())
+        fatal("SMS_SCENES='%s' names no scenes", filter);
+    return ids;
+}
+
+/** Prepare the scene workloads in parallel (Table II order). */
 inline std::vector<std::shared_ptr<Workload>>
 prepareAllScenes(ScaleProfile profile = profileFromEnv())
 {
-    const auto &ids = allScenes();
+    const auto ids = scenesFromEnv();
     std::vector<std::shared_ptr<Workload>> workloads(ids.size());
     parallelFor(ids.size(), [&](size_t i) {
         workloads[i] = prepareWorkload(ids[i], profile);
@@ -50,8 +109,17 @@ struct SweepResult
 {
     std::vector<StackConfig> configs;
     std::vector<uint64_t> l1_overrides; ///< parallel to configs; 0 = auto
+    std::vector<std::string> scene_names; ///< parallel to results rows
     /** results[scene][config] */
     std::vector<std::vector<SimResult>> results;
+
+    /** Scene label for diagnostics (index when names are absent). */
+    std::string
+    sceneLabel(size_t s) const
+    {
+        return s < scene_names.size() ? scene_names[s]
+                                      : "scene#" + std::to_string(s);
+    }
 };
 
 /**
@@ -68,6 +136,8 @@ runSweep(const std::vector<std::shared_ptr<Workload>> &workloads,
     sweep.l1_overrides = l1_overrides.empty()
                              ? std::vector<uint64_t>(configs.size(), 0)
                              : l1_overrides;
+    for (const auto &w : workloads)
+        sweep.scene_names.push_back(sceneName(w->id));
     sweep.results.assign(workloads.size(),
                          std::vector<SimResult>(configs.size()));
     size_t total = workloads.size() * configs.size();
@@ -84,22 +154,77 @@ runSweep(const std::vector<std::shared_ptr<Workload>> &workloads,
 /**
  * Normalized IPC of configuration @p c for scene @p s against baseline
  * column @p base.
+ *
+ * A degenerate cell (zero measured or baseline IPC) is reported as NaN
+ * with a warning naming the offending scene/config instead of feeding a
+ * non-positive ratio into the downstream geomean (which would abort the
+ * whole sweep).
  */
 inline double
 normIpc(const SweepResult &sweep, size_t s, size_t c, size_t base = 0)
 {
-    return sweep.results[s][c].ipc() / sweep.results[s][base].ipc();
+    double b = sweep.results[s][base].ipc();
+    double v = sweep.results[s][c].ipc();
+    if (!(b > 0.0) || !(v > 0.0)) {
+        warn("normIpc: degenerate IPC for scene %s (config '%s' ipc=%g, "
+             "baseline '%s' ipc=%g); cell reported as NaN",
+             sweep.sceneLabel(s).c_str(), sweep.configs[c].name().c_str(),
+             v, sweep.configs[base].name().c_str(), b);
+        return std::numeric_limits<double>::quiet_NaN();
+    }
+    return v / b;
 }
 
-/** Mean normalized IPC across scenes (geometric, as is standard). */
+/**
+ * Mean normalized IPC across scenes (geometric, as is standard).
+ * Degenerate cells are excluded from the mean (already warned about by
+ * normIpc); the sweep keeps running.
+ */
 inline double
 meanNormIpc(const SweepResult &sweep, size_t c, size_t base = 0)
 {
     std::vector<double> values;
     values.reserve(sweep.results.size());
-    for (size_t s = 0; s < sweep.results.size(); ++s)
-        values.push_back(normIpc(sweep, s, c, base));
+    for (size_t s = 0; s < sweep.results.size(); ++s) {
+        double v = normIpc(sweep, s, c, base);
+        if (std::isfinite(v) && v > 0.0)
+            values.push_back(v);
+    }
+    if (values.empty())
+        return std::numeric_limits<double>::quiet_NaN();
     return geomean(values);
+}
+
+/**
+ * Normalized off-chip access count of one cell.
+ *
+ * Both counts zero means "no change" (1.0). A zero baseline with
+ * non-zero measured traffic is a regression the old symmetric clamp
+ * used to hide as 1.0; it is now reported in the true direction (the
+ * measured count against an implied baseline of one access) with a
+ * warning flagging the cell. Ratios are floored at 1e-6 so a config
+ * that eliminates off-chip traffic entirely cannot zero the geomean.
+ */
+inline double
+normOffchip(const SweepResult &sweep, size_t s, size_t c, size_t base = 0)
+{
+    double b =
+        static_cast<double>(sweep.results[s][base].offchip_accesses);
+    double v = static_cast<double>(sweep.results[s][c].offchip_accesses);
+    double ratio;
+    if (b > 0.0) {
+        ratio = v / b;
+    } else if (v > 0.0) {
+        warn("normOffchip: scene %s config '%s' has %g off-chip accesses "
+             "but the baseline '%s' has none; reporting the regression "
+             "against an implied baseline of 1",
+             sweep.sceneLabel(s).c_str(), sweep.configs[c].name().c_str(),
+             v, sweep.configs[base].name().c_str());
+        ratio = v;
+    } else {
+        ratio = 1.0;
+    }
+    return ratio > 1.0e-6 ? ratio : 1.0e-6;
 }
 
 /** Mean normalized off-chip access count across scenes. */
@@ -108,16 +233,10 @@ meanNormOffchip(const SweepResult &sweep, size_t c, size_t base = 0)
 {
     std::vector<double> values;
     values.reserve(sweep.results.size());
-    for (size_t s = 0; s < sweep.results.size(); ++s) {
-        double b = static_cast<double>(
-            sweep.results[s][base].offchip_accesses);
-        double v =
-            static_cast<double>(sweep.results[s][c].offchip_accesses);
-        // Clamp so a config that eliminates off-chip traffic entirely
-        // does not zero the geometric mean.
-        double ratio = b > 0 ? v / b : 1.0;
-        values.push_back(ratio > 1.0e-6 ? ratio : 1.0e-6);
-    }
+    for (size_t s = 0; s < sweep.results.size(); ++s)
+        values.push_back(normOffchip(sweep, s, c, base));
+    if (values.empty())
+        return std::numeric_limits<double>::quiet_NaN();
     return geomean(values);
 }
 
@@ -127,6 +246,172 @@ printPaperNote(const std::string &note)
 {
     std::printf("\npaper reference: %s\n", note.c_str());
 }
+
+/**
+ * Machine-readable record emitter for one bench run.
+ *
+ * Activated by --json[=PATH] on the command line or the SMS_JSON
+ * environment variable. A bare --json or a PATH naming a directory
+ * resolves to BENCH_<figure>.json (in the directory / the cwd); any
+ * other PATH is used verbatim. One schema "sms-bench-1" record is
+ * *appended* per run (JSONL), so consecutive runs build a perf
+ * trajectory that tools/bench_compare can diff.
+ */
+class JsonReporter
+{
+  public:
+    /** Consumes any --json flag from argc/argv. */
+    JsonReporter(const std::string &figure, int &argc, char **argv)
+        : figure_(figure), start_(std::chrono::steady_clock::now())
+    {
+        std::string spec = consumeFlag(argc, argv);
+        if (spec.empty()) {
+            const char *env = std::getenv("SMS_JSON");
+            if (env && *env)
+                spec = env;
+        }
+        if (spec.empty())
+            return;
+        path_ = resolvePath(spec);
+        record_ = makeRunManifest(figure_,
+                                  profileName(profileFromEnv()));
+    }
+
+    bool enabled() const { return !path_.empty(); }
+    const std::string &path() const { return path_; }
+
+    /** The record under construction (manifest pre-filled). */
+    JsonValue &record() { return record_; }
+
+    /**
+     * Add a sweep's cells under @p key ("results", "results_l1", ...)
+     * plus, for the default key, the per-config summary means.
+     */
+    void
+    addSweep(const SweepResult &sweep, size_t base = 0,
+             const std::string &key = "results")
+    {
+        if (!enabled())
+            return;
+        JsonValue cells = JsonValue::array();
+        for (size_t s = 0; s < sweep.results.size(); ++s) {
+            for (size_t c = 0; c < sweep.configs.size(); ++c) {
+                JsonValue cell = JsonValue::object();
+                cell["scene"] = sweep.sceneLabel(s);
+                cell["config"] = sweep.configs[c].name();
+                cell["config_index"] = c;
+                cell["l1_override"] = sweep.l1_overrides[c];
+                const SimResult &r = sweep.results[s][c];
+                cell["ipc"] = r.ipc();
+                cell["norm_ipc"] = normIpc(sweep, s, c, base);
+                cell["norm_offchip"] = normOffchip(sweep, s, c, base);
+                cell["stack_config"] = toJson(sweep.configs[c]);
+                cell["counters"] = toJson(r);
+                // Promote the headline traffic metric for the gate.
+                cell["offchip_accesses"] = r.offchip_accesses;
+                cells.push(std::move(cell));
+            }
+        }
+        record_[key] = std::move(cells);
+
+        if (key == "results") {
+            record_["baseline"] = sweep.configs[base].name();
+            JsonValue summary = JsonValue::array();
+            for (size_t c = 0; c < sweep.configs.size(); ++c) {
+                JsonValue row = JsonValue::object();
+                row["config"] = sweep.configs[c].name();
+                row["config_index"] = c;
+                row["l1_override"] = sweep.l1_overrides[c];
+                row["mean_norm_ipc"] = meanNormIpc(sweep, c, base);
+                row["mean_norm_offchip"] =
+                    meanNormOffchip(sweep, c, base);
+                summary.push(std::move(row));
+            }
+            record_["summary"] = std::move(summary);
+        }
+    }
+
+    /** Add a single (scene, config) run as a one-cell results array. */
+    void
+    addResult(const std::string &scene, const StackConfig &config,
+              const SimResult &result)
+    {
+        if (!enabled())
+            return;
+        JsonValue cell = JsonValue::object();
+        cell["scene"] = scene;
+        cell["config"] = config.name();
+        cell["config_index"] = 0;
+        cell["l1_override"] = 0;
+        cell["ipc"] = result.ipc();
+        cell["offchip_accesses"] = result.offchip_accesses;
+        cell["stack_config"] = toJson(config);
+        cell["counters"] = toJson(result);
+        record_["results"].push(std::move(cell));
+    }
+
+    /** Stamp the wall time and append the record to the file. */
+    void
+    finish()
+    {
+        if (!enabled() || finished_)
+            return;
+        finished_ = true;
+        auto elapsed = std::chrono::steady_clock::now() - start_;
+        record_["wall_seconds"] =
+            std::chrono::duration<double>(elapsed).count();
+        std::string error;
+        if (!appendJsonLine(path_, record_, error))
+            warn("JSON record not written: %s", error.c_str());
+        else
+            std::printf("\njson record appended to %s\n", path_.c_str());
+    }
+
+  private:
+    std::string
+    consumeFlag(int &argc, char **argv)
+    {
+        std::string spec;
+        int out = 1;
+        for (int i = 1; i < argc; ++i) {
+            if (std::strcmp(argv[i], "--json") == 0) {
+                spec = ".";
+            } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+                spec = argv[i] + 7;
+            } else {
+                argv[out++] = argv[i];
+            }
+        }
+        argc = out;
+        return spec;
+    }
+
+    std::string
+    resolvePath(const std::string &spec) const
+    {
+        std::string default_name = "BENCH_" + figure_ + ".json";
+        struct stat st{};
+        bool is_dir = !spec.empty() && spec.back() == '/';
+        if (!is_dir && ::stat(spec.c_str(), &st) == 0 &&
+            S_ISDIR(st.st_mode))
+            is_dir = true;
+        if (spec == ".")
+            return default_name;
+        if (is_dir) {
+            std::string dir = spec;
+            if (dir.back() != '/')
+                dir += '/';
+            return dir + default_name;
+        }
+        return spec;
+    }
+
+    std::string figure_;
+    std::string path_;
+    JsonValue record_;
+    std::chrono::steady_clock::time_point start_;
+    bool finished_ = false;
+};
 
 } // namespace benchutil
 } // namespace sms

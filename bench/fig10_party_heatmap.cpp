@@ -23,7 +23,7 @@ using namespace sms::benchutil;
 namespace {
 
 void
-runFig10()
+runFig10(JsonReporter &reporter)
 {
     std::printf("=== Fig. 10: per-thread stack depths, PARTY (2 warps) "
                 "===\n\n");
@@ -87,6 +87,13 @@ runFig10()
                    "require diverging stack depths; late cycles leave "
                    "many SH stacks idle (motivating intra-warp "
                    "reallocation)");
+
+    reporter.addResult("PARTY", config.stack, result);
+    if (reporter.enabled()) {
+        reporter.record()["trace_csv"] = csv_path;
+        reporter.record()["trace_records"] = result.depth_trace.size();
+    }
+    reporter.finish();
 }
 
 void
@@ -109,7 +116,8 @@ BENCHMARK(BM_DepthTraceAppend);
 int
 main(int argc, char **argv)
 {
-    runFig10();
+    JsonReporter reporter("fig10", argc, argv);
+    runFig10(reporter);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

@@ -21,7 +21,7 @@ using namespace sms::benchutil;
 namespace {
 
 void
-runFig13()
+runFig13(JsonReporter &reporter)
 {
     std::printf("=== Fig. 13: IPC improvement of SMS (normalized to "
                 "RB_8) ===\n\n");
@@ -57,6 +57,9 @@ runFig13()
                 (meanNormIpc(sweep, 4) - 1.0) * 100.0);
     printPaperNote("+SH_8: +15.1%, +SK: +19.4%, +RA (SMS): +23.2%, "
                    "RB_FULL: +25.3%");
+
+    reporter.addSweep(sweep);
+    reporter.finish();
 }
 
 /** Microbenchmark: hierarchical stack push/pop throughput. */
@@ -84,7 +87,8 @@ BENCHMARK(BM_HierarchicalStackChurn);
 int
 main(int argc, char **argv)
 {
-    runFig13();
+    JsonReporter reporter("fig13", argc, argv);
+    runFig13(reporter);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

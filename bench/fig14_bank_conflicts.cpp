@@ -19,7 +19,7 @@ using namespace sms::benchutil;
 namespace {
 
 void
-runFig14()
+runFig14(JsonReporter &reporter)
 {
     std::printf("=== Fig. 14: bank-conflict delay cycles, SH_8 vs "
                 "SH_8+SK ===\n\n");
@@ -52,6 +52,11 @@ runFig14()
     table.print();
     printPaperNote("skewed bank access reduces conflict delay cycles by "
                    "27.3% on average");
+
+    reporter.addSweep(sweep);
+    if (reporter.enabled())
+        reporter.record()["conflict_reduction_pct"] = total_red;
+    reporter.finish();
 }
 
 /** Microbenchmark: the skew formula itself. */
@@ -72,7 +77,8 @@ BENCHMARK(BM_SkewBaseEntry);
 int
 main(int argc, char **argv)
 {
-    runFig14();
+    JsonReporter reporter("fig14", argc, argv);
+    runFig14(reporter);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

@@ -21,7 +21,7 @@ using namespace sms::benchutil;
 namespace {
 
 void
-runFig15()
+runFig15(JsonReporter &reporter)
 {
     auto workloads = prepareAllScenes();
     const uint32_t rb_sizes[] = {2, 4, 8, 16};
@@ -62,6 +62,9 @@ runFig15()
                    "RB_2+SMS recovers +39.7 pp IPC and -79.2 pp "
                    "off-chip; SMS with RB_2/RB_4 outperforms the RB_8 "
                    "baseline; RB_16+SMS gains only ~3.5 pp");
+
+    reporter.addSweep(sweep);
+    reporter.finish();
 }
 
 void
@@ -79,7 +82,8 @@ BENCHMARK(BM_StackConfigName);
 int
 main(int argc, char **argv)
 {
-    runFig15();
+    JsonReporter reporter("fig15", argc, argv);
+    runFig15(reporter);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

@@ -23,7 +23,7 @@ using namespace sms::benchutil;
 namespace {
 
 void
-runFig4()
+runFig4(JsonReporter &reporter)
 {
     std::printf("=== Fig. 4: traversal stack depth per workload ===\n\n");
     auto workloads = prepareAllScenes();
@@ -52,6 +52,11 @@ runFig4()
 
     printPaperNote("overall average and median depths range between 4 "
                    "and 5; maximum reaches around 30");
+
+    reporter.addSweep(sweep);
+    if (reporter.enabled())
+        reporter.record()["overall_depth_hist"] = toJson(overall);
+    reporter.finish();
 }
 
 /** Microbenchmark: push/pop accounting cost of the reference stack. */
@@ -78,7 +83,8 @@ BENCHMARK(BM_ReferenceStackChurn);
 int
 main(int argc, char **argv)
 {
-    runFig4();
+    JsonReporter reporter("fig4", argc, argv);
+    runFig4(reporter);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

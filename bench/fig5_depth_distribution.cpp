@@ -19,7 +19,7 @@ using namespace sms::benchutil;
 namespace {
 
 void
-runFig5()
+runFig5(JsonReporter &reporter)
 {
     std::printf("=== Fig. 5: stack depth distribution (all workloads) "
                 "===\n\n");
@@ -64,6 +64,16 @@ runFig5()
                 frac_1_8 * 100.0, frac_9_16 * 100.0, frac_17p * 100.0);
     printPaperNote("17.0% of traversal steps require 9-16 entries; only "
                    "1.9% exceed 16 entries");
+
+    reporter.addSweep(sweep);
+    if (reporter.enabled()) {
+        JsonValue buckets = JsonValue::object();
+        buckets["frac_depth_0_8"] = frac_1_8;
+        buckets["frac_depth_9_16"] = frac_9_16;
+        buckets["frac_depth_gt_16"] = frac_17p;
+        reporter.record()["depth_buckets"] = buckets;
+    }
+    reporter.finish();
 }
 
 void
@@ -87,7 +97,8 @@ BENCHMARK(BM_DepthHistogramMerge);
 int
 main(int argc, char **argv)
 {
-    runFig5();
+    JsonReporter reporter("fig5", argc, argv);
+    runFig5(reporter);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

@@ -20,7 +20,8 @@ using namespace sms::benchutil;
 namespace {
 
 void
-runFig6a(const std::vector<std::shared_ptr<Workload>> &workloads)
+runFig6a(const std::vector<std::shared_ptr<Workload>> &workloads,
+         JsonReporter &reporter)
 {
     std::printf("=== Fig. 6a: IPC vs RB stack size (normalized to RB_8) "
                 "===\n\n");
@@ -49,10 +50,12 @@ runFig6a(const std::vector<std::shared_ptr<Workload>> &workloads)
     table.print();
     printPaperNote("RB_4: -18.4%, RB_16: +19.9%, RB_32: +25.2%, "
                    "RB_FULL: ~+25.3% vs RB_8");
+    reporter.addSweep(sweep);
 }
 
 void
-runFig6b(const std::vector<std::shared_ptr<Workload>> &workloads)
+runFig6b(const std::vector<std::shared_ptr<Workload>> &workloads,
+         JsonReporter &reporter)
 {
     std::printf("\n=== Fig. 6b: IPC vs L1D size (RB_8, normalized to "
                 "64KB) ===\n\n");
@@ -80,6 +83,7 @@ runFig6b(const std::vector<std::shared_ptr<Workload>> &workloads)
     table.print();
     printPaperNote("16KB: -9.6%, 32KB: -4.5%, 128KB: +4.5%, "
                    "256KB: +12.6% vs 64KB");
+    reporter.addSweep(sweep, 0, "results_l1");
 }
 
 void
@@ -100,9 +104,11 @@ BENCHMARK(BM_CacheAccessPattern);
 int
 main(int argc, char **argv)
 {
+    JsonReporter reporter("fig6", argc, argv);
     auto workloads = prepareAllScenes();
-    runFig6a(workloads);
-    runFig6b(workloads);
+    runFig6a(workloads, reporter);
+    runFig6b(workloads, reporter);
+    reporter.finish();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

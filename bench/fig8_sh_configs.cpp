@@ -19,7 +19,7 @@ using namespace sms::benchutil;
 namespace {
 
 void
-runFig8()
+runFig8(JsonReporter &reporter)
 {
     std::printf("=== Fig. 8: IPC with different L1D/shared-memory "
                 "configurations ===\n\n");
@@ -58,6 +58,9 @@ runFig8()
                     configs[3].sharedBytesPerSm() / 1024));
     printPaperNote("RB_8+SH_4: +11.0%, RB_8+SH_8: +17.4%, RB_8+SH_16: "
                    "+21.2%, RB_FULL: +25.3%");
+
+    reporter.addSweep(sweep);
+    reporter.finish();
 }
 
 /** Microbenchmark: warp-level bank-conflict computation. */
@@ -78,7 +81,8 @@ BENCHMARK(BM_BankConflictPasses);
 int
 main(int argc, char **argv)
 {
-    runFig8();
+    JsonReporter reporter("fig8", argc, argv);
+    runFig8(reporter);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

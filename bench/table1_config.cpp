@@ -14,11 +14,12 @@
 #include "src/sim/gpu_config.hpp"
 
 using namespace sms;
+using namespace sms::benchutil;
 
 namespace {
 
 void
-runTable1()
+runTable1(JsonReporter &reporter)
 {
     std::printf("=== Table I: baseline GPU parameters ===\n\n");
     GpuConfig config = GpuConfig::tableI();
@@ -78,6 +79,29 @@ runTable1()
     std::printf("paper reference: Top/Bottom fields 96 B, reallocation "
                 "fields 176 B, total 272 B per SM vs 8 KB for 8 more RB "
                 "entries\n");
+
+    if (reporter.enabled()) {
+        JsonValue params = JsonValue::object();
+        params["num_sms"] = config.num_sms;
+        params["max_warps_per_rt"] = config.max_warps_per_rt;
+        params["unified_bytes"] = config.unified_bytes;
+        params["l2_bytes"] = config.mem.l2.size_bytes;
+        params["l1_latency"] = config.mem.l1_latency;
+        params["l2_latency"] = config.mem.l2_latency;
+        params["dram_latency"] = config.mem.dram.access_latency;
+        params["dram_service_interval"] =
+            config.mem.dram.service_interval;
+        reporter.record()["gpu_params"] = params;
+
+        JsonValue oh = JsonValue::object();
+        oh["sh_only_bits_per_thread"] = sh_only.overheadBitsPerThread();
+        oh["sh_only_bytes_per_sm"] = sh_only.overheadBytesPerSm();
+        oh["sms_bits_per_thread"] = sms.overheadBitsPerThread();
+        oh["sms_bytes_per_sm"] = sms.overheadBytesPerSm();
+        oh["sh_stack_bytes_per_sm"] = sh_bytes;
+        reporter.record()["overhead"] = oh;
+    }
+    reporter.finish();
 }
 
 void
@@ -94,7 +118,8 @@ BENCHMARK(BM_OverheadArithmetic);
 int
 main(int argc, char **argv)
 {
-    runTable1();
+    JsonReporter reporter("table1", argc, argv);
+    runTable1(reporter);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

@@ -17,7 +17,7 @@ using namespace sms::benchutil;
 namespace {
 
 void
-runTable2()
+runTable2(JsonReporter &reporter)
 {
     std::printf("=== Table II: benchmark scenes (ours vs paper) ===\n\n");
     auto workloads = prepareAllScenes();
@@ -42,6 +42,23 @@ runTable2()
     printPaperNote("scenes are deterministic procedural stand-ins scaled "
                    "down ~30-100x from LumiBench (DESIGN.md §2); "
                    "relative complexity ordering is preserved");
+
+    if (reporter.enabled()) {
+        JsonValue scenes = JsonValue::array();
+        for (const auto &w : workloads) {
+            WideBvhStats stats = w->bvh.computeStats(w->scene);
+            JsonValue row = JsonValue::object();
+            row["scene"] = sceneName(w->id);
+            row["triangles"] = w->scene.triangleCount();
+            row["spheres"] = w->scene.sphereCount();
+            row["bvh_nodes"] = stats.node_count;
+            row["bvh_max_depth"] = stats.max_depth;
+            row["bvh_bytes"] = stats.footprint_bytes;
+            scenes.push(row);
+        }
+        reporter.record()["scenes"] = scenes;
+    }
+    reporter.finish();
 }
 
 void
@@ -70,7 +87,8 @@ BENCHMARK(BM_BvhBuildBunny);
 int
 main(int argc, char **argv)
 {
-    runTable2();
+    JsonReporter reporter("table2", argc, argv);
+    runTable2(reporter);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

@@ -40,13 +40,23 @@ struct StackTxn
 /** Ordered transaction list of one lane for one stack operation. */
 using StackTxnList = std::vector<StackTxn>;
 
+/**
+ * Buckets of the borrow-chain length histogram: a lane's SH chain holds
+ * its dedicated segment plus up to 32 borrowed ones (one per warp lane).
+ */
+constexpr uint32_t kBorrowChainBuckets = 34;
+
 /** Counters over all stack-manager activity of one warp. */
 struct WarpStackStats
 {
     uint64_t pushes = 0;
     uint64_t pops = 0;
     uint64_t rb_spills = 0;       ///< RB overflow spills (to SH or global)
+    uint64_t rb_spills_to_sh = 0; ///< ... of which landed in the SH stack
+    uint64_t rb_spills_to_global = 0; ///< ... of which went off-chip
     uint64_t rb_refills = 0;      ///< reloads into the RB bottom
+    uint64_t rb_refills_from_sh = 0; ///< ... served by the SH stack
+    uint64_t rb_refills_from_global = 0; ///< ... served off-chip
     uint64_t sh_stores = 0;       ///< shared-memory stores
     uint64_t sh_loads = 0;        ///< shared-memory loads
     uint64_t global_stores = 0;   ///< off-chip spill stores
@@ -57,6 +67,12 @@ struct WarpStackStats
     uint64_t flushed_entries = 0; ///< entries moved by flushes
     uint64_t single_moves = 0;    ///< SH-bottom -> global single moves
     uint32_t max_logical_depth = 0;
+    /**
+     * Chain length (dedicated + borrowed segments) reached after each
+     * successful borrow; bucket i counts chains of i segments, the last
+     * bucket saturates.
+     */
+    uint64_t borrow_chain_hist[kBorrowChainBuckets] = {};
 
     void
     merge(const WarpStackStats &o)
@@ -64,7 +80,11 @@ struct WarpStackStats
         pushes += o.pushes;
         pops += o.pops;
         rb_spills += o.rb_spills;
+        rb_spills_to_sh += o.rb_spills_to_sh;
+        rb_spills_to_global += o.rb_spills_to_global;
         rb_refills += o.rb_refills;
+        rb_refills_from_sh += o.rb_refills_from_sh;
+        rb_refills_from_global += o.rb_refills_from_global;
         sh_stores += o.sh_stores;
         sh_loads += o.sh_loads;
         global_stores += o.global_stores;
@@ -76,6 +96,8 @@ struct WarpStackStats
         single_moves += o.single_moves;
         if (o.max_logical_depth > max_logical_depth)
             max_logical_depth = o.max_logical_depth;
+        for (uint32_t i = 0; i < kBorrowChainBuckets; ++i)
+            borrow_chain_hist[i] += o.borrow_chain_hist[i];
     }
 };
 

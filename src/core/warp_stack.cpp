@@ -118,10 +118,13 @@ WarpStackModel::spillFromRb(uint32_t lane, StackTxnList &txns)
     uint64_t oldest = ls.rb.front();
     ls.rb.pop_front();
     ++stats_.rb_spills;
-    if (config_.hasShStack())
+    if (config_.hasShStack()) {
+        ++stats_.rb_spills_to_sh;
         shPushTop(lane, oldest, txns);
-    else
+    } else {
+        ++stats_.rb_spills_to_global;
         pushGlobal(lane, oldest, txns);
+    }
 }
 
 void
@@ -272,6 +275,10 @@ WarpStackModel::tryBorrow(uint32_t lane)
         seg.bottom = seg.base;
         lanes_[lane].chain.push_back(owner);
         ++stats_.borrows;
+        uint32_t len = static_cast<uint32_t>(lanes_[lane].chain.size());
+        if (len >= kBorrowChainBuckets)
+            len = kBorrowChainBuckets - 1;
+        ++stats_.borrow_chain_hist[len];
         return true;
     }
     return false;
@@ -404,6 +411,7 @@ WarpStackModel::pop(uint32_t lane, uint64_t &value, StackTxnList &txns)
         uint64_t from_sh = shPopTop(lane, txns);
         ls.rb.push_front(from_sh);
         ++stats_.rb_refills;
+        ++stats_.rb_refills_from_sh;
         if (!ls.global.empty() && shBottomHasSpace(lane)) {
             uint64_t from_global = popGlobal(lane, txns);
             shPushBottom(lane, from_global, txns);
@@ -412,6 +420,7 @@ WarpStackModel::pop(uint32_t lane, uint64_t &value, StackTxnList &txns)
         uint64_t from_global = popGlobal(lane, txns);
         ls.rb.push_front(from_global);
         ++stats_.rb_refills;
+        ++stats_.rb_refills_from_global;
     }
     return true;
 }

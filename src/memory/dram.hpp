@@ -33,8 +33,20 @@ struct DramStats
     uint64_t by_class[kTrafficClassCount] = {0, 0, 0};
     /** Total cycles requests waited for a service slot. */
     uint64_t queue_wait_cycles = 0;
+    /** Cycles the service queue was occupied (bandwidth consumed). */
+    uint64_t busy_cycles = 0;
+    /** Largest single-request wait for a service slot. */
+    uint64_t max_queue_wait = 0;
 
     uint64_t accesses() const { return loads + stores; }
+
+    /** Mean service-slot wait per access (queue pressure). */
+    double
+    avgQueueWait() const
+    {
+        uint64_t a = accesses();
+        return a ? static_cast<double>(queue_wait_cycles) / a : 0.0;
+    }
 };
 
 /**
@@ -56,6 +68,9 @@ class Dram
     {
         Cycle start = now > next_free_ ? now : next_free_;
         stats_.queue_wait_cycles += start - now;
+        if (start - now > stats_.max_queue_wait)
+            stats_.max_queue_wait = start - now;
+        stats_.busy_cycles += config_.service_interval;
         next_free_ = start + config_.service_interval;
         if (write)
             ++stats_.stores;

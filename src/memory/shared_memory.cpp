@@ -54,6 +54,11 @@ SharedMemory::access(Cycle now, const std::vector<SharedLaneRequest> &lanes)
     ++stats_.accesses;
     stats_.lane_requests += lanes.size();
     stats_.conflict_cycles += passes - 1;
+    stats_.conflict_passes += passes;
+    if (passes > 1)
+        ++stats_.conflicted_accesses;
+    if (passes > stats_.max_passes)
+        stats_.max_passes = passes;
 
     Cycle start = now > next_free_ ? now : next_free_;
     // The access occupies the shared-memory pipeline for one cycle per

@@ -38,6 +38,9 @@ struct SharedMemStats
     uint64_t accesses = 0;        ///< warp-level accesses
     uint64_t lane_requests = 0;   ///< per-lane requests
     uint64_t conflict_cycles = 0; ///< extra cycles from bank conflicts
+    uint64_t conflict_passes = 0; ///< total serialization passes issued
+    uint64_t conflicted_accesses = 0; ///< accesses needing > 1 pass
+    uint32_t max_passes = 0;      ///< worst single-access serialization
 
     double
     avgConflictDelay() const

@@ -255,12 +255,23 @@ simulateJobs(const Scene &scene, const WideBvh &bvh,
         result.l1.store_misses += l1.store_misses;
         result.l1.writebacks += l1.writebacks;
 
+        for (int cls = 0; cls < kTrafficClassCount; ++cls)
+            result.l1_class_misses[cls] +=
+                mem.l1(s).missesByClass(static_cast<TrafficClass>(cls));
+
         const SharedMemStats &sh = shared_mems[s].stats();
         result.shared_mem.accesses += sh.accesses;
         result.shared_mem.lane_requests += sh.lane_requests;
         result.shared_mem.conflict_cycles += sh.conflict_cycles;
+        result.shared_mem.conflict_passes += sh.conflict_passes;
+        result.shared_mem.conflicted_accesses += sh.conflicted_accesses;
+        if (sh.max_passes > result.shared_mem.max_passes)
+            result.shared_mem.max_passes = sh.max_passes;
     }
     result.l2 = mem.l2().stats();
+    for (int cls = 0; cls < kTrafficClassCount; ++cls)
+        result.l2_class_misses[cls] =
+            mem.l2().missesByClass(static_cast<TrafficClass>(cls));
     result.dram = mem.dram().stats();
     result.offchip_accesses = mem.offchipAccesses();
     return result;

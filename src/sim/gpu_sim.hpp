@@ -57,7 +57,19 @@ struct SimResult
     LevelStats l1;
     LevelStats l2;
     DramStats dram;
+    /** L1 misses split by traffic class (Node/Primitive/Stack). */
+    uint64_t l1_class_misses[kTrafficClassCount] = {};
+    /** L2 misses split by traffic class. */
+    uint64_t l2_class_misses[kTrafficClassCount] = {};
     uint64_t offchip_accesses = 0; ///< Fig. 15b metric
+
+    /** Fraction of simulated cycles the DRAM service queue was busy. */
+    double
+    dramOccupancy() const
+    {
+        return cycles ? static_cast<double>(dram.busy_cycles) / cycles
+                      : 0.0;
+    }
 
     Histogram depth_hist{63}; ///< logical stack depth at each push/pop
     std::vector<DepthTraceRecord> depth_trace;

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Machine-readable results: a dependency-free JSON value type with a
+ * serializer and parser, JSON views of every simulator statistics
+ * struct, the per-run manifest, JSONL record files, and the record
+ * comparison used by the bench_compare regression gate.
+ *
+ * Every bench binary appends one record per run (schema "sms-bench-1")
+ * so the perf trajectory of the sweeps is diffable by CI instead of
+ * living only in human-readable tables.
+ */
+
+#ifndef SMS_STATS_REPORT_HPP
+#define SMS_STATS_REPORT_HPP
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sms {
+
+class Histogram;
+struct LevelStats;
+struct DramStats;
+struct SharedMemStats;
+struct WarpStackStats;
+struct JobCounters;
+struct StackConfig;
+struct SimResult;
+
+/**
+ * A JSON document node. Objects preserve insertion order so emitted
+ * records are stable and diffable line-by-line.
+ */
+class JsonValue
+{
+  public:
+    enum class Kind : uint8_t { Null, Bool, Number, String, Array, Object };
+
+    JsonValue() = default;
+    JsonValue(bool b) : kind_(Kind::Bool), bool_(b) {}
+    JsonValue(double v) : kind_(Kind::Number), num_(v) {}
+    JsonValue(int v) : kind_(Kind::Number), num_(v) {}
+    JsonValue(unsigned v) : kind_(Kind::Number), num_(v) {}
+    JsonValue(long v) : kind_(Kind::Number), num_(static_cast<double>(v)) {}
+    JsonValue(unsigned long v)
+        : kind_(Kind::Number), num_(static_cast<double>(v))
+    {}
+    JsonValue(long long v)
+        : kind_(Kind::Number), num_(static_cast<double>(v))
+    {}
+    JsonValue(unsigned long long v)
+        : kind_(Kind::Number), num_(static_cast<double>(v))
+    {}
+    JsonValue(const char *s) : kind_(Kind::String), str_(s) {}
+    JsonValue(std::string s) : kind_(Kind::String), str_(std::move(s)) {}
+
+    static JsonValue
+    array()
+    {
+        JsonValue v;
+        v.kind_ = Kind::Array;
+        return v;
+    }
+
+    static JsonValue
+    object()
+    {
+        JsonValue v;
+        v.kind_ = Kind::Object;
+        return v;
+    }
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    bool asBool() const { return bool_; }
+    double asNumber() const { return num_; }
+    uint64_t asU64() const { return static_cast<uint64_t>(num_); }
+    const std::string &asString() const { return str_; }
+
+    /** Append to an array (converts a Null node into an array). */
+    void push(JsonValue v);
+
+    /** Array/object element count (0 for scalars). */
+    size_t size() const;
+
+    /** Array element access (fatal on out-of-range). */
+    const JsonValue &at(size_t i) const;
+
+    /**
+     * Object member access; inserts a Null member when missing
+     * (converts a Null node into an object).
+     */
+    JsonValue &operator[](const std::string &key);
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Number lookup helper: member value or @p fallback. */
+    double numberOr(const std::string &key, double fallback) const;
+
+    /** String lookup helper: member value or @p fallback. */
+    std::string stringOr(const std::string &key,
+                         const std::string &fallback) const;
+
+    const std::vector<std::pair<std::string, JsonValue>> &
+    members() const
+    {
+        return obj_;
+    }
+
+    const std::vector<JsonValue> &elements() const { return arr_; }
+
+    /**
+     * Serialize. @p indent 0 renders one compact line (the JSONL form);
+     * positive values pretty-print with that many spaces per level.
+     * Non-finite numbers render as null (JSON has no NaN/Inf).
+     */
+    std::string dump(int indent = 0) const;
+
+    /** Parse a JSON document. @return false with @p error set on failure. */
+    static bool parse(const std::string &text, JsonValue &out,
+                      std::string &error);
+
+  private:
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    std::vector<JsonValue> arr_;
+    std::vector<std::pair<std::string, JsonValue>> obj_;
+};
+
+/** JSON views of the statistics structs (field names match the code). */
+JsonValue toJson(const Histogram &h);
+JsonValue toJson(const LevelStats &s);
+JsonValue toJson(const DramStats &s);
+JsonValue toJson(const SharedMemStats &s);
+JsonValue toJson(const WarpStackStats &s);
+JsonValue toJson(const JobCounters &s);
+/** Stack-configuration knobs (the caller adds the display name). */
+JsonValue toJson(const StackConfig &c);
+/** Full per-run counter dump of one simulated frame. */
+JsonValue toJson(const SimResult &r);
+
+/** Compiled-in `git describe` of the build ("unknown" outside git). */
+std::string gitDescribe();
+
+/** Current UTC time as ISO-8601 ("2025-08-06T12:34:56Z"). */
+std::string isoTimestampUtc();
+
+/**
+ * Start a schema "sms-bench-1" record: schema/figure/git/timestamp plus
+ * the geometry profile name. The caller fills results and wall time.
+ */
+JsonValue makeRunManifest(const std::string &figure,
+                          const std::string &profile);
+
+/** Append @p record to @p path as one JSONL line (creates the file). */
+bool appendJsonLine(const std::string &path, const JsonValue &record,
+                    std::string &error);
+
+/** Read every JSONL record of @p path. */
+bool readJsonLines(const std::string &path, std::vector<JsonValue> &out,
+                   std::string &error);
+
+/** Tolerances of the bench_compare regression gate. */
+struct CompareOptions
+{
+    /** Max relative IPC delta per cell and per summary mean. */
+    double ipc_eps = 0.02;
+    /** Max relative off-chip / traffic-counter delta per cell. */
+    double traffic_eps = 0.05;
+    /** Accept cells present in only one record. */
+    bool allow_missing = false;
+};
+
+/** One out-of-tolerance delta (or a structural mismatch). */
+struct CompareIssue
+{
+    std::string where;  ///< cell key ("scene#cfg:NAME@l1") or context
+    std::string metric; ///< "ipc", "offchip_accesses", "missing", ...
+    double a = 0.0;
+    double b = 0.0;
+    double rel = 0.0; ///< relative delta |a-b|/max(|a|,|b|)
+};
+
+/**
+ * Compare two bench records cell-by-cell.
+ *
+ * Scans every top-level array member whose elements carry "scene" and
+ * "config" (the "results*" arrays) plus the "summary" means. @return
+ * false with @p error set on schema errors; tolerance violations are
+ * appended to @p issues.
+ */
+bool compareBenchRecords(const JsonValue &a, const JsonValue &b,
+                         const CompareOptions &options,
+                         std::vector<CompareIssue> &issues,
+                         std::string &error);
+
+} // namespace sms
+
+#endif // SMS_STATS_REPORT_HPP

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Tests for the bench harness utilities: degenerate-cell handling in
+ * the normalized-IPC geomean (a zero-IPC config must not abort the
+ * sweep), the off-chip normalization direction fix, strict SMS_FULL
+ * parsing, and the JsonReporter flag/path plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/bench_util.hpp"
+
+namespace sms {
+namespace benchutil {
+namespace {
+
+/** RAII environment-variable override. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name_(name)
+    {
+        const char *old = std::getenv(name);
+        had_old_ = old != nullptr;
+        if (had_old_)
+            old_ = old;
+        if (value)
+            ::setenv(name, value, 1);
+        else
+            ::unsetenv(name);
+    }
+    ~ScopedEnv()
+    {
+        if (had_old_)
+            ::setenv(name_, old_.c_str(), 1);
+        else
+            ::unsetenv(name_);
+    }
+
+  private:
+    const char *name_;
+    bool had_old_;
+    std::string old_;
+};
+
+/** Synthetic 2-scene sweep; cell IPC = instructions / 1000 cycles. */
+SweepResult
+makeSweep(const std::vector<std::vector<uint64_t>> &instructions,
+          const std::vector<std::vector<uint64_t>> &offchip)
+{
+    SweepResult sweep;
+    size_t num_configs = instructions[0].size();
+    sweep.configs.push_back(StackConfig::baseline(8));
+    for (size_t c = 1; c < num_configs; ++c)
+        sweep.configs.push_back(StackConfig::sms());
+    sweep.l1_overrides.assign(num_configs, 0);
+    for (size_t s = 0; s < instructions.size(); ++s) {
+        sweep.scene_names.push_back("S" + std::to_string(s));
+        std::vector<SimResult> row(num_configs);
+        for (size_t c = 0; c < num_configs; ++c) {
+            row[c].cycles = 1000;
+            row[c].instructions = instructions[s][c];
+            row[c].offchip_accesses = offchip[s][c];
+        }
+        sweep.results.push_back(std::move(row));
+    }
+    return sweep;
+}
+
+TEST(NormIpc, DegenerateCellIsNanNotFatal)
+{
+    // Scene 1's config 1 produced zero instructions (a degenerate run).
+    SweepResult sweep = makeSweep({{800, 900}, {800, 0}},
+                                  {{100, 90}, {100, 90}});
+    EXPECT_TRUE(std::isfinite(normIpc(sweep, 0, 1)));
+    EXPECT_TRUE(std::isnan(normIpc(sweep, 1, 1)));
+}
+
+TEST(NormIpc, DegenerateBaselineIsNanNotFatal)
+{
+    SweepResult sweep =
+        makeSweep({{0, 900}}, {{100, 90}});
+    EXPECT_TRUE(std::isnan(normIpc(sweep, 0, 1)));
+}
+
+TEST(MeanNormIpc, SkipsDegenerateCellsAndStaysFinite)
+{
+    // The satellite fix: previously the NaN/zero ratio reached the
+    // geomean's positivity assertion and aborted the whole bench.
+    SweepResult sweep = makeSweep({{800, 880}, {800, 0}},
+                                  {{100, 90}, {100, 90}});
+    double mean = meanNormIpc(sweep, 1);
+    EXPECT_TRUE(std::isfinite(mean));
+    EXPECT_NEAR(mean, 1.1, 1e-9); // only scene 0 contributes
+}
+
+TEST(MeanNormIpc, AllDegenerateIsNan)
+{
+    SweepResult sweep = makeSweep({{800, 0}, {800, 0}},
+                                  {{100, 90}, {100, 90}});
+    EXPECT_TRUE(std::isnan(meanNormIpc(sweep, 1)));
+}
+
+TEST(NormOffchip, ZeroBaselineReportsRegressionDirection)
+{
+    // The asymmetric-clamp fix: baseline 0, measured 50 used to report
+    // 1.0 ("no change"); it must now report a value > 1 (a regression).
+    SweepResult sweep = makeSweep({{800, 800}}, {{0, 50}});
+    EXPECT_GT(normOffchip(sweep, 0, 1), 1.0);
+}
+
+TEST(NormOffchip, BothZeroIsNoChange)
+{
+    SweepResult sweep = makeSweep({{800, 800}}, {{0, 0}});
+    EXPECT_DOUBLE_EQ(normOffchip(sweep, 0, 1), 1.0);
+}
+
+TEST(NormOffchip, ZeroMeasuredIsFlooredNotZero)
+{
+    // A config that eliminates off-chip traffic entirely must not zero
+    // the downstream geomean.
+    SweepResult sweep = makeSweep({{800, 800}}, {{100, 0}});
+    double r = normOffchip(sweep, 0, 1);
+    EXPECT_GT(r, 0.0);
+    EXPECT_LE(r, 1.0e-6);
+}
+
+TEST(MeanNormOffchip, MixedCellsFinite)
+{
+    SweepResult sweep = makeSweep({{800, 800}, {800, 800}},
+                                  {{0, 50}, {100, 90}});
+    EXPECT_TRUE(std::isfinite(meanNormOffchip(sweep, 1)));
+}
+
+TEST(ProfileFromEnv, StrictParse)
+{
+    {
+        ScopedEnv env("SMS_FULL", nullptr);
+        EXPECT_EQ(profileFromEnv(), ScaleProfile::Small);
+    }
+    {
+        ScopedEnv env("SMS_FULL", "");
+        EXPECT_EQ(profileFromEnv(), ScaleProfile::Small);
+    }
+    {
+        ScopedEnv env("SMS_FULL", "0");
+        EXPECT_EQ(profileFromEnv(), ScaleProfile::Small);
+    }
+    {
+        ScopedEnv env("SMS_FULL", "1");
+        EXPECT_EQ(profileFromEnv(), ScaleProfile::Large);
+    }
+    {
+        // The old prefix match accepted any string starting with '1'.
+        ScopedEnv env("SMS_FULL", "1x");
+        EXPECT_EQ(profileFromEnv(), ScaleProfile::Small);
+    }
+    {
+        ScopedEnv env("SMS_FULL", "yes");
+        EXPECT_EQ(profileFromEnv(), ScaleProfile::Small);
+    }
+}
+
+TEST(JsonReporter, DisabledWithoutFlagOrEnv)
+{
+    ScopedEnv env("SMS_JSON", nullptr);
+    char arg0[] = "bench";
+    char *argv[] = {arg0, nullptr};
+    int argc = 1;
+    JsonReporter reporter("figX", argc, argv);
+    EXPECT_FALSE(reporter.enabled());
+    reporter.finish(); // no-op, must not crash
+}
+
+TEST(JsonReporter, ConsumesJsonFlagFromArgv)
+{
+    ScopedEnv env("SMS_JSON", nullptr);
+    char arg0[] = "bench";
+    char arg1[] = "--json=/tmp/out.json";
+    char arg2[] = "--benchmark_filter=NONE";
+    char *argv[] = {arg0, arg1, arg2, nullptr};
+    int argc = 3;
+    JsonReporter reporter("figX", argc, argv);
+    EXPECT_TRUE(reporter.enabled());
+    EXPECT_EQ(reporter.path(), "/tmp/out.json");
+    // The flag is stripped so benchmark::Initialize never sees it.
+    ASSERT_EQ(argc, 2);
+    EXPECT_STREQ(argv[1], "--benchmark_filter=NONE");
+}
+
+TEST(JsonReporter, BareFlagResolvesToFigureDefault)
+{
+    ScopedEnv env("SMS_JSON", nullptr);
+    char arg0[] = "bench";
+    char arg1[] = "--json";
+    char *argv[] = {arg0, arg1, nullptr};
+    int argc = 2;
+    JsonReporter reporter("fig13", argc, argv);
+    EXPECT_TRUE(reporter.enabled());
+    EXPECT_EQ(reporter.path(), "BENCH_fig13.json");
+    EXPECT_EQ(argc, 1);
+}
+
+TEST(JsonReporter, EnvDirectoryResolvesToDefaultName)
+{
+    std::string dir = testing::TempDir();
+    ScopedEnv env("SMS_JSON", dir.c_str());
+    char arg0[] = "bench";
+    char *argv[] = {arg0, nullptr};
+    int argc = 1;
+    JsonReporter reporter("fig5", argc, argv);
+    ASSERT_TRUE(reporter.enabled());
+    if (dir.back() != '/')
+        dir += '/';
+    EXPECT_EQ(reporter.path(), dir + "BENCH_fig5.json");
+}
+
+TEST(JsonReporter, EndToEndSweepRecord)
+{
+    std::string path = testing::TempDir() + "sms_bench_util_test.jsonl";
+    std::remove(path.c_str());
+    ScopedEnv env("SMS_JSON", path.c_str());
+
+    char arg0[] = "bench";
+    char *argv[] = {arg0, nullptr};
+    int argc = 1;
+    JsonReporter reporter("figX", argc, argv);
+    ASSERT_TRUE(reporter.enabled());
+
+    // Includes a degenerate zero-IPC cell: the record must still be
+    // written, with NaN cells serialized as null.
+    SweepResult sweep = makeSweep({{800, 880}, {800, 0}},
+                                  {{100, 90}, {100, 90}});
+    reporter.addSweep(sweep);
+    reporter.finish();
+
+    std::vector<JsonValue> records;
+    std::string error;
+    ASSERT_TRUE(readJsonLines(path, records, error)) << error;
+    ASSERT_EQ(records.size(), 1u);
+    const JsonValue &rec = records[0];
+    EXPECT_EQ(rec.stringOr("schema", ""), "sms-bench-1");
+    EXPECT_EQ(rec.stringOr("figure", ""), "figX");
+    const JsonValue *results = rec.find("results");
+    ASSERT_NE(results, nullptr);
+    EXPECT_EQ(results->size(), 4u); // 2 scenes x 2 configs
+    // The degenerate cell (scene 1, config 1) has a null norm_ipc.
+    EXPECT_TRUE(results->at(3).find("norm_ipc")->isNull());
+    const JsonValue *summary = rec.find("summary");
+    ASSERT_NE(summary, nullptr);
+    ASSERT_EQ(summary->size(), 2u);
+    EXPECT_NEAR(summary->at(1).numberOr("mean_norm_ipc", 0.0), 1.1,
+                1e-9);
+    EXPECT_GE(rec.numberOr("wall_seconds", -1.0), 0.0);
+
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace benchutil
+} // namespace sms

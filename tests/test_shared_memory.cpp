@@ -99,6 +99,27 @@ TEST(ConflictPasses, BroadcastSameWordIsFree)
     EXPECT_EQ(SharedMemory::conflictPasses(lanes), 1u);
 }
 
+TEST(ConflictPasses, BroadcastSameEntrySpanningTwoBanks)
+{
+    // All lanes reading the same 8 B entry: it spans two banks (two
+    // words), but both words broadcast, so one pass suffices.
+    std::vector<SharedLaneRequest> lanes;
+    for (uint32_t t = 0; t < 32; ++t)
+        lanes.push_back({t, 64, 8});
+    EXPECT_EQ(SharedMemory::conflictPasses(lanes), 1u);
+}
+
+TEST(ConflictPasses, StraddlingEntriesWrapAroundBanks)
+{
+    // Lane t reads the 8 B entry at t*8, i.e. words 2t and 2t+1. Lanes
+    // 0-15 cover all 32 banks exactly once; lanes 16-31 revisit those
+    // banks at different rows, so the warp needs exactly two passes.
+    std::vector<SharedLaneRequest> lanes;
+    for (uint32_t t = 0; t < 32; ++t)
+        lanes.push_back({t, static_cast<Addr>(t) * 8, 8});
+    EXPECT_EQ(SharedMemory::conflictPasses(lanes), 2u);
+}
+
 TEST(ConflictPasses, WideRequestSpansManyBanks)
 {
     // One lane touching 64 B = 16 words = 16 banks: still one pass.
@@ -138,6 +159,21 @@ TEST(SharedMemory, PipelineOccupancySerializesAccesses)
     // Issued in the same cycle: the pipeline slot is taken for 1 pass.
     Cycle second = sm.access(0, one);
     EXPECT_EQ(second, 1u + 20u - 1u + 1u); // starts at cycle 1
+}
+
+TEST(SharedMemory, ConflictObservabilityCounters)
+{
+    SharedMemory sm(20);
+    std::vector<SharedLaneRequest> one{{0, 0, 8}};
+    sm.access(0, one); // 1 pass, conflict-free
+    std::vector<SharedLaneRequest> lanes;
+    for (uint32_t t = 0; t < 32; ++t)
+        lanes.push_back({t, sh8Addr(t, 0), 8});
+    sm.access(100, lanes); // 16-way conflict
+    EXPECT_EQ(sm.stats().conflict_passes, 1u + 16u);
+    EXPECT_EQ(sm.stats().conflicted_accesses, 1u);
+    EXPECT_EQ(sm.stats().max_passes, 16u);
+    EXPECT_DOUBLE_EQ(sm.stats().avgConflictDelay(), 15.0 / 2.0);
 }
 
 TEST(SharedMemory, EmptyAccessIsFree)

@@ -500,6 +500,97 @@ TEST(Realloc, AbandonReleasesEverything)
     EXPECT_EQ(model.shDepth(0), 0u);
 }
 
+TEST(Stats, BaselineSpillsAndRefillsSplitToGlobal)
+{
+    // Without an SH stack every RB spill/refill crosses to global
+    // memory, and the per-level split must say exactly that.
+    WarpStackModel model(StackConfig::baseline(8), kSharedBase,
+                         kLocalBase);
+    StackTxnList txns;
+    for (uint64_t v = 1; v <= 12; ++v)
+        model.push(0, v, txns);
+    uint64_t got;
+    while (model.pop(0, got, txns))
+        ;
+    const WarpStackStats &s = model.stats();
+    EXPECT_GT(s.rb_spills, 0u);
+    EXPECT_EQ(s.rb_spills_to_global, s.rb_spills);
+    EXPECT_EQ(s.rb_spills_to_sh, 0u);
+    EXPECT_EQ(s.rb_refills_from_global, s.rb_refills);
+    EXPECT_EQ(s.rb_refills_from_sh, 0u);
+}
+
+TEST(Stats, ShAbsorbsSpillsAndRefillsInSplitCounters)
+{
+    // SH_8 absorbs a 12-deep stack entirely: the split counters must
+    // attribute every spill/refill to the RB<->SH edge.
+    WarpStackModel model(StackConfig::withSh(8, 8), kSharedBase,
+                         kLocalBase);
+    StackTxnList txns;
+    for (uint64_t v = 1; v <= 12; ++v)
+        model.push(0, v, txns);
+    uint64_t got;
+    while (model.pop(0, got, txns))
+        ;
+    const WarpStackStats &s = model.stats();
+    EXPECT_GT(s.rb_spills, 0u);
+    EXPECT_EQ(s.rb_spills_to_sh, s.rb_spills);
+    EXPECT_EQ(s.rb_spills_to_global, 0u);
+    EXPECT_EQ(s.rb_refills_from_sh, s.rb_refills);
+    EXPECT_EQ(s.rb_refills_from_global, 0u);
+}
+
+TEST(Stats, SpillSplitSumsUnderRandomChurn)
+{
+    WarpStackModel model(StackConfig::sms(2, 4), kSharedBase,
+                         kLocalBase);
+    for (uint32_t lane = 16; lane < 32; ++lane)
+        model.finishLane(lane);
+    Pcg32 rng(31337);
+    std::array<ReferenceStack, 16> oracle;
+    uint64_t v = 1;
+    StackTxnList txns;
+    for (int i = 0; i < 20000; ++i) {
+        uint32_t lane = rng.nextBounded(16);
+        if (oracle[lane].empty() || rng.nextFloat() < 0.56f) {
+            model.push(lane, v, txns);
+            oracle[lane].push(v++);
+        } else {
+            uint64_t got;
+            model.pop(lane, got, txns);
+            ASSERT_EQ(got, oracle[lane].pop());
+        }
+    }
+    const WarpStackStats &s = model.stats();
+    EXPECT_EQ(s.rb_spills_to_sh + s.rb_spills_to_global, s.rb_spills);
+    EXPECT_EQ(s.rb_refills_from_sh + s.rb_refills_from_global,
+              s.rb_refills);
+}
+
+TEST(Realloc, BorrowChainHistogramRecordsChainLengths)
+{
+    StackConfig config = StackConfig::sms();
+    WarpStackModel model(config, kSharedBase, kLocalBase);
+    for (uint32_t lane = 1; lane < 32; ++lane)
+        model.finishLane(lane);
+    StackTxnList txns;
+    // 48 entries: RB 8 + own SH 8 + four borrowed segments of 8.
+    for (uint64_t v = 1; v <= 48; ++v)
+        model.push(0, v, txns);
+    const WarpStackStats &s = model.stats();
+    EXPECT_EQ(s.borrows, 4u);
+    uint64_t total = 0;
+    for (uint32_t i = 0; i < kBorrowChainBuckets; ++i)
+        total += s.borrow_chain_hist[i];
+    EXPECT_EQ(total, s.borrows);
+    // Each borrow is recorded at the chain length it produced:
+    // own+1 .. own+4 segments.
+    EXPECT_EQ(s.borrow_chain_hist[2], 1u);
+    EXPECT_EQ(s.borrow_chain_hist[3], 1u);
+    EXPECT_EQ(s.borrow_chain_hist[4], 1u);
+    EXPECT_EQ(s.borrow_chain_hist[5], 1u);
+}
+
 TEST(Realloc, StatsStayCoherent)
 {
     StackConfig config = StackConfig::sms();

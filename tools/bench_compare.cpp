@@ -1,0 +1,152 @@
+/**
+ * @file
+ * bench_compare — diff two BENCH_*.json records produced by the bench
+ * harnesses (see bench/bench_util.hpp JsonReporter) and fail loudly on
+ * IPC or off-chip-traffic deltas beyond epsilon.
+ *
+ * Usage:
+ *   bench_compare <a.json> <b.json> [--ipc-eps X] [--traffic-eps X]
+ *                 [--allow-missing]
+ *
+ * Each file is JSONL: one record per bench run, appended. By default
+ * the LAST record of each file is compared (the most recent run); if
+ * both files hold the same number of records they are compared
+ * pairwise in order.
+ *
+ * Exit codes: 0 = within tolerance, 1 = violations found,
+ * 2 = usage / parse error.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/stats/report.hpp"
+
+using namespace sms;
+
+namespace {
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s <a.json> <b.json> [--ipc-eps X] "
+                 "[--traffic-eps X] [--allow-missing]\n",
+                 argv0);
+}
+
+bool
+parseEps(const char *arg, double *out)
+{
+    char *end = nullptr;
+    double v = std::strtod(arg, &end);
+    if (end == arg || *end != '\0' || v < 0.0)
+        return false;
+    *out = v;
+    return true;
+}
+
+void
+printIssues(const std::vector<CompareIssue> &issues)
+{
+    for (const CompareIssue &issue : issues) {
+        if (issue.metric.empty()) {
+            std::printf("  %s\n", issue.where.c_str());
+        } else {
+            std::printf("  %s: %s %.6g vs %.6g (rel delta %.4f)\n",
+                        issue.where.c_str(), issue.metric.c_str(),
+                        issue.a, issue.b, issue.rel);
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CompareOptions options;
+    std::vector<const char *> paths;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--allow-missing") == 0) {
+            options.allow_missing = true;
+        } else if (std::strcmp(arg, "--ipc-eps") == 0 && i + 1 < argc) {
+            if (!parseEps(argv[++i], &options.ipc_eps)) {
+                usage(argv[0]);
+                return 2;
+            }
+        } else if (std::strcmp(arg, "--traffic-eps") == 0 &&
+                   i + 1 < argc) {
+            if (!parseEps(argv[++i], &options.traffic_eps)) {
+                usage(argv[0]);
+                return 2;
+            }
+        } else if (std::strncmp(arg, "--", 2) == 0) {
+            usage(argv[0]);
+            return 2;
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (paths.size() != 2) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    std::string error;
+    std::vector<JsonValue> a, b;
+    if (!readJsonLines(paths[0], a, error)) {
+        std::fprintf(stderr, "bench_compare: %s: %s\n", paths[0],
+                     error.c_str());
+        return 2;
+    }
+    if (!readJsonLines(paths[1], b, error)) {
+        std::fprintf(stderr, "bench_compare: %s: %s\n", paths[1],
+                     error.c_str());
+        return 2;
+    }
+
+    // Pair up records: pairwise when counts match, else last-vs-last.
+    std::vector<std::pair<const JsonValue *, const JsonValue *>> pairs;
+    if (a.size() == b.size()) {
+        for (size_t i = 0; i < a.size(); ++i)
+            pairs.push_back({&a[i], &b[i]});
+    } else {
+        std::printf("record counts differ (%zu vs %zu); comparing the "
+                    "last record of each file\n",
+                    a.size(), b.size());
+        pairs.push_back({&a.back(), &b.back()});
+    }
+
+    bool ok = true;
+    for (size_t i = 0; i < pairs.size(); ++i) {
+        std::vector<CompareIssue> issues;
+        if (!compareBenchRecords(*pairs[i].first, *pairs[i].second,
+                                 options, issues, error)) {
+            std::fprintf(stderr,
+                         "bench_compare: record %zu not comparable: %s\n",
+                         i, error.c_str());
+            return 2;
+        }
+        std::string fig = pairs[i].first->stringOr("figure", "?");
+        std::printf("record %zu (%s): %zu issue%s (ipc_eps=%.3g, "
+                    "traffic_eps=%.3g)\n",
+                    i, fig.c_str(), issues.size(),
+                    issues.size() == 1 ? "" : "s", options.ipc_eps,
+                    options.traffic_eps);
+        printIssues(issues);
+        if (!issues.empty())
+            ok = false;
+    }
+
+    if (ok) {
+        std::printf("OK: all compared metrics within tolerance\n");
+        return 0;
+    }
+    std::printf("FAIL: metric deltas exceed tolerance\n");
+    return 1;
+}
