@@ -26,11 +26,19 @@
 #include "src/stats/report.hpp"
 #include "src/stats/table.hpp"
 #include "src/trace/render.hpp"
+#include "src/trace/workload_cache.hpp"
 #include "src/util/check.hpp"
 #include "src/util/parallel.hpp"
 
 namespace sms {
 namespace benchutil {
+
+/**
+ * Wall-clock of the most recent prepareAllScenes() call, picked up by
+ * JsonReporter::finish() for the throughput record. One value per
+ * process is enough: every harness prepares once, then sweeps.
+ */
+inline double g_last_prepare_seconds = 0.0;
 
 /** Display name of a geometry scale profile. */
 inline const char *
@@ -96,11 +104,16 @@ scenesFromEnv()
 inline std::vector<std::shared_ptr<Workload>>
 prepareAllScenes(ScaleProfile profile = profileFromEnv())
 {
+    auto start = std::chrono::steady_clock::now();
     const auto ids = scenesFromEnv();
     std::vector<std::shared_ptr<Workload>> workloads(ids.size());
     parallelFor(ids.size(), [&](size_t i) {
         workloads[i] = prepareWorkload(ids[i], profile);
     });
+    g_last_prepare_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
     return workloads;
 }
 
@@ -112,6 +125,10 @@ struct SweepResult
     std::vector<std::string> scene_names; ///< parallel to results rows
     /** results[scene][config] */
     std::vector<std::vector<SimResult>> results;
+    /** Wall-clock seconds spent simulating each cell (same shape). */
+    std::vector<std::vector<double>> cell_wall_seconds;
+    /** Wall-clock seconds of the whole sweep (includes scheduling). */
+    double wall_seconds = 0.0;
 
     /** Scene label for diagnostics (index when names are absent). */
     std::string
@@ -125,12 +142,17 @@ struct SweepResult
 /**
  * Run every workload under every configuration, in parallel over the
  * full grid.
+ *
+ * @param threads worker threads for the grid (0 = hardware default);
+ *                results are per-cell deterministic for any value
  */
 inline SweepResult
 runSweep(const std::vector<std::shared_ptr<Workload>> &workloads,
          const std::vector<StackConfig> &configs,
-         const std::vector<uint64_t> &l1_overrides = {})
+         const std::vector<uint64_t> &l1_overrides = {},
+         unsigned threads = 0)
 {
+    auto start = std::chrono::steady_clock::now();
     SweepResult sweep;
     sweep.configs = configs;
     sweep.l1_overrides = l1_overrides.empty()
@@ -140,14 +162,28 @@ runSweep(const std::vector<std::shared_ptr<Workload>> &workloads,
         sweep.scene_names.push_back(sceneName(w->id));
     sweep.results.assign(workloads.size(),
                          std::vector<SimResult>(configs.size()));
+    sweep.cell_wall_seconds.assign(
+        workloads.size(), std::vector<double>(configs.size(), 0.0));
     size_t total = workloads.size() * configs.size();
-    parallelFor(total, [&](size_t i) {
-        size_t s = i / configs.size();
-        size_t c = i % configs.size();
-        GpuConfig config =
-            makeGpuConfig(configs[c], sweep.l1_overrides[c]);
-        sweep.results[s][c] = runWorkload(*workloads[s], config);
-    });
+    parallelFor(
+        total,
+        [&](size_t i) {
+            size_t s = i / configs.size();
+            size_t c = i % configs.size();
+            GpuConfig config =
+                makeGpuConfig(configs[c], sweep.l1_overrides[c]);
+            auto cell_start = std::chrono::steady_clock::now();
+            sweep.results[s][c] = runWorkload(*workloads[s], config);
+            sweep.cell_wall_seconds[s][c] =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - cell_start)
+                    .count();
+        },
+        threads);
+    sweep.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
     return sweep;
 }
 
@@ -309,9 +345,22 @@ class JsonReporter
                 cell["counters"] = toJson(r);
                 // Promote the headline traffic metric for the gate.
                 cell["offchip_accesses"] = r.offchip_accesses;
+                // Simulator throughput of this cell (never compared by
+                // the regression gate — machine-dependent).
+                double wall = s < sweep.cell_wall_seconds.size() &&
+                                      c < sweep.cell_wall_seconds[s].size()
+                                  ? sweep.cell_wall_seconds[s][c]
+                                  : 0.0;
+                cell["wall_seconds"] = wall;
+                cell["sim_cycles_per_sec"] =
+                    wall > 0.0 ? static_cast<double>(r.cycles) / wall
+                               : 0.0;
                 cells.push(std::move(cell));
+                sim_cycles_total_ += r.cycles;
+                ++cells_total_;
             }
         }
+        sweep_wall_seconds_ += sweep.wall_seconds;
         record_[key] = std::move(cells);
 
         if (key == "results") {
@@ -348,6 +397,8 @@ class JsonReporter
         cell["stack_config"] = toJson(config);
         cell["counters"] = toJson(result);
         record_["results"].push(std::move(cell));
+        sim_cycles_total_ += result.cycles;
+        ++cells_total_;
     }
 
     /** Stamp the wall time and append the record to the file. */
@@ -360,6 +411,31 @@ class JsonReporter
         auto elapsed = std::chrono::steady_clock::now() - start_;
         record_["wall_seconds"] =
             std::chrono::duration<double>(elapsed).count();
+
+        // Simulator throughput of this run, so BENCH_*.json tracks how
+        // fast the sweeps themselves execute across PRs. Wall-clock
+        // figures are machine-dependent and deliberately ignored by
+        // compareBenchRecords.
+        JsonValue throughput = JsonValue::object();
+        throughput["prepare_wall_seconds"] = g_last_prepare_seconds;
+        throughput["sweep_wall_seconds"] = sweep_wall_seconds_;
+        throughput["cells"] = cells_total_;
+        throughput["sim_cycles_total"] = sim_cycles_total_;
+        throughput["sim_cycles_per_sec"] =
+            sweep_wall_seconds_ > 0.0
+                ? static_cast<double>(sim_cycles_total_) /
+                      sweep_wall_seconds_
+                : 0.0;
+        WorkloadCacheStats cache = workloadCacheStats();
+        JsonValue cache_json = JsonValue::object();
+        cache_json["enabled"] = !workloadCacheDir().empty();
+        cache_json["hits"] = cache.hits;
+        cache_json["misses"] = cache.misses;
+        cache_json["stores"] = cache.stores;
+        cache_json["failures"] = cache.failures;
+        throughput["workload_cache"] = std::move(cache_json);
+        record_["throughput"] = std::move(throughput);
+
         std::string error;
         if (!appendJsonLine(path_, record_, error))
             warn("JSON record not written: %s", error.c_str());
@@ -411,6 +487,9 @@ class JsonReporter
     JsonValue record_;
     std::chrono::steady_clock::time_point start_;
     bool finished_ = false;
+    double sweep_wall_seconds_ = 0.0;
+    uint64_t sim_cycles_total_ = 0;
+    uint64_t cells_total_ = 0;
 };
 
 } // namespace benchutil

@@ -34,6 +34,20 @@ WideBvh::fromBinary(const Scene &scene, const BinaryBvh &binary,
     return wide;
 }
 
+WideBvh
+WideBvh::fromParts(int wide_width, std::vector<WideNode> nodes,
+                   std::vector<uint32_t> prim_indices, ChildRef root_ref)
+{
+    SMS_ASSERT(wide_width >= 2 && wide_width <= kWideBvhWidth,
+               "wide width %d out of range", wide_width);
+    WideBvh wide;
+    wide.wide_width_ = wide_width;
+    wide.nodes_ = std::move(nodes);
+    wide.prim_indices_ = std::move(prim_indices);
+    wide.root_ref_ = root_ref;
+    return wide;
+}
+
 ChildRef
 WideBvh::collapse(const BinaryBvh &binary, uint32_t binary_index)
 {

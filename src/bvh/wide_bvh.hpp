@@ -125,6 +125,15 @@ class WideBvh
     static WideBvh fromBinary(const Scene &scene, const BinaryBvh &binary,
                               int wide_width = 6);
 
+    /**
+     * Reassemble a BVH from its serialized parts (workload snapshot
+     * cache). The parts must come from a previously built BVH; no
+     * structural validation beyond what traversal itself asserts.
+     */
+    static WideBvh fromParts(int wide_width, std::vector<WideNode> nodes,
+                             std::vector<uint32_t> prim_indices,
+                             ChildRef root_ref);
+
     const std::vector<WideNode> &nodes() const { return nodes_; }
     const std::vector<uint32_t> &primIndices() const { return prim_indices_; }
     /** True when the BVH covers no geometry. A tiny scene may collapse

@@ -1,6 +1,10 @@
 /**
  * @file
  * Cache tag-model implementation.
+ *
+ * Replacement state is an intrusive doubly-linked recency list per set
+ * plus a fill counter; see the header for the equivalence argument
+ * against the timestamp formulation of true LRU.
  */
 
 #include "src/memory/cache.hpp"
@@ -41,6 +45,10 @@ Cache::Cache(const CacheConfig &config) : config_(config)
         num_sets_ = static_cast<uint32_t>(total_lines / config.ways);
     }
     lines_.resize(static_cast<size_t>(num_sets_) * num_ways_);
+    sets_.resize(num_sets_);
+    use_tag_index_ = num_sets_ == 1;
+    if (use_tag_index_)
+        tag_index_.reserve(num_ways_ * 2);
 }
 
 uint32_t
@@ -48,6 +56,58 @@ Cache::setIndex(Addr line_addr) const
 {
     return static_cast<uint32_t>((line_addr / config_.line_bytes) %
                                  num_sets_);
+}
+
+uint32_t
+Cache::findLine(uint32_t set, Addr line_addr) const
+{
+    if (use_tag_index_) {
+        auto it = tag_index_.find(line_addr);
+        return it == tag_index_.end() ? kNoWay : it->second;
+    }
+    uint32_t base = set * num_ways_;
+    uint32_t filled = sets_[set].valid_ways;
+    for (uint32_t w = 0; w < filled; ++w) {
+        const Line &line = lines_[base + w];
+        if (line.valid && line.tag == line_addr)
+            return base + w;
+    }
+    return kNoWay;
+}
+
+void
+Cache::unlink(SetState &set, uint32_t line_index)
+{
+    Line &line = lines_[line_index];
+    if (line.more_recent != kNoWay)
+        lines_[line.more_recent].less_recent = line.less_recent;
+    else
+        set.mru = line.less_recent;
+    if (line.less_recent != kNoWay)
+        lines_[line.less_recent].more_recent = line.more_recent;
+    else
+        set.lru = line.more_recent;
+    line.more_recent = kNoWay;
+    line.less_recent = kNoWay;
+}
+
+void
+Cache::touchFront(SetState &set, uint32_t line_index)
+{
+    if (set.mru == line_index)
+        return;
+    // A line that is linked but not the head always has a more-recent
+    // neighbour; a freshly-filled line (both pointers kNoWay) must not
+    // be unlinked or it would clobber the list head.
+    if (lines_[line_index].more_recent != kNoWay)
+        unlink(set, line_index);
+    Line &line = lines_[line_index];
+    line.less_recent = set.mru;
+    if (set.mru != kNoWay)
+        lines_[set.mru].more_recent = line_index;
+    set.mru = line_index;
+    if (set.lru == kNoWay)
+        set.lru = line_index;
 }
 
 Cache::Result
@@ -62,19 +122,17 @@ Cache::access(Addr line_addr, bool write, TrafficClass cls)
     else
         ++stats_.loads;
 
-    Line *set = &lines_[static_cast<size_t>(setIndex(line_addr)) *
-                        num_ways_];
-    ++lru_clock_;
+    uint32_t set_idx = setIndex(line_addr);
+    SetState &set = sets_[set_idx];
 
     // Hit path.
-    for (uint32_t w = 0; w < num_ways_; ++w) {
-        Line &line = set[w];
-        if (line.valid && line.tag == line_addr) {
-            line.lru = lru_clock_;
-            line.dirty = line.dirty || write;
-            result.hit = true;
-            return result;
-        }
+    uint32_t found = findLine(set_idx, line_addr);
+    if (found != kNoWay) {
+        Line &line = lines_[found];
+        touchFront(set, found);
+        line.dirty = line.dirty || write;
+        result.hit = true;
+        return result;
     }
 
     if (write)
@@ -87,37 +145,38 @@ Cache::access(Addr line_addr, bool write, TrafficClass cls)
     if (write && !config_.allocate_on_store)
         return result;
 
-    Line *victim = &set[0];
-    for (uint32_t w = 0; w < num_ways_; ++w) {
-        Line &line = set[w];
-        if (!line.valid) {
-            victim = &line;
-            break;
+    uint32_t victim_index;
+    if (set.valid_ways < num_ways_) {
+        // Invalid ways are consumed in ascending way order (matching
+        // the "first invalid way" rule of the timestamp scan).
+        victim_index = set_idx * num_ways_ + set.valid_ways;
+        ++set.valid_ways;
+    } else {
+        victim_index = set.lru;
+        SMS_ASSERT(victim_index != kNoWay, "full set with empty LRU list");
+        Line &victim = lines_[victim_index];
+        if (victim.dirty) {
+            result.evicted_dirty = true;
+            result.evicted_line = victim.tag;
+            ++stats_.writebacks;
         }
-        if (line.lru < victim->lru)
-            victim = &line;
+        if (use_tag_index_)
+            tag_index_.erase(victim.tag);
     }
-    if (victim->valid && victim->dirty) {
-        result.evicted_dirty = true;
-        result.evicted_line = victim->tag;
-        ++stats_.writebacks;
-    }
-    victim->valid = true;
-    victim->tag = line_addr;
-    victim->dirty = write;
-    victim->lru = lru_clock_;
+    Line &line = lines_[victim_index];
+    line.valid = true;
+    line.tag = line_addr;
+    line.dirty = write;
+    touchFront(set, victim_index);
+    if (use_tag_index_)
+        tag_index_[line_addr] = victim_index;
     return result;
 }
 
 bool
 Cache::probe(Addr line_addr) const
 {
-    const Line *set = &lines_[static_cast<size_t>(setIndex(line_addr)) *
-                              num_ways_];
-    for (uint32_t w = 0; w < num_ways_; ++w)
-        if (set[w].valid && set[w].tag == line_addr)
-            return true;
-    return false;
+    return findLine(setIndex(line_addr), line_addr) != kNoWay;
 }
 
 void
@@ -125,6 +184,9 @@ Cache::reset()
 {
     for (Line &line : lines_)
         line = Line();
+    for (SetState &set : sets_)
+        set = SetState();
+    tag_index_.clear();
 }
 
 } // namespace sms

@@ -5,12 +5,23 @@
  * Covers both caches of Table I: the L1D (fully associative — modeled
  * as a single set whose way count equals the line count) and the L2
  * (16-way). Only tags are modeled; data never matters for timing.
+ *
+ * True-LRU is maintained as an intrusive per-set recency list (head =
+ * MRU, tail = LRU) instead of timestamps, so hits, fills and victim
+ * selection are O(1) per set rather than an O(ways) scan — decisive
+ * for the fully-associative L1D, where "ways" is the whole cache (512
+ * lines at Table I's 64 KB / 128 B). The fully-associative path
+ * additionally keeps a hashed tag->way index so lookups skip the way
+ * scan entirely. Replacement decisions are bit-identical to the
+ * timestamp formulation: invalid ways fill in ascending way order and
+ * the victim is always the least-recently-touched valid way.
  */
 
 #ifndef SMS_MEMORY_CACHE_HPP
 #define SMS_MEMORY_CACHE_HPP
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "src/memory/request.hpp"
@@ -81,21 +92,51 @@ class Cache
     uint32_t numWays() const { return num_ways_; }
 
   private:
+    /** Sentinel way index terminating a set's recency list. */
+    static constexpr uint32_t kNoWay = 0xffffffffu;
+
     struct Line
     {
         Addr tag = 0;
         bool valid = false;
         bool dirty = false;
-        uint64_t lru = 0; ///< larger = more recently used
+        /** Intrusive per-set recency list (indices are global line
+         *  indices; kNoWay terminates). */
+        uint32_t more_recent = kNoWay;
+        uint32_t less_recent = kNoWay;
+    };
+
+    /** Recency bookkeeping of one set. */
+    struct SetState
+    {
+        uint32_t mru = kNoWay;     ///< head of the recency list
+        uint32_t lru = kNoWay;     ///< tail of the recency list
+        uint32_t valid_ways = 0;   ///< ways filled so far (fill order)
     };
 
     uint32_t setIndex(Addr line_addr) const;
+
+    /** Find the resident way of @p line_addr, or kNoWay. */
+    uint32_t findLine(uint32_t set, Addr line_addr) const;
+
+    /** Unlink @p line_index from its set's recency list. */
+    void unlink(SetState &set, uint32_t line_index);
+
+    /** Make @p line_index the MRU of its set. */
+    void touchFront(SetState &set, uint32_t line_index);
 
     CacheConfig config_;
     uint32_t num_sets_ = 1;
     uint32_t num_ways_ = 1;
     std::vector<Line> lines_; ///< num_sets_ x num_ways_, row-major
-    uint64_t lru_clock_ = 0;
+    std::vector<SetState> sets_;
+    /**
+     * tag -> global line index, maintained only for the
+     * fully-associative geometry (num_sets_ == 1), where the way scan
+     * would otherwise walk the entire cache.
+     */
+    std::unordered_map<Addr, uint32_t> tag_index_;
+    bool use_tag_index_ = false;
     LevelStats stats_;
     uint64_t class_misses_[kTrafficClassCount] = {0, 0, 0};
 };

@@ -99,6 +99,15 @@ class Scene
     /** Material of the unified primitive id. */
     const Material &primitiveMaterial(uint32_t id) const;
 
+    /** Material id of the unified primitive id. */
+    uint16_t
+    primitiveMaterialId(uint32_t id) const
+    {
+        return id < triangleCount()
+                   ? triangle_materials_[id]
+                   : sphere_materials_[id - triangleCount()];
+    }
+
     /**
      * Intersect one primitive, updating @p hit and shrinking @p ray.tMax
      * on success.

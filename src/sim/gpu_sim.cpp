@@ -105,12 +105,18 @@ simulateJobs(const Scene &scene, const WideBvh &bvh,
     }
     result.warps = static_cast<uint32_t>(seen_warps.size());
 
-    // Per-SM RT-unit occupancy.
+    // Per-SM RT-unit occupancy. The pending queue only ever needs its
+    // minimum, so it is a binary min-heap rather than a std::set: no
+    // per-insert node allocation, and (ready, job) pairs are unique so
+    // the pop order is identical to the ordered-set iteration.
+    using PendingEntry = std::pair<Cycle, uint32_t>;
     struct SmState
     {
         std::vector<uint32_t> free_slots;
-        /** Ready jobs waiting for a slot, ordered (ready, job). */
-        std::set<std::pair<Cycle, uint32_t>> pending;
+        /** Ready jobs waiting for a slot, min-heap on (ready, job). */
+        std::priority_queue<PendingEntry, std::vector<PendingEntry>,
+                            std::greater<>>
+            pending;
     };
     std::vector<SmState> sms(config.num_sms);
     for (auto &sm : sms)
@@ -126,6 +132,12 @@ simulateJobs(const Scene &scene, const WideBvh &bvh,
     std::vector<InFlight> inflight;
     std::vector<uint32_t> free_inflight;
 
+    // Local-spill frames recycle every kLocalSpillFrames jobs (job_ids
+    // congruent mod 8192 share a frame). Two *concurrently* in-flight
+    // jobs on the same frame would silently alias spill traffic, so
+    // track per-frame occupancy and assert exclusivity.
+    std::vector<uint8_t> spill_frame_busy(kLocalSpillFrames, 0);
+
     uint64_t shared_bytes_per_warp = config.stack.sharedBytesPerWarp();
 
     auto admit = [&](uint32_t job_index, uint32_t sm_id, Cycle cycle) {
@@ -136,9 +148,16 @@ simulateJobs(const Scene &scene, const WideBvh &bvh,
 
         const WarpJob &job = jobs[job_index];
         Addr shared_base = slot * shared_bytes_per_warp;
-        Addr local_base =
-            kLocalSpillBase +
-            (job.job_id % kLocalSpillFrames) * kLocalSpillStride;
+        Addr spill_frame = job.job_id % kLocalSpillFrames;
+        SMS_ASSERT(!spill_frame_busy[spill_frame],
+                   "local-spill frame %llu aliased: job %u admitted "
+                   "while a job with job_id ≡ %u (mod %llu) is still in "
+                   "flight",
+                   static_cast<unsigned long long>(spill_frame),
+                   job.job_id, job.job_id,
+                   static_cast<unsigned long long>(kLocalSpillFrames));
+        spill_frame_busy[spill_frame] = 1;
+        Addr local_base = kLocalSpillBase + spill_frame * kLocalSpillStride;
 
         uint32_t idx;
         if (!free_inflight.empty()) {
@@ -167,9 +186,8 @@ simulateJobs(const Scene &scene, const WideBvh &bvh,
     auto schedule_sm = [&](uint32_t sm_id, Cycle now) {
         SmState &sm = sms[sm_id];
         while (!sm.free_slots.empty() && !sm.pending.empty()) {
-            auto it = sm.pending.begin();
-            auto [ready, job_index] = *it;
-            sm.pending.erase(it);
+            auto [ready, job_index] = sm.pending.top();
+            sm.pending.pop();
             admit(job_index, sm_id, std::max(now, ready));
         }
     };
@@ -177,7 +195,7 @@ simulateJobs(const Scene &scene, const WideBvh &bvh,
     // Seed: initially-ready jobs enter their SM's pending queue.
     for (uint32_t j = 0; j < jobs.size(); ++j)
         if (states[j].is_ready)
-            sms[sm_of(j)].pending.insert({states[j].ready, j});
+            sms[sm_of(j)].pending.push({states[j].ready, j});
     for (uint32_t s = 0; s < config.num_sms; ++s)
         schedule_sm(s, 0);
 
@@ -218,6 +236,7 @@ simulateJobs(const Scene &scene, const WideBvh &bvh,
             result.cycles = cycle;
 
         sms[sm_id].free_slots.push_back(fl.slot);
+        spill_frame_busy[jobs[job_index].job_id % kLocalSpillFrames] = 0;
         fl.sim.reset();
         fl.collector.reset();
         free_inflight.push_back(idx);
@@ -231,7 +250,7 @@ simulateJobs(const Scene &scene, const WideBvh &bvh,
                               : config.timing.shading_latency;
             cs.ready = cycle + extra;
             cs.is_ready = true;
-            sms[sm_of(child)].pending.insert({cs.ready, child});
+            sms[sm_of(child)].pending.push({cs.ready, child});
         }
         schedule_sm(sm_id, cycle);
         // A child may target a different SM with idle slots.

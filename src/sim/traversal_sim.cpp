@@ -90,7 +90,8 @@ TraversalSim::stepFetch(Cycle now)
     // running lanes. Lanes visiting the same node coalesce into the
     // same line requests, as the RT unit's memory scheduler does.
     // ------------------------------------------------------------------
-    std::vector<std::pair<Addr, TrafficClass>> lines;
+    std::vector<std::pair<Addr, TrafficClass>> &lines = fetch_lines_;
+    lines.clear();
     auto add_range = [&](Addr addr, uint64_t bytes, TrafficClass cls) {
         Addr line = lineAlign(addr);
         uint32_t n = linesCovering(addr, bytes);
@@ -160,7 +161,9 @@ TraversalSim::stepStack(Cycle now)
     // manager must have drained the previous iteration's chain first.
     // ------------------------------------------------------------------
     Cycle start = now > manager_free_ ? now : manager_free_;
-    std::array<StackTxnList, kWarpSize> txns;
+    std::array<StackTxnList, kWarpSize> &txns = txn_scratch_;
+    for (StackTxnList &list : txns)
+        list.clear();
     for (uint32_t i = 0; i < kWarpSize; ++i) {
         Lane &lane = lanes_[i];
         if (!lane.running)
@@ -222,8 +225,8 @@ TraversalSim::runStackRounds(
 
     Cycle t = start;
     Cycle last_store_done = start;
-    std::vector<SharedLaneRequest> shared_loads;
-    std::vector<SharedLaneRequest> shared_stores;
+    std::vector<SharedLaneRequest> &shared_loads = shared_loads_;
+    std::vector<SharedLaneRequest> &shared_stores = shared_stores_;
     for (size_t round = 0; round < max_len; ++round) {
         shared_loads.clear();
         shared_stores.clear();

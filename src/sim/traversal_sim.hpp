@@ -21,6 +21,8 @@
 
 #include <array>
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "src/bvh/traverse.hpp"
 #include "src/bvh/wide_bvh.hpp"
@@ -115,6 +117,15 @@ class TraversalSim
     void finishLaneAndValidate(uint32_t lane_id, bool abandoned);
     Cycle runStackRounds(Cycle start,
                          const std::array<StackTxnList, kWarpSize> &txns);
+
+    // Per-step scratch buffers. The step functions run once per
+    // traversal iteration of every warp job in a sweep (hundreds of
+    // millions of calls); reusing these keeps the hot loops free of
+    // heap allocation. clear() preserves capacity.
+    std::vector<std::pair<Addr, TrafficClass>> fetch_lines_;
+    std::array<StackTxnList, kWarpSize> txn_scratch_;
+    std::vector<SharedLaneRequest> shared_loads_;
+    std::vector<SharedLaneRequest> shared_stores_;
 
     const Scene &scene_;
     const WideBvh &bvh_;

@@ -5,6 +5,7 @@
 
 #include "src/trace/render.hpp"
 
+#include "src/trace/workload_cache.hpp"
 #include "src/util/check.hpp"
 
 namespace sms {
@@ -13,12 +14,25 @@ std::shared_ptr<Workload>
 prepareWorkload(SceneId id, ScaleProfile profile,
                 const RenderParams *params)
 {
+    RenderParams rp = params ? *params : RenderParams::forScene(id);
+
+    // Preparation is deterministic and configuration-independent, so a
+    // validated snapshot (SMS_WORKLOAD_CACHE) substitutes bit-exactly.
+    std::string cache_dir = workloadCacheDir();
+    if (!cache_dir.empty()) {
+        if (auto cached =
+                loadWorkloadSnapshot(cache_dir, id, profile, rp))
+            return cached;
+    }
+
     Scene scene = makeScene(id, profile);
     WideBvh bvh = WideBvh::build(scene);
-    RenderParams rp = params ? *params : RenderParams::forScene(id);
     RenderOutput render = renderAndBuildJobs(scene, bvh, rp);
-    return std::make_shared<Workload>(id, std::move(scene), std::move(bvh),
-                                      rp, std::move(render));
+    auto workload = std::make_shared<Workload>(
+        id, std::move(scene), std::move(bvh), rp, std::move(render));
+    if (!cache_dir.empty())
+        saveWorkloadSnapshot(cache_dir, *workload, profile, rp);
+    return workload;
 }
 
 GpuConfig

@@ -1,0 +1,703 @@
+/**
+ * @file
+ * Workload snapshot cache implementation.
+ *
+ * Format: "SMSWKLD1" magic, little-endian fixed-width fields appended
+ * by the Writer below, then an FNV-1a checksum of everything before it.
+ * Floats are serialized as their IEEE-754 bit patterns, so a reload is
+ * bit-exact — the timing simulation over a snapshot is
+ * counter-identical to one over a freshly prepared workload.
+ */
+
+#include "src/trace/workload_cache.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sys/stat.h>
+#include <unistd.h>
+#include <vector>
+
+#include "src/util/check.hpp"
+
+namespace sms {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'M', 'S', 'W', 'K', 'L', 'D', '1'};
+
+std::atomic<uint64_t> g_hits{0};
+std::atomic<uint64_t> g_misses{0};
+std::atomic<uint64_t> g_stores{0};
+std::atomic<uint64_t> g_failures{0};
+
+uint64_t
+fnv1a(const void *data, size_t n, uint64_t h = 0xcbf29ce484222325ull)
+{
+    const unsigned char *p = static_cast<const unsigned char *>(data);
+    for (size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+/** Append-only little-endian serializer. */
+class Writer
+{
+  public:
+    void
+    u8(uint8_t v)
+    {
+        out_.push_back(static_cast<char>(v));
+    }
+
+    void
+    u16(uint16_t v)
+    {
+        raw(&v, sizeof v);
+    }
+
+    void
+    u32(uint32_t v)
+    {
+        raw(&v, sizeof v);
+    }
+
+    void
+    u64(uint64_t v)
+    {
+        raw(&v, sizeof v);
+    }
+
+    void
+    i32(int32_t v)
+    {
+        raw(&v, sizeof v);
+    }
+
+    void
+    f32(float v)
+    {
+        uint32_t bits;
+        std::memcpy(&bits, &v, sizeof bits);
+        u32(bits);
+    }
+
+    void
+    vec3(const Vec3 &v)
+    {
+        f32(v.x);
+        f32(v.y);
+        f32(v.z);
+    }
+
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        out_.append(s);
+    }
+
+    const std::string &buffer() const { return out_; }
+
+  private:
+    void
+    raw(const void *p, size_t n)
+    {
+        out_.append(static_cast<const char *>(p), n);
+    }
+
+    std::string out_;
+};
+
+/** Bounds-checked reader; any overrun flags failure and returns zeros. */
+class Reader
+{
+  public:
+    explicit Reader(const std::string &data) : data_(data) {}
+
+    bool ok() const { return ok_; }
+    size_t offset() const { return off_; }
+
+    uint8_t
+    u8()
+    {
+        uint8_t v = 0;
+        raw(&v, sizeof v);
+        return v;
+    }
+
+    uint16_t
+    u16()
+    {
+        uint16_t v = 0;
+        raw(&v, sizeof v);
+        return v;
+    }
+
+    uint32_t
+    u32()
+    {
+        uint32_t v = 0;
+        raw(&v, sizeof v);
+        return v;
+    }
+
+    uint64_t
+    u64()
+    {
+        uint64_t v = 0;
+        raw(&v, sizeof v);
+        return v;
+    }
+
+    int32_t
+    i32()
+    {
+        int32_t v = 0;
+        raw(&v, sizeof v);
+        return v;
+    }
+
+    float
+    f32()
+    {
+        uint32_t bits = u32();
+        float v;
+        std::memcpy(&v, &bits, sizeof v);
+        return v;
+    }
+
+    Vec3
+    vec3()
+    {
+        Vec3 v;
+        v.x = f32();
+        v.y = f32();
+        v.z = f32();
+        return v;
+    }
+
+    std::string
+    str()
+    {
+        uint64_t n = u64();
+        if (!ok_ || n > data_.size() - off_) {
+            ok_ = false;
+            return {};
+        }
+        std::string s = data_.substr(off_, n);
+        off_ += n;
+        return s;
+    }
+
+  private:
+    void
+    raw(void *p, size_t n)
+    {
+        if (!ok_ || n > data_.size() - off_) {
+            ok_ = false;
+            return;
+        }
+        std::memcpy(p, data_.data() + off_, n);
+        off_ += n;
+    }
+
+    const std::string &data_;
+    size_t off_ = 0;
+    bool ok_ = true;
+};
+
+/**
+ * Hash of everything that determines snapshot content besides the key:
+ * format version and the structural constants baked into generation.
+ */
+uint64_t
+buildSchemaHash()
+{
+    uint32_t words[] = {
+        kWorkloadSnapshotVersion,
+        kWarpSize,
+        static_cast<uint32_t>(kWideBvhWidth),
+        static_cast<uint32_t>(WideBvh::kNodeBytes),
+        static_cast<uint32_t>(WideBvh::kTriBytes),
+        static_cast<uint32_t>(WideBvh::kSphereBytes),
+    };
+    return fnv1a(words, sizeof words);
+}
+
+void
+writeParams(Writer &w, const RenderParams &p)
+{
+    w.u32(p.width);
+    w.u32(p.height);
+    w.u32(p.spp);
+    w.u32(p.max_bounces);
+    w.u8(p.shadow_rays ? 1 : 0);
+    w.u64(p.seed);
+}
+
+bool
+readAndCheckParams(Reader &r, const RenderParams &expect)
+{
+    RenderParams p;
+    p.width = r.u32();
+    p.height = r.u32();
+    p.spp = r.u32();
+    p.max_bounces = r.u32();
+    p.shadow_rays = r.u8() != 0;
+    p.seed = r.u64();
+    return r.ok() && p.width == expect.width &&
+           p.height == expect.height && p.spp == expect.spp &&
+           p.max_bounces == expect.max_bounces &&
+           p.shadow_rays == expect.shadow_rays && p.seed == expect.seed;
+}
+
+void
+writeRay(Writer &w, const Ray &ray)
+{
+    w.vec3(ray.origin);
+    w.vec3(ray.dir);
+    w.vec3(ray.invDir);
+    w.f32(ray.tMin);
+    w.f32(ray.tMax);
+}
+
+Ray
+readRay(Reader &r)
+{
+    // Bypass the caching constructor: invDir is restored bit-exactly
+    // rather than recomputed.
+    Ray ray;
+    ray.origin = r.vec3();
+    ray.dir = r.vec3();
+    ray.invDir = r.vec3();
+    ray.tMin = r.f32();
+    ray.tMax = r.f32();
+    return ray;
+}
+
+void
+writeScene(Writer &w, const Scene &scene)
+{
+    w.str(scene.name);
+    w.vec3(scene.camera.position);
+    w.vec3(scene.camera.lookAt);
+    w.vec3(scene.camera.up);
+    w.f32(scene.camera.verticalFovDeg);
+    w.vec3(scene.light.position);
+    w.vec3(scene.light.intensity);
+
+    w.u64(scene.materials().size());
+    for (const Material &m : scene.materials()) {
+        w.vec3(m.albedo);
+        w.vec3(m.emission);
+        w.f32(m.reflectivity);
+    }
+    w.u64(scene.triangleCount());
+    for (uint32_t t = 0; t < scene.triangleCount(); ++t) {
+        const Triangle &tri = scene.triangles()[t];
+        w.vec3(tri.v0);
+        w.vec3(tri.v1);
+        w.vec3(tri.v2);
+        w.u16(scene.primitiveMaterialId(t));
+    }
+    w.u64(scene.sphereCount());
+    for (uint32_t s = 0; s < scene.sphereCount(); ++s) {
+        const Sphere &sph = scene.spheres()[s];
+        w.vec3(sph.center);
+        w.f32(sph.radius);
+        w.u16(scene.primitiveMaterialId(scene.triangleCount() + s));
+    }
+}
+
+bool
+readScene(Reader &r, Scene &scene)
+{
+    scene.name = r.str();
+    scene.camera.position = r.vec3();
+    scene.camera.lookAt = r.vec3();
+    scene.camera.up = r.vec3();
+    scene.camera.verticalFovDeg = r.f32();
+    scene.light.position = r.vec3();
+    scene.light.intensity = r.vec3();
+
+    uint64_t materials = r.u64();
+    if (!r.ok() || materials > 0xffff)
+        return false;
+    for (uint64_t i = 0; i < materials; ++i) {
+        Material m;
+        m.albedo = r.vec3();
+        m.emission = r.vec3();
+        m.reflectivity = r.f32();
+        scene.addMaterial(m);
+    }
+    uint64_t triangles = r.u64();
+    for (uint64_t i = 0; r.ok() && i < triangles; ++i) {
+        Triangle tri;
+        tri.v0 = r.vec3();
+        tri.v1 = r.vec3();
+        tri.v2 = r.vec3();
+        uint16_t mat = r.u16();
+        if (!r.ok() || mat >= materials)
+            return false;
+        scene.addTriangle(tri, mat);
+    }
+    uint64_t spheres = r.u64();
+    for (uint64_t i = 0; r.ok() && i < spheres; ++i) {
+        Sphere sph;
+        sph.center = r.vec3();
+        sph.radius = r.f32();
+        uint16_t mat = r.u16();
+        if (!r.ok() || mat >= materials)
+            return false;
+        scene.addSphere(sph, mat);
+    }
+    return r.ok();
+}
+
+void
+writeBvh(Writer &w, const WideBvh &bvh)
+{
+    w.u32(bvh.rootRef().bits());
+    w.u64(bvh.nodes().size());
+    for (const WideNode &node : bvh.nodes()) {
+        for (int c = 0; c < kWideBvhWidth; ++c) {
+            w.vec3(node.child_bounds[c].lo);
+            w.vec3(node.child_bounds[c].hi);
+            w.u32(node.children[c].bits());
+        }
+        w.u8(node.child_count);
+    }
+    w.u64(bvh.primIndices().size());
+    for (uint32_t idx : bvh.primIndices())
+        w.u32(idx);
+}
+
+bool
+readBvh(Reader &r, WideBvh &bvh)
+{
+    ChildRef root = ChildRef::fromBits(r.u32());
+    uint64_t node_count = r.u64();
+    if (!r.ok())
+        return false;
+    std::vector<WideNode> nodes;
+    nodes.reserve(node_count);
+    for (uint64_t i = 0; r.ok() && i < node_count; ++i) {
+        WideNode node;
+        for (int c = 0; c < kWideBvhWidth; ++c) {
+            node.child_bounds[c].lo = r.vec3();
+            node.child_bounds[c].hi = r.vec3();
+            node.children[c] = ChildRef::fromBits(r.u32());
+        }
+        node.child_count = r.u8();
+        nodes.push_back(node);
+    }
+    uint64_t index_count = r.u64();
+    if (!r.ok())
+        return false;
+    std::vector<uint32_t> indices;
+    indices.reserve(index_count);
+    for (uint64_t i = 0; r.ok() && i < index_count; ++i)
+        indices.push_back(r.u32());
+    if (!r.ok())
+        return false;
+    bvh = WideBvh::fromParts(kWideBvhWidth, std::move(nodes),
+                             std::move(indices), root);
+    return true;
+}
+
+void
+writeJobs(Writer &w, const WarpJobList &jobs)
+{
+    w.u64(jobs.size());
+    for (const WarpJob &job : jobs) {
+        w.u32(job.job_id);
+        w.u32(job.warp_id);
+        w.u32(job.segment);
+        w.i32(job.parent);
+        w.u8(job.any_hit ? 1 : 0);
+        for (uint32_t i = 0; i < kWarpSize; ++i) {
+            w.u8(job.active[i] ? 1 : 0);
+            if (!job.active[i])
+                continue;
+            writeRay(w, job.rays[i]);
+            w.f32(job.expected_t[i]);
+            w.u32(job.expected_prim[i]);
+            w.u8(job.expected_hit[i] ? 1 : 0);
+        }
+    }
+}
+
+bool
+readJobs(Reader &r, WarpJobList &jobs)
+{
+    uint64_t count = r.u64();
+    if (!r.ok())
+        return false;
+    jobs.reserve(count);
+    for (uint64_t j = 0; r.ok() && j < count; ++j) {
+        WarpJob job;
+        job.job_id = r.u32();
+        job.warp_id = r.u32();
+        job.segment = r.u32();
+        job.parent = r.i32();
+        job.any_hit = r.u8() != 0;
+        for (uint32_t i = 0; i < kWarpSize; ++i) {
+            job.active[i] = r.u8() != 0;
+            if (!job.active[i])
+                continue;
+            job.rays[i] = readRay(r);
+            job.expected_t[i] = r.f32();
+            job.expected_prim[i] = r.u32();
+            job.expected_hit[i] = r.u8() != 0;
+        }
+        jobs.push_back(std::move(job));
+    }
+    return r.ok();
+}
+
+void
+writeRender(Writer &w, const RenderOutput &render)
+{
+    w.u32(render.film.width());
+    w.u32(render.film.height());
+    for (uint32_t y = 0; y < render.film.height(); ++y)
+        for (uint32_t x = 0; x < render.film.width(); ++x)
+            w.vec3(render.film.at(x, y));
+    w.u64(render.rays);
+    writeJobs(w, render.jobs);
+}
+
+bool
+readRender(Reader &r, std::unique_ptr<RenderOutput> &out)
+{
+    uint32_t width = r.u32();
+    uint32_t height = r.u32();
+    if (!r.ok() || width == 0 || height == 0 ||
+        static_cast<uint64_t>(width) * height > (1u << 26))
+        return false;
+    out = std::make_unique<RenderOutput>(width, height);
+    for (uint32_t y = 0; y < height; ++y)
+        for (uint32_t x = 0; x < width; ++x)
+            out->film.add(x, y, r.vec3()); // fresh film: add == assign
+    out->rays = r.u64();
+    return readJobs(r, out->jobs) && r.ok();
+}
+
+const char *
+profileTag(ScaleProfile profile)
+{
+    switch (profile) {
+    case ScaleProfile::Tiny: return "tiny";
+    case ScaleProfile::Small: return "small";
+    case ScaleProfile::Large: return "large";
+    }
+    return "unknown";
+}
+
+/** Hash identifying the render params + build schema in the filename. */
+uint64_t
+keyHash(const RenderParams &params)
+{
+    Writer w;
+    writeParams(w, params);
+    return fnv1a(w.buffer().data(), w.buffer().size(),
+                 buildSchemaHash());
+}
+
+bool
+writeFileAtomic(const std::string &path, const std::string &data)
+{
+    std::string tmp =
+        path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        return false;
+    bool ok = data.empty() ||
+              std::fwrite(data.data(), 1, data.size(), f) == data.size();
+    ok = std::fclose(f) == 0 && ok;
+    if (ok)
+        ok = std::rename(tmp.c_str(), path.c_str()) == 0;
+    if (!ok)
+        std::remove(tmp.c_str());
+    return ok;
+}
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    std::fseek(f, 0, SEEK_END);
+    long size = std::ftell(f);
+    if (size < 0) {
+        std::fclose(f);
+        return false;
+    }
+    std::fseek(f, 0, SEEK_SET);
+    out.resize(static_cast<size_t>(size));
+    bool ok = size == 0 || std::fread(out.data(), 1, out.size(), f) ==
+                               out.size();
+    std::fclose(f);
+    return ok;
+}
+
+bool
+ensureDir(const std::string &dir)
+{
+    struct stat st{};
+    if (::stat(dir.c_str(), &st) == 0)
+        return S_ISDIR(st.st_mode);
+    // Create parents one component at a time (mkdir -p).
+    for (size_t pos = 1; pos <= dir.size(); ++pos) {
+        if (pos != dir.size() && dir[pos] != '/')
+            continue;
+        std::string prefix = dir.substr(0, pos);
+        if (::mkdir(prefix.c_str(), 0777) != 0 && errno != EEXIST)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+WorkloadCacheStats
+workloadCacheStats()
+{
+    WorkloadCacheStats s;
+    s.hits = g_hits.load();
+    s.misses = g_misses.load();
+    s.stores = g_stores.load();
+    s.failures = g_failures.load();
+    return s;
+}
+
+void
+resetWorkloadCacheStats()
+{
+    g_hits = 0;
+    g_misses = 0;
+    g_stores = 0;
+    g_failures = 0;
+}
+
+std::string
+workloadCacheDir()
+{
+    const char *dir = std::getenv("SMS_WORKLOAD_CACHE");
+    return dir && *dir ? dir : "";
+}
+
+std::string
+workloadSnapshotPath(const std::string &dir, SceneId id,
+                     ScaleProfile profile, const RenderParams &params)
+{
+    char hash[17];
+    std::snprintf(hash, sizeof hash, "%016llx",
+                  static_cast<unsigned long long>(keyHash(params)));
+    std::string path = dir;
+    if (!path.empty() && path.back() != '/')
+        path += '/';
+    path += std::string(sceneName(id)) + "-" + profileTag(profile) + "-" +
+            hash + ".wkld";
+    return path;
+}
+
+std::shared_ptr<Workload>
+loadWorkloadSnapshot(const std::string &dir, SceneId id,
+                     ScaleProfile profile, const RenderParams &params)
+{
+    std::string path = workloadSnapshotPath(dir, id, profile, params);
+    std::string data;
+    if (!readFile(path, data)) {
+        ++g_misses;
+        return nullptr;
+    }
+    auto invalid = [&](const char *why) -> std::shared_ptr<Workload> {
+        warn("workload snapshot %s: %s; rebuilding", path.c_str(), why);
+        ++g_failures;
+        ++g_misses;
+        return nullptr;
+    };
+
+    if (data.size() < sizeof kMagic + 8 ||
+        std::memcmp(data.data(), kMagic, sizeof kMagic) != 0)
+        return invalid("bad magic");
+    uint64_t stored_sum;
+    std::memcpy(&stored_sum, data.data() + data.size() - 8, 8);
+    if (fnv1a(data.data(), data.size() - 8) != stored_sum)
+        return invalid("checksum mismatch");
+
+    std::string body = data.substr(sizeof kMagic,
+                                   data.size() - sizeof kMagic - 8);
+    Reader r(body);
+    if (r.u32() != kWorkloadSnapshotVersion)
+        return invalid("version mismatch");
+    if (r.u64() != buildSchemaHash())
+        return invalid("build schema mismatch");
+    if (r.u8() != static_cast<uint8_t>(id) ||
+        r.u8() != static_cast<uint8_t>(profile))
+        return invalid("key mismatch");
+    if (!readAndCheckParams(r, params))
+        return invalid("render params mismatch");
+
+    Scene scene;
+    if (!readScene(r, scene))
+        return invalid("corrupt scene section");
+    WideBvh bvh;
+    if (!readBvh(r, bvh))
+        return invalid("corrupt bvh section");
+    std::unique_ptr<RenderOutput> render;
+    if (!readRender(r, render))
+        return invalid("corrupt render section");
+    if (r.offset() != body.size())
+        return invalid("trailing bytes");
+
+    ++g_hits;
+    return std::make_shared<Workload>(id, std::move(scene),
+                                      std::move(bvh), params,
+                                      std::move(*render));
+}
+
+bool
+saveWorkloadSnapshot(const std::string &dir, const Workload &workload,
+                     ScaleProfile profile, const RenderParams &params)
+{
+    if (!ensureDir(dir)) {
+        warn("SMS_WORKLOAD_CACHE=%s is not a creatable directory; "
+             "snapshot not written",
+             dir.c_str());
+        return false;
+    }
+    Writer w;
+    w.u32(kWorkloadSnapshotVersion);
+    w.u64(buildSchemaHash());
+    w.u8(static_cast<uint8_t>(workload.id));
+    w.u8(static_cast<uint8_t>(profile));
+    writeParams(w, params);
+    writeScene(w, workload.scene);
+    writeBvh(w, workload.bvh);
+    writeRender(w, workload.render);
+
+    std::string data(kMagic, sizeof kMagic);
+    data += w.buffer();
+    uint64_t sum = fnv1a(data.data(), data.size());
+    data.append(reinterpret_cast<const char *>(&sum), 8);
+
+    std::string path = workloadSnapshotPath(dir, workload.id, profile,
+                                            params);
+    if (!writeFileAtomic(path, data)) {
+        warn("workload snapshot %s not written: %s", path.c_str(),
+             std::strerror(errno));
+        return false;
+    }
+    ++g_stores;
+    return true;
+}
+
+} // namespace sms

@@ -6,6 +6,11 @@
  * fan scene x configuration grids across threads. Results are stored by
  * index, keeping output ordering deterministic regardless of thread
  * interleaving.
+ *
+ * Exceptions thrown by @p fn on a worker thread are captured (first one
+ * wins), remaining iterations are abandoned, and the exception is
+ * rethrown on the calling thread after all workers joined — a worker
+ * throw is a regular error, not std::terminate.
  */
 
 #ifndef SMS_UTIL_PARALLEL_HPP
@@ -13,6 +18,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <thread>
 #include <vector>
@@ -22,13 +28,21 @@ namespace sms {
 /**
  * Run fn(i) for i in [0, n) across up to @p threads workers.
  * Blocks until all iterations finish. fn must be thread-safe.
+ *
+ * @param chunk iterations claimed per atomic grab. 1 (the default)
+ *              balances best; larger chunks cut contention when
+ *              iterations are tiny and uniform. The iteration->index
+ *              mapping (and thus every result slot) is identical for
+ *              any chunk size — only the thread assignment changes.
  */
 inline void
 parallelFor(size_t n, const std::function<void(size_t)> &fn,
-            unsigned threads = 0)
+            unsigned threads = 0, size_t chunk = 1)
 {
     if (n == 0)
         return;
+    if (chunk == 0)
+        chunk = 1;
     if (threads == 0) {
         threads = std::thread::hardware_concurrency();
         if (threads == 0)
@@ -43,20 +57,39 @@ parallelFor(size_t n, const std::function<void(size_t)> &fn,
     }
 
     std::atomic<size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr first_error;
+    std::atomic<bool> error_claimed{false};
+
     std::vector<std::thread> workers;
     workers.reserve(threads);
     for (unsigned t = 0; t < threads; ++t) {
         workers.emplace_back([&]() {
             for (;;) {
-                size_t i = next.fetch_add(1);
-                if (i >= n)
+                if (failed.load(std::memory_order_relaxed))
                     return;
-                fn(i);
+                size_t base = next.fetch_add(chunk);
+                if (base >= n)
+                    return;
+                size_t end = base + chunk < n ? base + chunk : n;
+                for (size_t i = base; i < end; ++i) {
+                    try {
+                        fn(i);
+                    } catch (...) {
+                        // First thrower records; everyone drains out.
+                        if (!error_claimed.exchange(true))
+                            first_error = std::current_exception();
+                        failed.store(true, std::memory_order_relaxed);
+                        return;
+                    }
+                }
             }
         });
     }
     for (std::thread &w : workers)
         w.join();
+    if (first_error)
+        std::rethrow_exception(first_error);
 }
 
 } // namespace sms

@@ -257,7 +257,48 @@ TEST(JsonReporter, EndToEndSweepRecord)
                 1e-9);
     EXPECT_GE(rec.numberOr("wall_seconds", -1.0), 0.0);
 
+    // Run-level throughput block: present, finite, self-consistent.
+    const JsonValue *throughput = rec.find("throughput");
+    ASSERT_NE(throughput, nullptr);
+    for (const char *field :
+         {"prepare_wall_seconds", "sweep_wall_seconds", "cells",
+          "sim_cycles_total", "sim_cycles_per_sec"}) {
+        ASSERT_NE(throughput->find(field), nullptr) << field;
+        EXPECT_TRUE(std::isfinite(throughput->numberOr(field, NAN)))
+            << field;
+    }
+    EXPECT_EQ(throughput->numberOr("cells", -1.0), 4.0);
+    const JsonValue *cache = throughput->find("workload_cache");
+    ASSERT_NE(cache, nullptr);
+    ASSERT_NE(cache->find("hits"), nullptr);
+    ASSERT_NE(cache->find("misses"), nullptr);
+
     std::remove(path.c_str());
+}
+
+TEST(RunSweep, ThreadCountDoesNotChangeCounters)
+{
+    // Determinism satellite: a sweep is counter-identical (full JSON
+    // record of every cell) no matter how the grid is scheduled across
+    // worker threads or chunks.
+    ScopedEnv env("SMS_WORKLOAD_CACHE", nullptr);
+    std::vector<std::shared_ptr<Workload>> workloads = {
+        prepareWorkload(SceneId::REF, ScaleProfile::Tiny),
+        prepareWorkload(SceneId::WKND, ScaleProfile::Tiny),
+    };
+    std::vector<StackConfig> configs = {StackConfig::baseline(8),
+                                        StackConfig::sms()};
+
+    SweepResult serial = runSweep(workloads, configs, {}, 1);
+    SweepResult threaded = runSweep(workloads, configs, {}, 4);
+    ASSERT_EQ(serial.results.size(), threaded.results.size());
+    for (size_t s = 0; s < serial.results.size(); ++s) {
+        ASSERT_EQ(serial.results[s].size(), threaded.results[s].size());
+        for (size_t c = 0; c < serial.results[s].size(); ++c)
+            EXPECT_EQ(toJson(serial.results[s][c]).dump(),
+                      toJson(threaded.results[s][c]).dump())
+                << "scene " << serial.sceneLabel(s) << " config " << c;
+    }
 }
 
 } // namespace

@@ -6,14 +6,134 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "src/memory/cache.hpp"
 #include "src/memory/dram.hpp"
 #include "src/memory/request.hpp"
+#include "src/util/rng.hpp"
 
 namespace sms {
 namespace {
 
 constexpr Addr kLine = kLineBytes;
+
+/**
+ * Timestamp-based true-LRU reference model: the pre-optimization
+ * formulation of Cache (O(ways) scans, uint64 recency clock). The
+ * production recency-list implementation must match it access for
+ * access — same hits, same evictions, same writebacks.
+ */
+class ReferenceCache
+{
+  public:
+    explicit ReferenceCache(const CacheConfig &config) : config_(config)
+    {
+        uint64_t total_lines = config.size_bytes / config.line_bytes;
+        if (config.ways == 0 || config.ways >= total_lines) {
+            num_sets_ = 1;
+            num_ways_ = static_cast<uint32_t>(total_lines);
+        } else {
+            num_ways_ = config.ways;
+            num_sets_ = static_cast<uint32_t>(total_lines / config.ways);
+        }
+        lines_.resize(static_cast<size_t>(num_sets_) * num_ways_);
+    }
+
+    Cache::Result
+    access(Addr line_addr, bool write)
+    {
+        Cache::Result result;
+        Line *set =
+            &lines_[static_cast<size_t>(
+                        (line_addr / config_.line_bytes) % num_sets_) *
+                    num_ways_];
+        ++clock_;
+        for (uint32_t w = 0; w < num_ways_; ++w) {
+            if (set[w].valid && set[w].tag == line_addr) {
+                set[w].lru = clock_;
+                set[w].dirty = set[w].dirty || write;
+                result.hit = true;
+                return result;
+            }
+        }
+        if (write && !config_.allocate_on_store)
+            return result;
+        Line *victim = &set[0];
+        for (uint32_t w = 0; w < num_ways_; ++w) {
+            if (!set[w].valid) {
+                victim = &set[w];
+                break;
+            }
+            if (set[w].lru < victim->lru)
+                victim = &set[w];
+        }
+        if (victim->valid && victim->dirty) {
+            result.evicted_dirty = true;
+            result.evicted_line = victim->tag;
+        }
+        victim->valid = true;
+        victim->tag = line_addr;
+        victim->dirty = write;
+        victim->lru = clock_;
+        return result;
+    }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        uint64_t lru = 0;
+    };
+
+    CacheConfig config_;
+    uint32_t num_sets_ = 1;
+    uint32_t num_ways_ = 1;
+    std::vector<Line> lines_;
+    uint64_t clock_ = 0;
+};
+
+void
+crossCheck(const CacheConfig &config, uint32_t accesses, Addr addr_lines,
+           uint64_t seed)
+{
+    Cache cache(config);
+    ReferenceCache ref(config);
+    Pcg32 rng(seed);
+    for (uint32_t i = 0; i < accesses; ++i) {
+        Addr addr = static_cast<Addr>(rng.nextU32() % addr_lines) *
+                    config.line_bytes;
+        bool write = rng.nextU32() % 4 == 0;
+        Cache::Result got =
+            cache.access(addr, write, TrafficClass::Node);
+        Cache::Result want = ref.access(addr, write);
+        ASSERT_EQ(got.hit, want.hit) << "access " << i;
+        ASSERT_EQ(got.evicted_dirty, want.evicted_dirty) << "access " << i;
+        if (want.evicted_dirty) {
+            ASSERT_EQ(got.evicted_line, want.evicted_line)
+                << "access " << i;
+        }
+    }
+}
+
+TEST(Cache, RecencyListMatchesTimestampLruFullyAssociative)
+{
+    // Table I L1D geometry: fully associative, the hashed-tag-index
+    // fast path.
+    crossCheck({64 * 1024, 0, kLineBytes, false}, 50000, 1500, 1);
+    crossCheck({64 * 1024, 0, kLineBytes, true}, 50000, 1500, 2);
+}
+
+TEST(Cache, RecencyListMatchesTimestampLruSetAssociative)
+{
+    // Table I L2 geometry: 16-way, non-power-of-two set count.
+    crossCheck({3 * 1024 * 1024 / 8, 16, kLineBytes, true}, 50000, 9000,
+               3);
+    // Tiny 2-way cache: maximal eviction churn.
+    crossCheck({4 * kLineBytes, 2, kLineBytes, true}, 20000, 13, 4);
+}
 
 TEST(LineMath, AlignAndCover)
 {

@@ -6,12 +6,16 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <set>
+#include <stdexcept>
+#include <vector>
 
 #include "src/stats/histogram.hpp"
 #include "src/stats/table.hpp"
 #include "src/util/check.hpp"
+#include "src/util/parallel.hpp"
 #include "src/util/rng.hpp"
 
 namespace sms {
@@ -192,6 +196,73 @@ TEST(Table, NumberFormatting)
     EXPECT_EQ(Table::num(1.23456, 2), "1.23");
     EXPECT_EQ(Table::pct(0.231), "+23.1%");
     EXPECT_EQ(Table::pct(-0.05), "-5.0%");
+}
+
+TEST(ParallelFor, VisitsEveryIndexOnce)
+{
+    for (unsigned threads : {1u, 2u, 7u}) {
+        for (size_t chunk : {size_t(1), size_t(3), size_t(100)}) {
+            std::vector<std::atomic<int>> visits(57);
+            parallelFor(
+                visits.size(), [&](size_t i) { ++visits[i]; }, threads,
+                chunk);
+            for (const auto &v : visits)
+                EXPECT_EQ(v.load(), 1) << "threads=" << threads
+                                       << " chunk=" << chunk;
+        }
+    }
+}
+
+TEST(ParallelFor, ZeroIterationsIsANoop)
+{
+    bool called = false;
+    parallelFor(0, [&](size_t) { called = true; }, 4);
+    EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, WorkerExceptionRethrownOnCaller)
+{
+    // Pre-fix behaviour was std::terminate; now the first exception
+    // must surface on the calling thread after all workers joined.
+    for (unsigned threads : {1u, 4u}) {
+        EXPECT_THROW(
+            parallelFor(
+                100,
+                [&](size_t i) {
+                    if (i == 13)
+                        throw std::runtime_error("boom");
+                },
+                threads),
+            std::runtime_error);
+    }
+}
+
+TEST(ParallelFor, ExceptionAbandonsRemainingIterations)
+{
+    std::atomic<size_t> executed{0};
+    try {
+        parallelFor(
+            100000,
+            [&](size_t) {
+                ++executed;
+                throw std::runtime_error("first");
+            },
+            4);
+        FAIL() << "expected rethrow";
+    } catch (const std::runtime_error &) {
+    }
+    // Workers drain out after the failure; far fewer than all
+    // iterations may run (each live worker can finish at most its
+    // current chunk).
+    EXPECT_LT(executed.load(), 100000u);
+}
+
+TEST(ParallelFor, ChunkedResultsMatchUnchunked)
+{
+    std::vector<uint64_t> a(1000), b(1000);
+    parallelFor(a.size(), [&](size_t i) { a[i] = i * i; }, 4, 1);
+    parallelFor(b.size(), [&](size_t i) { b[i] = i * i; }, 4, 64);
+    EXPECT_EQ(a, b);
 }
 
 } // namespace

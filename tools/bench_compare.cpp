@@ -7,16 +7,23 @@
  * Usage:
  *   bench_compare <a.json> <b.json> [--ipc-eps X] [--traffic-eps X]
  *                 [--allow-missing]
+ *   bench_compare --check-throughput <record.json>
  *
  * Each file is JSONL: one record per bench run, appended. By default
  * the LAST record of each file is compared (the most recent run); if
  * both files hold the same number of records they are compared
  * pairwise in order.
  *
+ * --check-throughput validates the most recent record of a single file:
+ * the run-level "throughput" block must exist with finite numeric
+ * fields (wall-clock magnitudes are machine-dependent and deliberately
+ * NOT gated — only presence and finiteness are checked).
+ *
  * Exit codes: 0 = within tolerance, 1 = violations found,
  * 2 = usage / parse error.
  */
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -34,8 +41,9 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s <a.json> <b.json> [--ipc-eps X] "
-                 "[--traffic-eps X] [--allow-missing]\n",
-                 argv0);
+                 "[--traffic-eps X] [--allow-missing]\n"
+                 "       %s --check-throughput <record.json>\n",
+                 argv0, argv0);
 }
 
 bool
@@ -63,6 +71,72 @@ printIssues(const std::vector<CompareIssue> &issues)
     }
 }
 
+/**
+ * Validate the throughput block of the most recent record in @p path:
+ * all fields present and finite. Magnitudes are machine-dependent, so
+ * none are compared against thresholds.
+ */
+int
+checkThroughput(const char *path)
+{
+    std::string error;
+    std::vector<JsonValue> records;
+    if (!readJsonLines(path, records, error)) {
+        std::fprintf(stderr, "bench_compare: %s: %s\n", path,
+                     error.c_str());
+        return 2;
+    }
+    if (records.empty()) {
+        std::fprintf(stderr, "bench_compare: %s: no records\n", path);
+        return 2;
+    }
+    const JsonValue &rec = records.back();
+    bool ok = true;
+    auto requireFinite = [&](const JsonValue &obj, const char *name,
+                             const char *field) {
+        const JsonValue *v = obj.find(field);
+        if (!v) {
+            std::printf("  missing %s.%s\n", name, field);
+            ok = false;
+            return;
+        }
+        double d = obj.numberOr(field, NAN);
+        if (!std::isfinite(d)) {
+            std::printf("  %s.%s is not a finite number\n", name, field);
+            ok = false;
+        }
+    };
+    const JsonValue *throughput = rec.find("throughput");
+    if (!throughput) {
+        std::printf("  missing record-level \"throughput\" object\n");
+        ok = false;
+    } else {
+        for (const char *field :
+             {"prepare_wall_seconds", "sweep_wall_seconds", "cells",
+              "sim_cycles_total", "sim_cycles_per_sec"})
+            requireFinite(*throughput, "throughput", field);
+        const JsonValue *cache = throughput->find("workload_cache");
+        if (!cache) {
+            std::printf("  missing throughput.workload_cache object\n");
+            ok = false;
+        } else {
+            for (const char *field :
+                 {"hits", "misses", "stores", "failures"})
+                requireFinite(*cache, "throughput.workload_cache", field);
+        }
+    }
+    std::string fig = rec.stringOr("figure", "?");
+    if (ok) {
+        std::printf("OK: throughput block of %s (%s) present and "
+                    "finite\n",
+                    path, fig.c_str());
+        return 0;
+    }
+    std::printf("FAIL: throughput block of %s (%s) incomplete\n", path,
+                fig.c_str());
+    return 1;
+}
+
 } // namespace
 
 int
@@ -70,9 +144,12 @@ main(int argc, char **argv)
 {
     CompareOptions options;
     std::vector<const char *> paths;
+    bool check_throughput = false;
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
-        if (std::strcmp(arg, "--allow-missing") == 0) {
+        if (std::strcmp(arg, "--check-throughput") == 0) {
+            check_throughput = true;
+        } else if (std::strcmp(arg, "--allow-missing") == 0) {
             options.allow_missing = true;
         } else if (std::strcmp(arg, "--ipc-eps") == 0 && i + 1 < argc) {
             if (!parseEps(argv[++i], &options.ipc_eps)) {
@@ -91,6 +168,13 @@ main(int argc, char **argv)
         } else {
             paths.push_back(arg);
         }
+    }
+    if (check_throughput) {
+        if (paths.size() != 1) {
+            usage(argv[0]);
+            return 2;
+        }
+        return checkThroughput(paths[0]);
     }
     if (paths.size() != 2) {
         usage(argv[0]);
