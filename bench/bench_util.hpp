@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "src/scene/registry.hpp"
+#include "src/sim/traversal_tape.hpp"
 #include "src/stats/histogram.hpp"
 #include "src/stats/report.hpp"
 #include "src/stats/table.hpp"
@@ -140,8 +141,16 @@ struct SweepResult
 };
 
 /**
- * Run every workload under every configuration, in parallel over the
- * full grid.
+ * Run every workload under every configuration.
+ *
+ * When the traversal tape is enabled (SMS_TRAVERSAL_TAPE, default on)
+ * and the sweep has more than one configuration, the sweep runs in two
+ * phases: phase A executes each scene's first cell once, recording the
+ * functional traversal into a per-scene tape (or replays a tape loaded
+ * from the workload cache in disk mode); phase B replays every
+ * remaining cell from that tape with zero geometry work. Replay is
+ * counter-identical to execution, so the result grid does not depend
+ * on the tape mode.
  *
  * @param threads worker threads for the grid (0 = hardware default);
  *                results are per-cell deterministic for any value
@@ -164,22 +173,71 @@ runSweep(const std::vector<std::shared_ptr<Workload>> &workloads,
                          std::vector<SimResult>(configs.size()));
     sweep.cell_wall_seconds.assign(
         workloads.size(), std::vector<double>(configs.size(), 0.0));
-    size_t total = workloads.size() * configs.size();
-    parallelFor(
-        total,
-        [&](size_t i) {
-            size_t s = i / configs.size();
-            size_t c = i % configs.size();
-            GpuConfig config =
-                makeGpuConfig(configs[c], sweep.l1_overrides[c]);
-            auto cell_start = std::chrono::steady_clock::now();
-            sweep.results[s][c] = runWorkload(*workloads[s], config);
-            sweep.cell_wall_seconds[s][c] =
-                std::chrono::duration<double>(
-                    std::chrono::steady_clock::now() - cell_start)
-                    .count();
-        },
-        threads);
+
+    auto runCell = [&](size_t s, size_t c, const SimOptions &options) {
+        GpuConfig config =
+            makeGpuConfig(configs[c], sweep.l1_overrides[c]);
+        auto cell_start = std::chrono::steady_clock::now();
+        sweep.results[s][c] =
+            runWorkload(*workloads[s], config, options);
+        sweep.cell_wall_seconds[s][c] =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - cell_start)
+                .count();
+    };
+
+    TapeMode tape_mode = traversalTapeMode();
+    // Recording costs a little; with a single config (or in disk mode,
+    // where a later run amortizes it) a tape only pays off when there
+    // is at least one cell to replay.
+    bool use_tape = tape_mode != TapeMode::Off && !workloads.empty() &&
+                    !configs.empty() &&
+                    (configs.size() > 1 || tape_mode == TapeMode::Disk);
+    if (!use_tape) {
+        size_t total = workloads.size() * configs.size();
+        parallelFor(
+            total,
+            [&](size_t i) {
+                runCell(i / configs.size(), i % configs.size(), {});
+            },
+            threads);
+    } else {
+        std::string cache_dir =
+            tape_mode == TapeMode::Disk ? workloadCacheDir() : "";
+        std::vector<std::shared_ptr<TraversalTape>> tapes(
+            workloads.size());
+        // Phase A: one execution (or disk replay) per scene yields the
+        // scene's tape and its first result column.
+        parallelFor(
+            workloads.size(),
+            [&](size_t s) {
+                auto tape = std::make_shared<TraversalTape>();
+                bool loaded =
+                    !cache_dir.empty() &&
+                    loadTraversalTape(cache_dir, *workloads[s], *tape);
+                SimOptions options;
+                if (loaded)
+                    options.replay_tape = tape.get();
+                else
+                    options.record_tape = tape.get();
+                runCell(s, 0, options);
+                if (!loaded && !cache_dir.empty())
+                    saveTraversalTape(cache_dir, *workloads[s], *tape);
+                tapes[s] = std::move(tape);
+            },
+            threads);
+        // Phase B: every remaining cell replays its scene's tape.
+        size_t rest_configs = configs.size() - 1;
+        parallelFor(
+            workloads.size() * rest_configs,
+            [&](size_t i) {
+                size_t s = i / rest_configs;
+                SimOptions options;
+                options.replay_tape = tapes[s].get();
+                runCell(s, 1 + i % rest_configs, options);
+            },
+            threads);
+    }
     sweep.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
@@ -434,6 +492,16 @@ class JsonReporter
         cache_json["stores"] = cache.stores;
         cache_json["failures"] = cache.failures;
         throughput["workload_cache"] = std::move(cache_json);
+        TraversalTapeStats tape = traversalTapeStats();
+        JsonValue tape_json = JsonValue::object();
+        tape_json["mode"] = tapeModeName(traversalTapeMode());
+        tape_json["jobs_recorded"] = tape.jobs_recorded;
+        tape_json["jobs_replayed"] = tape.jobs_replayed;
+        tape_json["bytes"] = tape.bytes;
+        tape_json["disk_loads"] = tape.disk_loads;
+        tape_json["disk_stores"] = tape.disk_stores;
+        tape_json["failures"] = tape.failures;
+        throughput["traversal_tape"] = std::move(tape_json);
         record_["throughput"] = std::move(throughput);
 
         std::string error;

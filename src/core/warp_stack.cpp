@@ -11,6 +11,17 @@
 
 namespace sms {
 
+void
+RbRing::grow()
+{
+    std::vector<uint64_t> wider((mask_ + 1) * 2);
+    for (uint32_t i = 0; i < count_; ++i)
+        wider[i] = at((start_ + i) & mask_);
+    heap_ = std::move(wider);
+    start_ = 0;
+    mask_ = static_cast<uint32_t>(heap_.size()) - 1;
+}
+
 WarpStackModel::WarpStackModel(const StackConfig &config, Addr shared_base,
                                Addr local_base)
     : config_(config), shared_base_(shared_base), local_base_(local_base)
@@ -20,9 +31,10 @@ WarpStackModel::WarpStackModel(const StackConfig &config, Addr shared_base,
     lanes_.resize(kWarpSize);
     if (config_.hasShStack()) {
         segments_.resize(kWarpSize);
+        sh_slots_.assign(static_cast<size_t>(kWarpSize) * config_.sh_entries,
+                         0);
         for (uint32_t lane = 0; lane < kWarpSize; ++lane) {
             Segment &seg = segments_[lane];
-            seg.slots.assign(config_.sh_entries, 0);
             seg.owner = lane;
             seg.base = config_.skewed_bank_access
                            ? skewBaseEntry(lane, config_.sh_entries)
@@ -51,20 +63,6 @@ WarpStackModel::globalSlotAddr(uint32_t lane, uint32_t slot) const
     // same slot index coalesce while divergent depths do not (§II-C).
     return local_base_ +
            (static_cast<Addr>(slot) * kWarpSize + lane) * kStackEntryBytes;
-}
-
-bool
-WarpStackModel::laneEmpty(uint32_t lane) const
-{
-    return logicalDepth(lane) == 0;
-}
-
-uint32_t
-WarpStackModel::logicalDepth(uint32_t lane) const
-{
-    const LaneState &ls = lanes_[lane];
-    return static_cast<uint32_t>(ls.rb.size()) + shDepth(lane) +
-           static_cast<uint32_t>(ls.global.size());
 }
 
 uint32_t
@@ -104,10 +102,10 @@ WarpStackModel::push(uint32_t lane, uint64_t value, StackTxnList &txns)
         spillFromRb(lane, txns);
 
     ls.rb.push_back(value);
+    ++ls.depth;
     ++stats_.pushes;
-    uint32_t depth = logicalDepth(lane);
-    if (depth > stats_.max_logical_depth)
-        stats_.max_logical_depth = depth;
+    if (ls.depth > stats_.max_logical_depth)
+        stats_.max_logical_depth = ls.depth;
     observe(lane);
 }
 
@@ -134,7 +132,7 @@ WarpStackModel::shPushTop(uint32_t lane, uint64_t value, StackTxnList &txns)
     SMS_ASSERT(!ls.chain.empty(), "lane %u has no SH segment", lane);
 
     Segment *top = &segments_[ls.chain.back()];
-    if (top->full()) {
+    if (segFull(*top)) {
         bool resolved = false;
         if (config_.intra_warp_realloc) {
             if (borrowedCount(lane) < config_.max_borrowed &&
@@ -163,7 +161,7 @@ WarpStackModel::shPushTop(uint32_t lane, uint64_t value, StackTxnList &txns)
             singleMoveToGlobal(lane, txns);
         }
         top = &segments_[ls.chain.back()];
-        SMS_ASSERT(!top->full(), "SH top still full after overflow fix");
+        SMS_ASSERT(!segFull(*top), "SH top still full after overflow fix");
     }
 
     // Circular push at the segment top.
@@ -173,8 +171,9 @@ WarpStackModel::shPushTop(uint32_t lane, uint64_t value, StackTxnList &txns)
     } else {
         top->top = (top->top + 1) % config_.sh_entries;
     }
-    top->slots[top->top] = value;
+    shSlot(top->owner, top->top) = value;
     ++top->count;
+    ++ls.sh_count;
     txns.push_back({StackTxnKind::SharedStore,
                     sharedSlotAddr(top->owner, top->top),
                     kStackEntryBytes});
@@ -193,11 +192,12 @@ WarpStackModel::shPopTop(uint32_t lane, StackTxnList &txns)
     SMS_ASSERT(idx >= 0, "shPopTop on empty SH chain (lane %u)", lane);
 
     Segment &seg = segments_[ls.chain[idx]];
-    uint64_t value = seg.slots[seg.top];
+    uint64_t value = shSlot(seg.owner, seg.top);
     txns.push_back({StackTxnKind::SharedLoad,
                     sharedSlotAddr(seg.owner, seg.top), kStackEntryBytes});
     ++stats_.sh_loads;
     --seg.count;
+    --ls.sh_count;
     if (seg.empty()) {
         seg.top = seg.base;
         seg.bottom = seg.base;
@@ -208,6 +208,18 @@ WarpStackModel::shPopTop(uint32_t lane, StackTxnList &txns)
 
     releaseIfEmptyBorrowed(lane);
     return value;
+}
+
+void
+WarpStackModel::setAvailable(Segment &seg, bool available)
+{
+    if (seg.available == available)
+        return;
+    seg.available = available;
+    if (available)
+        ++available_count_;
+    else
+        --available_count_;
 }
 
 void
@@ -222,7 +234,7 @@ WarpStackModel::releaseIfEmptyBorrowed(uint32_t lane)
             break;
         seg.borrower = -1;
         seg.flushes = 0;
-        seg.available = lanes_[seg.owner].finished;
+        setAvailable(seg, lanes_[seg.owner].finished);
         ls.chain.pop_back();
     }
 }
@@ -233,7 +245,7 @@ WarpStackModel::shPushBottom(uint32_t lane, uint64_t value,
 {
     LaneState &ls = lanes_[lane];
     Segment &seg = segments_[ls.chain.front()];
-    SMS_ASSERT(!seg.full(), "shPushBottom on full bottom segment");
+    SMS_ASSERT(!segFull(seg), "shPushBottom on full bottom segment");
     if (seg.empty()) {
         seg.top = seg.base;
         seg.bottom = seg.base;
@@ -241,8 +253,9 @@ WarpStackModel::shPushBottom(uint32_t lane, uint64_t value,
         seg.bottom =
             (seg.bottom + config_.sh_entries - 1) % config_.sh_entries;
     }
-    seg.slots[seg.bottom] = value;
+    shSlot(seg.owner, seg.bottom) = value;
     ++seg.count;
+    ++ls.sh_count;
     txns.push_back({StackTxnKind::SharedStore,
                     sharedSlotAddr(seg.owner, seg.bottom),
                     kStackEntryBytes});
@@ -255,12 +268,16 @@ WarpStackModel::shBottomHasSpace(uint32_t lane) const
     const LaneState &ls = lanes_[lane];
     if (ls.chain.empty())
         return false;
-    return !segments_[ls.chain.front()].full();
+    return !segFull(segments_[ls.chain.front()]);
 }
 
 bool
 WarpStackModel::tryBorrow(uint32_t lane)
 {
+    // Common case: no lane finished yet, nothing borrowable — skip the
+    // scan entirely.
+    if (available_count_ == 0)
+        return false;
     // Deterministic policy: borrow the available segment with the
     // lowest owner lane id.
     for (uint32_t owner = 0; owner < kWarpSize; ++owner) {
@@ -268,7 +285,7 @@ WarpStackModel::tryBorrow(uint32_t lane)
         if (!seg.available)
             continue;
         SMS_ASSERT(seg.empty(), "available segment %u not empty", owner);
-        seg.available = false;
+        setAvailable(seg, false);
         seg.borrower = static_cast<int32_t>(lane);
         seg.flushes = 0;
         seg.top = seg.base;
@@ -310,7 +327,7 @@ WarpStackModel::tryFlushBottom(uint32_t lane, StackTxnList &txns,
     // then promote the emptied segment to the top of the chain (§VI-B).
     uint32_t flushed = seg.count;
     while (!seg.empty()) {
-        uint64_t value = seg.slots[seg.bottom];
+        uint64_t value = shSlot(seg.owner, seg.bottom);
         txns.push_back({StackTxnKind::SharedLoad,
                         sharedSlotAddr(seg.owner, seg.bottom),
                         kStackEntryBytes});
@@ -323,6 +340,7 @@ WarpStackModel::tryFlushBottom(uint32_t lane, StackTxnList &txns,
     }
     seg.top = seg.base;
     seg.bottom = seg.base;
+    ls.sh_count -= flushed;
     ++seg.flushes;
     ++stats_.flushes;
     stats_.flushed_entries += flushed;
@@ -347,12 +365,13 @@ WarpStackModel::singleMoveToGlobal(uint32_t lane, StackTxnList &txns)
                "single move with empty SH chain (lane %u)", lane);
     Segment &seg = segments_[ls.chain[idx]];
 
-    uint64_t value = seg.slots[seg.bottom];
+    uint64_t value = shSlot(seg.owner, seg.bottom);
     txns.push_back({StackTxnKind::SharedLoad,
                     sharedSlotAddr(seg.owner, seg.bottom),
                     kStackEntryBytes});
     ++stats_.sh_loads;
     --seg.count;
+    --ls.sh_count;
     if (seg.empty()) {
         seg.top = seg.base;
         seg.bottom = seg.base;
@@ -404,10 +423,12 @@ WarpStackModel::pop(uint32_t lane, uint64_t &value, StackTxnList &txns)
     SMS_ASSERT(!ls.rb.empty(), "logical depth > 0 but RB empty");
     value = ls.rb.back();
     ls.rb.pop_back();
+    --ls.depth;
     ++stats_.pops;
 
-    // Eager refill (Fig. 7 steps 2/5/6).
-    if (config_.hasShStack() && shDepth(lane) > 0) {
+    // Eager refill (Fig. 7 steps 2/5/6). sh_count > 0 implies an SH
+    // stack exists, so no separate hasShStack() check is needed.
+    if (ls.sh_count > 0) {
         uint64_t from_sh = shPopTop(lane, txns);
         ls.rb.push_front(from_sh);
         ++stats_.rb_refills;
@@ -431,6 +452,8 @@ WarpStackModel::abandonLane(uint32_t lane)
     LaneState &ls = lanes_[lane];
     ls.rb.clear();
     ls.global.clear();
+    ls.depth = 0;
+    ls.sh_count = 0;
     if (config_.hasShStack()) {
         for (uint32_t seg_id : ls.chain) {
             Segment &seg = segments_[seg_id];
@@ -465,7 +488,7 @@ WarpStackModel::finishLane(uint32_t lane)
         }
         seg.borrower = -1;
         seg.flushes = 0;
-        seg.available = lanes_[seg.owner].finished;
+        setAvailable(seg, lanes_[seg.owner].finished);
     }
     SMS_ASSERT(kept.size() == 1, "lane %u lost its dedicated segment",
                lane);
@@ -475,7 +498,7 @@ WarpStackModel::finishLane(uint32_t lane)
     // already while we were running (impossible) — mark it idle.
     Segment &own = segments_[lane];
     if (own.borrower < 0) {
-        own.available = config_.intra_warp_realloc;
+        setAvailable(own, config_.intra_warp_realloc);
         own.flushes = 0;
     }
 }

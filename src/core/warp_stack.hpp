@@ -23,7 +23,6 @@
 #define SMS_CORE_WARP_STACK_HPP
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "src/core/stack_config.hpp"
@@ -32,6 +31,75 @@
 #include "src/util/check.hpp"
 
 namespace sms {
+
+/**
+ * Growable circular buffer holding one lane's RB stack. Supports the
+ * deque subset the stack model needs (push/pop at both ends) without
+ * std::deque's segmented-map allocation per instance — WarpStackModel
+ * is constructed once per trace-ray warp, so construction cost is on
+ * the simulator's hot path.
+ */
+class RbRing
+{
+  public:
+    bool empty() const { return count_ == 0; }
+    uint32_t size() const { return count_; }
+
+    uint64_t back() const { return at((start_ + count_ - 1) & mask_); }
+    uint64_t front() const { return at(start_); }
+
+    void
+    push_back(uint64_t value)
+    {
+        if (count_ > mask_)
+            grow();
+        at((start_ + count_) & mask_) = value;
+        ++count_;
+    }
+
+    void pop_back() { --count_; }
+
+    void
+    push_front(uint64_t value)
+    {
+        if (count_ > mask_)
+            grow();
+        start_ = (start_ + mask_) & mask_;
+        at(start_) = value;
+        ++count_;
+    }
+
+    void
+    pop_front()
+    {
+        start_ = (start_ + 1) & mask_;
+        --count_;
+    }
+
+    void
+    clear()
+    {
+        start_ = 0;
+        count_ = 0;
+    }
+
+  private:
+    void grow();
+
+    /** Storage: the inline array until the first grow(), heap after. */
+    uint64_t &at(uint32_t i) { return heap_.empty() ? inline_[i] : heap_[i]; }
+    uint64_t at(uint32_t i) const
+    {
+        return heap_.empty() ? inline_[i] : heap_[i];
+    }
+
+    static constexpr uint32_t kInlineCapacity = 8; ///< power of two
+    uint64_t inline_[kInlineCapacity];
+    std::vector<uint64_t> heap_;
+    uint32_t start_ = 0;
+    uint32_t count_ = 0;
+    uint32_t mask_ = kInlineCapacity - 1;
+};
 
 /** Observer invoked with the logical stack depth at every push/pop. */
 class DepthObserver
@@ -85,10 +153,14 @@ class WarpStackModel
     }
 
     /** True when @p lane's logical stack holds no values. */
-    bool laneEmpty(uint32_t lane) const;
+    bool laneEmpty(uint32_t lane) const { return lanes_[lane].depth == 0; }
 
-    /** Logical stack depth of @p lane (across all three levels). */
-    uint32_t logicalDepth(uint32_t lane) const;
+    /**
+     * Logical stack depth of @p lane (across all three levels). O(1):
+     * the depth counter is maintained on push/pop — internal migrations
+     * between RB/SH/global never change the logical total.
+     */
+    uint32_t logicalDepth(uint32_t lane) const { return lanes_[lane].depth; }
 
     /**
      * Mark @p lane's traversal complete; with reallocation enabled its
@@ -129,10 +201,11 @@ class WarpStackModel
     Addr sharedSlotAddr(uint32_t owner_lane, uint32_t slot) const;
 
   private:
-    /** One per-lane SH segment (a circular queue in shared memory). */
+    /** One per-lane SH segment (a circular queue in shared memory).
+     *  Slot storage lives in the model-wide sh_slots_ array (indexed by
+     *  owner lane) so constructing a warp costs one allocation, not 32. */
     struct Segment
     {
-        std::vector<uint64_t> slots;
         uint32_t top = 0;
         uint32_t bottom = 0;
         uint32_t count = 0;
@@ -142,15 +215,16 @@ class WarpStackModel
         int32_t borrower = -1; ///< borrowing lane, -1 when not borrowed
         bool available = false; ///< idle: owner finished, not borrowed
 
-        bool full() const { return count == slots.size(); }
         bool empty() const { return count == 0; }
     };
 
     struct LaneState
     {
-        std::deque<uint64_t> rb;          ///< front = oldest, back = top
+        RbRing rb;                        ///< front = oldest, back = top
         std::vector<uint32_t> chain;      ///< segment ids, front = bottom
         std::vector<uint64_t> global;     ///< back = newest spill
+        uint32_t depth = 0;               ///< rb + SH chain + global
+        uint32_t sh_count = 0;            ///< entries across the SH chain
         uint32_t global_high_water = 0;   ///< slots ever used (addressing)
         bool finished = false;
     };
@@ -169,13 +243,31 @@ class WarpStackModel
     void releaseIfEmptyBorrowed(uint32_t lane);
     void observe(uint32_t lane);
 
+    /** Flip a segment's availability, maintaining available_count_. */
+    void setAvailable(Segment &seg, bool available);
+
+    bool segFull(const Segment &seg) const
+    {
+        return seg.count == config_.sh_entries;
+    }
+
+    /** Slot @p idx of the segment owned by lane @p owner. */
+    uint64_t &shSlot(uint32_t owner, uint32_t idx)
+    {
+        return sh_slots_[owner * config_.sh_entries + idx];
+    }
+
     Addr globalSlotAddr(uint32_t lane, uint32_t slot) const;
 
     StackConfig config_;
     Addr shared_base_;
     Addr local_base_;
     std::vector<Segment> segments_; ///< kWarpSize segments (may be empty)
+    std::vector<uint64_t> sh_slots_; ///< kWarpSize * sh_entries values
     std::vector<LaneState> lanes_;
+    /** Segments currently marked available — lets tryBorrow() skip its
+     *  all-lane scan in the common case where no lane has finished. */
+    uint32_t available_count_ = 0;
     WarpStackStats stats_;
     DepthObserver *observer_ = nullptr;
 };

@@ -6,11 +6,10 @@
 #include "src/sim/gpu_sim.hpp"
 
 #include <algorithm>
-#include <map>
 #include <memory>
 #include <queue>
-#include <set>
 
+#include "src/sim/traversal_tape.hpp"
 #include "src/util/check.hpp"
 
 namespace sms {
@@ -79,17 +78,44 @@ simulateJobs(const Scene &scene, const WideBvh &bvh,
     SimResult result;
     result.jobs = static_cast<uint32_t>(jobs.size());
 
+    TraversalTape *record = options.record_tape;
+    const TraversalTape *replay = options.replay_tape;
+    SMS_ASSERT(!(record && replay),
+               "a run cannot record and replay a tape at once");
+    if (record) {
+        record->jobs.assign(jobs.size(), JobTape{});
+        record->fingerprint = workloadFingerprint(jobs, bvh);
+    }
+    if (replay) {
+        SMS_ASSERT(replay->jobs.size() == jobs.size(),
+                   "traversal tape holds %zu jobs but the workload has "
+                   "%zu",
+                   replay->jobs.size(), jobs.size());
+    }
+
     MemorySystem mem(config.resolvedMemConfig(), config.num_sms);
     std::vector<SharedMemory> shared_mems(
         config.num_sms, SharedMemory(config.shared_latency));
 
-    std::set<uint32_t> traced_warps(options.depth_trace_warps.begin(),
-                                    options.depth_trace_warps.end());
-    std::set<uint32_t> seen_warps;
+    // Flat sorted lookup instead of a node-based std::set: the traced
+    // set is tiny and checked once per admitted job.
+    std::vector<uint32_t> traced_warps(options.depth_trace_warps);
+    std::sort(traced_warps.begin(), traced_warps.end());
+    traced_warps.erase(
+        std::unique(traced_warps.begin(), traced_warps.end()),
+        traced_warps.end());
+    auto warp_traced = [&](uint32_t warp_id) {
+        return std::binary_search(traced_warps.begin(),
+                                  traced_warps.end(), warp_id);
+    };
 
-    // Dependency edges: children of each job.
+    // Dependency edges: children of each job. Distinct warps are
+    // counted with a flat bitmap over warp ids (dense by construction)
+    // rather than a std::set insert per job.
     std::vector<std::vector<uint32_t>> children(jobs.size());
     std::vector<JobState> states(jobs.size());
+    std::vector<uint8_t> warp_seen;
+    uint32_t traced_jobs = 0;
     for (uint32_t j = 0; j < jobs.size(); ++j) {
         SMS_ASSERT(jobs[j].job_id == j, "jobs must be indexed by job_id");
         if (jobs[j].parent >= 0) {
@@ -101,9 +127,20 @@ simulateJobs(const Scene &scene, const WideBvh &bvh,
             states[j].ready = 0;
         }
         result.rays += jobs[j].activeLanes();
-        seen_warps.insert(jobs[j].warp_id);
+        uint32_t warp_id = jobs[j].warp_id;
+        if (warp_id >= warp_seen.size())
+            warp_seen.resize(warp_id + 1, 0);
+        if (!warp_seen[warp_id]) {
+            warp_seen[warp_id] = 1;
+            ++result.warps;
+        }
+        if (!traced_warps.empty() && warp_traced(warp_id))
+            ++traced_jobs;
     }
-    result.warps = static_cast<uint32_t>(seen_warps.size());
+    // A traced job emits one record per push/pop; pre-size for a deep
+    // traversal so the hot observer path rarely reallocates.
+    if (traced_jobs > 0)
+        result.depth_trace.reserve(static_cast<size_t>(traced_jobs) * 512);
 
     // Per-SM RT-unit occupancy. The pending queue only ever needs its
     // minimum, so it is a binary min-heap rather than a std::set: no
@@ -172,10 +209,12 @@ simulateJobs(const Scene &scene, const WideBvh &bvh,
         fl.slot = slot;
         fl.in_stack_phase = false;
         fl.collector = std::make_unique<DepthCollector>(
-            result, job.warp_id, traced_warps.count(job.warp_id) > 0);
+            result, job.warp_id, warp_traced(job.warp_id));
         fl.sim = std::make_unique<TraversalSim>(
             scene, bvh, config, job, sm_id, shared_base, local_base, mem,
-            shared_mems[sm_id], fl.collector.get());
+            shared_mems[sm_id], fl.collector.get(),
+            record ? &record->jobs[job_index] : nullptr,
+            replay ? &replay->jobs[job_index] : nullptr);
         events.emplace(cycle, seq++, idx);
     };
 
@@ -206,6 +245,14 @@ simulateJobs(const Scene &scene, const WideBvh &bvh,
         events.pop();
         InFlight &fl = inflight[idx];
 
+        // The frame ends at the latest *event* retirement, not merely
+        // the latest job completion: a zero-latency completion tie
+        // (several events sharing the final cycle, ordered by seq)
+        // must not under-report the frame length whichever event the
+        // heap happens to pop last.
+        if (cycle > result.cycles)
+            result.cycles = cycle;
+
         if (fl.in_stack_phase) {
             Cycle done = fl.sim->stepStack(cycle);
             SMS_ASSERT(done >= cycle, "time went backwards");
@@ -232,8 +279,6 @@ simulateJobs(const Scene &scene, const WideBvh &bvh,
         result.stack.merge(fl.sim->stackStats());
         result.instructions += fl.sim->counters().instructions;
         result.mismatches += fl.sim->mismatches();
-        if (cycle > result.cycles)
-            result.cycles = cycle;
 
         sms[sm_id].free_slots.push_back(fl.slot);
         spill_frame_busy[jobs[job_index].job_id % kLocalSpillFrames] = 0;
@@ -293,6 +338,11 @@ simulateJobs(const Scene &scene, const WideBvh &bvh,
             mem.l2().missesByClass(static_cast<TrafficClass>(cls));
     result.dram = mem.dram().stats();
     result.offchip_accesses = mem.offchipAccesses();
+
+    if (record)
+        noteTapeRecorded(*record);
+    if (replay)
+        noteTapeReplayed(*replay);
     return result;
 }
 

@@ -38,6 +38,19 @@ struct SimOptions
 {
     /** Record a (warp, access, lane, depth) trace for these warp ids. */
     std::vector<uint32_t> depth_trace_warps;
+
+    /**
+     * When non-null, record every job's functional traversal into this
+     * tape while executing (the tape is sized and fingerprinted here).
+     */
+    TraversalTape *record_tape = nullptr;
+    /**
+     * When non-null, drive every job from this previously recorded
+     * tape instead of running the geometry work. The tape must match
+     * the job stream (fingerprint-checked). Mutually exclusive with
+     * record_tape.
+     */
+    const TraversalTape *replay_tape = nullptr;
 };
 
 /** Aggregated outcome of one simulated frame. */

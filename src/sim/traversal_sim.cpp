@@ -1,6 +1,6 @@
 /**
  * @file
- * Warp-job execution implementation.
+ * Warp-job execution implementation (execute, record and replay modes).
  */
 
 #include "src/sim/traversal_sim.hpp"
@@ -17,11 +17,15 @@ TraversalSim::TraversalSim(const Scene &scene, const WideBvh &bvh,
                            const GpuConfig &config, const WarpJob &job,
                            uint32_t sm, Addr shared_base, Addr local_base,
                            MemorySystem &mem, SharedMemory &shared_mem,
-                           DepthObserver *observer)
+                           DepthObserver *observer, JobTape *record,
+                           const JobTape *replay)
     : scene_(scene), bvh_(bvh), config_(config), job_(job), sm_(sm),
       mem_(mem), shared_mem_(shared_mem),
-      stack_(config.stack, shared_base, local_base)
+      stack_(config.stack, shared_base, local_base), recorder_(record),
+      cursor_(replay)
 {
+    SMS_ASSERT(!(record && replay),
+               "a job cannot record and replay the tape at once");
     stack_.setDepthObserver(observer);
     for (uint32_t i = 0; i < kWarpSize; ++i) {
         Lane &lane = lanes_[i];
@@ -47,10 +51,14 @@ TraversalSim::TraversalSim(const Scene &scene, const WideBvh &bvh,
                                   : config.shading_instructions;
     counters_.instructions +=
         static_cast<uint64_t>(shade) * job_.activeLanes();
+    // The oracle comparison ran at record time; its verdict is part of
+    // the tape, not re-derived (no hits are computed during replay).
+    if (cursor_.enabled())
+        mismatches_ = replay->mismatches;
 }
 
 void
-TraversalSim::finishLaneAndValidate(uint32_t lane_id, bool abandoned)
+TraversalSim::finishLane(uint32_t lane_id, bool abandoned)
 {
     Lane &lane = lanes_[lane_id];
     if (abandoned)
@@ -61,6 +69,8 @@ TraversalSim::finishLaneAndValidate(uint32_t lane_id, bool abandoned)
     SMS_ASSERT(running_lanes_ > 0, "lane underflow");
     --running_lanes_;
 
+    if (cursor_.enabled())
+        return;
     // Compare against the functional oracle recorded at job generation.
     if (job_.any_hit) {
         if (lane.hit.valid() != job_.expected_hit[lane_id])
@@ -79,18 +89,21 @@ TraversalSim::finishLaneAndValidate(uint32_t lane_id, bool abandoned)
     }
 }
 
-Cycle
-TraversalSim::stepFetch(Cycle now)
+void
+TraversalSim::collectFetch(bool &has_internal, bool &has_leaf,
+                           uint32_t &max_leaf_prims)
 {
-    SMS_ASSERT(!done(), "step on completed job");
-    ++counters_.steps;
+    std::vector<std::pair<Addr, TrafficClass>> &lines = fetch_lines_;
+    if (cursor_.enabled()) {
+        cursor_.fetchPhase(lines, has_internal, has_leaf, max_leaf_prims);
+        return;
+    }
 
     // ------------------------------------------------------------------
     // FETCH: collect the cache lines this iteration needs across all
     // running lanes. Lanes visiting the same node coalesce into the
     // same line requests, as the RT unit's memory scheduler does.
     // ------------------------------------------------------------------
-    std::vector<std::pair<Addr, TrafficClass>> &lines = fetch_lines_;
     lines.clear();
     auto add_range = [&](Addr addr, uint64_t bytes, TrafficClass cls) {
         Addr line = lineAlign(addr);
@@ -105,11 +118,15 @@ TraversalSim::stepFetch(Cycle now)
             continue;
         ChildRef current = ChildRef::fromStackValue(stack_.peek(i));
         if (current.isInternal()) {
+            has_internal = true;
             add_range(bvh_.nodeAddress(current.nodeIndex()),
                       WideBvh::kNodeBytes, TrafficClass::Node);
         } else {
+            has_leaf = true;
             uint32_t offset = current.primOffset();
             uint32_t count = current.primCount();
+            if (count > max_leaf_prims)
+                max_leaf_prims = count;
             for (uint32_t p = 0; p < count; ++p) {
                 uint32_t prim = bvh_.primIndices()[offset + p];
                 add_range(bvh_.primitiveAddress(scene_, prim),
@@ -121,35 +138,117 @@ TraversalSim::stepFetch(Cycle now)
     std::sort(lines.begin(), lines.end());
     lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
 
+    if (recorder_.enabled())
+        recorder_.fetchPhase(lines, has_internal, has_leaf,
+                             max_leaf_prims);
+}
+
+Cycle
+TraversalSim::stepFetch(Cycle now)
+{
+    SMS_ASSERT(!done(), "step on completed job");
+    ++counters_.steps;
+
+    bool has_internal = false;
+    bool has_leaf = false;
+    uint32_t max_leaf_prims = 0;
+    collectFetch(has_internal, has_leaf, max_leaf_prims);
+
     Cycle fetch_done = now;
-    for (const auto &[line, cls] : lines) {
+    for (const auto &[line, cls] : fetch_lines_) {
         Cycle c = mem_.accessLine(sm_, line, false, cls, now);
         fetch_done = std::max(fetch_done, c);
     }
 
     // ------------------------------------------------------------------
     // OP: intersection latency — the slowest lane's operation gates the
-    // warp (SIMT lockstep).
+    // warp (SIMT lockstep). Leaf latency grows with the primitive
+    // count, so the warp maximum reduces to the recorded per-kind
+    // extremes (identical to the per-lane maximum).
     // ------------------------------------------------------------------
     Cycle op_latency = 0;
-    for (uint32_t i = 0; i < kWarpSize; ++i) {
-        Lane &lane = lanes_[i];
-        if (!lane.running)
-            continue;
-        ChildRef current = ChildRef::fromStackValue(stack_.peek(i));
-        Cycle lat;
-        if (current.isInternal()) {
-            lat = config_.timing.box_op;
-        } else {
-            lat = config_.timing.leaf_op_base +
-                  config_.timing.leaf_op_per_prim * current.primCount();
-        }
-        op_latency = std::max(op_latency, lat);
-    }
+    if (has_internal)
+        op_latency = config_.timing.box_op;
+    if (has_leaf)
+        op_latency = std::max(
+            op_latency, config_.timing.leaf_op_base +
+                            config_.timing.leaf_op_per_prim *
+                                static_cast<Cycle>(max_leaf_prims));
     Cycle op_done = fetch_done + op_latency;
     counters_.fetch_cycles += fetch_done - now;
     counters_.op_cycles += op_latency;
     return op_done;
+}
+
+bool
+TraversalSim::laneStepExecute(uint32_t lane_id, uint64_t top_value,
+                              StackTxnList &txns)
+{
+    Lane &lane = lanes_[lane_id];
+    ChildRef current = ChildRef::fromStackValue(top_value);
+
+    if (current.isInternal()) {
+        ++counters_.node_visits;
+        const WideNode &node = bvh_.nodes()[current.nodeIndex()];
+        ChildHits hits = intersectNodeChildren(node, lane.ray);
+        counters_.box_tests += hits.tests;
+        counters_.instructions += hits.tests;
+        uint64_t pushed[kWideBvhWidth];
+        uint32_t push_count = 0;
+        for (int c = hits.count - 1; c >= 0; --c) {
+            uint64_t value = hits.refs[c].stackValue();
+            stack_.push(lane_id, value, txns);
+            pushed[push_count++] = value;
+            ++counters_.instructions;
+        }
+        if (recorder_.enabled())
+            recorder_.internalVisit(static_cast<uint32_t>(hits.tests),
+                                    pushed, push_count);
+        return false;
+    }
+
+    ++counters_.leaf_visits;
+    uint32_t tested = 0;
+    bool found = intersectLeaf(scene_, bvh_, current, lane.ray, lane.hit,
+                               job_.any_hit, tested);
+    counters_.prim_tests += tested;
+    counters_.instructions += tested;
+    // Any-hit early termination: the stack is discarded.
+    bool abandoned = found && job_.any_hit;
+    if (recorder_.enabled())
+        recorder_.leafVisit(tested, abandoned);
+    return abandoned;
+}
+
+bool
+TraversalSim::laneStepReplay(uint32_t lane_id, uint64_t top_value,
+                             StackTxnList &txns)
+{
+    TapeCursor::LaneAction action = cursor_.laneAction();
+    // Cheap always-on cross-check: the value-exact stack must pop the
+    // same kind of reference the recording run visited, whatever the
+    // stack configuration. A mismatch means the tape belongs to a
+    // different workload (or the stack model lost value-exactness).
+    SMS_ASSERT(action.is_leaf ==
+                   ChildRef::fromStackValue(top_value).isLeaf(),
+               "traversal tape desync on lane %u at step %llu", lane_id,
+               static_cast<unsigned long long>(counters_.steps));
+
+    if (!action.is_leaf) {
+        ++counters_.node_visits;
+        counters_.box_tests += action.tests;
+        counters_.instructions += action.tests;
+        for (uint32_t p = 0; p < action.pushes; ++p) {
+            stack_.push(lane_id, cursor_.pushValue(), txns);
+            ++counters_.instructions;
+        }
+        return false;
+    }
+
+    ++counters_.leaf_visits;
+    counters_.prim_tests += action.tests;
+    counters_.instructions += action.tests;
+    return action.abandoned;
 }
 
 Cycle
@@ -164,6 +263,7 @@ TraversalSim::stepStack(Cycle now)
     std::array<StackTxnList, kWarpSize> &txns = txn_scratch_;
     for (StackTxnList &list : txns)
         list.clear();
+    bool replaying = cursor_.enabled();
     for (uint32_t i = 0; i < kWarpSize; ++i) {
         Lane &lane = lanes_[i];
         if (!lane.running)
@@ -175,34 +275,30 @@ TraversalSim::stepStack(Cycle now)
         bool popped = stack_.pop(i, top_value, txns[i]);
         SMS_ASSERT(popped, "running lane with empty stack");
         ++counters_.instructions;
-        ChildRef current = ChildRef::fromStackValue(top_value);
 
-        if (current.isInternal()) {
-            ++counters_.node_visits;
-            const WideNode &node = bvh_.nodes()[current.nodeIndex()];
-            ChildHits hits = intersectNodeChildren(node, lane.ray);
-            counters_.box_tests += hits.tests;
-            counters_.instructions += hits.tests;
-            for (int c = hits.count - 1; c >= 0; --c) {
-                stack_.push(i, hits.refs[c].stackValue(), txns[i]);
-                ++counters_.instructions;
-            }
-        } else {
-            ++counters_.leaf_visits;
-            uint32_t tested = 0;
-            bool found = intersectLeaf(scene_, bvh_, current, lane.ray,
-                                       lane.hit, job_.any_hit, tested);
-            counters_.prim_tests += tested;
-            counters_.instructions += tested;
-            if (found && job_.any_hit) {
-                // Any-hit early termination: the stack is discarded.
-                finishLaneAndValidate(i, true);
-                continue;
-            }
+        bool abandoned = replaying
+                             ? laneStepReplay(i, top_value, txns[i])
+                             : laneStepExecute(i, top_value, txns[i]);
+        if (abandoned) {
+            finishLane(i, true);
+            continue;
         }
-
         if (stack_.laneEmpty(i))
-            finishLaneAndValidate(i, false);
+            finishLane(i, false);
+    }
+
+    if (running_lanes_ == 0) {
+        if (recorder_.enabled())
+            recorder_.finish(mismatches_);
+        if (replaying) {
+            SMS_ASSERT(cursor_.atEnd() &&
+                           counters_.steps == cursor_.tape()->steps,
+                       "traversal tape not fully consumed: %llu of %u "
+                       "steps, %s",
+                       static_cast<unsigned long long>(counters_.steps),
+                       cursor_.tape()->steps,
+                       cursor_.atEnd() ? "at end" : "bytes left");
+        }
     }
 
     // The manager's chain runs in the background; the warp retires the

@@ -14,6 +14,16 @@
  * The traversal itself is value-exact: lanes visit the same nodes in
  * the same order as the functional reference traverser, and final hits
  * are checked against the expectations recorded in the WarpJob.
+ *
+ * Three operating modes share the timing path:
+ *  - execute: run the geometry work (intersectNodeChildren /
+ *    intersectLeaf) as before;
+ *  - record: execute + append each step's functional outcome to a
+ *    JobTape (see traversal_tape.hpp);
+ *  - replay: drive the identical step sequence straight from a tape
+ *    recorded under ANY stack configuration, with zero geometry work.
+ * All SimResult counters derive from the same per-step inputs in every
+ * mode, so record/replay runs are counter-identical to execution.
  */
 
 #ifndef SMS_SIM_TRAVERSAL_SIM_HPP
@@ -30,6 +40,7 @@
 #include "src/memory/memory_system.hpp"
 #include "src/memory/shared_memory.hpp"
 #include "src/sim/gpu_config.hpp"
+#include "src/sim/traversal_tape.hpp"
 #include "src/sim/warp_job.hpp"
 
 namespace sms {
@@ -69,10 +80,18 @@ struct JobCounters
 class TraversalSim
 {
   public:
+    /**
+     * @param record when non-null, append this job's functional
+     *               traversal to the tape while executing
+     * @param replay when non-null, skip the geometry work and drive
+     *               the timing model from the recorded tape instead
+     */
     TraversalSim(const Scene &scene, const WideBvh &bvh,
                  const GpuConfig &config, const WarpJob &job, uint32_t sm,
                  Addr shared_base, Addr local_base, MemorySystem &mem,
-                 SharedMemory &shared_mem, DepthObserver *observer);
+                 SharedMemory &shared_mem, DepthObserver *observer,
+                 JobTape *record = nullptr,
+                 const JobTape *replay = nullptr);
 
     /** True when every lane finished its traversal. */
     bool done() const { return running_lanes_ == 0; }
@@ -114,7 +133,25 @@ class TraversalSim
         bool running = false;
     };
 
-    void finishLaneAndValidate(uint32_t lane_id, bool abandoned);
+    /**
+     * Gather this step's fetch lines and intersection-latency inputs
+     * from the lanes' stack tops (execute/record) or from the tape
+     * (replay).
+     */
+    void collectFetch(bool &has_internal, bool &has_leaf,
+                      uint32_t &max_leaf_prims);
+
+    /**
+     * Apply one lane's traversal update after its pop: geometry work
+     * in execute/record mode, tape-driven in replay mode.
+     * @return true when the lane terminated early (any-hit found)
+     */
+    bool laneStepExecute(uint32_t lane_id, uint64_t top_value,
+                         StackTxnList &txns);
+    bool laneStepReplay(uint32_t lane_id, uint64_t top_value,
+                        StackTxnList &txns);
+
+    void finishLane(uint32_t lane_id, bool abandoned);
     Cycle runStackRounds(Cycle start,
                          const std::array<StackTxnList, kWarpSize> &txns);
 
@@ -135,6 +172,8 @@ class TraversalSim
     MemorySystem &mem_;
     SharedMemory &shared_mem_;
     WarpStackModel stack_;
+    TapeWriter recorder_;
+    TapeCursor cursor_;
 
     std::array<Lane, kWarpSize> lanes_;
     uint32_t running_lanes_ = 0;

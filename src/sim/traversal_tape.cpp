@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Traversal tape: mode selection, process-wide counters, and the
+ * workload fingerprint validating tape/workload pairing.
+ */
+
+#include "src/sim/traversal_tape.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace sms {
+
+namespace {
+
+std::atomic<uint64_t> g_jobs_recorded{0};
+std::atomic<uint64_t> g_jobs_replayed{0};
+std::atomic<uint64_t> g_bytes{0};
+std::atomic<uint64_t> g_disk_loads{0};
+std::atomic<uint64_t> g_disk_stores{0};
+std::atomic<uint64_t> g_failures{0};
+
+uint64_t
+hashU32(uint64_t h, uint32_t v)
+{
+    // One 64-bit mix per word instead of byte-wise FNV: the fingerprint
+    // covers every ray of every job, so it is on the warm replay path.
+    h ^= v;
+    h *= 0x100000001b3ull;
+    h ^= h >> 29;
+    return h;
+}
+
+uint64_t
+hashF32(uint64_t h, float f)
+{
+    uint32_t bits;
+    std::memcpy(&bits, &f, sizeof bits);
+    return hashU32(h, bits);
+}
+
+} // namespace
+
+TapeMode
+traversalTapeMode()
+{
+    const char *env = std::getenv("SMS_TRAVERSAL_TAPE");
+    if (!env || !*env || std::strcmp(env, "mem") == 0)
+        return TapeMode::Mem;
+    if (std::strcmp(env, "off") == 0)
+        return TapeMode::Off;
+    if (std::strcmp(env, "disk") == 0)
+        return TapeMode::Disk;
+    warn("SMS_TRAVERSAL_TAPE='%s' is not a recognized mode (expected "
+         "off, mem or disk); using mem",
+         env);
+    return TapeMode::Mem;
+}
+
+const char *
+tapeModeName(TapeMode mode)
+{
+    switch (mode) {
+    case TapeMode::Off: return "off";
+    case TapeMode::Mem: return "mem";
+    case TapeMode::Disk: return "disk";
+    }
+    return "?";
+}
+
+TraversalTapeStats
+traversalTapeStats()
+{
+    TraversalTapeStats s;
+    s.jobs_recorded = g_jobs_recorded.load();
+    s.jobs_replayed = g_jobs_replayed.load();
+    s.bytes = g_bytes.load();
+    s.disk_loads = g_disk_loads.load();
+    s.disk_stores = g_disk_stores.load();
+    s.failures = g_failures.load();
+    return s;
+}
+
+void
+resetTraversalTapeStats()
+{
+    g_jobs_recorded = 0;
+    g_jobs_replayed = 0;
+    g_bytes = 0;
+    g_disk_loads = 0;
+    g_disk_stores = 0;
+    g_failures = 0;
+}
+
+uint64_t
+workloadFingerprint(const WarpJobList &jobs, const WideBvh &bvh)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    h = hashU32(h, kTraversalTapeVersion);
+    h = hashU32(h, kWarpSize);
+    h = hashU32(h, bvh.rootRef().bits());
+    h = hashU32(h, static_cast<uint32_t>(bvh.nodes().size()));
+    h = hashU32(h, static_cast<uint32_t>(bvh.primIndices().size()));
+    h = hashU32(h, static_cast<uint32_t>(jobs.size()));
+    for (const WarpJob &job : jobs) {
+        h = hashU32(h, job.job_id);
+        h = hashU32(h, job.warp_id);
+        h = hashU32(h, static_cast<uint32_t>(job.parent));
+        h = hashU32(h, job.any_hit ? 1u : 0u);
+        uint32_t mask = 0;
+        for (uint32_t i = 0; i < kWarpSize; ++i)
+            mask |= job.active[i] ? (1u << i) : 0u;
+        h = hashU32(h, mask);
+        for (uint32_t i = 0; i < kWarpSize; ++i) {
+            if (!job.active[i])
+                continue;
+            const Ray &ray = job.rays[i];
+            h = hashF32(h, ray.origin.x);
+            h = hashF32(h, ray.origin.y);
+            h = hashF32(h, ray.origin.z);
+            h = hashF32(h, ray.dir.x);
+            h = hashF32(h, ray.dir.y);
+            h = hashF32(h, ray.dir.z);
+            h = hashF32(h, ray.tMin);
+            h = hashF32(h, ray.tMax);
+        }
+    }
+    return h;
+}
+
+void
+noteTapeRecorded(const TraversalTape &tape)
+{
+    g_jobs_recorded += tape.jobs.size();
+    g_bytes += tape.totalBytes();
+}
+
+void
+noteTapeReplayed(const TraversalTape &tape)
+{
+    g_jobs_replayed += tape.jobs.size();
+}
+
+void
+noteTapeFailure()
+{
+    ++g_failures;
+}
+
+void
+noteTapeDiskLoad()
+{
+    ++g_disk_loads;
+}
+
+void
+noteTapeDiskStore()
+{
+    ++g_disk_stores;
+}
+
+} // namespace sms

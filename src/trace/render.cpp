@@ -29,7 +29,8 @@ prepareWorkload(SceneId id, ScaleProfile profile,
     WideBvh bvh = WideBvh::build(scene);
     RenderOutput render = renderAndBuildJobs(scene, bvh, rp);
     auto workload = std::make_shared<Workload>(
-        id, std::move(scene), std::move(bvh), rp, std::move(render));
+        id, profile, std::move(scene), std::move(bvh), rp,
+        std::move(render));
     if (!cache_dir.empty())
         saveWorkloadSnapshot(cache_dir, *workload, profile, rp);
     return workload;

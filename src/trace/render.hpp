@@ -21,15 +21,17 @@ namespace sms {
 struct Workload
 {
     SceneId id;
+    ScaleProfile profile;
     Scene scene;
     WideBvh bvh;
     RenderParams params;
     RenderOutput render;
 
-    Workload(SceneId id_, Scene scene_, WideBvh bvh_, RenderParams params_,
-             RenderOutput render_)
-        : id(id_), scene(std::move(scene_)), bvh(std::move(bvh_)),
-          params(params_), render(std::move(render_))
+    Workload(SceneId id_, ScaleProfile profile_, Scene scene_,
+             WideBvh bvh_, RenderParams params_, RenderOutput render_)
+        : id(id_), profile(profile_), scene(std::move(scene_)),
+          bvh(std::move(bvh_)), params(params_),
+          render(std::move(render_))
     {}
 };
 

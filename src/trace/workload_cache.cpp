@@ -27,6 +27,7 @@ namespace sms {
 namespace {
 
 constexpr char kMagic[8] = {'S', 'M', 'S', 'W', 'K', 'L', 'D', '1'};
+constexpr char kTapeMagic[8] = {'S', 'M', 'S', 'T', 'A', 'P', 'E', '1'};
 
 std::atomic<uint64_t> g_hits{0};
 std::atomic<uint64_t> g_misses{0};
@@ -659,7 +660,7 @@ loadWorkloadSnapshot(const std::string &dir, SceneId id,
         return invalid("trailing bytes");
 
     ++g_hits;
-    return std::make_shared<Workload>(id, std::move(scene),
+    return std::make_shared<Workload>(id, profile, std::move(scene),
                                       std::move(bvh), params,
                                       std::move(*render));
 }
@@ -697,6 +698,108 @@ saveWorkloadSnapshot(const std::string &dir, const Workload &workload,
         return false;
     }
     ++g_stores;
+    return true;
+}
+
+std::string
+traversalTapePath(const std::string &dir, SceneId id,
+                  ScaleProfile profile, const RenderParams &params)
+{
+    std::string path = workloadSnapshotPath(dir, id, profile, params);
+    // <scene>-<profile>-<hash>.wkld -> .tape
+    path.replace(path.size() - 5, 5, ".tape");
+    return path;
+}
+
+bool
+loadTraversalTape(const std::string &dir, const Workload &workload,
+                  TraversalTape &out)
+{
+    std::string path = traversalTapePath(dir, workload.id,
+                                         workload.profile,
+                                         workload.params);
+    std::string data;
+    if (!readFile(path, data))
+        return false; // quiet miss: never recorded here
+    auto invalid = [&](const char *why) {
+        warn("traversal tape %s: %s; re-recording", path.c_str(), why);
+        noteTapeFailure();
+        return false;
+    };
+
+    if (data.size() < sizeof kTapeMagic + 8 ||
+        std::memcmp(data.data(), kTapeMagic, sizeof kTapeMagic) != 0)
+        return invalid("bad magic");
+    uint64_t stored_sum;
+    std::memcpy(&stored_sum, data.data() + data.size() - 8, 8);
+    if (fnv1a(data.data(), data.size() - 8) != stored_sum)
+        return invalid("checksum mismatch");
+
+    std::string body = data.substr(sizeof kTapeMagic,
+                                   data.size() - sizeof kTapeMagic - 8);
+    Reader r(body);
+    if (r.u32() != kTraversalTapeVersion)
+        return invalid("version mismatch");
+    uint64_t fingerprint = r.u64();
+    if (fingerprint !=
+        workloadFingerprint(workload.render.jobs, workload.bvh))
+        return invalid("workload fingerprint mismatch");
+    uint64_t job_count = r.u64();
+    if (!r.ok() || job_count != workload.render.jobs.size())
+        return invalid("job count mismatch");
+
+    TraversalTape tape;
+    tape.fingerprint = fingerprint;
+    tape.jobs.resize(job_count);
+    for (uint64_t j = 0; r.ok() && j < job_count; ++j) {
+        JobTape &job = tape.jobs[j];
+        job.steps = r.u32();
+        job.mismatches = r.u32();
+        std::string raw = r.str(); // bounds-checked via r.ok()
+        job.bytes.assign(raw.begin(), raw.end());
+    }
+    if (!r.ok() || r.offset() != body.size())
+        return invalid("trailing bytes");
+
+    out = std::move(tape);
+    noteTapeDiskLoad();
+    return true;
+}
+
+bool
+saveTraversalTape(const std::string &dir, const Workload &workload,
+                  const TraversalTape &tape)
+{
+    if (!ensureDir(dir)) {
+        warn("SMS_WORKLOAD_CACHE=%s is not a creatable directory; "
+             "traversal tape not written",
+             dir.c_str());
+        return false;
+    }
+    Writer w;
+    w.u32(kTraversalTapeVersion);
+    w.u64(tape.fingerprint);
+    w.u64(tape.jobs.size());
+    for (const JobTape &job : tape.jobs) {
+        w.u32(job.steps);
+        w.u32(job.mismatches);
+        w.str(std::string(job.bytes.begin(), job.bytes.end()));
+    }
+
+    std::string data(kTapeMagic, sizeof kTapeMagic);
+    data += w.buffer();
+    uint64_t sum = fnv1a(data.data(), data.size());
+    data.append(reinterpret_cast<const char *>(&sum), 8);
+
+    std::string path = traversalTapePath(dir, workload.id,
+                                         workload.profile,
+                                         workload.params);
+    if (!writeFileAtomic(path, data)) {
+        warn("traversal tape %s not written: %s", path.c_str(),
+             std::strerror(errno));
+        return false;
+    }
+    noteTapeDiskStore();
     return true;
 }
 

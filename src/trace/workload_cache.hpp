@@ -31,6 +31,7 @@
 #include <memory>
 #include <string>
 
+#include "src/sim/traversal_tape.hpp"
 #include "src/trace/render.hpp"
 
 namespace sms {
@@ -84,6 +85,33 @@ std::shared_ptr<Workload> loadWorkloadSnapshot(const std::string &dir,
 bool saveWorkloadSnapshot(const std::string &dir,
                           const Workload &workload, ScaleProfile profile,
                           const RenderParams &params);
+
+/**
+ * Traversal-tape file path for a cache key (diagnostics/tests). Tapes
+ * live alongside the .wkld snapshots under the same key because the
+ * tape is a pure function of the prepared workload.
+ */
+std::string traversalTapePath(const std::string &dir, SceneId id,
+                              ScaleProfile profile,
+                              const RenderParams &params);
+
+/**
+ * Load a persisted traversal tape for @p workload into @p out.
+ *
+ * A missing file is a quiet miss; an invalid file (bad magic, version,
+ * checksum, truncation) or one whose fingerprint does not match the
+ * workload's job stream counts a tape failure and is treated as a miss
+ * so the caller re-records (and rewrites) the tape.
+ */
+bool loadTraversalTape(const std::string &dir, const Workload &workload,
+                       TraversalTape &out);
+
+/**
+ * Persist @p tape for @p workload alongside its .wkld snapshot.
+ * @return false (with a warning) on I/O failure.
+ */
+bool saveTraversalTape(const std::string &dir, const Workload &workload,
+                       const TraversalTape &tape);
 
 } // namespace sms
 

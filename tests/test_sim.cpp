@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/stats/report.hpp"
 #include "src/trace/render.hpp"
 
 namespace sms {
@@ -224,6 +225,36 @@ TEST(Sim, MoreSmsFinishFaster)
     SimResult few_r = runWorkload(w, few);
     SimResult many_r = runWorkload(w, many);
     EXPECT_LE(many_r.cycles, few_r.cycles);
+}
+
+TEST(Sim, CyclesCoverZeroLatencyCompletionTies)
+{
+    // Regression: frame cycles are the maximum over ALL event
+    // retirement cycles, not just the event the heap happens to pop
+    // last. A job whose lanes are all inactive retires with zero
+    // latency, tying with whatever else shares its issue cycle —
+    // appending one must never change the reported frame length, and
+    // the seq tie-break must keep the whole result deterministic.
+    const Workload &w = bunnyWorkload();
+    GpuConfig config = makeGpuConfig(StackConfig::sms());
+
+    SimResult base = simulateJobs(w.scene, w.bvh, w.render.jobs, config);
+
+    WarpJobList padded = w.render.jobs;
+    WarpJob idle;
+    idle.job_id = static_cast<uint32_t>(padded.size());
+    idle.warp_id = padded.back().warp_id + 1;
+    padded.push_back(idle);
+
+    SimResult with_idle = simulateJobs(w.scene, w.bvh, padded, config);
+    EXPECT_EQ(with_idle.cycles, base.cycles);
+    EXPECT_EQ(with_idle.instructions, base.instructions);
+    EXPECT_EQ(with_idle.jobs, base.jobs + 1);
+
+    // Exact-JSON determinism across repeated runs, including the
+    // padded job list where completion ties are guaranteed.
+    SimResult again = simulateJobs(w.scene, w.bvh, padded, config);
+    EXPECT_EQ(toJson(with_idle).dump(), toJson(again).dump());
 }
 
 TEST(Sim, EmptyJobListCompletes)

@@ -1,0 +1,412 @@
+/**
+ * @file
+ * Tests for the traversal tape: encoding round-trips, the
+ * record-then-replay counter-identity guarantee (the tentpole property:
+ * a tape recorded under any stack configuration drives a timing run
+ * whose SimResult is byte-identical to full execution under every other
+ * configuration), the sweep-level tape modes, and on-disk persistence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+#include <string>
+#include <sys/stat.h>
+#include <unistd.h>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "src/sim/traversal_tape.hpp"
+#include "src/stats/report.hpp"
+#include "src/trace/render.hpp"
+#include "src/trace/workload_cache.hpp"
+
+namespace sms {
+namespace {
+
+/** RAII environment-variable override. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name_(name)
+    {
+        const char *old = std::getenv(name);
+        had_old_ = old != nullptr;
+        if (had_old_)
+            old_ = old;
+        if (value)
+            ::setenv(name, value, 1);
+        else
+            ::unsetenv(name);
+    }
+    ~ScopedEnv()
+    {
+        if (had_old_)
+            ::setenv(name_, old_.c_str(), 1);
+        else
+            ::unsetenv(name_);
+    }
+
+  private:
+    const char *name_;
+    bool had_old_;
+    std::string old_;
+};
+
+/** Fresh per-test cache directory, removed on destruction. */
+class TempCacheDir
+{
+  public:
+    TempCacheDir()
+        : path_("/tmp/sms_tape_test_" +
+                std::to_string(static_cast<long>(::getpid())) + "_" +
+                std::to_string(counter_++))
+    {
+        std::string cmd = "rm -rf '" + path_ + "'";
+        [[maybe_unused]] int rc = std::system(cmd.c_str());
+    }
+    ~TempCacheDir()
+    {
+        std::string cmd = "rm -rf '" + path_ + "'";
+        [[maybe_unused]] int rc = std::system(cmd.c_str());
+    }
+    const std::string &path() const { return path_; }
+
+  private:
+    static int counter_;
+    std::string path_;
+};
+
+int TempCacheDir::counter_ = 0;
+
+/** Full machine-readable dump — the strictest SimResult equality. */
+std::string
+resultJson(const SimResult &r)
+{
+    return toJson(r).dump();
+}
+
+std::shared_ptr<Workload>
+tinyWorkload(SceneId id)
+{
+    RenderParams params = RenderParams::forScene(id);
+    params.width = 24;
+    params.height = 18;
+    params.max_bounces = 2;
+    return prepareWorkload(id, ScaleProfile::Tiny, &params);
+}
+
+TEST(TraversalTape, FetchPhaseRoundTrip)
+{
+    JobTape tape;
+    TapeWriter writer(&tape);
+    std::vector<std::pair<Addr, TrafficClass>> lines = {
+        {0 * kLineBytes, TrafficClass::Node},
+        {3 * kLineBytes, TrafficClass::Node},
+        {4 * kLineBytes, TrafficClass::Primitive},
+        {1000 * kLineBytes, TrafficClass::Stack},
+    };
+    writer.fetchPhase(lines, true, true, 17);
+    writer.fetchPhase({}, false, true, 63);
+    EXPECT_EQ(tape.steps, 2u);
+
+    TapeCursor cursor(&tape);
+    std::vector<std::pair<Addr, TrafficClass>> got;
+    bool has_internal = false, has_leaf = false;
+    uint32_t max_prims = 0;
+    cursor.fetchPhase(got, has_internal, has_leaf, max_prims);
+    EXPECT_EQ(got, lines);
+    EXPECT_TRUE(has_internal);
+    EXPECT_TRUE(has_leaf);
+    EXPECT_EQ(max_prims, 17u);
+
+    cursor.fetchPhase(got, has_internal, has_leaf, max_prims);
+    EXPECT_TRUE(got.empty());
+    EXPECT_FALSE(has_internal);
+    EXPECT_TRUE(has_leaf);
+    EXPECT_EQ(max_prims, 63u);
+    EXPECT_TRUE(cursor.atEnd());
+}
+
+TEST(TraversalTape, LaneActionRoundTrip)
+{
+    JobTape tape;
+    TapeWriter writer(&tape);
+
+    // Internal visit pushing ChildRef bit patterns whose 2-bit kind
+    // lives in the high bits — the kind-swizzle must restore them
+    // exactly.
+    uint64_t pushes[3] = {
+        (1ull << 30) | 5,        // internal node 5
+        (2ull << 30) | (77 << 6) | 3, // leaf, offset 77, count 3
+        (1ull << 30) | 0x3fffffff,    // max internal index
+    };
+    writer.internalVisit(6, pushes, 3);
+    writer.leafVisit(9, true);
+    writer.leafVisit(2, false);
+
+    TapeCursor cursor(&tape);
+    TapeCursor::LaneAction a = cursor.laneAction();
+    EXPECT_FALSE(a.is_leaf);
+    EXPECT_EQ(a.tests, 6u);
+    EXPECT_EQ(a.pushes, 3u);
+    for (uint32_t i = 0; i < 3; ++i)
+        EXPECT_EQ(cursor.pushValue(), pushes[i]);
+
+    a = cursor.laneAction();
+    EXPECT_TRUE(a.is_leaf);
+    EXPECT_TRUE(a.abandoned);
+    EXPECT_EQ(a.tests, 9u);
+
+    a = cursor.laneAction();
+    EXPECT_TRUE(a.is_leaf);
+    EXPECT_FALSE(a.abandoned);
+    EXPECT_EQ(a.tests, 2u);
+    EXPECT_TRUE(cursor.atEnd());
+}
+
+TEST(TraversalTape, RecordThenReplayIsCounterIdentical)
+{
+    auto w = tinyWorkload(SceneId::REF);
+
+    TraversalTape tape;
+    SimOptions record;
+    record.record_tape = &tape;
+    GpuConfig record_config = makeGpuConfig(StackConfig::baseline(8));
+    SimResult recorded = runWorkload(*w, record_config, record);
+
+    EXPECT_EQ(tape.jobs.size(), w->render.jobs.size());
+    EXPECT_EQ(tape.fingerprint,
+              workloadFingerprint(w->render.jobs, w->bvh));
+    EXPECT_GT(tape.totalBytes(), 0u);
+
+    // The recording run itself must not perturb the timing result.
+    EXPECT_EQ(resultJson(recorded),
+              resultJson(runWorkload(*w, record_config)));
+
+    // A tape recorded under RB_8 replays counter-identically under
+    // every other stack configuration.
+    const StackConfig configs[] = {
+        StackConfig::baseline(8),  StackConfig::baseline(2),
+        StackConfig::withSh(8, 8), StackConfig::sms(),
+        StackConfig::rbFull(),
+    };
+    for (const StackConfig &stack : configs) {
+        GpuConfig config = makeGpuConfig(stack);
+        SimOptions replay;
+        replay.replay_tape = &tape;
+        SimResult executed = runWorkload(*w, config);
+        SimResult replayed = runWorkload(*w, config, replay);
+        EXPECT_EQ(resultJson(executed), resultJson(replayed))
+            << "replay diverged under " << stack.name();
+    }
+}
+
+TEST(TraversalTape, ReplayMatchesExecutionAcrossRandomConfigs)
+{
+    // Property: for randomized (scene, recording config, replay config,
+    // L1 size) combinations, execution-driven and tape-replayed timing
+    // runs produce byte-identical SimResults.
+    std::mt19937 rng(20250806);
+    const SceneId scenes[] = {SceneId::REF, SceneId::WKND};
+    const uint32_t rbs[] = {2, 4, 8};
+    const uint32_t shs[] = {0, 4, 8};
+
+    auto random_config = [&]() {
+        uint32_t rb = rbs[rng() % 3];
+        uint32_t sh = shs[rng() % 3];
+        if (sh == 0)
+            return rng() % 4 == 0 ? StackConfig::rbFull()
+                                  : StackConfig::baseline(rb);
+        bool sk = rng() % 2 == 0;
+        bool ra = rng() % 2 == 0;
+        return StackConfig::withSh(rb, sh, sk, ra);
+    };
+
+    for (SceneId id : scenes) {
+        auto w = tinyWorkload(id);
+
+        TraversalTape tape;
+        SimOptions record;
+        record.record_tape = &tape;
+        runWorkload(*w, makeGpuConfig(random_config()), record);
+
+        for (int trial = 0; trial < 4; ++trial) {
+            StackConfig stack = random_config();
+            uint64_t l1 = rng() % 2 == 0 ? 0 : 16 * 1024;
+            GpuConfig config = makeGpuConfig(stack, l1);
+            SimOptions replay;
+            replay.replay_tape = &tape;
+            SimResult executed = runWorkload(*w, config);
+            SimResult replayed = runWorkload(*w, config, replay);
+            EXPECT_EQ(resultJson(executed), resultJson(replayed))
+                << sceneName(id) << " trial " << trial << " under "
+                << stack.name();
+        }
+    }
+}
+
+TEST(TraversalTape, SweepGridsIdenticalAcrossModesAndThreads)
+{
+    std::vector<std::shared_ptr<Workload>> workloads = {
+        tinyWorkload(SceneId::REF), tinyWorkload(SceneId::WKND)};
+    std::vector<StackConfig> configs = {
+        StackConfig::baseline(8), StackConfig::withSh(8, 8),
+        StackConfig::sms()};
+
+    auto grid_json = [&](const char *mode, unsigned threads) {
+        ScopedEnv env("SMS_TRAVERSAL_TAPE", mode);
+        benchutil::SweepResult sweep =
+            benchutil::runSweep(workloads, configs, {}, threads);
+        std::string all;
+        for (const auto &row : sweep.results)
+            for (const SimResult &r : row)
+                all += resultJson(r) + "\n";
+        return all;
+    };
+
+    resetTraversalTapeStats();
+    std::string off = grid_json("off", 1);
+    EXPECT_EQ(traversalTapeStats().jobs_recorded, 0u);
+
+    std::string mem1 = grid_json("mem", 1);
+    TraversalTapeStats stats = traversalTapeStats();
+    EXPECT_GT(stats.jobs_recorded, 0u);
+    EXPECT_GT(stats.jobs_replayed, 0u);
+    EXPECT_GT(stats.bytes, 0u);
+    EXPECT_EQ(stats.failures, 0u);
+
+    std::string mem3 = grid_json("mem", 3);
+
+    EXPECT_EQ(off, mem1);
+    EXPECT_EQ(off, mem3);
+}
+
+TEST(TraversalTape, DiskTapePersistsAndReplaysAcrossRuns)
+{
+    TempCacheDir dir;
+    ScopedEnv cache_env("SMS_WORKLOAD_CACHE", dir.path().c_str());
+    ScopedEnv tape_env("SMS_TRAVERSAL_TAPE", "disk");
+
+    std::vector<std::shared_ptr<Workload>> workloads = {
+        tinyWorkload(SceneId::REF)};
+    std::vector<StackConfig> configs = {StackConfig::baseline(8),
+                                        StackConfig::sms()};
+
+    resetTraversalTapeStats();
+    benchutil::SweepResult cold =
+        benchutil::runSweep(workloads, configs, {}, 1);
+    TraversalTapeStats after_cold = traversalTapeStats();
+    EXPECT_GT(after_cold.jobs_recorded, 0u);
+    EXPECT_EQ(after_cold.disk_loads, 0u);
+    EXPECT_EQ(after_cold.disk_stores, 1u);
+
+    std::string tape_path =
+        traversalTapePath(dir.path(), workloads[0]->id,
+                          workloads[0]->profile, workloads[0]->params);
+    struct stat st{};
+    ASSERT_EQ(::stat(tape_path.c_str(), &st), 0)
+        << "tape not written to " << tape_path;
+
+    // Second sweep: every cell (including the first) replays from disk.
+    resetTraversalTapeStats();
+    benchutil::SweepResult warm =
+        benchutil::runSweep(workloads, configs, {}, 1);
+    TraversalTapeStats after_warm = traversalTapeStats();
+    EXPECT_EQ(after_warm.jobs_recorded, 0u);
+    EXPECT_EQ(after_warm.disk_loads, 1u);
+    EXPECT_GT(after_warm.jobs_replayed, 0u);
+
+    for (size_t c = 0; c < configs.size(); ++c)
+        EXPECT_EQ(resultJson(cold.results[0][c]),
+                  resultJson(warm.results[0][c]));
+}
+
+TEST(TraversalTape, CorruptDiskTapeIsReRecordedNotTrusted)
+{
+    TempCacheDir dir;
+    ScopedEnv cache_env("SMS_WORKLOAD_CACHE", dir.path().c_str());
+    ScopedEnv tape_env("SMS_TRAVERSAL_TAPE", "disk");
+
+    std::vector<std::shared_ptr<Workload>> workloads = {
+        tinyWorkload(SceneId::REF)};
+    std::vector<StackConfig> configs = {StackConfig::baseline(8),
+                                        StackConfig::sms()};
+
+    benchutil::SweepResult cold =
+        benchutil::runSweep(workloads, configs, {}, 1);
+    std::string tape_path =
+        traversalTapePath(dir.path(), workloads[0]->id,
+                          workloads[0]->profile, workloads[0]->params);
+
+    // Flip one byte in the middle of the tape.
+    std::FILE *f = std::fopen(tape_path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    long size = std::ftell(f);
+    ASSERT_GT(size, 32);
+    std::fseek(f, size / 2, SEEK_SET);
+    int c = std::fgetc(f);
+    std::fseek(f, size / 2, SEEK_SET);
+    std::fputc(c ^ 0xff, f);
+    std::fclose(f);
+
+    resetTraversalTapeStats();
+    benchutil::SweepResult rebuilt =
+        benchutil::runSweep(workloads, configs, {}, 1);
+    TraversalTapeStats stats = traversalTapeStats();
+    EXPECT_EQ(stats.failures, 1u);
+    EXPECT_GT(stats.jobs_recorded, 0u); // re-recorded from scratch
+    EXPECT_EQ(stats.disk_stores, 1u);   // tape rewritten
+
+    for (size_t c2 = 0; c2 < configs.size(); ++c2)
+        EXPECT_EQ(resultJson(cold.results[0][c2]),
+                  resultJson(rebuilt.results[0][c2]));
+
+    // The rewritten tape validates again.
+    resetTraversalTapeStats();
+    benchutil::runSweep(workloads, configs, {}, 1);
+    EXPECT_EQ(traversalTapeStats().disk_loads, 1u);
+    EXPECT_EQ(traversalTapeStats().failures, 0u);
+}
+
+TEST(TraversalTape, MismatchedTapeFailsFingerprintCheck)
+{
+    TempCacheDir dir;
+    auto ref = tinyWorkload(SceneId::REF);
+    auto wknd = tinyWorkload(SceneId::WKND);
+
+    TraversalTape tape;
+    SimOptions record;
+    record.record_tape = &tape;
+    runWorkload(*ref, makeGpuConfig(StackConfig::baseline(8)), record);
+    ASSERT_TRUE(saveTraversalTape(dir.path(), *ref, tape));
+
+    // A tape saved for REF must not validate against WKND even if the
+    // file is copied onto WKND's key.
+    std::string ref_path = traversalTapePath(
+        dir.path(), ref->id, ref->profile, ref->params);
+    std::string wknd_path = traversalTapePath(
+        dir.path(), wknd->id, wknd->profile, wknd->params);
+    std::string cmd = "cp '" + ref_path + "' '" + wknd_path + "'";
+    ASSERT_EQ(std::system(cmd.c_str()), 0);
+
+    resetTraversalTapeStats();
+    TraversalTape loaded;
+    EXPECT_FALSE(loadTraversalTape(dir.path(), *wknd, loaded));
+    EXPECT_EQ(traversalTapeStats().failures, 1u);
+
+    // The genuine key still loads.
+    EXPECT_TRUE(loadTraversalTape(dir.path(), *ref, loaded));
+    EXPECT_EQ(loaded.fingerprint, tape.fingerprint);
+    EXPECT_EQ(loaded.jobs.size(), tape.jobs.size());
+    for (size_t j = 0; j < tape.jobs.size(); ++j) {
+        EXPECT_EQ(loaded.jobs[j].bytes, tape.jobs[j].bytes);
+        EXPECT_EQ(loaded.jobs[j].steps, tape.jobs[j].steps);
+    }
+}
+
+} // namespace
+} // namespace sms

@@ -124,6 +124,20 @@ checkThroughput(const char *path)
                  {"hits", "misses", "stores", "failures"})
                 requireFinite(*cache, "throughput.workload_cache", field);
         }
+        const JsonValue *tape = throughput->find("traversal_tape");
+        if (!tape) {
+            std::printf("  missing throughput.traversal_tape object\n");
+            ok = false;
+        } else {
+            if (!tape->find("mode")) {
+                std::printf("  missing throughput.traversal_tape.mode\n");
+                ok = false;
+            }
+            for (const char *field :
+                 {"jobs_recorded", "jobs_replayed", "bytes",
+                  "disk_loads", "disk_stores", "failures"})
+                requireFinite(*tape, "throughput.traversal_tape", field);
+        }
     }
     std::string fig = rec.stringOr("figure", "?");
     if (ok) {
