@@ -26,6 +26,7 @@
 #include "src/stats/histogram.hpp"
 #include "src/stats/report.hpp"
 #include "src/stats/table.hpp"
+#include "src/stats/timeline.hpp"
 #include "src/trace/render.hpp"
 #include "src/trace/workload_cache.hpp"
 #include "src/util/check.hpp"
@@ -105,12 +106,31 @@ scenesFromEnv()
 inline std::vector<std::shared_ptr<Workload>>
 prepareAllScenes(ScaleProfile profile = profileFromEnv())
 {
+    timelineInitFromEnv();
     auto start = std::chrono::steady_clock::now();
     const auto ids = scenesFromEnv();
     std::vector<std::shared_ptr<Workload>> workloads(ids.size());
+    const bool tl = timelineOn(TimelineCategory::Sweep);
+    uint32_t tl_pid = 0;
+    uint64_t tl_start = 0;
+    if (tl) {
+        tl_pid = timelineNewProcess("prepare (wall-clock us)");
+        tl_start = timelineWallMicros();
+    }
     parallelFor(ids.size(), [&](size_t i) {
+        uint64_t t0 = tl ? timelineWallMicros() : 0;
         workloads[i] = prepareWorkload(ids[i], profile);
+        if (tl) {
+            uint32_t tid = static_cast<uint32_t>(i) + 1;
+            timelineNameThread(tl_pid, tid, sceneName(ids[i]));
+            timelineSpanAt(TimelineCategory::Sweep, "prepare_scene",
+                           tl_pid, tid, t0, timelineWallMicros() - t0);
+        }
     });
+    if (tl)
+        timelineSpanAt(TimelineCategory::Sweep, "prepare", tl_pid, 0,
+                       tl_start, timelineWallMicros() - tl_start,
+                       ids.size(), "scenes");
     g_last_prepare_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
@@ -161,7 +181,15 @@ runSweep(const std::vector<std::shared_ptr<Workload>> &workloads,
          const std::vector<uint64_t> &l1_overrides = {},
          unsigned threads = 0)
 {
+    timelineInitFromEnv();
     auto start = std::chrono::steady_clock::now();
+    const bool tl = timelineOn(TimelineCategory::Sweep);
+    uint32_t tl_pid = 0;
+    uint64_t tl_start = 0;
+    if (tl) {
+        tl_pid = timelineNewProcess("sweep (wall-clock us)");
+        tl_start = timelineWallMicros();
+    }
     SweepResult sweep;
     sweep.configs = configs;
     sweep.l1_overrides = l1_overrides.empty()
@@ -177,6 +205,7 @@ runSweep(const std::vector<std::shared_ptr<Workload>> &workloads,
     auto runCell = [&](size_t s, size_t c, const SimOptions &options) {
         GpuConfig config =
             makeGpuConfig(configs[c], sweep.l1_overrides[c]);
+        uint64_t t0 = tl ? timelineWallMicros() : 0;
         auto cell_start = std::chrono::steady_clock::now();
         sweep.results[s][c] =
             runWorkload(*workloads[s], config, options);
@@ -184,6 +213,19 @@ runSweep(const std::vector<std::shared_ptr<Workload>> &workloads,
             std::chrono::duration<double>(
                 std::chrono::steady_clock::now() - cell_start)
                 .count();
+        if (tl) {
+            // One wall-clock row per sweep cell; the cell's simulated
+            // cycles ride along so the two clock domains can be tied
+            // together when reading the trace.
+            uint32_t tid =
+                static_cast<uint32_t>(s * configs.size() + c) + 1;
+            timelineNameThread(tl_pid, tid,
+                               sweep.sceneLabel(s) + " " +
+                                   configs[c].name());
+            timelineSpanAt(TimelineCategory::Sweep, "cell", tl_pid, tid,
+                           t0, timelineWallMicros() - t0,
+                           sweep.results[s][c].cycles, "sim_cycles");
+        }
     };
 
     TapeMode tape_mode = traversalTapeMode();
@@ -242,6 +284,10 @@ runSweep(const std::vector<std::shared_ptr<Workload>> &workloads,
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
             .count();
+    if (tl)
+        timelineSpanAt(TimelineCategory::Sweep, "sweep", tl_pid, 0,
+                       tl_start, timelineWallMicros() - tl_start,
+                       workloads.size() * configs.size(), "cells");
     return sweep;
 }
 
@@ -358,6 +404,7 @@ class JsonReporter
     JsonReporter(const std::string &figure, int &argc, char **argv)
         : figure_(figure), start_(std::chrono::steady_clock::now())
     {
+        timelineInitFromEnv();
         std::string spec = consumeFlag(argc, argv);
         if (spec.empty()) {
             const char *env = std::getenv("SMS_JSON");
@@ -413,6 +460,12 @@ class JsonReporter
                 cell["sim_cycles_per_sec"] =
                     wall > 0.0 ? static_cast<double>(r.cycles) / wall
                                : 0.0;
+                // When a timeline trace was recorded, name the trace
+                // process holding this cell's cycle-domain tracks.
+                if (timelineAnyOn())
+                    cell["timeline_process"] =
+                        sweep.sceneLabel(s) + " " +
+                        sweep.configs[c].name() + " (cycles)";
                 cells.push(std::move(cell));
                 sim_cycles_total_ += r.cycles;
                 ++cells_total_;
@@ -502,6 +555,14 @@ class JsonReporter
         tape_json["disk_stores"] = tape.disk_stores;
         tape_json["failures"] = tape.failures;
         throughput["traversal_tape"] = std::move(tape_json);
+        TimelineStats tls = timelineStats();
+        JsonValue tl_json = JsonValue::object();
+        tl_json["enabled"] = tls.enabled;
+        tl_json["path"] = tls.path;
+        tl_json["categories"] = timelineCategoryList(tls.categories);
+        tl_json["events_recorded"] = tls.events_recorded;
+        tl_json["events_dropped"] = tls.events_dropped;
+        throughput["timeline"] = std::move(tl_json);
         record_["throughput"] = std::move(throughput);
 
         std::string error;
@@ -509,6 +570,17 @@ class JsonReporter
             warn("JSON record not written: %s", error.c_str());
         else
             std::printf("\njson record appended to %s\n", path_.c_str());
+
+        // Flush the timeline now rather than from the atexit hook so
+        // the path is announced next to the record it belongs to.
+        if (tls.enabled && !tls.path.empty()) {
+            std::string tl_error;
+            if (!timelineExport(tl_error))
+                warn("timeline trace not written: %s", tl_error.c_str());
+            else
+                std::printf("timeline trace written to %s\n",
+                            tls.path.c_str());
+        }
     }
 
   private:

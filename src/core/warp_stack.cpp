@@ -7,6 +7,7 @@
 
 #include <algorithm>
 
+#include "src/stats/timeline.hpp"
 #include "src/util/check.hpp"
 
 namespace sms {
@@ -104,6 +105,9 @@ WarpStackModel::push(uint32_t lane, uint64_t value, StackTxnList &txns)
     ls.rb.push_back(value);
     ++ls.depth;
     ++stats_.pushes;
+    if (timelineOn(TimelineCategory::StackOps))
+        timelineInstantNow(TimelineCategory::StackOps, "push", ls.depth,
+                           "depth");
     if (ls.depth > stats_.max_logical_depth)
         stats_.max_logical_depth = ls.depth;
     observe(lane);
@@ -118,9 +122,15 @@ WarpStackModel::spillFromRb(uint32_t lane, StackTxnList &txns)
     ++stats_.rb_spills;
     if (config_.hasShStack()) {
         ++stats_.rb_spills_to_sh;
+        if (timelineOn(TimelineCategory::Stack))
+            timelineInstantNow(TimelineCategory::Stack, "spill_rb_to_sh",
+                               lane, "lane");
         shPushTop(lane, oldest, txns);
     } else {
         ++stats_.rb_spills_to_global;
+        if (timelineOn(TimelineCategory::Stack))
+            timelineInstantNow(TimelineCategory::Stack,
+                               "spill_rb_to_global", lane, "lane");
         pushGlobal(lane, oldest, txns);
     }
 }
@@ -152,6 +162,9 @@ WarpStackModel::shPushTop(uint32_t lane, uint64_t value, StackTxnList &txns)
                 bool flushed = tryFlushBottom(lane, txns, true);
                 SMS_ASSERT(flushed, "forced flush failed");
                 ++stats_.forced_flushes;
+                if (timelineOn(TimelineCategory::Stack))
+                    timelineInstantNow(TimelineCategory::Stack,
+                                       "forced_flush", lane, "lane");
                 resolved = true;
             }
         }
@@ -292,6 +305,9 @@ WarpStackModel::tryBorrow(uint32_t lane)
         seg.bottom = seg.base;
         lanes_[lane].chain.push_back(owner);
         ++stats_.borrows;
+        if (timelineOn(TimelineCategory::Stack))
+            timelineInstantNow(TimelineCategory::Stack, "borrow",
+                               lanes_[lane].chain.size(), "chain_len");
         uint32_t len = static_cast<uint32_t>(lanes_[lane].chain.size());
         if (len >= kBorrowChainBuckets)
             len = kBorrowChainBuckets - 1;
@@ -344,6 +360,9 @@ WarpStackModel::tryFlushBottom(uint32_t lane, StackTxnList &txns,
     ++seg.flushes;
     ++stats_.flushes;
     stats_.flushed_entries += flushed;
+    if (timelineOn(TimelineCategory::Stack))
+        timelineInstantNow(TimelineCategory::Stack, "flush", flushed,
+                           "entries");
 
     if (ls.chain.size() > 1) {
         ls.chain.erase(ls.chain.begin());
@@ -381,6 +400,9 @@ WarpStackModel::singleMoveToGlobal(uint32_t lane, StackTxnList &txns)
     }
     pushGlobal(lane, value, txns);
     ++stats_.single_moves;
+    if (timelineOn(TimelineCategory::Stack))
+        timelineInstantNow(TimelineCategory::Stack, "single_move", lane,
+                           "lane");
 }
 
 void
@@ -425,6 +447,9 @@ WarpStackModel::pop(uint32_t lane, uint64_t &value, StackTxnList &txns)
     ls.rb.pop_back();
     --ls.depth;
     ++stats_.pops;
+    if (timelineOn(TimelineCategory::StackOps))
+        timelineInstantNow(TimelineCategory::StackOps, "pop", ls.depth,
+                           "depth");
 
     // Eager refill (Fig. 7 steps 2/5/6). sh_count > 0 implies an SH
     // stack exists, so no separate hasShStack() check is needed.
@@ -433,6 +458,9 @@ WarpStackModel::pop(uint32_t lane, uint64_t &value, StackTxnList &txns)
         ls.rb.push_front(from_sh);
         ++stats_.rb_refills;
         ++stats_.rb_refills_from_sh;
+        if (timelineOn(TimelineCategory::Stack))
+            timelineInstantNow(TimelineCategory::Stack, "refill_from_sh",
+                               lane, "lane");
         if (!ls.global.empty() && shBottomHasSpace(lane)) {
             uint64_t from_global = popGlobal(lane, txns);
             shPushBottom(lane, from_global, txns);
@@ -442,6 +470,9 @@ WarpStackModel::pop(uint32_t lane, uint64_t &value, StackTxnList &txns)
         ls.rb.push_front(from_global);
         ++stats_.rb_refills;
         ++stats_.rb_refills_from_global;
+        if (timelineOn(TimelineCategory::Stack))
+            timelineInstantNow(TimelineCategory::Stack,
+                               "refill_from_global", lane, "lane");
     }
     return true;
 }

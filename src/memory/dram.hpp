@@ -13,6 +13,7 @@
 #define SMS_MEMORY_DRAM_HPP
 
 #include "src/memory/request.hpp"
+#include "src/stats/timeline.hpp"
 
 namespace sms {
 
@@ -67,6 +68,13 @@ class Dram
     access(Cycle now, bool write, TrafficClass cls)
     {
         Cycle start = now > next_free_ ? now : next_free_;
+        if (timelineOn(TimelineCategory::Dram)) {
+            timelineCounter(TimelineCategory::Dram, "dram_backlog", now,
+                            start - now);
+            if (start > now)
+                timelineSpan(TimelineCategory::Dram, "dram_wait", now,
+                             start - now);
+        }
         stats_.queue_wait_cycles += start - now;
         if (start - now > stats_.max_queue_wait)
             stats_.max_queue_wait = start - now;

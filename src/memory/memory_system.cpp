@@ -5,6 +5,7 @@
 
 #include "src/memory/memory_system.hpp"
 
+#include "src/stats/timeline.hpp"
 #include "src/util/check.hpp"
 
 namespace sms {
@@ -92,13 +93,22 @@ MemorySystem::accessLine(uint32_t sm, Addr line_addr, bool write,
     Cache::Result l2r = l2_->access(line_addr, write, cls);
     if (l2r.evicted_dirty)
         dram_->access(l2_start, true, cls);
-    if (l2r.hit)
+    if (l2r.hit) {
+        if (timelineOn(TimelineCategory::Cache))
+            timelineSpan(TimelineCategory::Cache, "l1_miss", start,
+                         config_.l2_latency,
+                         static_cast<uint64_t>(cls), "class");
         return start + config_.l2_latency;
+    }
 
     // L2 miss: fetch the line from DRAM. A store that misses still
     // fetches (write-allocate).
     Cycle data_ready = dram_->access(l2_start, false, cls);
-    return data_ready + (config_.l2_latency - config_.l1_latency);
+    Cycle done = data_ready + (config_.l2_latency - config_.l1_latency);
+    if (timelineOn(TimelineCategory::Cache))
+        timelineSpan(TimelineCategory::Cache, "l2_miss", start,
+                     done - start, static_cast<uint64_t>(cls), "class");
+    return done;
 }
 
 Cycle

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <array>
 
+#include "src/stats/timeline.hpp"
 #include "src/util/check.hpp"
 
 namespace sms {
@@ -64,6 +65,9 @@ SharedMemory::access(Cycle now, const std::vector<SharedLaneRequest> &lanes)
     // The access occupies the shared-memory pipeline for one cycle per
     // pass; data returns after the base latency on top of the last pass.
     next_free_ = start + passes;
+    if (passes > 1 && timelineOn(TimelineCategory::Shmem))
+        timelineSpan(TimelineCategory::Shmem, "bank_conflict", start,
+                     passes - 1, passes, "passes");
     return start + passes - 1 + base_latency_;
 }
 

@@ -8,8 +8,10 @@
 #include <algorithm>
 #include <memory>
 #include <queue>
+#include <string>
 
 #include "src/sim/traversal_tape.hpp"
+#include "src/stats/timeline.hpp"
 #include "src/util/check.hpp"
 
 namespace sms {
@@ -96,6 +98,18 @@ simulateJobs(const Scene &scene, const WideBvh &bvh,
     MemorySystem mem(config.resolvedMemConfig(), config.num_sms);
     std::vector<SharedMemory> shared_mems(
         config.num_sms, SharedMemory(config.shared_latency));
+
+    // Timeline: this run is one trace process; each (SM, warp slot)
+    // pair is a thread track. Deep layers (stack model, caches, DRAM)
+    // read the context this loop maintains.
+    const bool tl = timelineAnyOn();
+    uint32_t tl_pid = 0;
+    if (tl) {
+        tl_pid = timelineNewProcess(options.timeline_label.empty()
+                                        ? "simulate (cycles)"
+                                        : options.timeline_label);
+        timelineContext().pid = tl_pid;
+    }
 
     // Flat sorted lookup instead of a node-based std::set: the traced
     // set is tiny and checked once per admitted job.
@@ -208,6 +222,11 @@ simulateJobs(const Scene &scene, const WideBvh &bvh,
         fl.job_index = job_index;
         fl.slot = slot;
         fl.in_stack_phase = false;
+        if (tl)
+            timelineNameThread(
+                tl_pid, sm_id * config.max_warps_per_rt + slot,
+                "SM" + std::to_string(sm_id) + " slot" +
+                    std::to_string(slot));
         fl.collector = std::make_unique<DepthCollector>(
             result, job.warp_id, warp_traced(job.warp_id));
         fl.sim = std::make_unique<TraversalSim>(
@@ -244,6 +263,12 @@ simulateJobs(const Scene &scene, const WideBvh &bvh,
         (void)event_seq;
         events.pop();
         InFlight &fl = inflight[idx];
+        if (tl) {
+            TimelineContext &ctx = timelineContext();
+            ctx.tid = sm_of(fl.job_index) * config.max_warps_per_rt +
+                      fl.slot;
+            ctx.now = cycle;
+        }
 
         // The frame ends at the latest *event* retirement, not merely
         // the latest job completion: a zero-latency completion tie
@@ -343,6 +368,13 @@ simulateJobs(const Scene &scene, const WideBvh &bvh,
         noteTapeRecorded(*record);
     if (replay)
         noteTapeReplayed(*replay);
+    if (tl) {
+        // Stray emissions after this run fall back to the harness pid.
+        TimelineContext &ctx = timelineContext();
+        ctx.pid = 0;
+        ctx.tid = 0;
+        ctx.now = 0;
+    }
     return result;
 }
 

@@ -10,6 +10,7 @@
 #define SMS_SIM_GPU_SIM_HPP
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/bvh/wide_bvh.hpp"
@@ -51,6 +52,13 @@ struct SimOptions
      * record_tape.
      */
     const TraversalTape *replay_tape = nullptr;
+
+    /**
+     * Timeline track name for this run ("scene config"); one trace
+     * process per simulateJobs() call. Empty picks a generic name.
+     * Only consulted when the timeline tracer is enabled.
+     */
+    std::string timeline_label;
 };
 
 /** Aggregated outcome of one simulated frame. */

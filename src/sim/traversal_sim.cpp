@@ -9,6 +9,7 @@
 #include <cmath>
 #include <vector>
 
+#include "src/stats/timeline.hpp"
 #include "src/util/check.hpp"
 
 namespace sms {
@@ -177,6 +178,14 @@ TraversalSim::stepFetch(Cycle now)
     Cycle op_done = fetch_done + op_latency;
     counters_.fetch_cycles += fetch_done - now;
     counters_.op_cycles += op_latency;
+    if (timelineOn(TimelineCategory::Sim)) {
+        if (fetch_done > now)
+            timelineSpan(TimelineCategory::Sim, "fetch", now,
+                         fetch_done - now, fetch_lines_.size(), "lines");
+        if (op_latency > 0)
+            timelineSpan(TimelineCategory::Sim, "intersect", fetch_done,
+                         op_latency);
+    }
     return op_done;
 }
 
@@ -260,6 +269,13 @@ TraversalSim::stepStack(Cycle now)
     // manager must have drained the previous iteration's chain first.
     // ------------------------------------------------------------------
     Cycle start = now > manager_free_ ? now : manager_free_;
+    if (timelineAnyOn()) {
+        if (start > now)
+            timelineSpan(TimelineCategory::Stack, "mgr_stall", now,
+                         start - now);
+        // Stack-transition instants below stamp at the phase start.
+        timelineContext().now = start;
+    }
     std::array<StackTxnList, kWarpSize> &txns = txn_scratch_;
     for (StackTxnList &list : txns)
         list.clear();
@@ -306,7 +322,15 @@ TraversalSim::stepStack(Cycle now)
     Cycle chain_done = runStackRounds(start, txns);
     manager_free_ = chain_done;
     counters_.stack_cycles += start - now; // manager-stall visible to warp
-    return start + config_.timing.stack_round;
+    Cycle retire = start + config_.timing.stack_round;
+    if (timelineOn(TimelineCategory::Sim))
+        timelineSpan(TimelineCategory::Sim, "stack", start,
+                     config_.timing.stack_round);
+    // Manager chain draining past the warp's retirement.
+    if (chain_done > retire && timelineOn(TimelineCategory::Stack))
+        timelineSpan(TimelineCategory::Stack, "mgr_chain", retire,
+                     chain_done - retire);
+    return retire;
 }
 
 Cycle

@@ -5,6 +5,7 @@
 
 #include "src/trace/render.hpp"
 
+#include "src/stats/timeline.hpp"
 #include "src/trace/workload_cache.hpp"
 #include "src/util/check.hpp"
 
@@ -49,8 +50,18 @@ SimResult
 runWorkload(const Workload &workload, const GpuConfig &config,
             const SimOptions &options)
 {
-    SimResult result = simulateJobs(workload.scene, workload.bvh,
-                                    workload.render.jobs, config, options);
+    SimResult result;
+    if (timelineAnyOn() && options.timeline_label.empty()) {
+        // Default trace-process label: "scene config (cycles)".
+        SimOptions labeled = options;
+        labeled.timeline_label = std::string(sceneName(workload.id)) +
+                                 " " + config.stack.name() + " (cycles)";
+        result = simulateJobs(workload.scene, workload.bvh,
+                              workload.render.jobs, config, labeled);
+    } else {
+        result = simulateJobs(workload.scene, workload.bvh,
+                              workload.render.jobs, config, options);
+    }
     SMS_ASSERT(result.mismatches == 0,
                "timing simulation diverged from the functional oracle "
                "(%u lanes) on scene %s under %s",

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Check relative links and anchors in the repo's markdown files.
+
+Usage: check_md_links.py <file-or-dir>...
+
+Validates every inline markdown link `[text](target)`:
+
+* external schemes (http/https/mailto) are skipped — CI must not
+  depend on the network;
+* a relative path must exist on disk, resolved against the file's
+  directory;
+* a `#fragment` (bare or after a path to another markdown file) must
+  match a heading in the target file, using GitHub's slug rules
+  (lowercase, punctuation stripped, spaces to hyphens).
+
+Exits 0 when every link resolves, 1 otherwise (each broken link is
+reported as `file:line: message`), 2 on usage errors.
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+CODE_FENCE_RE = re.compile(r"^\s*(```|~~~)")
+EXTERNAL_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+
+def slugify(heading):
+    """GitHub-style anchor slug for a markdown heading."""
+    text = heading.strip()
+    text = re.sub(r"`([^`]*)`", r"\1", text)          # unwrap code spans
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # unwrap links
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    text = text.replace(" ", "-")
+    return text
+
+
+def markdown_lines(path):
+    """Lines of a markdown file with fenced code blocks blanked out."""
+    lines = []
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                lines.append("")
+                continue
+            lines.append("" if in_fence else line.rstrip("\n"))
+    return lines
+
+
+def anchors_of(path, cache):
+    if path not in cache:
+        slugs = set()
+        for line in markdown_lines(path):
+            m = HEADING_RE.match(line)
+            if m:
+                slug = slugify(m.group(1))
+                # Duplicate headings get -1, -2, ... suffixes; accept
+                # the base slug for all of them.
+                slugs.add(slug)
+        cache[path] = slugs
+    return cache[path]
+
+
+def check_file(md_path, anchor_cache):
+    errors = []
+    base = os.path.dirname(md_path) or "."
+    for lineno, line in enumerate(markdown_lines(md_path), start=1):
+        for m in LINK_RE.finditer(line):
+            target = m.group(1)
+            if EXTERNAL_RE.match(target):
+                continue
+            path_part, _, fragment = target.partition("#")
+            if path_part:
+                resolved = os.path.normpath(os.path.join(base, path_part))
+                if not os.path.exists(resolved):
+                    errors.append((md_path, lineno,
+                                   f"broken link '{target}': "
+                                   f"{resolved} does not exist"))
+                    continue
+            else:
+                resolved = md_path
+            if fragment:
+                if not resolved.endswith((".md", ".MD")):
+                    continue
+                if fragment not in anchors_of(resolved, anchor_cache):
+                    errors.append((md_path, lineno,
+                                   f"broken anchor '{target}': no "
+                                   f"heading '#{fragment}' in {resolved}"))
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(f"usage: {argv[0]} <file-or-dir>...", file=sys.stderr)
+        return 2
+    files = []
+    for arg in argv[1:]:
+        if os.path.isdir(arg):
+            for root, _, names in os.walk(arg):
+                files.extend(os.path.join(root, n) for n in sorted(names)
+                             if n.endswith(".md"))
+        elif os.path.isfile(arg):
+            files.append(arg)
+        else:
+            print(f"{argv[0]}: {arg}: no such file or directory",
+                  file=sys.stderr)
+            return 2
+
+    anchor_cache = {}
+    errors = []
+    for md in files:
+        errors.extend(check_file(md, anchor_cache))
+    for path, lineno, message in errors:
+        print(f"{path}:{lineno}: {message}", file=sys.stderr)
+    print(f"check_md_links: {len(files)} files, {len(errors)} broken links")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

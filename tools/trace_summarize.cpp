@@ -1,0 +1,177 @@
+/**
+ * @file
+ * trace_summarize — fold a timeline trace (Chrome Trace Format JSON,
+ * as written by SMS_TIMELINE, schema sms-timeline-1) into per-category
+ * totals, with optional assertions for CI.
+ *
+ * Usage:
+ *   trace_summarize <trace.json> [--json] [--require CAT]...
+ *                   [--min-categories N]
+ *
+ * Output (default): one table row per category — duration-event count
+ * and summed time (in trace ticks: simulated cycles on sim tracks,
+ * wall-clock microseconds on harness tracks), instant-event count,
+ * counter-sample count and peak value.
+ *
+ * --json           emit the summary as one JSON object instead
+ * --require CAT    fail unless category CAT has at least one event
+ * --min-categories N  fail unless >= N categories have nonzero summed
+ *                     span time
+ *
+ * Exit codes: 0 = OK, 1 = an assertion failed, 2 = usage/parse error.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/stats/report.hpp"
+#include "src/stats/timeline.hpp"
+
+using namespace sms;
+
+namespace {
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s <trace.json> [--json] [--require CAT]... "
+                 "[--min-categories N]\n",
+                 argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const char *path = nullptr;
+    bool as_json = false;
+    long min_categories = -1;
+    std::vector<std::string> required;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--json") == 0) {
+            as_json = true;
+        } else if (std::strcmp(arg, "--require") == 0 && i + 1 < argc) {
+            required.push_back(argv[++i]);
+        } else if (std::strcmp(arg, "--min-categories") == 0 &&
+                   i + 1 < argc) {
+            char *end = nullptr;
+            min_categories = std::strtol(argv[++i], &end, 10);
+            if (end == argv[i] || *end != '\0' || min_categories < 0) {
+                usage(argv[0]);
+                return 2;
+            }
+        } else if (std::strncmp(arg, "--", 2) == 0 || path) {
+            usage(argv[0]);
+            return 2;
+        } else {
+            path = arg;
+        }
+    }
+    if (!path) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "trace_summarize: cannot open %s\n", path);
+        return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+
+    std::string error;
+    JsonValue doc;
+    if (!JsonValue::parse(buffer.str(), doc, error)) {
+        std::fprintf(stderr, "trace_summarize: %s: %s\n", path,
+                     error.c_str());
+        return 2;
+    }
+
+    std::vector<TraceCategorySummary> summaries;
+    if (!summarizeTraceDocument(doc, summaries, error)) {
+        std::fprintf(stderr, "trace_summarize: %s: %s\n", path,
+                     error.c_str());
+        return 2;
+    }
+
+    if (as_json) {
+        JsonValue record = JsonValue::object();
+        record["schema"] = "sms-trace-summary-1";
+        record["trace"] = path;
+        const JsonValue *other = doc.find("otherData");
+        if (other) {
+            record["trace_schema"] = other->stringOr("schema", "?");
+            record["events_recorded"] =
+                other->numberOr("events_recorded", 0.0);
+            record["events_dropped"] =
+                other->numberOr("events_dropped", 0.0);
+        }
+        JsonValue cats = JsonValue::array();
+        for (const TraceCategorySummary &s : summaries) {
+            JsonValue row = JsonValue::object();
+            row["category"] = s.category;
+            row["span_events"] = s.span_events;
+            row["span_time"] = s.span_time;
+            row["instant_events"] = s.instant_events;
+            row["counter_events"] = s.counter_events;
+            row["counter_max"] = s.counter_max;
+            cats.push(std::move(row));
+        }
+        record["categories"] = std::move(cats);
+        std::printf("%s\n", record.dump(2).c_str());
+    } else {
+        std::printf("%-10s %12s %14s %10s %10s %12s\n", "category",
+                    "spans", "span_time", "instants", "counters",
+                    "counter_max");
+        for (const TraceCategorySummary &s : summaries) {
+            std::printf("%-10s %12llu %14llu %10llu %10llu %12llu\n",
+                        s.category.c_str(),
+                        static_cast<unsigned long long>(s.span_events),
+                        static_cast<unsigned long long>(s.span_time),
+                        static_cast<unsigned long long>(s.instant_events),
+                        static_cast<unsigned long long>(s.counter_events),
+                        static_cast<unsigned long long>(s.counter_max));
+        }
+    }
+
+    bool ok = true;
+    for (const std::string &cat : required) {
+        bool present = false;
+        for (const TraceCategorySummary &s : summaries) {
+            if (s.category == cat &&
+                (s.span_events || s.instant_events || s.counter_events)) {
+                present = true;
+                break;
+            }
+        }
+        if (!present) {
+            std::fprintf(stderr,
+                         "FAIL: required category \"%s\" has no events\n",
+                         cat.c_str());
+            ok = false;
+        }
+    }
+    if (min_categories >= 0) {
+        long with_time = 0;
+        for (const TraceCategorySummary &s : summaries)
+            if (s.span_time > 0)
+                ++with_time;
+        if (with_time < min_categories) {
+            std::fprintf(stderr,
+                         "FAIL: %ld categories with nonzero span time "
+                         "(need >= %ld)\n",
+                         with_time, min_categories);
+            ok = false;
+        }
+    }
+    return ok ? 0 : 1;
+}
