@@ -29,12 +29,28 @@ enum class StackTxnKind : uint8_t
     GlobalStore, ///< on-chip -> off-chip local memory
 };
 
+/**
+ * Why the stack manager issued a transaction. Cycle accounting folds
+ * each chain round into one stall.stack.* leaf by the highest-priority
+ * origin present in the round (ForcedFlush > BorrowChain > Spill >
+ * Refill), so a flush burst is charged to the flush even when spill
+ * stores ride in the same round.
+ */
+enum class StackTxnOrigin : uint8_t
+{
+    Refill,      ///< eager pop refill (SH->RB, global->SH staging)
+    Spill,       ///< RB overflow spill (incl. single-entry SH moves)
+    BorrowChain, ///< budgeted bottom-segment flush (§VI-B)
+    ForcedFlush, ///< flush past the paper's consecutive-flush budget
+};
+
 /** One stack-manager transaction for one lane. */
 struct StackTxn
 {
     StackTxnKind kind;
     Addr addr;
     uint32_t bytes = 8;
+    StackTxnOrigin origin = StackTxnOrigin::Spill;
 };
 
 /** Ordered transaction list of one lane for one stack operation. */

@@ -189,7 +189,7 @@ WarpStackModel::shPushTop(uint32_t lane, uint64_t value, StackTxnList &txns)
     ++ls.sh_count;
     txns.push_back({StackTxnKind::SharedStore,
                     sharedSlotAddr(top->owner, top->top),
-                    kStackEntryBytes});
+                    kStackEntryBytes, StackTxnOrigin::Spill});
     ++stats_.sh_stores;
 }
 
@@ -207,7 +207,8 @@ WarpStackModel::shPopTop(uint32_t lane, StackTxnList &txns)
     Segment &seg = segments_[ls.chain[idx]];
     uint64_t value = shSlot(seg.owner, seg.top);
     txns.push_back({StackTxnKind::SharedLoad,
-                    sharedSlotAddr(seg.owner, seg.top), kStackEntryBytes});
+                    sharedSlotAddr(seg.owner, seg.top), kStackEntryBytes,
+                    StackTxnOrigin::Refill});
     ++stats_.sh_loads;
     --seg.count;
     --ls.sh_count;
@@ -271,7 +272,7 @@ WarpStackModel::shPushBottom(uint32_t lane, uint64_t value,
     ++ls.sh_count;
     txns.push_back({StackTxnKind::SharedStore,
                     sharedSlotAddr(seg.owner, seg.bottom),
-                    kStackEntryBytes});
+                    kStackEntryBytes, StackTxnOrigin::Refill});
     ++stats_.sh_stores;
 }
 
@@ -341,18 +342,20 @@ WarpStackModel::tryFlushBottom(uint32_t lane, StackTxnList &txns,
 
     // Flush the entire bottom segment to global memory, oldest first,
     // then promote the emptied segment to the top of the chain (§VI-B).
+    StackTxnOrigin origin = ignore_budget ? StackTxnOrigin::ForcedFlush
+                                          : StackTxnOrigin::BorrowChain;
     uint32_t flushed = seg.count;
     while (!seg.empty()) {
         uint64_t value = shSlot(seg.owner, seg.bottom);
         txns.push_back({StackTxnKind::SharedLoad,
                         sharedSlotAddr(seg.owner, seg.bottom),
-                        kStackEntryBytes});
+                        kStackEntryBytes, origin});
         ++stats_.sh_loads;
         --seg.count;
         if (!seg.empty()) {
             seg.bottom = (seg.bottom + 1) % config_.sh_entries;
         }
-        pushGlobal(lane, value, txns);
+        pushGlobal(lane, value, txns, origin);
     }
     seg.top = seg.base;
     seg.bottom = seg.base;
@@ -387,7 +390,7 @@ WarpStackModel::singleMoveToGlobal(uint32_t lane, StackTxnList &txns)
     uint64_t value = shSlot(seg.owner, seg.bottom);
     txns.push_back({StackTxnKind::SharedLoad,
                     sharedSlotAddr(seg.owner, seg.bottom),
-                    kStackEntryBytes});
+                    kStackEntryBytes, StackTxnOrigin::Spill});
     ++stats_.sh_loads;
     --seg.count;
     --ls.sh_count;
@@ -407,7 +410,7 @@ WarpStackModel::singleMoveToGlobal(uint32_t lane, StackTxnList &txns)
 
 void
 WarpStackModel::pushGlobal(uint32_t lane, uint64_t value,
-                           StackTxnList &txns)
+                           StackTxnList &txns, StackTxnOrigin origin)
 {
     LaneState &ls = lanes_[lane];
     ls.global.push_back(value);
@@ -415,7 +418,7 @@ WarpStackModel::pushGlobal(uint32_t lane, uint64_t value,
     if (slot + 1 > ls.global_high_water)
         ls.global_high_water = slot + 1;
     txns.push_back({StackTxnKind::GlobalStore, globalSlotAddr(lane, slot),
-                    kStackEntryBytes});
+                    kStackEntryBytes, origin});
     ++stats_.global_stores;
 }
 
@@ -428,7 +431,7 @@ WarpStackModel::popGlobal(uint32_t lane, StackTxnList &txns)
     uint64_t value = ls.global.back();
     ls.global.pop_back();
     txns.push_back({StackTxnKind::GlobalLoad, globalSlotAddr(lane, slot),
-                    kStackEntryBytes});
+                    kStackEntryBytes, StackTxnOrigin::Refill});
     ++stats_.global_loads;
     return value;
 }

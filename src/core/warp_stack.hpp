@@ -238,7 +238,8 @@ class WarpStackModel
     bool tryFlushBottom(uint32_t lane, StackTxnList &txns,
                         bool ignore_budget = false);
     void singleMoveToGlobal(uint32_t lane, StackTxnList &txns);
-    void pushGlobal(uint32_t lane, uint64_t value, StackTxnList &txns);
+    void pushGlobal(uint32_t lane, uint64_t value, StackTxnList &txns,
+                    StackTxnOrigin origin = StackTxnOrigin::Spill);
     uint64_t popGlobal(uint32_t lane, StackTxnList &txns);
     void releaseIfEmptyBorrowed(uint32_t lane);
     void observe(uint32_t lane);

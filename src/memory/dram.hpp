@@ -61,13 +61,19 @@ class Dram
     /**
      * Issue a line request at cycle @p now.
      *
+     * @param queue_wait when non-null, receives the cycles this
+     *        request waited for a service slot (cycle accounting's
+     *        stall.mem.dram_queue split of the completion time)
      * @return the cycle the data is available (loads) or committed
      *         (stores)
      */
     Cycle
-    access(Cycle now, bool write, TrafficClass cls)
+    access(Cycle now, bool write, TrafficClass cls,
+           Cycle *queue_wait = nullptr)
     {
         Cycle start = now > next_free_ ? now : next_free_;
+        if (queue_wait)
+            *queue_wait = start - now;
         if (timelineOn(TimelineCategory::Dram)) {
             timelineCounter(TimelineCategory::Dram, "dram_backlog", now,
                             start - now);

@@ -42,10 +42,13 @@ MemorySystem::l2PortGrant(Cycle at)
 
 Cycle
 MemorySystem::accessLine(uint32_t sm, Addr line_addr, bool write,
-                         TrafficClass cls, Cycle now)
+                         TrafficClass cls, Cycle now,
+                         MemAccessBreakdown *breakdown)
 {
     SMS_ASSERT(sm < l1s_.size(), "SM index %u out of range", sm);
     SMS_ASSERT(line_addr % kLineBytes == 0, "unaligned line address");
+    if (breakdown)
+        *breakdown = MemAccessBreakdown{};
 
     // L1 port arbitration: a multi-ported pipeline modeled as a
     // running slot counter (start cycle never runs ahead of the
@@ -74,6 +77,10 @@ MemorySystem::accessLine(uint32_t sm, Addr line_addr, bool write,
             if (wt.evicted_dirty)
                 dram_->access(wt_start, true, cls);
         }
+        if (breakdown) {
+            breakdown->port_wait = start - now;
+            breakdown->hit_base = config_.l1_latency;
+        }
         return start + config_.l1_latency;
     }
 
@@ -98,16 +105,30 @@ MemorySystem::accessLine(uint32_t sm, Addr line_addr, bool write,
             timelineSpan(TimelineCategory::Cache, "l1_miss", start,
                          config_.l2_latency,
                          static_cast<uint64_t>(cls), "class");
+        if (breakdown) {
+            breakdown->port_wait = start - now;
+            breakdown->hit_base = config_.l1_latency;
+            breakdown->l1_miss_extra =
+                config_.l2_latency - config_.l1_latency;
+        }
         return start + config_.l2_latency;
     }
 
     // L2 miss: fetch the line from DRAM. A store that misses still
     // fetches (write-allocate).
-    Cycle data_ready = dram_->access(l2_start, false, cls);
+    Cycle dram_queue = 0;
+    Cycle data_ready = dram_->access(l2_start, false, cls, &dram_queue);
     Cycle done = data_ready + (config_.l2_latency - config_.l1_latency);
     if (timelineOn(TimelineCategory::Cache))
         timelineSpan(TimelineCategory::Cache, "l2_miss", start,
                      done - start, static_cast<uint64_t>(cls), "class");
+    if (breakdown) {
+        breakdown->port_wait = (start - now) + (l2_start - start);
+        breakdown->l1_miss_extra =
+            config_.l2_latency - config_.l1_latency;
+        breakdown->dram_queue = dram_queue;
+        breakdown->l2_miss_serve = done - now - breakdown->total();
+    }
     return done;
 }
 

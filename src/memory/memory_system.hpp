@@ -36,6 +36,39 @@ struct MemoryHierarchyConfig
 };
 
 /**
+ * Exact decomposition of one accessLine() completion time, for cycle
+ * accounting: the fields sum to (data-ready cycle - issue cycle) with
+ * zero epsilon on every service path.
+ *
+ *  - L1 hit:            port_wait + hit_base (= l1_latency)
+ *  - L1 miss / L2 hit:  port_wait + hit_base + l1_miss_extra
+ *                       (= l2_latency - l1_latency)
+ *  - L2 miss:           port_wait (L1 + L2 port grants) + l1_miss_extra
+ *                       + dram_queue + l2_miss_serve (= access_latency);
+ *                       this path carries no hit_base — the model's
+ *                       completion time doesn't include one.
+ *
+ * Writeback / eviction traffic consumes bandwidth but never delays the
+ * request itself, so it does not appear here (its cost surfaces as
+ * later requests' port/queue waits).
+ */
+struct MemAccessBreakdown
+{
+    Cycle port_wait = 0;     ///< L1 (and L2) port arbitration waits
+    Cycle hit_base = 0;      ///< baseline L1 hit latency
+    Cycle l1_miss_extra = 0; ///< beyond-L1 latency of a miss
+    Cycle dram_queue = 0;    ///< DRAM service-slot queueing
+    Cycle l2_miss_serve = 0; ///< DRAM access latency
+
+    Cycle
+    total() const
+    {
+        return port_wait + hit_base + l1_miss_extra + dram_queue +
+               l2_miss_serve;
+    }
+};
+
+/**
  * The global-memory path for all SMs.
  *
  * accessLine()/accessRange() return the completion cycle of a request
@@ -48,9 +81,14 @@ class MemorySystem
   public:
     MemorySystem(const MemoryHierarchyConfig &config, uint32_t num_sms);
 
-    /** Access one line from SM @p sm. @return data-ready cycle. */
+    /**
+     * Access one line from SM @p sm. @return data-ready cycle.
+     * @param breakdown when non-null, receives the exact latency split
+     *        of this access (see MemAccessBreakdown).
+     */
     Cycle accessLine(uint32_t sm, Addr line_addr, bool write,
-                     TrafficClass cls, Cycle now);
+                     TrafficClass cls, Cycle now,
+                     MemAccessBreakdown *breakdown = nullptr);
 
     /**
      * Access an arbitrary byte range (split into line requests issued

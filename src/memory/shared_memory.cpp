@@ -46,8 +46,11 @@ SharedMemory::conflictPasses(const std::vector<SharedLaneRequest> &lanes)
 }
 
 Cycle
-SharedMemory::access(Cycle now, const std::vector<SharedLaneRequest> &lanes)
+SharedMemory::access(Cycle now, const std::vector<SharedLaneRequest> &lanes,
+                     SharedAccessInfo *info)
 {
+    if (info)
+        *info = SharedAccessInfo{};
     if (lanes.empty())
         return now;
 
@@ -62,6 +65,10 @@ SharedMemory::access(Cycle now, const std::vector<SharedLaneRequest> &lanes)
         stats_.max_passes = passes;
 
     Cycle start = now > next_free_ ? now : next_free_;
+    if (info) {
+        info->pipeline_wait = start - now;
+        info->passes = passes;
+    }
     // The access occupies the shared-memory pipeline for one cycle per
     // pass; data returns after the base latency on top of the last pass.
     next_free_ = start + passes;

@@ -59,6 +59,17 @@ struct SharedLaneRequest
 };
 
 /**
+ * Exact timing split of one warp-level shared access, for cycle
+ * accounting: completion - issue == pipeline_wait + (passes - 1) +
+ * base latency (zero for an empty access).
+ */
+struct SharedAccessInfo
+{
+    Cycle pipeline_wait = 0; ///< cycles the pipeline was still busy
+    uint32_t passes = 0;     ///< serialization passes (1 = conflict-free)
+};
+
+/**
  * Shared-memory timing model for one SM.
  */
 class SharedMemory
@@ -81,9 +92,11 @@ class SharedMemory
     /**
      * Issue a warp-level access at @p now.
      *
+     * @param info when non-null, receives the exact timing split
      * @return completion cycle of the whole access
      */
-    Cycle access(Cycle now, const std::vector<SharedLaneRequest> &lanes);
+    Cycle access(Cycle now, const std::vector<SharedLaneRequest> &lanes,
+                 SharedAccessInfo *info = nullptr);
 
     const SharedMemStats &stats() const { return stats_; }
 

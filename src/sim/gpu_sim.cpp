@@ -57,6 +57,8 @@ struct InFlight
     std::unique_ptr<DepthCollector> collector;
     uint32_t job_index = 0;
     uint32_t slot = 0;
+    /** Cycle the job entered its slot (cycle-accounting denominator). */
+    Cycle admitted = 0;
     /** false: next event runs stepFetch; true: runs stepStack. */
     bool in_stack_phase = false;
 };
@@ -221,6 +223,7 @@ simulateJobs(const Scene &scene, const WideBvh &bvh,
         InFlight &fl = inflight[idx];
         fl.job_index = job_index;
         fl.slot = slot;
+        fl.admitted = cycle;
         fl.in_stack_phase = false;
         if (tl)
             timelineNameThread(
@@ -305,6 +308,25 @@ simulateJobs(const Scene &scene, const WideBvh &bvh,
         result.instructions += fl.sim->counters().instructions;
         result.mismatches += fl.sim->mismatches();
 
+        // Cycle-accounting conservation, per job, at zero epsilon: the
+        // leaf attribution must cover the job's slot residency exactly.
+        // Checked unconditionally — a leak here means the timing model
+        // and the attribution disagree about where time went.
+        {
+            CycleAccount acct = fl.sim->account();
+            acct.warp_active_cycles = cycle - fl.admitted;
+            SMS_ASSERT(acct.conserved(),
+                       "cycle-accounting leak on job %u: leaves sum to "
+                       "%llu over %llu active cycles",
+                       job_index,
+                       static_cast<unsigned long long>(acct.activeSum()),
+                       static_cast<unsigned long long>(
+                           acct.warp_active_cycles));
+            if (result.sm_accounting.empty())
+                result.sm_accounting.resize(config.num_sms);
+            result.sm_accounting[sm_id].merge(acct);
+        }
+
         sms[sm_id].free_slots.push_back(fl.slot);
         spill_frame_busy[jobs[job_index].job_id % kLocalSpillFrames] = 0;
         fl.sim.reset();
@@ -334,6 +356,25 @@ simulateJobs(const Scene &scene, const WideBvh &bvh,
     SMS_ASSERT(completed_jobs == jobs.size(),
                "deadlock: %u of %zu jobs completed", completed_jobs,
                jobs.size());
+
+    // Close each SM's slot budget: cycles its RT-unit slots were not
+    // occupied by a job become idle.done, so per SM (and per run)
+    // totalSum() == slot_cycles exactly.
+    if (result.sm_accounting.empty())
+        result.sm_accounting.resize(config.num_sms);
+    for (uint32_t s = 0; s < config.num_sms; ++s) {
+        CycleAccount &acct = result.sm_accounting[s];
+        acct.slot_cycles =
+            static_cast<uint64_t>(config.max_warps_per_rt) * result.cycles;
+        uint64_t active = acct.activeSum();
+        SMS_ASSERT(active <= acct.slot_cycles,
+                   "SM %u attributes %llu active cycles into a %llu-cycle "
+                   "slot budget",
+                   s, static_cast<unsigned long long>(active),
+                   static_cast<unsigned long long>(acct.slot_cycles));
+        acct.add(CycleLeaf::IdleDone, acct.slot_cycles - active);
+        result.accounting.merge(acct);
+    }
 
     // Aggregate memory statistics.
     for (uint32_t s = 0; s < config.num_sms; ++s) {

@@ -21,6 +21,7 @@
 #include "src/sim/gpu_config.hpp"
 #include "src/sim/traversal_sim.hpp"
 #include "src/sim/warp_job.hpp"
+#include "src/stats/cycle_accounting.hpp"
 #include "src/stats/histogram.hpp"
 
 namespace sms {
@@ -91,6 +92,16 @@ struct SimResult
         return cycles ? static_cast<double>(dram.busy_cycles) / cycles
                       : 0.0;
     }
+
+    /**
+     * Run-level cycle accounting: per-leaf totals over all warp jobs,
+     * conserved at zero epsilon (activeSum() == warp_active_cycles) and
+     * closed against the slot budget (totalSum() == slot_cycles once
+     * idle.done is filled). One tree per SM in sm_accounting, each
+     * conserved the same way.
+     */
+    CycleAccount accounting;
+    std::vector<CycleAccount> sm_accounting;
 
     Histogram depth_hist{63}; ///< logical stack depth at each push/pop
     std::vector<DepthTraceRecord> depth_trace;

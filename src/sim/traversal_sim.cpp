@@ -155,10 +155,31 @@ TraversalSim::stepFetch(Cycle now)
     uint32_t max_leaf_prims = 0;
     collectFetch(has_internal, has_leaf, max_leaf_prims);
 
+    // The warp waits for the slowest line; accounting charges the fetch
+    // window to the *critical* line's latency split (first line reaching
+    // the maximum, matching std::max's keep-first tie behaviour). Every
+    // other line's latency is hidden under it and charged nowhere.
     Cycle fetch_done = now;
+    MemAccessBreakdown crit{};
     for (const auto &[line, cls] : fetch_lines_) {
-        Cycle c = mem_.accessLine(sm_, line, false, cls, now);
-        fetch_done = std::max(fetch_done, c);
+        MemAccessBreakdown bd;
+        Cycle c = mem_.accessLine(sm_, line, false, cls, now, &bd);
+        if (c > fetch_done) {
+            fetch_done = c;
+            crit = bd;
+        }
+    }
+    if (fetch_done > now) {
+        if (cycleAccountingChecksEnabled())
+            SMS_ASSERT(crit.total() == fetch_done - now,
+                       "critical-line breakdown does not cover the fetch "
+                       "window: %llu of %llu cycles",
+                       static_cast<unsigned long long>(crit.total()),
+                       static_cast<unsigned long long>(fetch_done - now));
+        account_.add(CycleLeaf::Issue, crit.port_wait + crit.hit_base);
+        account_.add(CycleLeaf::StallMemL1Miss, crit.l1_miss_extra);
+        account_.add(CycleLeaf::StallMemDramQueue, crit.dram_queue);
+        account_.add(CycleLeaf::StallMemL2Miss, crit.l2_miss_serve);
     }
 
     // ------------------------------------------------------------------
@@ -176,6 +197,7 @@ TraversalSim::stepFetch(Cycle now)
                             config_.timing.leaf_op_per_prim *
                                 static_cast<Cycle>(max_leaf_prims));
     Cycle op_done = fetch_done + op_latency;
+    account_.add(CycleLeaf::Intersect, op_latency);
     counters_.fetch_cycles += fetch_done - now;
     counters_.op_cycles += op_latency;
     if (timelineOn(TimelineCategory::Sim)) {
@@ -269,6 +291,8 @@ TraversalSim::stepStack(Cycle now)
     // manager must have drained the previous iteration's chain first.
     // ------------------------------------------------------------------
     Cycle start = now > manager_free_ ? now : manager_free_;
+    if (start > now)
+        attributeManagerStall(now, start);
     if (timelineAnyOn()) {
         if (start > now)
             timelineSpan(TimelineCategory::Stack, "mgr_stall", now,
@@ -323,6 +347,8 @@ TraversalSim::stepStack(Cycle now)
     manager_free_ = chain_done;
     counters_.stack_cycles += start - now; // manager-stall visible to warp
     Cycle retire = start + config_.timing.stack_round;
+    // The warp's own stack-update round is issue work, not a stall.
+    account_.add(CycleLeaf::Issue, config_.timing.stack_round);
     if (timelineOn(TimelineCategory::Sim))
         timelineSpan(TimelineCategory::Sim, "stack", start,
                      config_.timing.stack_round);
@@ -333,10 +359,52 @@ TraversalSim::stepStack(Cycle now)
     return retire;
 }
 
+/** Accounting leaf a chain round folds into, by its dominant origin. */
+static CycleLeaf
+stackLeafOf(StackTxnOrigin origin)
+{
+    switch (origin) {
+      case StackTxnOrigin::Refill:
+        return CycleLeaf::StallStackRefill;
+      case StackTxnOrigin::Spill:
+        return CycleLeaf::StallStackSpill;
+      case StackTxnOrigin::BorrowChain:
+        return CycleLeaf::StallStackBorrowChain;
+      case StackTxnOrigin::ForcedFlush:
+        return CycleLeaf::StallStackForcedFlush;
+    }
+    return CycleLeaf::StallStackSpill;
+}
+
+void
+TraversalSim::attributeManagerStall(Cycle from, Cycle to)
+{
+    Cycle attributed = 0;
+    Cycle seg_begin = chain_start_;
+    for (const ChainSeg &seg : chain_segs_) {
+        Cycle b = seg_begin > from ? seg_begin : from;
+        Cycle e = seg.end < to ? seg.end : to;
+        if (e > b) {
+            account_.add(seg.leaf, e - b);
+            attributed += e - b;
+        }
+        seg_begin = seg.end;
+    }
+    if (cycleAccountingChecksEnabled())
+        SMS_ASSERT(attributed == to - from,
+                   "manager-stall window [%llu, %llu) not covered by the "
+                   "chain segments (%llu cycles attributed)",
+                   static_cast<unsigned long long>(from),
+                   static_cast<unsigned long long>(to),
+                   static_cast<unsigned long long>(attributed));
+}
+
 Cycle
 TraversalSim::runStackRounds(
     Cycle start, const std::array<StackTxnList, kWarpSize> &txns)
 {
+    chain_segs_.clear();
+    chain_start_ = start;
     size_t max_len = 0;
     for (const StackTxnList &list : txns)
         max_len = std::max(max_len, list.size());
@@ -350,11 +418,17 @@ TraversalSim::runStackRounds(
     for (size_t round = 0; round < max_len; ++round) {
         shared_loads.clear();
         shared_stores.clear();
+        Cycle round_begin = t;
         Cycle load_done = t;
+        // StackTxnOrigin's declaration order is the round-folding
+        // priority (ForcedFlush > BorrowChain > Spill > Refill).
+        int origin = -1;
         for (uint32_t lane = 0; lane < kWarpSize; ++lane) {
             if (round >= txns[lane].size())
                 continue;
             const StackTxn &txn = txns[lane][round];
+            if (static_cast<int>(txn.origin) > origin)
+                origin = static_cast<int>(txn.origin);
             switch (txn.kind) {
               case StackTxnKind::SharedLoad:
                 shared_loads.push_back({lane, txn.addr, txn.bytes});
@@ -379,9 +453,15 @@ TraversalSim::runStackRounds(
                 break;
             }
         }
-        if (!shared_loads.empty())
-            load_done =
-                std::max(load_done, shared_mem_.access(t, shared_loads));
+        bool shared_critical = false;
+        SharedAccessInfo sh_info;
+        if (!shared_loads.empty()) {
+            Cycle shared_done =
+                shared_mem_.access(t, shared_loads, &sh_info);
+            if (shared_done > load_done)
+                shared_critical = true;
+            load_done = std::max(load_done, shared_done);
+        }
         if (!shared_stores.empty()) {
             last_store_done = std::max(
                 last_store_done, shared_mem_.access(t, shared_stores));
@@ -389,6 +469,23 @@ TraversalSim::runStackRounds(
         // Paper §VI-A: a thread's next transaction issues only after the
         // previous *load* returned; stores stream.
         t = load_done + config_.timing.stack_round;
+
+        // Record this round's attribution segments. The whole round
+        // folds into its dominant origin's stall.stack.* leaf, except
+        // that when a conflicted shared load gates the round, its
+        // serialization passes surface as stall.shmem.bank_conflict.
+        CycleLeaf leaf = stackLeafOf(static_cast<StackTxnOrigin>(origin));
+        if (shared_critical && sh_info.passes > 1) {
+            Cycle conflict_begin = round_begin + sh_info.pipeline_wait;
+            Cycle conflict_end = conflict_begin + (sh_info.passes - 1);
+            if (conflict_begin > round_begin)
+                chain_segs_.push_back({conflict_begin, leaf});
+            chain_segs_.push_back(
+                {conflict_end, CycleLeaf::StallShmemBankConflict});
+            chain_segs_.push_back({t, leaf});
+        } else {
+            chain_segs_.push_back({t, leaf});
+        }
     }
     // Stores drain through write buffers; the step retires when the
     // last load returns. Store bandwidth was still charged above.

@@ -42,6 +42,7 @@
 #include "src/sim/gpu_config.hpp"
 #include "src/sim/traversal_tape.hpp"
 #include "src/sim/warp_job.hpp"
+#include "src/stats/cycle_accounting.hpp"
 
 namespace sms {
 
@@ -120,6 +121,15 @@ class TraversalSim
     const JobCounters &counters() const { return counters_; }
     const WarpStackStats &stackStats() const { return stack_.stats(); }
 
+    /**
+     * Per-warp cycle attribution. Every cycle between two step events is
+     * charged to exactly one leaf as the steps run, so by completion
+     * account().activeSum() equals the warp's active cycles (completion
+     * minus admission) with zero epsilon — the caller sets
+     * warp_active_cycles and checks the invariant.
+     */
+    const CycleAccount &account() const { return account_; }
+
     /** Lanes whose final hit disagreed with the functional oracle. */
     uint32_t mismatches() const { return mismatches_; }
 
@@ -155,6 +165,14 @@ class TraversalSim
     Cycle runStackRounds(Cycle start,
                          const std::array<StackTxnList, kWarpSize> &txns);
 
+    /**
+     * Charge the manager-stall window [from, to) to the chain segments
+     * recorded by the previous iteration's runStackRounds(). The window
+     * is always a sub-range of that chain (the chain alone pushed
+     * manager_free_ past @p from), so the walk covers it exactly.
+     */
+    void attributeManagerStall(Cycle from, Cycle to);
+
     // Per-step scratch buffers. The step functions run once per
     // traversal iteration of every warp job in a sweep (hundreds of
     // millions of calls); reusing these keeps the hot loops free of
@@ -174,6 +192,21 @@ class TraversalSim
     WarpStackModel stack_;
     TapeWriter recorder_;
     TapeCursor cursor_;
+
+    /**
+     * One attribution segment of the manager's in-flight spill/reload
+     * chain: cycles in [previous end, end) belong to @p leaf. Rebuilt by
+     * every runStackRounds() call; consumed by attributeManagerStall()
+     * when the *next* iteration's stack phase finds the manager busy.
+     */
+    struct ChainSeg
+    {
+        Cycle end;
+        CycleLeaf leaf;
+    };
+    std::vector<ChainSeg> chain_segs_;
+    Cycle chain_start_ = 0;
+    CycleAccount account_;
 
     std::array<Lane, kWarpSize> lanes_;
     uint32_t running_lanes_ = 0;

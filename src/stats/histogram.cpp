@@ -39,6 +39,28 @@ Histogram::median() const
     return static_cast<uint32_t>(counts_.size() - 1);
 }
 
+uint32_t
+Histogram::percentile(double p) const
+{
+    if (total_ == 0)
+        return 0;
+    if (p > 100.0)
+        p = 100.0;
+    // Nearest-rank: the value at (1-based) rank ceil(p/100 * total) of
+    // the sorted sample list; ranks below 1 clamp to the first sample.
+    uint64_t rank = static_cast<uint64_t>(
+        std::ceil(p / 100.0 * static_cast<double>(total_)));
+    if (rank < 1)
+        rank = 1;
+    uint64_t running = 0;
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        running += counts_[i];
+        if (running >= rank)
+            return static_cast<uint32_t>(i);
+    }
+    return static_cast<uint32_t>(counts_.size() - 1);
+}
+
 uint64_t
 Histogram::countInRange(uint32_t lo, uint32_t hi) const
 {

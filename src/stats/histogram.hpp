@@ -55,6 +55,19 @@ class Histogram
     /** Median sample (lower median; 0 when empty). */
     uint32_t median() const;
 
+    /**
+     * Nearest-rank percentile: the smallest sample value whose
+     * cumulative count reaches ceil(p/100 * total). @p p is clamped to
+     * (0, 100]; 0 when the histogram is empty. percentile(50) is the
+     * upper median (median() stays the lower median for backwards
+     * compatibility).
+     */
+    uint32_t percentile(double p) const;
+
+    uint32_t p50() const { return percentile(50.0); }
+    uint32_t p90() const { return percentile(90.0); }
+    uint32_t p99() const { return percentile(99.0); }
+
     /** Count of samples in [lo, hi] (clamped to bucket range). */
     uint64_t countInRange(uint32_t lo, uint32_t hi) const;
 

@@ -16,6 +16,7 @@
 
 #include "src/core/stack_config.hpp"
 #include "src/sim/gpu_sim.hpp"
+#include "src/stats/cycle_accounting.hpp"
 #include "src/stats/histogram.hpp"
 #include "src/util/check.hpp"
 
@@ -490,6 +491,9 @@ toJson(const Histogram &h)
     v["total"] = h.total();
     v["mean"] = h.mean();
     v["median"] = h.median();
+    v["p50"] = h.p50();
+    v["p90"] = h.p90();
+    v["p99"] = h.p99();
     v["max_seen"] = h.maxSeen();
     v["counts"] = bucketArray(h);
     return v;
@@ -637,6 +641,12 @@ toJson(const SimResult &r)
     v["l2"] = l2;
     v["dram"] = toJson(r.dram);
     v["depth_hist"] = toJson(r.depth_hist);
+    JsonValue acct = toJson(r.accounting);
+    JsonValue per_sm = JsonValue::array();
+    for (const CycleAccount &sm : r.sm_accounting)
+        per_sm.push(toJson(sm));
+    acct["per_sm"] = per_sm;
+    v["cycle_accounting"] = acct;
     return v;
 }
 
@@ -802,29 +812,106 @@ compareMetric(const std::string &where, const char *metric,
             {where, metric, va->asNumber(), vb->asNumber(), rel});
 }
 
+/**
+ * Re-check one cycle_accounting tree's conservation invariant at zero
+ * epsilon: non-idle leaves sum to warp_active_cycles, and when a slot
+ * budget is present every leaf sums to slot_cycles.
+ */
+void
+checkAccountingConservation(const std::string &where, const JsonValue &acct,
+                            std::vector<CompareIssue> &issues)
+{
+    const JsonValue *leaves = acct.find("leaves");
+    if (!leaves || !leaves->isObject())
+        return;
+    double active = 0.0;
+    double total = 0.0;
+    for (const auto &[name, count] : leaves->members()) {
+        if (!count.isNumber())
+            continue;
+        total += count.asNumber();
+        // Future leaves unknown to this binary still participate; only
+        // the idle subtree sits outside warp-active time.
+        if (name.rfind("idle.", 0) != 0)
+            active += count.asNumber();
+    }
+    double warp_active = acct.numberOr("warp_active_cycles", active);
+    if (active != warp_active)
+        issues.push_back({where, "accounting-conservation", active,
+                          warp_active, relDelta(active, warp_active)});
+    double slots = acct.numberOr("slot_cycles", 0.0);
+    if (slots > 0.0 && total != slots)
+        issues.push_back({where, "accounting-slot-budget", total, slots,
+                          relDelta(total, slots)});
+}
+
+/**
+ * Gate the cycle_accounting blocks of a cell pair: conservation on each
+ * record separately (exact), leaf totals against accounting_eps. Cells
+ * without the block (older records) are skipped like any absent metric.
+ */
+void
+compareAccounting(const std::string &where, const JsonValue &cell_a,
+                  const JsonValue &cell_b, const CompareOptions &options,
+                  std::vector<CompareIssue> &issues)
+{
+    auto block_of = [](const JsonValue &cell) -> const JsonValue * {
+        const JsonValue *counters = cell.find("counters");
+        return counters ? counters->find("cycle_accounting") : nullptr;
+    };
+    const JsonValue *acct_a = block_of(cell_a);
+    const JsonValue *acct_b = block_of(cell_b);
+    if (acct_a)
+        checkAccountingConservation(where + " (a)", *acct_a, issues);
+    if (acct_b)
+        checkAccountingConservation(where + " (b)", *acct_b, issues);
+    if (!acct_a || !acct_b)
+        return;
+
+    double wa = acct_a->numberOr("warp_active_cycles", 0.0);
+    double wb = acct_b->numberOr("warp_active_cycles", 0.0);
+    if (relDelta(wa, wb) > options.accounting_eps)
+        issues.push_back({where, "accounting:warp_active_cycles", wa, wb,
+                          relDelta(wa, wb)});
+    const JsonValue *leaves_a = acct_a->find("leaves");
+    const JsonValue *leaves_b = acct_b->find("leaves");
+    if (!leaves_a || !leaves_b || !leaves_a->isObject() ||
+        !leaves_b->isObject())
+        return;
+    for (const auto &[name, va] : leaves_a->members()) {
+        const JsonValue *vb = leaves_b->find(name);
+        if (!vb || !va.isNumber() || !vb->isNumber())
+            continue;
+        double rel = relDelta(va.asNumber(), vb->asNumber());
+        if (rel > options.accounting_eps)
+            issues.push_back({where, "accounting:" + name, va.asNumber(),
+                              vb->asNumber(), rel});
+    }
+}
+
 } // namespace
 
-bool
+CompareStatus
 compareBenchRecords(const JsonValue &a, const JsonValue &b,
                     const CompareOptions &options,
                     std::vector<CompareIssue> &issues, std::string &error)
 {
     if (!a.isObject() || !b.isObject()) {
         error = "records must be JSON objects";
-        return false;
+        return CompareStatus::Error;
     }
     std::string schema_a = a.stringOr("schema", "");
     std::string schema_b = b.stringOr("schema", "");
     if (schema_a != "sms-bench-1" || schema_b != "sms-bench-1") {
         error = strprintf("unsupported schema ('%s' vs '%s')",
                           schema_a.c_str(), schema_b.c_str());
-        return false;
+        return CompareStatus::SchemaMismatch;
     }
     if (a.stringOr("figure", "") != b.stringOr("figure", "")) {
         error = strprintf("comparing different figures ('%s' vs '%s')",
                           a.stringOr("figure", "").c_str(),
                           b.stringOr("figure", "").c_str());
-        return false;
+        return CompareStatus::SchemaMismatch;
     }
 
     std::map<std::string, const JsonValue *> cells_a, cells_b;
@@ -847,6 +934,8 @@ compareBenchRecords(const JsonValue &a, const JsonValue &b,
                       options.traffic_eps, issues);
         compareMetric(key, "norm_offchip", *cell_a, cell_b,
                       options.traffic_eps, issues);
+        if (options.check_accounting)
+            compareAccounting(key, *cell_a, cell_b, options, issues);
     }
     if (!options.allow_missing) {
         for (const auto &[key, cell_b] : cells_b) {
@@ -875,7 +964,7 @@ compareBenchRecords(const JsonValue &a, const JsonValue &b,
     }
 
     error.clear();
-    return true;
+    return CompareStatus::Ok;
 }
 
 } // namespace sms

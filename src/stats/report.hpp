@@ -182,6 +182,14 @@ struct CompareOptions
     double traffic_eps = 0.05;
     /** Accept cells present in only one record. */
     bool allow_missing = false;
+    /**
+     * Also gate the per-cell cycle_accounting blocks: conservation is
+     * re-checked at zero epsilon on each record separately, and the
+     * leaf totals are compared within accounting_eps.
+     */
+    bool check_accounting = false;
+    /** Max relative per-leaf delta when check_accounting is set. */
+    double accounting_eps = 0.02;
 };
 
 /** One out-of-tolerance delta (or a structural mismatch). */
@@ -195,17 +203,30 @@ struct CompareIssue
 };
 
 /**
+ * Outcome of a record comparison, distinguishing "the records cannot be
+ * compared" failure modes so callers (bench_compare) can exit-code them
+ * apart from value regressions.
+ */
+enum class CompareStatus
+{
+    Ok,             ///< compared; tolerance violations are in `issues`
+    SchemaMismatch, ///< different schema versions or figures
+    Error,          ///< structurally broken records
+};
+
+/**
  * Compare two bench records cell-by-cell.
  *
  * Scans every top-level array member whose elements carry "scene" and
  * "config" (the "results*" arrays) plus the "summary" means. @return
- * false with @p error set on schema errors; tolerance violations are
- * appended to @p issues.
+ * CompareStatus::Ok when the records were comparable (tolerance
+ * violations are appended to @p issues), otherwise the failure kind
+ * with @p error set.
  */
-bool compareBenchRecords(const JsonValue &a, const JsonValue &b,
-                         const CompareOptions &options,
-                         std::vector<CompareIssue> &issues,
-                         std::string &error);
+CompareStatus compareBenchRecords(const JsonValue &a, const JsonValue &b,
+                                  const CompareOptions &options,
+                                  std::vector<CompareIssue> &issues,
+                                  std::string &error);
 
 } // namespace sms
 

@@ -614,34 +614,49 @@ timelineExport(std::string &error)
 }
 
 bool
-summarizeTraceDocument(const JsonValue &doc,
-                       std::vector<TraceCategorySummary> &out,
-                       std::string &error)
+summarizeTrace(const JsonValue &doc, TraceSummary &out, std::string &error)
 {
-    out.clear();
+    out = TraceSummary{};
     const JsonValue *events = doc.find("traceEvents");
     if (!events || !events->isArray()) {
         error = "no traceEvents array (not a Chrome-trace document?)";
         return false;
     }
+    if (const JsonValue *other = doc.find("otherData")) {
+        out.events_recorded = static_cast<uint64_t>(
+            other->numberOr("events_recorded", 0.0));
+        out.events_dropped = static_cast<uint64_t>(
+            other->numberOr("events_dropped", 0.0));
+    }
     std::map<std::string, TraceCategorySummary> by_cat;
+    std::map<std::pair<std::string, std::string>, TraceNameSummary>
+        by_name;
     for (const JsonValue &e : events->elements()) {
         if (!e.isObject())
             continue;
         std::string ph = e.stringOr("ph", "");
         if (ph != "X" && ph != "i" && ph != "C")
             continue; // metadata and unknown phases
+        ++out.doc_events;
         std::string cat = e.stringOr("cat", "?");
+        std::string name = e.stringOr("name", "?");
         TraceCategorySummary &s = by_cat[cat];
         s.category = cat;
+        TraceNameSummary &n = by_name[{cat, name}];
+        n.category = cat;
+        n.name = name;
         if (ph == "X") {
+            uint64_t dur = static_cast<uint64_t>(e.numberOr("dur", 0.0));
             ++s.span_events;
-            s.span_time +=
-                static_cast<uint64_t>(e.numberOr("dur", 0.0));
+            s.span_time += dur;
+            ++n.span_events;
+            n.span_time += dur;
         } else if (ph == "i") {
             ++s.instant_events;
+            ++n.instant_events;
         } else {
             ++s.counter_events;
+            ++n.counter_events;
             const JsonValue *args = e.find("args");
             uint64_t v = args ? static_cast<uint64_t>(
                                     args->numberOr("value", 0.0))
@@ -650,7 +665,21 @@ summarizeTraceDocument(const JsonValue &doc,
         }
     }
     for (auto &[name, summary] : by_cat)
-        out.push_back(std::move(summary));
+        out.categories.push_back(std::move(summary));
+    for (auto &[key, summary] : by_name)
+        out.names.push_back(std::move(summary));
+    return true;
+}
+
+bool
+summarizeTraceDocument(const JsonValue &doc,
+                       std::vector<TraceCategorySummary> &out,
+                       std::string &error)
+{
+    TraceSummary summary;
+    if (!summarizeTrace(doc, summary, error))
+        return false;
+    out = std::move(summary.categories);
     return true;
 }
 

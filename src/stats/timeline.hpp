@@ -245,11 +245,41 @@ struct TraceCategorySummary
     uint64_t counter_max = 0;
 };
 
+/** Per-(category, event-name) totals folded from a trace document. */
+struct TraceNameSummary
+{
+    std::string category;
+    std::string name;
+    uint64_t span_events = 0;
+    uint64_t span_time = 0; ///< summed dur, in trace ticks
+    uint64_t instant_events = 0;
+    uint64_t counter_events = 0;
+};
+
+/**
+ * Full fold of one Chrome-trace document: per-category and
+ * per-(category, name) totals plus the recorder's header counters, so
+ * callers can tell a complete trace from one the ring buffer clipped
+ * (events_dropped > 0 means doc_events under-counts what actually
+ * happened and any derived total is a lower bound).
+ */
+struct TraceSummary
+{
+    std::vector<TraceCategorySummary> categories; ///< sorted by name
+    std::vector<TraceNameSummary> names; ///< sorted by (category, name)
+    uint64_t doc_events = 0;      ///< X/i/C events present in the file
+    uint64_t events_recorded = 0; ///< accepted at record time (header)
+    uint64_t events_dropped = 0;  ///< overwritten by ring wrap (header)
+};
+
 /**
  * Fold a parsed Chrome-trace document (as produced by
- * timelineExportTo) into per-category totals, sorted by category
- * name. Shared by tools/trace_summarize and the tests.
+ * timelineExportTo). Shared by tools/trace_summarize and the tests.
  */
+bool summarizeTrace(const JsonValue &doc, TraceSummary &out,
+                    std::string &error);
+
+/** Compatibility wrapper: per-category totals only. */
 bool summarizeTraceDocument(const JsonValue &doc,
                             std::vector<TraceCategorySummary> &out,
                             std::string &error);

@@ -272,8 +272,9 @@ TEST(Compare, IdenticalRecordsPass)
     JsonValue rec = makeRecord(1.0);
     std::vector<CompareIssue> issues;
     std::string error;
-    ASSERT_TRUE(
-        compareBenchRecords(rec, rec, CompareOptions{}, issues, error))
+    ASSERT_EQ(
+        compareBenchRecords(rec, rec, CompareOptions{}, issues, error),
+        CompareStatus::Ok)
         << error;
     EXPECT_TRUE(issues.empty());
 }
@@ -286,8 +287,9 @@ TEST(Compare, DetectsInjectedIpcRegression)
     JsonValue bad = makeRecord(0.95);
     std::vector<CompareIssue> issues;
     std::string error;
-    ASSERT_TRUE(
-        compareBenchRecords(good, bad, CompareOptions{}, issues, error))
+    ASSERT_EQ(
+        compareBenchRecords(good, bad, CompareOptions{}, issues, error),
+        CompareStatus::Ok)
         << error;
     EXPECT_FALSE(issues.empty());
     bool saw_ipc = false;
@@ -304,8 +306,9 @@ TEST(Compare, WithinEpsilonPasses)
     JsonValue near = makeRecord(1.001); // 0.1% < 2%
     std::vector<CompareIssue> issues;
     std::string error;
-    ASSERT_TRUE(
-        compareBenchRecords(good, near, CompareOptions{}, issues, error))
+    ASSERT_EQ(
+        compareBenchRecords(good, near, CompareOptions{}, issues, error),
+        CompareStatus::Ok)
         << error;
     EXPECT_TRUE(issues.empty());
 }
@@ -323,15 +326,134 @@ TEST(Compare, MissingCellFlaggedUnlessAllowed)
 
     std::vector<CompareIssue> issues;
     std::string error;
-    ASSERT_TRUE(compareBenchRecords(full, partial, CompareOptions{},
-                                    issues, error))
+    ASSERT_EQ(compareBenchRecords(full, partial, CompareOptions{},
+                                  issues, error),
+              CompareStatus::Ok)
         << error;
     EXPECT_FALSE(issues.empty());
 
     issues.clear();
     CompareOptions lax;
     lax.allow_missing = true;
-    ASSERT_TRUE(compareBenchRecords(full, partial, lax, issues, error))
+    ASSERT_EQ(compareBenchRecords(full, partial, lax, issues, error),
+              CompareStatus::Ok)
+        << error;
+    EXPECT_TRUE(issues.empty());
+}
+
+/**
+ * Attach a conserved counters.cycle_accounting block to every cell of
+ * @p rec. @p issue_scale multiplies the issue leaf (the conservation
+ * totals are recomputed, so scaled blocks stay internally consistent).
+ */
+void
+attachAccounting(JsonValue &rec, double issue_scale = 1.0)
+{
+    JsonValue cells = JsonValue::array();
+    for (const JsonValue &cell : rec.find("results")->elements()) {
+        JsonValue copy = cell;
+        uint64_t issue = static_cast<uint64_t>(4000 * issue_scale);
+        uint64_t intersect = 3000, l2 = 500, idle = 1500;
+        JsonValue leaves = JsonValue::object();
+        leaves["issue"] = issue;
+        leaves["intersect"] = intersect;
+        leaves["stall.mem.l2_miss"] = l2;
+        leaves["idle.done"] = idle;
+        JsonValue acct = JsonValue::object();
+        acct["version"] = 1;
+        acct["warp_active_cycles"] = issue + intersect + l2;
+        acct["slot_cycles"] = issue + intersect + l2 + idle;
+        acct["leaves"] = leaves;
+        JsonValue counters = JsonValue::object();
+        counters["cycle_accounting"] = acct;
+        copy["counters"] = counters;
+        cells.push(copy);
+    }
+    rec["results"] = cells;
+}
+
+TEST(Compare, AccountingCheckPassesOnIdenticalRecords)
+{
+    JsonValue rec = makeRecord(1.0);
+    attachAccounting(rec);
+    CompareOptions options;
+    options.check_accounting = true;
+    std::vector<CompareIssue> issues;
+    std::string error;
+    ASSERT_EQ(compareBenchRecords(rec, rec, options, issues, error),
+              CompareStatus::Ok)
+        << error;
+    EXPECT_TRUE(issues.empty());
+}
+
+TEST(Compare, AccountingCheckFlagsLeafDrift)
+{
+    JsonValue good = makeRecord(1.0);
+    JsonValue bad = makeRecord(1.0);
+    attachAccounting(good, 1.0);
+    attachAccounting(bad, 1.10); // 10% more issue cycles, conserved
+    CompareOptions options;
+    options.check_accounting = true; // default 2% leaf epsilon
+    std::vector<CompareIssue> issues;
+    std::string error;
+    ASSERT_EQ(compareBenchRecords(good, bad, options, issues, error),
+              CompareStatus::Ok)
+        << error;
+    bool saw_leaf = false;
+    for (const CompareIssue &issue : issues)
+        if (issue.metric == "accounting:issue")
+            saw_leaf = true;
+    EXPECT_TRUE(saw_leaf);
+
+    // Without the flag the same drift passes silently.
+    issues.clear();
+    ASSERT_EQ(
+        compareBenchRecords(good, bad, CompareOptions{}, issues, error),
+        CompareStatus::Ok)
+        << error;
+    EXPECT_TRUE(issues.empty());
+}
+
+TEST(Compare, AccountingCheckFlagsBrokenConservation)
+{
+    JsonValue good = makeRecord(1.0);
+    JsonValue leaky = makeRecord(1.0);
+    attachAccounting(good);
+    attachAccounting(leaky);
+    // Corrupt one leaf without updating the totals: the per-record
+    // conservation re-check must fire even though both sides agree.
+    JsonValue cells = JsonValue::array();
+    for (const JsonValue &cell : leaky.find("results")->elements()) {
+        JsonValue copy = cell;
+        copy["counters"]["cycle_accounting"]["leaves"]["issue"] = 1;
+        cells.push(copy);
+    }
+    leaky["results"] = cells;
+
+    CompareOptions options;
+    options.check_accounting = true;
+    std::vector<CompareIssue> issues;
+    std::string error;
+    ASSERT_EQ(compareBenchRecords(good, leaky, options, issues, error),
+              CompareStatus::Ok)
+        << error;
+    bool saw_conservation = false;
+    for (const CompareIssue &issue : issues)
+        if (issue.metric == "accounting-conservation")
+            saw_conservation = true;
+    EXPECT_TRUE(saw_conservation);
+}
+
+TEST(Compare, AccountingCheckSkipsRecordsWithoutBlocks)
+{
+    // Old goldens predate the block; the check must not fail them.
+    JsonValue rec = makeRecord(1.0);
+    CompareOptions options;
+    options.check_accounting = true;
+    std::vector<CompareIssue> issues;
+    std::string error;
+    ASSERT_EQ(compareBenchRecords(rec, rec, options, issues, error),
+              CompareStatus::Ok)
         << error;
     EXPECT_TRUE(issues.empty());
 }
@@ -343,8 +465,8 @@ TEST(Compare, FigureMismatchIsAnError)
     b["figure"] = "fig15";
     std::vector<CompareIssue> issues;
     std::string error;
-    EXPECT_FALSE(
-        compareBenchRecords(a, b, CompareOptions{}, issues, error));
+    EXPECT_EQ(compareBenchRecords(a, b, CompareOptions{}, issues, error),
+              CompareStatus::SchemaMismatch);
     EXPECT_FALSE(error.empty());
 }
 

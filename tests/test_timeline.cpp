@@ -287,6 +287,72 @@ TEST_F(TimelineTest, SummarizeFoldsPerCategoryTotals)
     EXPECT_FALSE(summarizeTraceDocument(not_a_trace, summaries, error));
 }
 
+TEST_F(TimelineTest, SummarizeEmptyTraceYieldsZeroTotals)
+{
+    // A configured-but-idle tracer exports a valid document with no
+    // events; the fold must succeed and report exact zeros, not fail.
+    enable();
+    JsonValue doc = exportAndParse();
+    TraceSummary summary;
+    std::string error;
+    ASSERT_TRUE(summarizeTrace(doc, summary, error)) << error;
+    EXPECT_TRUE(summary.categories.empty());
+    EXPECT_TRUE(summary.names.empty());
+    EXPECT_EQ(summary.doc_events, 0u);
+    EXPECT_EQ(summary.events_recorded, 0u);
+    EXPECT_EQ(summary.events_dropped, 0u);
+}
+
+TEST_F(TimelineTest, SummarizeBreaksDownPerName)
+{
+    enable();
+    timelineSpan(TimelineCategory::Sim, "fetch", 0, 40);
+    timelineSpan(TimelineCategory::Sim, "fetch", 50, 10);
+    timelineSpan(TimelineCategory::Sim, "intersect", 90, 20);
+    timelineInstantNow(TimelineCategory::Stack, "borrow");
+
+    JsonValue doc = exportAndParse();
+    TraceSummary summary;
+    std::string error;
+    ASSERT_TRUE(summarizeTrace(doc, summary, error)) << error;
+    ASSERT_EQ(summary.names.size(), 3u); // sorted by (category, name)
+    EXPECT_EQ(summary.names[0].category, "sim");
+    EXPECT_EQ(summary.names[0].name, "fetch");
+    EXPECT_EQ(summary.names[0].span_events, 2u);
+    EXPECT_EQ(summary.names[0].span_time, 50u);
+    EXPECT_EQ(summary.names[1].name, "intersect");
+    EXPECT_EQ(summary.names[1].span_time, 20u);
+    EXPECT_EQ(summary.names[2].category, "stack");
+    EXPECT_EQ(summary.names[2].name, "borrow");
+    EXPECT_EQ(summary.names[2].instant_events, 1u);
+    // Per-name rows sum to the per-category rows.
+    uint64_t sim_name_time = summary.names[0].span_time +
+                             summary.names[1].span_time;
+    for (const TraceCategorySummary &s : summary.categories)
+        if (s.category == "sim")
+            EXPECT_EQ(s.span_time, sim_name_time);
+}
+
+TEST_F(TimelineTest, SummarizeReportsRingDrops)
+{
+    // With a ring that can only hold 4 of 12 events, the header's
+    // recorded/dropped counters must surface through the summary so
+    // consumers know the totals are lower bounds.
+    enable(kTimelineAllCategories, 4);
+    for (uint64_t i = 0; i < 12; ++i)
+        timelineSpan(TimelineCategory::Sim, "span", i * 10, 5);
+
+    JsonValue doc = exportAndParse();
+    TraceSummary summary;
+    std::string error;
+    ASSERT_TRUE(summarizeTrace(doc, summary, error)) << error;
+    EXPECT_EQ(summary.events_recorded, 12u);
+    EXPECT_EQ(summary.events_dropped, 8u);
+    EXPECT_EQ(summary.doc_events, 4u);
+    ASSERT_EQ(summary.categories.size(), 1u);
+    EXPECT_EQ(summary.categories[0].span_events, 4u);
+}
+
 TEST_F(TimelineTest, EndToEndTinySceneProducesMultiCategoryTrace)
 {
     enable();

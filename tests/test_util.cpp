@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/stats/histogram.hpp"
+#include "src/stats/report.hpp"
 #include "src/stats/table.hpp"
 #include "src/util/check.hpp"
 #include "src/util/parallel.hpp"
@@ -136,6 +137,68 @@ TEST(Histogram, Median)
     EXPECT_EQ(h.median(), 2u);
     Histogram empty(31);
     EXPECT_EQ(empty.median(), 0u);
+}
+
+TEST(Histogram, PercentilesMatchNearestRankReference)
+{
+    // Nearest-rank definition: the smallest value whose cumulative
+    // count reaches ceil(p/100 * n), computed here from the sorted
+    // sample list directly.
+    std::vector<uint32_t> samples = {1, 2, 2, 3, 5, 8, 8, 9, 13, 40};
+    Histogram h(63);
+    for (uint32_t v : samples)
+        h.add(v);
+    auto reference = [&](double p) {
+        size_t rank = static_cast<size_t>(
+            std::ceil(p / 100.0 * static_cast<double>(samples.size())));
+        if (rank < 1)
+            rank = 1;
+        return samples[rank - 1]; // samples are sorted
+    };
+    for (double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0})
+        EXPECT_EQ(h.percentile(p), reference(p)) << "p" << p;
+    EXPECT_EQ(h.p50(), reference(50.0));
+    EXPECT_EQ(h.p90(), reference(90.0));
+    EXPECT_EQ(h.p99(), reference(99.0));
+}
+
+TEST(Histogram, PercentileEdgeCases)
+{
+    Histogram empty(15);
+    EXPECT_EQ(empty.percentile(50.0), 0u);
+
+    Histogram one(15);
+    one.add(7);
+    for (double p : {0.0, 1.0, 50.0, 100.0, 250.0})
+        EXPECT_EQ(one.percentile(p), 7u) << "p" << p;
+
+    // Even sample count: percentile(50) is the upper median while
+    // median() keeps returning the lower median.
+    Histogram even(15);
+    for (uint32_t v : {1u, 2u, 3u, 4u})
+        even.add(v);
+    EXPECT_EQ(even.median(), 2u);
+    EXPECT_EQ(even.percentile(50.0), 2u); // ceil(0.5*4)=2nd sample
+    EXPECT_EQ(even.percentile(75.0), 3u);
+    EXPECT_EQ(even.percentile(76.0), 4u);
+
+    // Saturating bucket: samples beyond the range still rank.
+    Histogram sat(7);
+    sat.add(3);
+    sat.add(100);
+    EXPECT_EQ(sat.percentile(99.0), 7u); // clamped into last bucket
+}
+
+TEST(Histogram, PercentilesSurviveJsonEmission)
+{
+    Histogram h(31);
+    for (uint32_t v : {1u, 2u, 2u, 3u, 9u})
+        h.add(v);
+    JsonValue j = toJson(h);
+    EXPECT_EQ(j.numberOr("p50", 0), static_cast<double>(h.p50()));
+    EXPECT_EQ(j.numberOr("p90", 0), static_cast<double>(h.p90()));
+    EXPECT_EQ(j.numberOr("p99", 0), static_cast<double>(h.p99()));
+    EXPECT_EQ(j.numberOr("median", 0), static_cast<double>(h.median()));
 }
 
 TEST(Histogram, RangeQueries)

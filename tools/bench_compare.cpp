@@ -6,7 +6,8 @@
  *
  * Usage:
  *   bench_compare <a.json> <b.json> [--ipc-eps X] [--traffic-eps X]
- *                 [--allow-missing]
+ *                 [--allow-missing] [--check-accounting]
+ *                 [--accounting-eps X]
  *   bench_compare --check-throughput <record.json>
  *
  * Each file is JSONL: one record per bench run, appended. By default
@@ -19,8 +20,16 @@
  * fields (wall-clock magnitudes are machine-dependent and deliberately
  * NOT gated — only presence and finiteness are checked).
  *
+ * --check-accounting additionally gates each cell's cycle_accounting
+ * block: conservation is re-checked at zero epsilon on both records
+ * and the per-leaf totals must agree within --accounting-eps.
+ *
+ * On failure the tool prints a one-line summary naming which blocks
+ * (ipc / traffic / accounting / coverage) violated tolerance.
+ *
  * Exit codes: 0 = within tolerance, 1 = violations found,
- * 2 = usage / parse error.
+ * 2 = usage / parse error, 3 = records not comparable (schema or
+ * figure mismatch).
  */
 
 #include <cmath>
@@ -41,7 +50,8 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s <a.json> <b.json> [--ipc-eps X] "
-                 "[--traffic-eps X] [--allow-missing]\n"
+                 "[--traffic-eps X] [--allow-missing] "
+                 "[--check-accounting] [--accounting-eps X]\n"
                  "       %s --check-throughput <record.json>\n",
                  argv0, argv0);
 }
@@ -69,6 +79,50 @@ printIssues(const std::vector<CompareIssue> &issues)
                         issue.a, issue.b, issue.rel);
         }
     }
+}
+
+/** Record block a violated metric belongs to, for the failure summary. */
+const char *
+blockOfMetric(const std::string &metric)
+{
+    if (metric.rfind("accounting", 0) == 0)
+        return "accounting";
+    if (metric.rfind("missing", 0) == 0)
+        return "coverage";
+    if (metric == "ipc" || metric == "norm_ipc" ||
+        metric == "mean_norm_ipc")
+        return "ipc";
+    if (metric == "offchip_accesses" || metric == "norm_offchip" ||
+        metric == "mean_norm_offchip")
+        return "traffic";
+    return "other";
+}
+
+/** One line naming the violated blocks: "ipc (3 issues), accounting (1)". */
+std::string
+blockSummary(const std::vector<CompareIssue> &issues)
+{
+    const char *order[] = {"ipc", "traffic", "accounting", "coverage",
+                           "other"};
+    size_t counts[5] = {};
+    for (const CompareIssue &issue : issues) {
+        const char *block = blockOfMetric(issue.metric);
+        for (int i = 0; i < 5; ++i)
+            if (std::strcmp(order[i], block) == 0)
+                ++counts[i];
+    }
+    std::string out;
+    for (int i = 0; i < 5; ++i) {
+        if (!counts[i])
+            continue;
+        if (!out.empty())
+            out += ", ";
+        out += order[i];
+        out += " (";
+        out += std::to_string(counts[i]);
+        out += ")";
+    }
+    return out;
 }
 
 /**
@@ -165,6 +219,14 @@ main(int argc, char **argv)
             check_throughput = true;
         } else if (std::strcmp(arg, "--allow-missing") == 0) {
             options.allow_missing = true;
+        } else if (std::strcmp(arg, "--check-accounting") == 0) {
+            options.check_accounting = true;
+        } else if (std::strcmp(arg, "--accounting-eps") == 0 &&
+                   i + 1 < argc) {
+            if (!parseEps(argv[++i], &options.accounting_eps)) {
+                usage(argv[0]);
+                return 2;
+            }
         } else if (std::strcmp(arg, "--ipc-eps") == 0 && i + 1 < argc) {
             if (!parseEps(argv[++i], &options.ipc_eps)) {
                 usage(argv[0]);
@@ -221,30 +283,36 @@ main(int argc, char **argv)
     }
 
     bool ok = true;
+    std::vector<CompareIssue> all_issues;
     for (size_t i = 0; i < pairs.size(); ++i) {
         std::vector<CompareIssue> issues;
-        if (!compareBenchRecords(*pairs[i].first, *pairs[i].second,
-                                 options, issues, error)) {
+        CompareStatus status = compareBenchRecords(
+            *pairs[i].first, *pairs[i].second, options, issues, error);
+        if (status != CompareStatus::Ok) {
             std::fprintf(stderr,
                          "bench_compare: record %zu not comparable: %s\n",
                          i, error.c_str());
-            return 2;
+            return status == CompareStatus::SchemaMismatch ? 3 : 2;
         }
         std::string fig = pairs[i].first->stringOr("figure", "?");
         std::printf("record %zu (%s): %zu issue%s (ipc_eps=%.3g, "
-                    "traffic_eps=%.3g)\n",
+                    "traffic_eps=%.3g%s)\n",
                     i, fig.c_str(), issues.size(),
                     issues.size() == 1 ? "" : "s", options.ipc_eps,
-                    options.traffic_eps);
+                    options.traffic_eps,
+                    options.check_accounting ? ", accounting checked"
+                                             : "");
         printIssues(issues);
         if (!issues.empty())
             ok = false;
+        all_issues.insert(all_issues.end(), issues.begin(), issues.end());
     }
 
     if (ok) {
         std::printf("OK: all compared metrics within tolerance\n");
         return 0;
     }
-    std::printf("FAIL: metric deltas exceed tolerance\n");
+    std::printf("FAIL: tolerance exceeded in: %s\n",
+                blockSummary(all_issues).c_str());
     return 1;
 }

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Check docs/ENV_VARS.md against the SMS_* reads in the source tree.
+
+Usage: check_env_vars.py <repo-root>
+
+The single source of truth for which environment variables exist is
+the code: every `getenv("SMS_...")` call site under src/, bench/ and
+tools/. This script extracts that set and compares it with the
+variables documented in the docs/ENV_VARS.md table, in both
+directions, so the doc can never silently drift again ("all seven
+SMS_* variables" once survived two additions):
+
+* a variable read in code but missing from the table fails the check;
+* a variable documented but no longer read anywhere fails the check;
+* each table row must cite the file that reads the variable, and that
+  file must really contain the getenv call.
+
+Exits 0 when doc and code agree, 1 otherwise (each mismatch reported
+as `file: message`), 2 on usage errors.
+"""
+
+import os
+import re
+import sys
+
+GETENV_RE = re.compile(r'getenv\(\s*"(SMS_[A-Z0-9_]+)"')
+ROW_RE = re.compile(r"^\|\s*`(SMS_[A-Z0-9_]+)`\s*\|")
+CITE_RE = re.compile(r"\(`([^`]+)`\)\s*\|\s*$")
+
+SOURCE_DIRS = ("src", "bench", "tools")
+SOURCE_EXTS = (".cpp", ".hpp", ".h", ".cc")
+
+
+def code_reads(root):
+    """Map of SMS_* variable -> set of repo-relative files reading it."""
+    reads = {}
+    for subdir in SOURCE_DIRS:
+        top = os.path.join(root, subdir)
+        for dirpath, _, names in os.walk(top):
+            for name in sorted(names):
+                if not name.endswith(SOURCE_EXTS):
+                    continue
+                path = os.path.join(dirpath, name)
+                with open(path, encoding="utf-8") as f:
+                    text = f.read()
+                for var in GETENV_RE.findall(text):
+                    rel = os.path.relpath(path, root)
+                    reads.setdefault(var, set()).add(rel)
+    return reads
+
+
+def doc_rows(doc_path):
+    """List of (lineno, variable, cited-file-or-None) from the table."""
+    rows = []
+    with open(doc_path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            m = ROW_RE.match(line)
+            if not m:
+                continue
+            cite = CITE_RE.search(line.rstrip())
+            rows.append((lineno, m.group(1),
+                         cite.group(1) if cite else None))
+    return rows
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(f"usage: {argv[0]} <repo-root>", file=sys.stderr)
+        return 2
+    root = argv[1]
+    doc_path = os.path.join(root, "docs", "ENV_VARS.md")
+    if not os.path.isfile(doc_path):
+        print(f"{argv[0]}: {doc_path}: no such file", file=sys.stderr)
+        return 2
+
+    reads = code_reads(root)
+    rows = doc_rows(doc_path)
+    documented = {var for _, var, _ in rows}
+
+    errors = []
+    for var in sorted(reads):
+        if var not in documented:
+            sites = ", ".join(sorted(reads[var]))
+            errors.append(f"{doc_path}: `{var}` is read by {sites} "
+                          f"but has no table row")
+    for lineno, var, cite in rows:
+        if var not in reads:
+            errors.append(f"{doc_path}:{lineno}: `{var}` is documented "
+                          f"but nothing reads it anymore")
+            continue
+        if cite is None:
+            errors.append(f"{doc_path}:{lineno}: `{var}` row does not "
+                          f"cite its reading file in a trailing "
+                          f"(`path`) note")
+        elif cite not in reads[var]:
+            sites = ", ".join(sorted(reads[var]))
+            errors.append(f"{doc_path}:{lineno}: `{var}` cites "
+                          f"`{cite}` but is read by {sites}")
+
+    for message in errors:
+        print(message, file=sys.stderr)
+    print(f"check_env_vars: {len(reads)} variables in code, "
+          f"{len(documented)} documented, {len(errors)} mismatches")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

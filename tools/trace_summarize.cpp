@@ -5,7 +5,7 @@
  * totals, with optional assertions for CI.
  *
  * Usage:
- *   trace_summarize <trace.json> [--json] [--require CAT]...
+ *   trace_summarize <trace.json> [--json] [--by-name] [--require CAT]...
  *                   [--min-categories N]
  *
  * Output (default): one table row per category — duration-event count
@@ -14,11 +14,20 @@
  * counter-sample count and peak value.
  *
  * --json           emit the summary as one JSON object instead
- * --require CAT    fail unless category CAT has at least one event
+ * --by-name        additionally break totals down per (category, event
+ *                  name) — e.g. sim/fetch vs sim/intersect vs sim/stack
+ * --require CAT    fail unless category CAT has at least one event;
+ *                  CAT must be a known category name (sweep, sim,
+ *                  stack, stackops, cache, dram, shmem)
  * --min-categories N  fail unless >= N categories have nonzero summed
  *                     span time
  *
- * Exit codes: 0 = OK, 1 = an assertion failed, 2 = usage/parse error.
+ * When the recorder's ring buffer overwrote events (events_dropped > 0
+ * in the trace header), the summary says so: document totals are then
+ * lower bounds, not exact counts.
+ *
+ * Exit codes: 0 = OK, 1 = an assertion failed, 2 = usage/parse error
+ * (including an unknown --require category name).
  */
 
 #include <cstdio>
@@ -40,9 +49,22 @@ void
 usage(const char *argv0)
 {
     std::fprintf(stderr,
-                 "usage: %s <trace.json> [--json] [--require CAT]... "
-                 "[--min-categories N]\n",
+                 "usage: %s <trace.json> [--json] [--by-name] "
+                 "[--require CAT]... [--min-categories N]\n",
                  argv0);
+}
+
+/** Is @p name a single known timeline category? */
+bool
+isKnownCategory(const std::string &name)
+{
+    std::string error;
+    uint32_t mask = 0;
+    if (name.empty() || name == "all" || name == "default")
+        return false;
+    if (!timelineParseCategories(name, mask, error))
+        return false;
+    return mask != 0 && (mask & (mask - 1)) == 0; // exactly one bit
 }
 
 } // namespace
@@ -52,12 +74,15 @@ main(int argc, char **argv)
 {
     const char *path = nullptr;
     bool as_json = false;
+    bool by_name = false;
     long min_categories = -1;
     std::vector<std::string> required;
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
         if (std::strcmp(arg, "--json") == 0) {
             as_json = true;
+        } else if (std::strcmp(arg, "--by-name") == 0) {
+            by_name = true;
         } else if (std::strcmp(arg, "--require") == 0 && i + 1 < argc) {
             required.push_back(argv[++i]);
         } else if (std::strcmp(arg, "--min-categories") == 0 &&
@@ -79,6 +104,19 @@ main(int argc, char **argv)
         usage(argv[0]);
         return 2;
     }
+    // Typo'd --require names would otherwise "pass" CI by requiring a
+    // category that can never exist; reject them up front.
+    for (const std::string &cat : required) {
+        if (!isKnownCategory(cat)) {
+            std::fprintf(stderr,
+                         "trace_summarize: unknown category \"%s\" "
+                         "(known: %s)\n",
+                         cat.c_str(),
+                         timelineCategoryList(kTimelineAllCategories)
+                             .c_str());
+            return 2;
+        }
+    }
 
     std::ifstream in(path, std::ios::binary);
     if (!in) {
@@ -96,8 +134,8 @@ main(int argc, char **argv)
         return 2;
     }
 
-    std::vector<TraceCategorySummary> summaries;
-    if (!summarizeTraceDocument(doc, summaries, error)) {
+    TraceSummary summary;
+    if (!summarizeTrace(doc, summary, error)) {
         std::fprintf(stderr, "trace_summarize: %s: %s\n", path,
                      error.c_str());
         return 2;
@@ -108,15 +146,14 @@ main(int argc, char **argv)
         record["schema"] = "sms-trace-summary-1";
         record["trace"] = path;
         const JsonValue *other = doc.find("otherData");
-        if (other) {
+        if (other)
             record["trace_schema"] = other->stringOr("schema", "?");
-            record["events_recorded"] =
-                other->numberOr("events_recorded", 0.0);
-            record["events_dropped"] =
-                other->numberOr("events_dropped", 0.0);
-        }
+        record["events_recorded"] = summary.events_recorded;
+        record["events_dropped"] = summary.events_dropped;
+        record["doc_events"] = summary.doc_events;
+        record["complete"] = summary.events_dropped == 0;
         JsonValue cats = JsonValue::array();
-        for (const TraceCategorySummary &s : summaries) {
+        for (const TraceCategorySummary &s : summary.categories) {
             JsonValue row = JsonValue::object();
             row["category"] = s.category;
             row["span_events"] = s.span_events;
@@ -127,12 +164,26 @@ main(int argc, char **argv)
             cats.push(std::move(row));
         }
         record["categories"] = std::move(cats);
+        if (by_name) {
+            JsonValue names = JsonValue::array();
+            for (const TraceNameSummary &n : summary.names) {
+                JsonValue row = JsonValue::object();
+                row["category"] = n.category;
+                row["name"] = n.name;
+                row["span_events"] = n.span_events;
+                row["span_time"] = n.span_time;
+                row["instant_events"] = n.instant_events;
+                row["counter_events"] = n.counter_events;
+                names.push(std::move(row));
+            }
+            record["names"] = std::move(names);
+        }
         std::printf("%s\n", record.dump(2).c_str());
     } else {
         std::printf("%-10s %12s %14s %10s %10s %12s\n", "category",
                     "spans", "span_time", "instants", "counters",
                     "counter_max");
-        for (const TraceCategorySummary &s : summaries) {
+        for (const TraceCategorySummary &s : summary.categories) {
             std::printf("%-10s %12llu %14llu %10llu %10llu %12llu\n",
                         s.category.c_str(),
                         static_cast<unsigned long long>(s.span_events),
@@ -141,12 +192,35 @@ main(int argc, char **argv)
                         static_cast<unsigned long long>(s.counter_events),
                         static_cast<unsigned long long>(s.counter_max));
         }
+        if (by_name) {
+            std::printf("\n%-10s %-16s %12s %14s %10s %10s\n", "category",
+                        "name", "spans", "span_time", "instants",
+                        "counters");
+            for (const TraceNameSummary &n : summary.names) {
+                std::printf("%-10s %-16s %12llu %14llu %10llu %10llu\n",
+                            n.category.c_str(), n.name.c_str(),
+                            static_cast<unsigned long long>(n.span_events),
+                            static_cast<unsigned long long>(n.span_time),
+                            static_cast<unsigned long long>(
+                                n.instant_events),
+                            static_cast<unsigned long long>(
+                                n.counter_events));
+            }
+        }
+        if (summary.events_dropped > 0) {
+            std::printf("note: ring buffer dropped %llu of %llu recorded "
+                        "events; the totals above are lower bounds\n",
+                        static_cast<unsigned long long>(
+                            summary.events_dropped),
+                        static_cast<unsigned long long>(
+                            summary.events_recorded));
+        }
     }
 
     bool ok = true;
     for (const std::string &cat : required) {
         bool present = false;
-        for (const TraceCategorySummary &s : summaries) {
+        for (const TraceCategorySummary &s : summary.categories) {
             if (s.category == cat &&
                 (s.span_events || s.instant_events || s.counter_events)) {
                 present = true;
@@ -162,7 +236,7 @@ main(int argc, char **argv)
     }
     if (min_categories >= 0) {
         long with_time = 0;
-        for (const TraceCategorySummary &s : summaries)
+        for (const TraceCategorySummary &s : summary.categories)
             if (s.span_time > 0)
                 ++with_time;
         if (with_time < min_categories) {
