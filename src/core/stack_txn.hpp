@@ -13,10 +13,13 @@
 #ifndef SMS_CORE_STACK_TXN_HPP
 #define SMS_CORE_STACK_TXN_HPP
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
+#include "src/core/stack_config.hpp"
 #include "src/memory/request.hpp"
+#include "src/util/check.hpp"
 
 namespace sms {
 
@@ -55,6 +58,102 @@ struct StackTxn
 
 /** Ordered transaction list of one lane for one stack operation. */
 using StackTxnList = std::vector<StackTxn>;
+
+/**
+ * Pooled per-warp transaction lists: one flat node pool with inline
+ * next-links, and a (head, tail) pair per lane.
+ *
+ * The timing simulator collects every lane's transactions for one
+ * pipeline step, then walks them round by round. With one
+ * std::vector<StackTxn> per lane that is 32 clear()s and up to 32
+ * grow-reallocations per step on the sweep's hottest path; the arena
+ * replaces all of it with one bump-allocated pool (clear() is O(1)
+ * counters-only) while keeping each lane's list ordered through the
+ * inline links. Same idiom as tree-sitter's stack.c pool: nodes are
+ * reused by index, never freed individually, and links are indices so
+ * the pool can reallocate without fixups.
+ */
+class StackTxnArena
+{
+  public:
+    /** Link terminator / "no node" sentinel. */
+    static constexpr uint32_t kNil = 0xffffffffu;
+
+    struct Node
+    {
+        StackTxn txn;
+        uint32_t next = kNil; ///< next node of the same lane's list
+    };
+
+    StackTxnArena()
+    {
+        head_.fill(kNil);
+        tail_.fill(kNil);
+        count_.fill(0);
+    }
+
+    /** Drop every lane's list. O(lanes); node storage is retained. */
+    void
+    clear()
+    {
+        pool_.clear();
+        head_.fill(kNil);
+        tail_.fill(kNil);
+        count_.fill(0);
+    }
+
+    /** Append @p txn to @p lane's list. */
+    void
+    append(uint32_t lane, const StackTxn &txn)
+    {
+        SMS_DEBUG_ASSERT(lane < kWarpSize, "lane %u out of range", lane);
+        uint32_t node = static_cast<uint32_t>(pool_.size());
+        pool_.push_back({txn, kNil});
+        if (tail_[lane] == kNil)
+            head_[lane] = node;
+        else
+            pool_[tail_[lane]].next = node;
+        tail_[lane] = node;
+        ++count_[lane];
+    }
+
+    uint32_t laneCount(uint32_t lane) const { return count_[lane]; }
+    uint32_t laneHead(uint32_t lane) const { return head_[lane]; }
+    const Node &node(uint32_t index) const { return pool_[index]; }
+
+    /** Total transactions across all lanes. */
+    uint32_t totalCount() const { return static_cast<uint32_t>(pool_.size()); }
+
+    /** Materialize one lane's list (tests / differential checks). */
+    StackTxnList
+    laneTxns(uint32_t lane) const
+    {
+        StackTxnList out;
+        out.reserve(count_[lane]);
+        for (uint32_t n = head_[lane]; n != kNil; n = pool_[n].next)
+            out.push_back(pool_[n].txn);
+        return out;
+    }
+
+  private:
+    std::vector<Node> pool_;
+    std::array<uint32_t, kWarpSize> head_;
+    std::array<uint32_t, kWarpSize> tail_;
+    std::array<uint32_t, kWarpSize> count_;
+};
+
+/**
+ * push_back-compatible adapter appending one lane's transactions into a
+ * StackTxnArena; lets the stack model emit into either a plain
+ * StackTxnList or the arena through one code path.
+ */
+struct LaneTxnSink
+{
+    StackTxnArena *arena;
+    uint32_t lane;
+
+    void push_back(const StackTxn &txn) { arena->append(lane, txn); }
+};
 
 /**
  * Buckets of the borrow-chain length histogram: a lane's SH chain holds

@@ -1,6 +1,11 @@
 /**
  * @file
  * Hierarchical traversal-stack implementation (see warp_stack.hpp).
+ *
+ * The push/pop machinery is templated over the transaction sink (plain
+ * StackTxnList or a LaneTxnSink into the pooled StackTxnArena); the
+ * public non-template entry points below instantiate both forms in this
+ * translation unit.
  */
 
 #include "src/core/warp_stack.hpp"
@@ -23,19 +28,61 @@ RbRing::grow()
     mask_ = static_cast<uint32_t>(heap_.size()) - 1;
 }
 
+namespace {
+
+uint32_t
+roundUpPowerOfTwo(uint32_t v)
+{
+    uint32_t p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
 WarpStackModel::WarpStackModel(const StackConfig &config, Addr shared_base,
                                Addr local_base)
     : config_(config), shared_base_(shared_base), local_base_(local_base)
 {
     SMS_ASSERT(config.rb_entries >= 1 || config.rb_unbounded,
                "RB stack needs at least one entry");
-    lanes_.resize(kWarpSize);
-    if (config_.hasShStack()) {
-        segments_.resize(kWarpSize);
+    has_sh_ = config_.hasShStack();
+    // Bounded rings never exceed rb_entries (push spills first);
+    // unbounded rings start small and grow the pool on demand.
+    rb_stride_ = config_.rb_unbounded
+                     ? 8
+                     : roundUpPowerOfTwo(std::max(config_.rb_entries, 1u));
+    rb_mask_ = rb_stride_ - 1;
+    rb_slots_.resize(static_cast<size_t>(kWarpSize) * rb_stride_);
+    if (has_sh_)
         sh_slots_.assign(static_cast<size_t>(kWarpSize) * config_.sh_entries,
                          0);
+    reset(shared_base, local_base);
+}
+
+void
+WarpStackModel::reset(Addr shared_base, Addr local_base)
+{
+    shared_base_ = shared_base;
+    local_base_ = local_base;
+    tl_stack_ops_ = timelineOn(TimelineCategory::StackOps);
+    tl_stack_ = timelineOn(TimelineCategory::Stack);
+    rb_start_.fill(0);
+    rb_count_.fill(0);
+    depth_.fill(0);
+    sh_count_.fill(0);
+    global_high_water_.fill(0);
+    finished_mask_ = 0;
+    for (std::vector<uint64_t> &g : global_)
+        g.clear();
+    chain_len_.fill(0);
+    available_count_ = 0;
+    stats_ = WarpStackStats{};
+    if (has_sh_) {
         for (uint32_t lane = 0; lane < kWarpSize; ++lane) {
             Segment &seg = segments_[lane];
+            seg = Segment{};
             seg.owner = lane;
             seg.base = config_.skewed_bank_access
                            ? skewBaseEntry(lane, config_.sh_entries)
@@ -43,9 +90,26 @@ WarpStackModel::WarpStackModel(const StackConfig &config, Addr shared_base,
             seg.top = seg.base;
             seg.bottom = seg.base;
             // Each lane's chain starts with its dedicated segment.
-            lanes_[lane].chain.push_back(lane);
+            chainPushBack(lane, lane);
         }
     }
+}
+
+void
+WarpStackModel::growRbPool()
+{
+    uint32_t new_stride = rb_stride_ * 2;
+    std::vector<uint64_t> wider(static_cast<size_t>(kWarpSize) *
+                                new_stride);
+    for (uint32_t lane = 0; lane < kWarpSize; ++lane) {
+        for (uint32_t i = 0; i < rb_count_[lane]; ++i)
+            wider[static_cast<size_t>(lane) * new_stride + i] =
+                rbSlot(lane, rb_start_[lane] + i);
+        rb_start_[lane] = 0;
+    }
+    rb_slots_ = std::move(wider);
+    rb_stride_ = new_stride;
+    rb_mask_ = new_stride - 1;
 }
 
 Addr
@@ -70,8 +134,8 @@ uint32_t
 WarpStackModel::shDepth(uint32_t lane) const
 {
     uint32_t total = 0;
-    for (uint32_t seg_id : lanes_[lane].chain)
-        total += segments_[seg_id].count;
+    for (uint32_t i = 0; i < chain_len_[lane]; ++i)
+        total += segments_[chainAt(lane, i)].count;
     return total;
 }
 
@@ -79,82 +143,75 @@ uint32_t
 WarpStackModel::borrowedCount(uint32_t lane) const
 {
     uint32_t n = 0;
-    for (uint32_t seg_id : lanes_[lane].chain)
-        if (segments_[seg_id].owner != lane)
+    for (uint32_t i = 0; i < chain_len_[lane]; ++i)
+        if (segments_[chainAt(lane, i)].owner != lane)
             ++n;
     return n;
 }
 
+template <class Sink>
 void
-WarpStackModel::observe(uint32_t lane)
-{
-    if (observer_)
-        observer_->onStackAccess(lane, logicalDepth(lane));
-}
-
-void
-WarpStackModel::push(uint32_t lane, uint64_t value, StackTxnList &txns)
+WarpStackModel::pushT(uint32_t lane, uint64_t value, Sink &txns)
 {
     SMS_ASSERT(lane < kWarpSize, "lane %u out of range", lane);
-    LaneState &ls = lanes_[lane];
-    SMS_ASSERT(!ls.finished, "push on finished lane %u", lane);
+    SMS_ASSERT(!laneFinished(lane), "push on finished lane %u", lane);
 
-    if (!config_.rb_unbounded && ls.rb.size() == config_.rb_entries)
+    if (!config_.rb_unbounded && rb_count_[lane] == config_.rb_entries)
         spillFromRb(lane, txns);
 
-    ls.rb.push_back(value);
-    ++ls.depth;
+    rbPushBack(lane, value);
+    uint32_t depth = ++depth_[lane];
     ++stats_.pushes;
-    if (timelineOn(TimelineCategory::StackOps))
-        timelineInstantNow(TimelineCategory::StackOps, "push", ls.depth,
+    if (tl_stack_ops_)
+        timelineInstantNow(TimelineCategory::StackOps, "push", depth,
                            "depth");
-    if (ls.depth > stats_.max_logical_depth)
-        stats_.max_logical_depth = ls.depth;
+    if (depth > stats_.max_logical_depth)
+        stats_.max_logical_depth = depth;
     observe(lane);
 }
 
+template <class Sink>
 void
-WarpStackModel::spillFromRb(uint32_t lane, StackTxnList &txns)
+WarpStackModel::spillFromRb(uint32_t lane, Sink &txns)
 {
-    LaneState &ls = lanes_[lane];
-    uint64_t oldest = ls.rb.front();
-    ls.rb.pop_front();
+    uint64_t oldest = rbFront(lane);
+    rbPopFront(lane);
     ++stats_.rb_spills;
-    if (config_.hasShStack()) {
+    if (has_sh_) {
         ++stats_.rb_spills_to_sh;
-        if (timelineOn(TimelineCategory::Stack))
+        if (tl_stack_)
             timelineInstantNow(TimelineCategory::Stack, "spill_rb_to_sh",
                                lane, "lane");
         shPushTop(lane, oldest, txns);
     } else {
         ++stats_.rb_spills_to_global;
-        if (timelineOn(TimelineCategory::Stack))
+        if (tl_stack_)
             timelineInstantNow(TimelineCategory::Stack,
                                "spill_rb_to_global", lane, "lane");
         pushGlobal(lane, oldest, txns);
     }
 }
 
+template <class Sink>
 void
-WarpStackModel::shPushTop(uint32_t lane, uint64_t value, StackTxnList &txns)
+WarpStackModel::shPushTop(uint32_t lane, uint64_t value, Sink &txns)
 {
-    LaneState &ls = lanes_[lane];
-    SMS_ASSERT(!ls.chain.empty(), "lane %u has no SH segment", lane);
+    SMS_ASSERT(chain_len_[lane] > 0, "lane %u has no SH segment", lane);
 
-    Segment *top = &segments_[ls.chain.back()];
+    Segment *top = &segments_[chainBack(lane)];
     if (segFull(*top)) {
         bool resolved = false;
         if (config_.intra_warp_realloc) {
             if (borrowedCount(lane) < config_.max_borrowed &&
                 tryBorrow(lane)) {
                 resolved = true;
-            } else if (ls.chain.size() > 1 &&
+            } else if (chain_len_[lane] > 1 &&
                        tryFlushBottom(lane, txns)) {
                 // Flushing exists because *linked* stacks are not
                 // contiguous (§VI-B); with a single dedicated segment
                 // the plain single-entry move below applies.
                 resolved = true;
-            } else if (ls.chain.size() > 1) {
+            } else if (chain_len_[lane] > 1) {
                 // The paper sizes the flush budget so this never
                 // happens on its workloads (§VI-B: 72 entries suffice).
                 // Beyond that envelope, correctness requires flushing
@@ -162,7 +219,7 @@ WarpStackModel::shPushTop(uint32_t lane, uint64_t value, StackTxnList &txns)
                 bool flushed = tryFlushBottom(lane, txns, true);
                 SMS_ASSERT(flushed, "forced flush failed");
                 ++stats_.forced_flushes;
-                if (timelineOn(TimelineCategory::Stack))
+                if (tl_stack_)
                     timelineInstantNow(TimelineCategory::Stack,
                                        "forced_flush", lane, "lane");
                 resolved = true;
@@ -173,7 +230,7 @@ WarpStackModel::shPushTop(uint32_t lane, uint64_t value, StackTxnList &txns)
             // (shared load + global store), freeing one slot (§VI-A).
             singleMoveToGlobal(lane, txns);
         }
-        top = &segments_[ls.chain.back()];
+        top = &segments_[chainBack(lane)];
         SMS_ASSERT(!segFull(*top), "SH top still full after overflow fix");
     }
 
@@ -186,32 +243,32 @@ WarpStackModel::shPushTop(uint32_t lane, uint64_t value, StackTxnList &txns)
     }
     shSlot(top->owner, top->top) = value;
     ++top->count;
-    ++ls.sh_count;
+    ++sh_count_[lane];
     txns.push_back({StackTxnKind::SharedStore,
                     sharedSlotAddr(top->owner, top->top),
                     kStackEntryBytes, StackTxnOrigin::Spill});
     ++stats_.sh_stores;
 }
 
+template <class Sink>
 uint64_t
-WarpStackModel::shPopTop(uint32_t lane, StackTxnList &txns)
+WarpStackModel::shPopTop(uint32_t lane, Sink &txns)
 {
-    LaneState &ls = lanes_[lane];
     // Find the topmost non-empty segment (empty own segments may sit in
     // the chain after flush promotions; they hold nothing).
-    int idx = static_cast<int>(ls.chain.size()) - 1;
-    while (idx >= 0 && segments_[ls.chain[idx]].empty())
+    int idx = static_cast<int>(chain_len_[lane]) - 1;
+    while (idx >= 0 && segments_[chainAt(lane, idx)].empty())
         --idx;
     SMS_ASSERT(idx >= 0, "shPopTop on empty SH chain (lane %u)", lane);
 
-    Segment &seg = segments_[ls.chain[idx]];
+    Segment &seg = segments_[chainAt(lane, static_cast<uint32_t>(idx))];
     uint64_t value = shSlot(seg.owner, seg.top);
     txns.push_back({StackTxnKind::SharedLoad,
                     sharedSlotAddr(seg.owner, seg.top), kStackEntryBytes,
                     StackTxnOrigin::Refill});
     ++stats_.sh_loads;
     --seg.count;
-    --ls.sh_count;
+    --sh_count_[lane];
     if (seg.empty()) {
         seg.top = seg.base;
         seg.bottom = seg.base;
@@ -239,26 +296,24 @@ WarpStackModel::setAvailable(Segment &seg, bool available)
 void
 WarpStackModel::releaseIfEmptyBorrowed(uint32_t lane)
 {
-    LaneState &ls = lanes_[lane];
     // Release empty borrowed segments from the top of the chain; the
     // paper releases the top stack the moment it empties (§V-B).
-    while (!ls.chain.empty()) {
-        Segment &seg = segments_[ls.chain.back()];
+    while (chain_len_[lane] > 0) {
+        Segment &seg = segments_[chainBack(lane)];
         if (seg.owner == lane || !seg.empty())
             break;
         seg.borrower = -1;
         seg.flushes = 0;
-        setAvailable(seg, lanes_[seg.owner].finished);
-        ls.chain.pop_back();
+        setAvailable(seg, laneFinished(seg.owner));
+        chainPopBack(lane);
     }
 }
 
+template <class Sink>
 void
-WarpStackModel::shPushBottom(uint32_t lane, uint64_t value,
-                             StackTxnList &txns)
+WarpStackModel::shPushBottom(uint32_t lane, uint64_t value, Sink &txns)
 {
-    LaneState &ls = lanes_[lane];
-    Segment &seg = segments_[ls.chain.front()];
+    Segment &seg = segments_[chainFront(lane)];
     SMS_ASSERT(!segFull(seg), "shPushBottom on full bottom segment");
     if (seg.empty()) {
         seg.top = seg.base;
@@ -269,7 +324,7 @@ WarpStackModel::shPushBottom(uint32_t lane, uint64_t value,
     }
     shSlot(seg.owner, seg.bottom) = value;
     ++seg.count;
-    ++ls.sh_count;
+    ++sh_count_[lane];
     txns.push_back({StackTxnKind::SharedStore,
                     sharedSlotAddr(seg.owner, seg.bottom),
                     kStackEntryBytes, StackTxnOrigin::Refill});
@@ -279,10 +334,9 @@ WarpStackModel::shPushBottom(uint32_t lane, uint64_t value,
 bool
 WarpStackModel::shBottomHasSpace(uint32_t lane) const
 {
-    const LaneState &ls = lanes_[lane];
-    if (ls.chain.empty())
+    if (chain_len_[lane] == 0)
         return false;
-    return !segFull(segments_[ls.chain.front()]);
+    return !segFull(segments_[chainFront(lane)]);
 }
 
 bool
@@ -304,12 +358,12 @@ WarpStackModel::tryBorrow(uint32_t lane)
         seg.flushes = 0;
         seg.top = seg.base;
         seg.bottom = seg.base;
-        lanes_[lane].chain.push_back(owner);
+        chainPushBack(lane, owner);
         ++stats_.borrows;
-        if (timelineOn(TimelineCategory::Stack))
+        if (tl_stack_)
             timelineInstantNow(TimelineCategory::Stack, "borrow",
-                               lanes_[lane].chain.size(), "chain_len");
-        uint32_t len = static_cast<uint32_t>(lanes_[lane].chain.size());
+                               chain_len_[lane], "chain_len");
+        uint32_t len = chain_len_[lane];
         if (len >= kBorrowChainBuckets)
             len = kBorrowChainBuckets - 1;
         ++stats_.borrow_chain_hist[len];
@@ -318,22 +372,21 @@ WarpStackModel::tryBorrow(uint32_t lane)
     return false;
 }
 
+template <class Sink>
 bool
-WarpStackModel::tryFlushBottom(uint32_t lane, StackTxnList &txns,
+WarpStackModel::tryFlushBottom(uint32_t lane, Sink &txns,
                                bool ignore_budget)
 {
-    LaneState &ls = lanes_[lane];
-    uint32_t bottom_id = ls.chain.front();
+    uint32_t bottom_id = chainFront(lane);
     Segment &seg = segments_[bottom_id];
 
     if (seg.empty()) {
         // Nothing to flush: promoting the empty bottom segment to the
         // top provides capacity for free (possible when the dedicated
         // segment drained while borrowed segments still hold entries).
-        if (ls.chain.size() == 1)
+        if (chain_len_[lane] == 1)
             return false; // it is already the top and it is full-checked
-        ls.chain.erase(ls.chain.begin());
-        ls.chain.push_back(bottom_id);
+        chainPromoteBottom(lane);
         return true;
     }
 
@@ -359,33 +412,31 @@ WarpStackModel::tryFlushBottom(uint32_t lane, StackTxnList &txns,
     }
     seg.top = seg.base;
     seg.bottom = seg.base;
-    ls.sh_count -= flushed;
+    sh_count_[lane] -= flushed;
     ++seg.flushes;
     ++stats_.flushes;
     stats_.flushed_entries += flushed;
-    if (timelineOn(TimelineCategory::Stack))
+    if (tl_stack_)
         timelineInstantNow(TimelineCategory::Stack, "flush", flushed,
                            "entries");
 
-    if (ls.chain.size() > 1) {
-        ls.chain.erase(ls.chain.begin());
-        ls.chain.push_back(bottom_id);
-    }
+    if (chain_len_[lane] > 1)
+        chainPromoteBottom(lane);
     return true;
 }
 
+template <class Sink>
 void
-WarpStackModel::singleMoveToGlobal(uint32_t lane, StackTxnList &txns)
+WarpStackModel::singleMoveToGlobal(uint32_t lane, Sink &txns)
 {
-    LaneState &ls = lanes_[lane];
     // Oldest SH entry lives at the bottom of the bottom-most non-empty
     // segment.
-    size_t idx = 0;
-    while (idx < ls.chain.size() && segments_[ls.chain[idx]].empty())
+    uint32_t idx = 0;
+    while (idx < chain_len_[lane] && segments_[chainAt(lane, idx)].empty())
         ++idx;
-    SMS_ASSERT(idx < ls.chain.size(),
+    SMS_ASSERT(idx < chain_len_[lane],
                "single move with empty SH chain (lane %u)", lane);
-    Segment &seg = segments_[ls.chain[idx]];
+    Segment &seg = segments_[chainAt(lane, idx)];
 
     uint64_t value = shSlot(seg.owner, seg.bottom);
     txns.push_back({StackTxnKind::SharedLoad,
@@ -393,7 +444,7 @@ WarpStackModel::singleMoveToGlobal(uint32_t lane, StackTxnList &txns)
                     kStackEntryBytes, StackTxnOrigin::Spill});
     ++stats_.sh_loads;
     --seg.count;
-    --ls.sh_count;
+    --sh_count_[lane];
     if (seg.empty()) {
         seg.top = seg.base;
         seg.bottom = seg.base;
@@ -403,77 +454,79 @@ WarpStackModel::singleMoveToGlobal(uint32_t lane, StackTxnList &txns)
     }
     pushGlobal(lane, value, txns);
     ++stats_.single_moves;
-    if (timelineOn(TimelineCategory::Stack))
+    if (tl_stack_)
         timelineInstantNow(TimelineCategory::Stack, "single_move", lane,
                            "lane");
 }
 
+template <class Sink>
 void
-WarpStackModel::pushGlobal(uint32_t lane, uint64_t value,
-                           StackTxnList &txns, StackTxnOrigin origin)
+WarpStackModel::pushGlobal(uint32_t lane, uint64_t value, Sink &txns,
+                           StackTxnOrigin origin)
 {
-    LaneState &ls = lanes_[lane];
-    ls.global.push_back(value);
-    uint32_t slot = static_cast<uint32_t>(ls.global.size()) - 1;
-    if (slot + 1 > ls.global_high_water)
-        ls.global_high_water = slot + 1;
+    std::vector<uint64_t> &g = global_[lane];
+    g.push_back(value);
+    uint32_t slot = static_cast<uint32_t>(g.size()) - 1;
+    if (slot + 1 > global_high_water_[lane])
+        global_high_water_[lane] = slot + 1;
     txns.push_back({StackTxnKind::GlobalStore, globalSlotAddr(lane, slot),
                     kStackEntryBytes, origin});
     ++stats_.global_stores;
 }
 
+template <class Sink>
 uint64_t
-WarpStackModel::popGlobal(uint32_t lane, StackTxnList &txns)
+WarpStackModel::popGlobal(uint32_t lane, Sink &txns)
 {
-    LaneState &ls = lanes_[lane];
-    SMS_ASSERT(!ls.global.empty(), "popGlobal on empty spill region");
-    uint32_t slot = static_cast<uint32_t>(ls.global.size()) - 1;
-    uint64_t value = ls.global.back();
-    ls.global.pop_back();
+    std::vector<uint64_t> &g = global_[lane];
+    SMS_ASSERT(!g.empty(), "popGlobal on empty spill region");
+    uint32_t slot = static_cast<uint32_t>(g.size()) - 1;
+    uint64_t value = g.back();
+    g.pop_back();
     txns.push_back({StackTxnKind::GlobalLoad, globalSlotAddr(lane, slot),
                     kStackEntryBytes, StackTxnOrigin::Refill});
     ++stats_.global_loads;
     return value;
 }
 
+template <class Sink>
 bool
-WarpStackModel::pop(uint32_t lane, uint64_t &value, StackTxnList &txns)
+WarpStackModel::popT(uint32_t lane, uint64_t &value, Sink &txns)
 {
     SMS_ASSERT(lane < kWarpSize, "lane %u out of range", lane);
-    LaneState &ls = lanes_[lane];
-    if (laneEmpty(lane))
+    if (depth_[lane] == 0)
         return false;
 
     observe(lane); // record the occupied depth this pop touches
-    SMS_ASSERT(!ls.rb.empty(), "logical depth > 0 but RB empty");
-    value = ls.rb.back();
-    ls.rb.pop_back();
-    --ls.depth;
+    SMS_ASSERT(rb_count_[lane] > 0, "logical depth > 0 but RB empty");
+    value = rbBack(lane);
+    rbPopBack(lane);
+    uint32_t depth = --depth_[lane];
     ++stats_.pops;
-    if (timelineOn(TimelineCategory::StackOps))
-        timelineInstantNow(TimelineCategory::StackOps, "pop", ls.depth,
+    if (tl_stack_ops_)
+        timelineInstantNow(TimelineCategory::StackOps, "pop", depth,
                            "depth");
 
     // Eager refill (Fig. 7 steps 2/5/6). sh_count > 0 implies an SH
     // stack exists, so no separate hasShStack() check is needed.
-    if (ls.sh_count > 0) {
+    if (sh_count_[lane] > 0) {
         uint64_t from_sh = shPopTop(lane, txns);
-        ls.rb.push_front(from_sh);
+        rbPushFront(lane, from_sh);
         ++stats_.rb_refills;
         ++stats_.rb_refills_from_sh;
-        if (timelineOn(TimelineCategory::Stack))
+        if (tl_stack_)
             timelineInstantNow(TimelineCategory::Stack, "refill_from_sh",
                                lane, "lane");
-        if (!ls.global.empty() && shBottomHasSpace(lane)) {
+        if (!global_[lane].empty() && shBottomHasSpace(lane)) {
             uint64_t from_global = popGlobal(lane, txns);
             shPushBottom(lane, from_global, txns);
         }
-    } else if (!ls.global.empty()) {
+    } else if (!global_[lane].empty()) {
         uint64_t from_global = popGlobal(lane, txns);
-        ls.rb.push_front(from_global);
+        rbPushFront(lane, from_global);
         ++stats_.rb_refills;
         ++stats_.rb_refills_from_global;
-        if (timelineOn(TimelineCategory::Stack))
+        if (tl_stack_)
             timelineInstantNow(TimelineCategory::Stack,
                                "refill_from_global", lane, "lane");
     }
@@ -483,14 +536,14 @@ WarpStackModel::pop(uint32_t lane, uint64_t &value, StackTxnList &txns)
 void
 WarpStackModel::abandonLane(uint32_t lane)
 {
-    LaneState &ls = lanes_[lane];
-    ls.rb.clear();
-    ls.global.clear();
-    ls.depth = 0;
-    ls.sh_count = 0;
-    if (config_.hasShStack()) {
-        for (uint32_t seg_id : ls.chain) {
-            Segment &seg = segments_[seg_id];
+    rb_start_[lane] = 0;
+    rb_count_[lane] = 0;
+    global_[lane].clear();
+    depth_[lane] = 0;
+    sh_count_[lane] = 0;
+    if (has_sh_) {
+        for (uint32_t i = 0; i < chain_len_[lane]; ++i) {
+            Segment &seg = segments_[chainAt(lane, i)];
             seg.count = 0;
             seg.top = seg.base;
             seg.bottom = seg.base;
@@ -502,31 +555,30 @@ WarpStackModel::abandonLane(uint32_t lane)
 void
 WarpStackModel::finishLane(uint32_t lane)
 {
-    LaneState &ls = lanes_[lane];
     SMS_ASSERT(laneEmpty(lane), "finishLane with non-empty stack");
-    ls.finished = true;
-    if (!config_.hasShStack())
+    finished_mask_ |= 1u << lane;
+    if (!has_sh_)
         return;
 
     // Release any leftover borrowed segments (all empty by now); only
     // the dedicated segment stays in the chain. Flush promotions can
     // leave the dedicated segment anywhere in the chain, so filter by
     // ownership rather than position.
-    std::vector<uint32_t> kept;
-    for (uint32_t seg_id : ls.chain) {
-        Segment &seg = segments_[seg_id];
+    uint32_t kept = 0;
+    uint32_t *row = &chain_[lane * kChainRow];
+    for (uint32_t i = 0; i < chain_len_[lane]; ++i) {
+        Segment &seg = segments_[row[i]];
         SMS_ASSERT(seg.empty(), "releasing non-empty segment");
         if (seg.owner == lane) {
-            kept.push_back(seg_id);
+            row[kept++] = row[i];
             continue;
         }
         seg.borrower = -1;
         seg.flushes = 0;
-        setAvailable(seg, lanes_[seg.owner].finished);
+        setAvailable(seg, laneFinished(seg.owner));
     }
-    SMS_ASSERT(kept.size() == 1, "lane %u lost its dedicated segment",
-               lane);
-    ls.chain = std::move(kept);
+    SMS_ASSERT(kept == 1, "lane %u lost its dedicated segment", lane);
+    chain_len_[lane] = kept;
 
     // The dedicated segment becomes borrowable if nobody borrowed it
     // already while we were running (impossible) — mark it idle.
@@ -535,6 +587,37 @@ WarpStackModel::finishLane(uint32_t lane)
         setAvailable(own, config_.intra_warp_realloc);
         own.flushes = 0;
     }
+}
+
+// ---------------------------------------------------------------------
+// Public entry points: instantiate the template machinery for the plain
+// list sink (tests, standalone use) and the arena sink (timing path).
+// ---------------------------------------------------------------------
+
+void
+WarpStackModel::push(uint32_t lane, uint64_t value, StackTxnList &txns)
+{
+    pushT(lane, value, txns);
+}
+
+void
+WarpStackModel::push(uint32_t lane, uint64_t value, StackTxnArena &arena)
+{
+    LaneTxnSink sink{&arena, lane};
+    pushT(lane, value, sink);
+}
+
+bool
+WarpStackModel::pop(uint32_t lane, uint64_t &value, StackTxnList &txns)
+{
+    return popT(lane, value, txns);
+}
+
+bool
+WarpStackModel::pop(uint32_t lane, uint64_t &value, StackTxnArena &arena)
+{
+    LaneTxnSink sink{&arena, lane};
+    return popT(lane, value, sink);
 }
 
 } // namespace sms

@@ -17,27 +17,40 @@
  * the per-lane transaction list the stack manager would issue, and the
  * model is value-exact: pops always return what an unbounded stack
  * would return.
+ *
+ * Layout: per-lane state is struct-of-arrays. All 32 RB rings live in
+ * one flat slot pool (power-of-two stride per lane) with parallel
+ * start/count arrays; depth, SH occupancy and the finished flags are
+ * flat arrays/bitmask; segment chains are rows of one fixed 2-D index
+ * array. A warp model is a handful of contiguous allocations reused
+ * across jobs via reset(), instead of 32 lanes x several containers.
  */
 
 #ifndef SMS_CORE_WARP_STACK_HPP
 #define SMS_CORE_WARP_STACK_HPP
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
 #include "src/core/stack_config.hpp"
 #include "src/core/stack_txn.hpp"
 #include "src/memory/request.hpp"
+#include "src/stats/histogram.hpp"
 #include "src/util/check.hpp"
 
 namespace sms {
 
 /**
- * Growable circular buffer holding one lane's RB stack. Supports the
- * deque subset the stack model needs (push/pop at both ends) without
- * std::deque's segmented-map allocation per instance — WarpStackModel
- * is constructed once per trace-ray warp, so construction cost is on
- * the simulator's hot path.
+ * Growable circular buffer holding one lane's stack values: push/pop at
+ * both ends without std::deque's segmented-map allocation per instance.
+ *
+ * This is the single-ring reference form of the RB level: the pooled
+ * struct-of-arrays rings inside WarpStackModel use exactly this index
+ * arithmetic (wrap mask, front at start_, back at start_ + count_ - 1),
+ * and the randomized differential tests pit this class against
+ * std::deque to pin the shared semantics — including grow()'s rebase of
+ * a wrapped ring onto a doubled power-of-two span.
  */
 class RbRing
 {
@@ -57,7 +70,12 @@ class RbRing
         ++count_;
     }
 
-    void pop_back() { --count_; }
+    void
+    pop_back()
+    {
+        SMS_DEBUG_ASSERT(count_ > 0, "pop_back on empty ring");
+        --count_;
+    }
 
     void
     push_front(uint64_t value)
@@ -72,6 +90,7 @@ class RbRing
     void
     pop_front()
     {
+        SMS_DEBUG_ASSERT(count_ > 0, "pop_front on empty ring");
         start_ = (start_ + 1) & mask_;
         --count_;
     }
@@ -115,7 +134,13 @@ class DepthObserver
  *
  * Instances are created per trace-ray warp instruction: a warp leaves
  * the RT unit only when all its lanes finished (§V-B), so SH segments
- * can never stay borrowed across warps.
+ * can never stay borrowed across warps. The timing simulator recycles
+ * one instance across jobs via reset() rather than reconstructing.
+ *
+ * Every mutating operation has two forms: one emitting into a plain
+ * StackTxnList (tests, standalone use) and one appending to the
+ * caller's lane list inside a StackTxnArena (the timing hot path).
+ * Both run the identical template implementation.
  */
 class WarpStackModel
 {
@@ -130,14 +155,25 @@ class WarpStackModel
     WarpStackModel(const StackConfig &config, Addr shared_base,
                    Addr local_base);
 
+    /**
+     * Return the model to its just-constructed state (same config) for
+     * a new warp job at new base addresses. Statistics reset; all
+     * storage is retained, so no allocations occur.
+     */
+    void reset(Addr shared_base, Addr local_base);
+
     /** Push @p value on @p lane's stack; transactions appended. */
     void push(uint32_t lane, uint64_t value, StackTxnList &txns);
+    /** Arena form: transactions append to @p lane's list in @p arena. */
+    void push(uint32_t lane, uint64_t value, StackTxnArena &arena);
 
     /**
      * Pop @p lane's stack top.
      * @return false when the stack is empty (traversal is over)
      */
     bool pop(uint32_t lane, uint64_t &value, StackTxnList &txns);
+    /** Arena form: transactions append to @p lane's list in @p arena. */
+    bool pop(uint32_t lane, uint64_t &value, StackTxnArena &arena);
 
     /**
      * Read @p lane's stack top without popping — the RT unit reads the
@@ -148,19 +184,19 @@ class WarpStackModel
     uint64_t
     peek(uint32_t lane) const
     {
-        SMS_ASSERT(!lanes_[lane].rb.empty(), "peek on empty stack");
-        return lanes_[lane].rb.back();
+        SMS_ASSERT(rb_count_[lane] > 0, "peek on empty stack");
+        return rbBack(lane);
     }
 
     /** True when @p lane's logical stack holds no values. */
-    bool laneEmpty(uint32_t lane) const { return lanes_[lane].depth == 0; }
+    bool laneEmpty(uint32_t lane) const { return depth_[lane] == 0; }
 
     /**
      * Logical stack depth of @p lane (across all three levels). O(1):
      * the depth counter is maintained on push/pop — internal migrations
      * between RB/SH/global never change the logical total.
      */
-    uint32_t logicalDepth(uint32_t lane) const { return lanes_[lane].depth; }
+    uint32_t logicalDepth(uint32_t lane) const { return depth_[lane]; }
 
     /**
      * Mark @p lane's traversal complete; with reallocation enabled its
@@ -176,10 +212,21 @@ class WarpStackModel
      */
     void abandonLane(uint32_t lane);
 
-    bool laneFinished(uint32_t lane) const { return lanes_[lane].finished; }
+    bool
+    laneFinished(uint32_t lane) const
+    {
+        return (finished_mask_ & (1u << lane)) != 0;
+    }
 
     /** Install a depth observer (may be nullptr). */
     void setDepthObserver(DepthObserver *observer) { observer_ = observer; }
+
+    /**
+     * Feed every access's logical depth straight into @p hist (may be
+     * nullptr). The direct pointer replaces a virtual observer call on
+     * the hot path; an observer is only needed for traced warps.
+     */
+    void setDepthHistogram(Histogram *hist) { depth_hist_ = hist; }
 
     const WarpStackStats &stats() const { return stats_; }
     const StackConfig &config() const { return config_; }
@@ -194,7 +241,7 @@ class WarpStackModel
     uint32_t
     globalDepth(uint32_t lane) const
     {
-        return static_cast<uint32_t>(lanes_[lane].global.size());
+        return static_cast<uint32_t>(global_[lane].size());
     }
 
     /** Shared-memory address of segment-local entry slot (tests). */
@@ -218,31 +265,143 @@ class WarpStackModel
         bool empty() const { return count == 0; }
     };
 
-    struct LaneState
-    {
-        RbRing rb;                        ///< front = oldest, back = top
-        std::vector<uint32_t> chain;      ///< segment ids, front = bottom
-        std::vector<uint64_t> global;     ///< back = newest spill
-        uint32_t depth = 0;               ///< rb + SH chain + global
-        uint32_t sh_count = 0;            ///< entries across the SH chain
-        uint32_t global_high_water = 0;   ///< slots ever used (addressing)
-        bool finished = false;
-    };
+    // --- pooled RB rings (SoA) ------------------------------------------
+    // Lane i's ring occupies rb_slots_[i * rb_stride_ ... + rb_stride_)
+    // as a circular buffer: front (oldest) at rb_start_, back (top) at
+    // rb_start_ + rb_count_ - 1, indices wrapped by rb_mask_. The
+    // arithmetic mirrors class RbRing above; rb_unbounded configs grow
+    // the whole pool (every lane's stride doubles, rings rebase to 0).
 
-    void spillFromRb(uint32_t lane, StackTxnList &txns);
-    void shPushTop(uint32_t lane, uint64_t value, StackTxnList &txns);
-    uint64_t shPopTop(uint32_t lane, StackTxnList &txns);
-    void shPushBottom(uint32_t lane, uint64_t value, StackTxnList &txns);
+    uint64_t &
+    rbSlot(uint32_t lane, uint32_t i)
+    {
+        return rb_slots_[lane * rb_stride_ + (i & rb_mask_)];
+    }
+    uint64_t
+    rbSlot(uint32_t lane, uint32_t i) const
+    {
+        return rb_slots_[lane * rb_stride_ + (i & rb_mask_)];
+    }
+
+    uint64_t
+    rbBack(uint32_t lane) const
+    {
+        return rbSlot(lane, rb_start_[lane] + rb_count_[lane] - 1);
+    }
+    uint64_t rbFront(uint32_t lane) const
+    {
+        return rbSlot(lane, rb_start_[lane]);
+    }
+
+    void
+    rbPushBack(uint32_t lane, uint64_t value)
+    {
+        if (rb_count_[lane] > rb_mask_)
+            growRbPool();
+        rbSlot(lane, rb_start_[lane] + rb_count_[lane]) = value;
+        ++rb_count_[lane];
+    }
+
+    void
+    rbPopBack(uint32_t lane)
+    {
+        SMS_DEBUG_ASSERT(rb_count_[lane] > 0, "pop_back on empty ring");
+        --rb_count_[lane];
+    }
+
+    void
+    rbPushFront(uint32_t lane, uint64_t value)
+    {
+        if (rb_count_[lane] > rb_mask_)
+            growRbPool();
+        rb_start_[lane] = (rb_start_[lane] + rb_mask_) & rb_mask_;
+        rbSlot(lane, rb_start_[lane]) = value;
+        ++rb_count_[lane];
+    }
+
+    void
+    rbPopFront(uint32_t lane)
+    {
+        SMS_DEBUG_ASSERT(rb_count_[lane] > 0, "pop_front on empty ring");
+        rb_start_[lane] = (rb_start_[lane] + 1) & rb_mask_;
+        --rb_count_[lane];
+    }
+
+    /** Double the pool stride; every ring rebases to start 0. */
+    void growRbPool();
+
+    // --- segment chains -------------------------------------------------
+    // Row lane of chain_ holds that lane's segment ids, bottom first.
+    // A chain is at most the dedicated segment plus kWarpSize borrowed
+    // ones, so rows are fixed-size and the whole table is one array.
+
+    static constexpr uint32_t kChainRow = kWarpSize + 1;
+
+    uint32_t
+    chainAt(uint32_t lane, uint32_t idx) const
+    {
+        return chain_[lane * kChainRow + idx];
+    }
+    uint32_t chainLen(uint32_t lane) const { return chain_len_[lane]; }
+    uint32_t chainFront(uint32_t lane) const { return chainAt(lane, 0); }
+    uint32_t
+    chainBack(uint32_t lane) const
+    {
+        return chainAt(lane, chain_len_[lane] - 1);
+    }
+
+    void
+    chainPushBack(uint32_t lane, uint32_t seg_id)
+    {
+        SMS_DEBUG_ASSERT(chain_len_[lane] < kChainRow, "chain overflow");
+        chain_[lane * kChainRow + chain_len_[lane]++] = seg_id;
+    }
+
+    void chainPopBack(uint32_t lane) { --chain_len_[lane]; }
+
+    /** Rotate left by one: the bottom segment becomes the top. */
+    void
+    chainPromoteBottom(uint32_t lane)
+    {
+        uint32_t *row = &chain_[lane * kChainRow];
+        uint32_t bottom = row[0];
+        for (uint32_t i = 1; i < chain_len_[lane]; ++i)
+            row[i - 1] = row[i];
+        row[chain_len_[lane] - 1] = bottom;
+    }
+
+    // --- operation implementation (shared by list and arena forms) ------
+
+    template <class Sink>
+    void pushT(uint32_t lane, uint64_t value, Sink &txns);
+    template <class Sink>
+    bool popT(uint32_t lane, uint64_t &value, Sink &txns);
+    template <class Sink> void spillFromRb(uint32_t lane, Sink &txns);
+    template <class Sink>
+    void shPushTop(uint32_t lane, uint64_t value, Sink &txns);
+    template <class Sink> uint64_t shPopTop(uint32_t lane, Sink &txns);
+    template <class Sink>
+    void shPushBottom(uint32_t lane, uint64_t value, Sink &txns);
     bool shBottomHasSpace(uint32_t lane) const;
     bool tryBorrow(uint32_t lane);
-    bool tryFlushBottom(uint32_t lane, StackTxnList &txns,
+    template <class Sink>
+    bool tryFlushBottom(uint32_t lane, Sink &txns,
                         bool ignore_budget = false);
-    void singleMoveToGlobal(uint32_t lane, StackTxnList &txns);
-    void pushGlobal(uint32_t lane, uint64_t value, StackTxnList &txns,
+    template <class Sink> void singleMoveToGlobal(uint32_t lane, Sink &txns);
+    template <class Sink>
+    void pushGlobal(uint32_t lane, uint64_t value, Sink &txns,
                     StackTxnOrigin origin = StackTxnOrigin::Spill);
-    uint64_t popGlobal(uint32_t lane, StackTxnList &txns);
+    template <class Sink> uint64_t popGlobal(uint32_t lane, Sink &txns);
     void releaseIfEmptyBorrowed(uint32_t lane);
-    void observe(uint32_t lane);
+
+    void
+    observe(uint32_t lane)
+    {
+        if (depth_hist_)
+            depth_hist_->add(depth_[lane]);
+        if (observer_)
+            observer_->onStackAccess(lane, depth_[lane]);
+    }
 
     /** Flip a segment's availability, maintaining available_count_. */
     void setAvailable(Segment &seg, bool available);
@@ -263,14 +422,42 @@ class WarpStackModel
     StackConfig config_;
     Addr shared_base_;
     Addr local_base_;
-    std::vector<Segment> segments_; ///< kWarpSize segments (may be empty)
+    bool has_sh_ = false; ///< cached config_.hasShStack()
+
+    /** RB slot pool: kWarpSize rings of rb_stride_ slots each. */
+    std::vector<uint64_t> rb_slots_;
+    uint32_t rb_stride_ = 0; ///< power of two
+    uint32_t rb_mask_ = 0;   ///< rb_stride_ - 1
+    std::array<uint32_t, kWarpSize> rb_start_;
+    std::array<uint32_t, kWarpSize> rb_count_;
+
+    std::array<uint32_t, kWarpSize> depth_;    ///< rb + SH chain + global
+    std::array<uint32_t, kWarpSize> sh_count_; ///< entries across SH chain
+    /** Spill slots ever used per lane (addressing high-water). */
+    std::array<uint32_t, kWarpSize> global_high_water_;
+    uint32_t finished_mask_ = 0; ///< bit i: lane i finished
+
+    /** Per-lane global spill values, back = newest. */
+    std::array<std::vector<uint64_t>, kWarpSize> global_;
+
+    std::array<uint32_t, kWarpSize * kChainRow> chain_;
+    std::array<uint32_t, kWarpSize> chain_len_;
+
+    std::array<Segment, kWarpSize> segments_; ///< valid when has_sh_
     std::vector<uint64_t> sh_slots_; ///< kWarpSize * sh_entries values
-    std::vector<LaneState> lanes_;
     /** Segments currently marked available — lets tryBorrow() skip its
      *  all-lane scan in the common case where no lane has finished. */
     uint32_t available_count_ = 0;
     WarpStackStats stats_;
     DepthObserver *observer_ = nullptr;
+    /** Direct depth-histogram sink (devirtualized hot path). */
+    Histogram *depth_hist_ = nullptr;
+    /** Timeline-enabled flags snapshotted at reset(): the per-op
+     *  timelineOn() atomic loads dominate otherwise. The mask is fixed
+     *  for a whole run (configured before models are built), so a
+     *  per-reset snapshot observes every legitimate change. */
+    bool tl_stack_ops_ = false;
+    bool tl_stack_ = false;
 };
 
 } // namespace sms

@@ -5,6 +5,14 @@
  * Replacement state is an intrusive doubly-linked recency list per set
  * plus a fill counter; see the header for the equivalence argument
  * against the timestamp formulation of true LRU.
+ *
+ * Lookup is the simulator's single hottest function (one call per
+ * modeled line access), so the fully-associative path uses a flat
+ * linear-probe hash table with backward-shift deletion instead of
+ * std::unordered_map, and set indexing is shift/mask whenever the
+ * geometry allows. Neither changes any replacement decision: the hash
+ * table is a pure tag->way accelerator and the recency lists remain
+ * the only replacement state.
  */
 
 #include "src/memory/cache.hpp"
@@ -15,10 +23,31 @@ namespace sms {
 
 namespace {
 
+/** Both recency links of a line set to kNoWay (0xffffffff each). */
+constexpr uint64_t kNoLinks = ~uint64_t{0};
+
 bool
 isPowerOfTwo(uint64_t v)
 {
     return v != 0 && (v & (v - 1)) == 0;
+}
+
+uint32_t
+log2OfPowerOfTwo(uint64_t v)
+{
+    uint32_t shift = 0;
+    while ((uint64_t{1} << shift) < v)
+        ++shift;
+    return shift;
+}
+
+uint32_t
+nextPowerOfTwo(uint32_t v)
+{
+    uint32_t p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
 }
 
 } // namespace
@@ -44,51 +73,132 @@ Cache::Cache(const CacheConfig &config) : config_(config)
         // 3 MB / 16-way L2 of Table I has 1536 sets).
         num_sets_ = static_cast<uint32_t>(total_lines / config.ways);
     }
-    lines_.resize(static_cast<size_t>(num_sets_) * num_ways_);
+    line_shift_ = log2OfPowerOfTwo(config.line_bytes);
+    sets_pow2_ = isPowerOfTwo(num_sets_);
+    set_mask_ = sets_pow2_ ? num_sets_ - 1 : 0;
+
+    size_t total = static_cast<size_t>(num_sets_) * num_ways_;
+    tags_.assign(total, kEmptyTag);
+    links_.assign(total, kNoLinks);
+    dirty_.assign((total + 63) / 64, 0);
     sets_.resize(num_sets_);
     use_tag_index_ = num_sets_ == 1;
-    if (use_tag_index_)
-        tag_index_.reserve(num_ways_ * 2);
+    if (use_tag_index_) {
+        // 4x ways keeps the load factor under 1/4: probe runs on the
+        // hit path stay near one slot and the backward-shift walks on
+        // eviction stay short, for 12 B per way of extra table.
+        uint32_t capacity = nextPowerOfTwo(num_ways_ * 4);
+        tag_keys_.assign(capacity, kEmptyTag);
+        tag_vals_.assign(capacity, 0);
+        tag_mask_ = capacity - 1;
+    }
 }
 
 uint32_t
 Cache::setIndex(Addr line_addr) const
 {
-    return static_cast<uint32_t>((line_addr / config_.line_bytes) %
-                                 num_sets_);
+    uint64_t line_index = line_addr >> line_shift_;
+    if (sets_pow2_)
+        return static_cast<uint32_t>(line_index) & set_mask_;
+    return static_cast<uint32_t>(line_index % num_sets_);
+}
+
+uint64_t
+Cache::hashTag(Addr line_addr)
+{
+    // splitmix64 finalizer over the line address: cheap, and strong
+    // enough that power-of-two-strided address streams (line-aligned
+    // buffers) don't cluster in the power-of-two-sized table.
+    uint64_t x = line_addr;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return x;
+}
+
+uint32_t
+Cache::tagSlotOf(Addr line_addr) const
+{
+    uint32_t slot = static_cast<uint32_t>(hashTag(line_addr)) & tag_mask_;
+    while (tag_keys_[slot] != line_addr && tag_keys_[slot] != kEmptyTag)
+        slot = (slot + 1) & tag_mask_;
+    return slot;
+}
+
+void
+Cache::tagInsert(Addr line_addr, uint32_t line_index)
+{
+    uint32_t slot = tagSlotOf(line_addr);
+    tag_keys_[slot] = line_addr;
+    tag_vals_[slot] = line_index;
+}
+
+void
+Cache::tagErase(Addr line_addr)
+{
+    uint32_t slot = tagSlotOf(line_addr);
+    if (tag_keys_[slot] == kEmptyTag)
+        return;
+    // Backward-shift deletion: walk the probe run after the freed slot
+    // and pull back any entry whose home position precedes the hole, so
+    // later lookups never hit a spurious empty slot mid-run.
+    uint32_t hole = slot;
+    tag_keys_[hole] = kEmptyTag;
+    uint32_t cur = (slot + 1) & tag_mask_;
+    while (tag_keys_[cur] != kEmptyTag) {
+        uint32_t home =
+            static_cast<uint32_t>(hashTag(tag_keys_[cur])) & tag_mask_;
+        // Move cur into the hole iff the hole lies within cur's probe
+        // path, i.e. the cyclic distance home->cur covers home->hole.
+        if (((cur - home) & tag_mask_) >= ((cur - hole) & tag_mask_)) {
+            tag_keys_[hole] = tag_keys_[cur];
+            tag_vals_[hole] = tag_vals_[cur];
+            tag_keys_[cur] = kEmptyTag;
+            hole = cur;
+        }
+        cur = (cur + 1) & tag_mask_;
+    }
 }
 
 uint32_t
 Cache::findLine(uint32_t set, Addr line_addr) const
 {
     if (use_tag_index_) {
-        auto it = tag_index_.find(line_addr);
-        return it == tag_index_.end() ? kNoWay : it->second;
+        uint32_t slot = tagSlotOf(line_addr);
+        return tag_keys_[slot] == kEmptyTag ? kNoWay : tag_vals_[slot];
     }
+    // Ways fill in ascending order and are never invalidated outside
+    // reset(), so every way below valid_ways holds a live tag: the scan
+    // covers at most two host cache lines of the flat tag array.
     uint32_t base = set * num_ways_;
     uint32_t filled = sets_[set].valid_ways;
     for (uint32_t w = 0; w < filled; ++w) {
-        const Line &line = lines_[base + w];
-        if (line.valid && line.tag == line_addr)
+        if (tags_[base + w] == line_addr)
             return base + w;
     }
     return kNoWay;
 }
 
+// Recency links are packed (more_recent << 32) | less_recent.
+
 void
 Cache::unlink(SetState &set, uint32_t line_index)
 {
-    Line &line = lines_[line_index];
-    if (line.more_recent != kNoWay)
-        lines_[line.more_recent].less_recent = line.less_recent;
+    uint64_t links = links_[line_index];
+    uint32_t more = static_cast<uint32_t>(links >> 32);
+    uint32_t less = static_cast<uint32_t>(links);
+    if (more != kNoWay)
+        links_[more] = (links_[more] & 0xffffffff00000000ull) | less;
     else
-        set.mru = line.less_recent;
-    if (line.less_recent != kNoWay)
-        lines_[line.less_recent].more_recent = line.more_recent;
+        set.mru = less;
+    if (less != kNoWay)
+        links_[less] = (links_[less] & 0xffffffffull) |
+                       (static_cast<uint64_t>(more) << 32);
     else
-        set.lru = line.more_recent;
-    line.more_recent = kNoWay;
-    line.less_recent = kNoWay;
+        set.lru = more;
+    links_[line_index] = kNoLinks;
 }
 
 void
@@ -97,14 +207,14 @@ Cache::touchFront(SetState &set, uint32_t line_index)
     if (set.mru == line_index)
         return;
     // A line that is linked but not the head always has a more-recent
-    // neighbour; a freshly-filled line (both pointers kNoWay) must not
+    // neighbour; a freshly-filled line (both links kNoWay) must not
     // be unlinked or it would clobber the list head.
-    if (lines_[line_index].more_recent != kNoWay)
+    if (static_cast<uint32_t>(links_[line_index] >> 32) != kNoWay)
         unlink(set, line_index);
-    Line &line = lines_[line_index];
-    line.less_recent = set.mru;
+    links_[line_index] = (static_cast<uint64_t>(kNoWay) << 32) | set.mru;
     if (set.mru != kNoWay)
-        lines_[set.mru].more_recent = line_index;
+        links_[set.mru] = (links_[set.mru] & 0xffffffffull) |
+                          (static_cast<uint64_t>(line_index) << 32);
     set.mru = line_index;
     if (set.lru == kNoWay)
         set.lru = line_index;
@@ -113,7 +223,7 @@ Cache::touchFront(SetState &set, uint32_t line_index)
 Cache::Result
 Cache::access(Addr line_addr, bool write, TrafficClass cls)
 {
-    SMS_ASSERT(line_addr % config_.line_bytes == 0,
+    SMS_ASSERT((line_addr & (config_.line_bytes - 1)) == 0,
                "unaligned cache access 0x%llx",
                static_cast<unsigned long long>(line_addr));
     Result result;
@@ -128,9 +238,9 @@ Cache::access(Addr line_addr, bool write, TrafficClass cls)
     // Hit path.
     uint32_t found = findLine(set_idx, line_addr);
     if (found != kNoWay) {
-        Line &line = lines_[found];
         touchFront(set, found);
-        line.dirty = line.dirty || write;
+        if (write)
+            setDirty(found, true);
         result.hit = true;
         return result;
     }
@@ -154,22 +264,19 @@ Cache::access(Addr line_addr, bool write, TrafficClass cls)
     } else {
         victim_index = set.lru;
         SMS_ASSERT(victim_index != kNoWay, "full set with empty LRU list");
-        Line &victim = lines_[victim_index];
-        if (victim.dirty) {
+        if (isDirty(victim_index)) {
             result.evicted_dirty = true;
-            result.evicted_line = victim.tag;
+            result.evicted_line = tags_[victim_index];
             ++stats_.writebacks;
         }
         if (use_tag_index_)
-            tag_index_.erase(victim.tag);
+            tagErase(tags_[victim_index]);
     }
-    Line &line = lines_[victim_index];
-    line.valid = true;
-    line.tag = line_addr;
-    line.dirty = write;
+    tags_[victim_index] = line_addr;
+    setDirty(victim_index, write);
     touchFront(set, victim_index);
     if (use_tag_index_)
-        tag_index_[line_addr] = victim_index;
+        tagInsert(line_addr, victim_index);
     return result;
 }
 
@@ -182,11 +289,13 @@ Cache::probe(Addr line_addr) const
 void
 Cache::reset()
 {
-    for (Line &line : lines_)
-        line = Line();
     for (SetState &set : sets_)
         set = SetState();
-    tag_index_.clear();
+    tags_.assign(tags_.size(), kEmptyTag);
+    links_.assign(links_.size(), kNoLinks);
+    dirty_.assign(dirty_.size(), 0);
+    if (use_tag_index_)
+        tag_keys_.assign(tag_keys_.size(), kEmptyTag);
 }
 
 } // namespace sms

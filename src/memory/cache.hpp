@@ -21,7 +21,6 @@
 #define SMS_MEMORY_CACHE_HPP
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "src/memory/request.hpp"
@@ -95,17 +94,6 @@ class Cache
     /** Sentinel way index terminating a set's recency list. */
     static constexpr uint32_t kNoWay = 0xffffffffu;
 
-    struct Line
-    {
-        Addr tag = 0;
-        bool valid = false;
-        bool dirty = false;
-        /** Intrusive per-set recency list (indices are global line
-         *  indices; kNoWay terminates). */
-        uint32_t more_recent = kNoWay;
-        uint32_t less_recent = kNoWay;
-    };
-
     /** Recency bookkeeping of one set. */
     struct SetState
     {
@@ -125,20 +113,67 @@ class Cache
     /** Make @p line_index the MRU of its set. */
     void touchFront(SetState &set, uint32_t line_index);
 
+    bool
+    isDirty(uint32_t line_index) const
+    {
+        return (dirty_[line_index >> 6] >> (line_index & 63)) & 1;
+    }
+    void
+    setDirty(uint32_t line_index, bool dirty)
+    {
+        uint64_t bit = uint64_t{1} << (line_index & 63);
+        if (dirty)
+            dirty_[line_index >> 6] |= bit;
+        else
+            dirty_[line_index >> 6] &= ~bit;
+    }
+
+    // Open-addressed tag->way table (fully-associative path). The
+    // simulator performs one lookup per modeled memory access, so the
+    // table is a flat linear-probe array rather than unordered_map:
+    // no per-node allocation, one hash, at most a short probe run.
+    // Capacity is fixed at construction (>= 4x ways, power of two), so
+    // the load factor never exceeds 1/4 and probes stay short.
+    static uint64_t hashTag(Addr line_addr);
+    uint32_t tagSlotOf(Addr line_addr) const;
+    void tagInsert(Addr line_addr, uint32_t line_index);
+    void tagErase(Addr line_addr);
+
     CacheConfig config_;
     uint32_t num_sets_ = 1;
     uint32_t num_ways_ = 1;
-    std::vector<Line> lines_; ///< num_sets_ x num_ways_, row-major
+    /** log2(line_bytes): line index = addr >> line_shift_. */
+    uint32_t line_shift_ = 0;
+    /** num_sets_ - 1 when num_sets_ is a power of two, else 0 (the
+     *  fully-associative single set takes this path with mask 0; only
+     *  non-power-of-two geometries like the 192-set L2 pay a modulo). */
+    uint32_t set_mask_ = 0;
+    bool sets_pow2_ = true;
+    // Per-line state is struct-of-arrays, sized for host-cache
+    // residency on the hot path: the 16-way L2's tag scan covers one
+    // array cache line, a recency update touches three 8-byte link
+    // pairs instead of three padded structs, and dirtiness is one bit.
+    // Validity is implicit: ways fill in ascending order and are never
+    // invalidated outside reset(), so way w of a set is live iff
+    // w < valid_ways.
+    /** Line tags, num_sets_ x num_ways_ row-major. */
+    std::vector<Addr> tags_;
+    /** Recency links, (more_recent << 32) | less_recent per line. */
+    std::vector<uint64_t> links_;
+    /** Dirty bits, one per line. */
+    std::vector<uint64_t> dirty_;
     std::vector<SetState> sets_;
-    /**
-     * tag -> global line index, maintained only for the
-     * fully-associative geometry (num_sets_ == 1), where the way scan
-     * would otherwise walk the entire cache.
-     */
-    std::unordered_map<Addr, uint32_t> tag_index_;
+    /** Linear-probe table: slot -> line tag (kEmptyTag when free). */
+    std::vector<Addr> tag_keys_;
+    /** Parallel slot -> global line index. */
+    std::vector<uint32_t> tag_vals_;
+    uint32_t tag_mask_ = 0; ///< tag_keys_.size() - 1
     bool use_tag_index_ = false;
     LevelStats stats_;
     uint64_t class_misses_[kTrafficClassCount] = {0, 0, 0};
+
+    /** Free-slot sentinel: never a line-aligned address. */
+    static constexpr Addr kEmptyTag = ~Addr{0};
 };
 
 } // namespace sms

@@ -25,28 +25,37 @@ constexpr Addr kLocalSpillStride = 0x10000ull;
 /** Number of distinct spill frames before addresses recycle. */
 constexpr Addr kLocalSpillFrames = 8192;
 
-/** Depth observer feeding the global histogram and optional trace. */
+/**
+ * Depth observer recording the per-access trace of traced warps. The
+ * global depth histogram is fed directly by the warp stack (a devirtualized
+ * Histogram pointer), so untraced warps — the overwhelming majority —
+ * register no observer at all.
+ */
 class DepthCollector : public DepthObserver
 {
   public:
-    DepthCollector(SimResult &result, uint32_t warp_id, bool traced)
-        : result_(result), warp_id_(warp_id), traced_(traced)
+    DepthCollector(SimResult &result, uint32_t warp_id)
+        : result_(result), warp_id_(warp_id)
     {}
+
+    /** Rearm for the next job sharing this in-flight slot. */
+    void
+    reinit(uint32_t warp_id)
+    {
+        warp_id_ = warp_id;
+        access_index_ = 0;
+    }
 
     void
     onStackAccess(uint32_t lane, uint32_t depth) override
     {
-        result_.depth_hist.add(depth);
-        if (traced_) {
-            result_.depth_trace.push_back(
-                {warp_id_, access_index_++, lane, depth});
-        }
+        result_.depth_trace.push_back(
+            {warp_id_, access_index_++, lane, depth});
     }
 
   private:
     SimResult &result_;
     uint32_t warp_id_;
-    bool traced_;
     uint32_t access_index_ = 0;
 };
 
@@ -230,13 +239,27 @@ simulateJobs(const Scene &scene, const WideBvh &bvh,
                 tl_pid, sm_id * config.max_warps_per_rt + slot,
                 "SM" + std::to_string(sm_id) + " slot" +
                     std::to_string(slot));
-        fl.collector = std::make_unique<DepthCollector>(
-            result, job.warp_id, warp_traced(job.warp_id));
-        fl.sim = std::make_unique<TraversalSim>(
-            scene, bvh, config, job, sm_id, shared_base, local_base, mem,
-            shared_mems[sm_id], fl.collector.get(),
-            record ? &record->jobs[job_index] : nullptr,
-            replay ? &replay->jobs[job_index] : nullptr);
+        // Recycled slots rearm their existing sim/collector in place:
+        // the stack model, scratch arenas and tape state all keep their
+        // allocations across the thousands of jobs sharing the slot.
+        JobTape *rec = record ? &record->jobs[job_index] : nullptr;
+        const JobTape *rep = replay ? &replay->jobs[job_index] : nullptr;
+        bool traced = warp_traced(job.warp_id);
+        if (fl.sim) {
+            fl.collector->reinit(job.warp_id);
+            fl.sim->reinit(job, sm_id, shared_base, local_base,
+                           shared_mems[sm_id],
+                           traced ? fl.collector.get() : nullptr, rec, rep,
+                           &result.depth_hist);
+        } else {
+            fl.collector =
+                std::make_unique<DepthCollector>(result, job.warp_id);
+            fl.sim = std::make_unique<TraversalSim>(
+                scene, bvh, config, job, sm_id, shared_base, local_base,
+                mem, shared_mems[sm_id],
+                traced ? fl.collector.get() : nullptr, rec, rep,
+                &result.depth_hist);
+        }
         events.emplace(cycle, seq++, idx);
     };
 
@@ -329,8 +352,8 @@ simulateJobs(const Scene &scene, const WideBvh &bvh,
 
         sms[sm_id].free_slots.push_back(fl.slot);
         spill_frame_busy[jobs[job_index].job_id % kLocalSpillFrames] = 0;
-        fl.sim.reset();
-        fl.collector.reset();
+        // The sim and collector stay alive for the next job admitted to
+        // this in-flight slot (admit() rearms them via reinit()).
         free_inflight.push_back(idx);
 
         for (uint32_t child : children[job_index]) {

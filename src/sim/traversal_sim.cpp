@@ -19,17 +19,47 @@ TraversalSim::TraversalSim(const Scene &scene, const WideBvh &bvh,
                            uint32_t sm, Addr shared_base, Addr local_base,
                            MemorySystem &mem, SharedMemory &shared_mem,
                            DepthObserver *observer, JobTape *record,
-                           const JobTape *replay)
+                           const JobTape *replay, Histogram *depth_hist)
     : scene_(scene), bvh_(bvh), config_(config), job_(job), sm_(sm),
-      mem_(mem), shared_mem_(shared_mem),
+      mem_(mem), shared_mem_(&shared_mem),
       stack_(config.stack, shared_base, local_base), recorder_(record),
       cursor_(replay)
 {
-    SMS_ASSERT(!(record && replay),
+    stack_.setDepthHistogram(depth_hist);
+    seedJob(observer);
+}
+
+void
+TraversalSim::reinit(const WarpJob &job, uint32_t sm, Addr shared_base,
+                     Addr local_base, SharedMemory &shared_mem,
+                     DepthObserver *observer, JobTape *record,
+                     const JobTape *replay, Histogram *depth_hist)
+{
+    job_ = job;
+    sm_ = sm;
+    shared_mem_ = &shared_mem;
+    stack_.reset(shared_base, local_base);
+    stack_.setDepthHistogram(depth_hist);
+    recorder_ = TapeWriter(record);
+    cursor_ = TapeCursor(replay);
+    chain_segs_.clear();
+    chain_start_ = 0;
+    account_ = CycleAccount{};
+    counters_ = JobCounters{};
+    mismatches_ = 0;
+    manager_free_ = 0;
+    seedJob(observer);
+}
+
+void
+TraversalSim::seedJob(DepthObserver *observer)
+{
+    SMS_ASSERT(!(recorder_.enabled() && cursor_.enabled()),
                "a job cannot record and replay the tape at once");
     stack_.setDepthObserver(observer);
+    running_mask_ = 0;
     for (uint32_t i = 0; i < kWarpSize; ++i) {
-        Lane &lane = lanes_[i];
+        hits_[i] = HitRecord{};
         if (!job_.active[i] || bvh_.empty()) {
             // Masked-off lanes count as finished immediately; with
             // reallocation their SH segments are borrowable from the
@@ -37,9 +67,8 @@ TraversalSim::TraversalSim(const Scene &scene, const WideBvh &bvh,
             stack_.finishLane(i);
             continue;
         }
-        lane.ray = job_.rays[i];
-        lane.running = true;
-        ++running_lanes_;
+        rays_[i] = job_.rays[i];
+        running_mask_ |= 1u << i;
         // Seed the traversal stack with the root reference (§II-B: the
         // next fetch address is always read from the stack top).
         StackTxnList seed;
@@ -48,43 +77,42 @@ TraversalSim::TraversalSim(const Scene &scene, const WideBvh &bvh,
     }
     // Per-lane instruction charge for the shading work surrounding this
     // trace call (constant across stack configurations).
-    uint32_t shade = job_.any_hit ? config.shadow_instructions
-                                  : config.shading_instructions;
+    uint32_t shade = job_.any_hit ? config_.shadow_instructions
+                                  : config_.shading_instructions;
     counters_.instructions +=
         static_cast<uint64_t>(shade) * job_.activeLanes();
     // The oracle comparison ran at record time; its verdict is part of
     // the tape, not re-derived (no hits are computed during replay).
     if (cursor_.enabled())
-        mismatches_ = replay->mismatches;
+        mismatches_ = cursor_.tape()->mismatches;
 }
 
 void
 TraversalSim::finishLane(uint32_t lane_id, bool abandoned)
 {
-    Lane &lane = lanes_[lane_id];
     if (abandoned)
         stack_.abandonLane(lane_id);
     else
         stack_.finishLane(lane_id);
-    lane.running = false;
-    SMS_ASSERT(running_lanes_ > 0, "lane underflow");
-    --running_lanes_;
+    SMS_ASSERT(running_mask_ & (1u << lane_id), "lane not running");
+    running_mask_ &= ~(1u << lane_id);
 
     if (cursor_.enabled())
         return;
     // Compare against the functional oracle recorded at job generation.
+    const HitRecord &hit = hits_[lane_id];
     if (job_.any_hit) {
-        if (lane.hit.valid() != job_.expected_hit[lane_id])
+        if (hit.valid() != job_.expected_hit[lane_id])
             ++mismatches_;
         return;
     }
-    if (lane.hit.valid() != job_.expected_hit[lane_id]) {
+    if (hit.valid() != job_.expected_hit[lane_id]) {
         ++mismatches_;
         return;
     }
-    if (lane.hit.valid() &&
-        (lane.hit.primitive != job_.expected_prim[lane_id] ||
-         std::fabs(lane.hit.t - job_.expected_t[lane_id]) >
+    if (hit.valid() &&
+        (hit.primitive != job_.expected_prim[lane_id] ||
+         std::fabs(hit.t - job_.expected_t[lane_id]) >
              1.0e-4f * std::max(1.0f, job_.expected_t[lane_id]))) {
         ++mismatches_;
     }
@@ -94,7 +122,7 @@ void
 TraversalSim::collectFetch(bool &has_internal, bool &has_leaf,
                            uint32_t &max_leaf_prims)
 {
-    std::vector<std::pair<Addr, TrafficClass>> &lines = fetch_lines_;
+    FetchLineList &lines = fetch_lines_;
     if (cursor_.enabled()) {
         cursor_.fetchPhase(lines, has_internal, has_leaf, max_leaf_prims);
         return;
@@ -110,13 +138,11 @@ TraversalSim::collectFetch(bool &has_internal, bool &has_leaf,
         Addr line = lineAlign(addr);
         uint32_t n = linesCovering(addr, bytes);
         for (uint32_t i = 0; i < n; ++i)
-            lines.emplace_back(line + i * static_cast<Addr>(kLineBytes),
-                               cls);
+            lines.push_back(packFetchLine(
+                line + i * static_cast<Addr>(kLineBytes), cls));
     };
-    for (uint32_t i = 0; i < kWarpSize; ++i) {
-        Lane &lane = lanes_[i];
-        if (!lane.running)
-            continue;
+    for (uint32_t mask = running_mask_; mask != 0; mask &= mask - 1) {
+        uint32_t i = static_cast<uint32_t>(__builtin_ctz(mask));
         ChildRef current = ChildRef::fromStackValue(stack_.peek(i));
         if (current.isInternal()) {
             has_internal = true;
@@ -136,6 +162,7 @@ TraversalSim::collectFetch(bool &has_internal, bool &has_leaf,
             }
         }
     }
+    // Packed entries sort exactly like (line, class) pairs.
     std::sort(lines.begin(), lines.end());
     lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
 
@@ -161,9 +188,10 @@ TraversalSim::stepFetch(Cycle now)
     // other line's latency is hidden under it and charged nowhere.
     Cycle fetch_done = now;
     MemAccessBreakdown crit{};
-    for (const auto &[line, cls] : fetch_lines_) {
+    for (uint64_t packed : fetch_lines_) {
         MemAccessBreakdown bd;
-        Cycle c = mem_.accessLine(sm_, line, false, cls, now, &bd);
+        Cycle c = mem_.accessLine(sm_, fetchLineAddr(packed), false,
+                                  fetchLineClass(packed), now, &bd);
         if (c > fetch_done) {
             fetch_done = c;
             crit = bd;
@@ -212,23 +240,21 @@ TraversalSim::stepFetch(Cycle now)
 }
 
 bool
-TraversalSim::laneStepExecute(uint32_t lane_id, uint64_t top_value,
-                              StackTxnList &txns)
+TraversalSim::laneStepExecute(uint32_t lane_id, uint64_t top_value)
 {
-    Lane &lane = lanes_[lane_id];
     ChildRef current = ChildRef::fromStackValue(top_value);
 
     if (current.isInternal()) {
         ++counters_.node_visits;
         const WideNode &node = bvh_.nodes()[current.nodeIndex()];
-        ChildHits hits = intersectNodeChildren(node, lane.ray);
+        ChildHits hits = intersectNodeChildren(node, rays_[lane_id]);
         counters_.box_tests += hits.tests;
         counters_.instructions += hits.tests;
         uint64_t pushed[kWideBvhWidth];
         uint32_t push_count = 0;
         for (int c = hits.count - 1; c >= 0; --c) {
             uint64_t value = hits.refs[c].stackValue();
-            stack_.push(lane_id, value, txns);
+            stack_.push(lane_id, value, txn_arena_);
             pushed[push_count++] = value;
             ++counters_.instructions;
         }
@@ -240,8 +266,9 @@ TraversalSim::laneStepExecute(uint32_t lane_id, uint64_t top_value,
 
     ++counters_.leaf_visits;
     uint32_t tested = 0;
-    bool found = intersectLeaf(scene_, bvh_, current, lane.ray, lane.hit,
-                               job_.any_hit, tested);
+    bool found =
+        intersectLeaf(scene_, bvh_, current, rays_[lane_id],
+                      hits_[lane_id], job_.any_hit, tested);
     counters_.prim_tests += tested;
     counters_.instructions += tested;
     // Any-hit early termination: the stack is discarded.
@@ -252,8 +279,7 @@ TraversalSim::laneStepExecute(uint32_t lane_id, uint64_t top_value,
 }
 
 bool
-TraversalSim::laneStepReplay(uint32_t lane_id, uint64_t top_value,
-                             StackTxnList &txns)
+TraversalSim::laneStepReplay(uint32_t lane_id, uint64_t top_value)
 {
     TapeCursor::LaneAction action = cursor_.laneAction();
     // Cheap always-on cross-check: the value-exact stack must pop the
@@ -270,7 +296,7 @@ TraversalSim::laneStepReplay(uint32_t lane_id, uint64_t top_value,
         counters_.box_tests += action.tests;
         counters_.instructions += action.tests;
         for (uint32_t p = 0; p < action.pushes; ++p) {
-            stack_.push(lane_id, cursor_.pushValue(), txns);
+            stack_.push(lane_id, cursor_.pushValue(), txn_arena_);
             ++counters_.instructions;
         }
         return false;
@@ -300,25 +326,20 @@ TraversalSim::stepStack(Cycle now)
         // Stack-transition instants below stamp at the phase start.
         timelineContext().now = start;
     }
-    std::array<StackTxnList, kWarpSize> &txns = txn_scratch_;
-    for (StackTxnList &list : txns)
-        list.clear();
+    txn_arena_.clear();
     bool replaying = cursor_.enabled();
-    for (uint32_t i = 0; i < kWarpSize; ++i) {
-        Lane &lane = lanes_[i];
-        if (!lane.running)
-            continue;
+    for (uint32_t mask = running_mask_; mask != 0; mask &= mask - 1) {
+        uint32_t i = static_cast<uint32_t>(__builtin_ctz(mask));
 
         // Pop the entry being visited (reloads spilled values), then
         // push the intersected children so the nearest ends on top.
         uint64_t top_value;
-        bool popped = stack_.pop(i, top_value, txns[i]);
+        bool popped = stack_.pop(i, top_value, txn_arena_);
         SMS_ASSERT(popped, "running lane with empty stack");
         ++counters_.instructions;
 
-        bool abandoned = replaying
-                             ? laneStepReplay(i, top_value, txns[i])
-                             : laneStepExecute(i, top_value, txns[i]);
+        bool abandoned = replaying ? laneStepReplay(i, top_value)
+                                   : laneStepExecute(i, top_value);
         if (abandoned) {
             finishLane(i, true);
             continue;
@@ -327,7 +348,7 @@ TraversalSim::stepStack(Cycle now)
             finishLane(i, false);
     }
 
-    if (running_lanes_ == 0) {
+    if (running_mask_ == 0) {
         if (recorder_.enabled())
             recorder_.finish(mismatches_);
         if (replaying) {
@@ -343,7 +364,7 @@ TraversalSim::stepStack(Cycle now)
 
     // The manager's chain runs in the background; the warp retires the
     // iteration once the manager has accepted the work.
-    Cycle chain_done = runStackRounds(start, txns);
+    Cycle chain_done = runStackRounds(start);
     manager_free_ = chain_done;
     counters_.stack_cycles += start - now; // manager-stall visible to warp
     Cycle retire = start + config_.timing.stack_round;
@@ -400,16 +421,23 @@ TraversalSim::attributeManagerStall(Cycle from, Cycle to)
 }
 
 Cycle
-TraversalSim::runStackRounds(
-    Cycle start, const std::array<StackTxnList, kWarpSize> &txns)
+TraversalSim::runStackRounds(Cycle start)
 {
     chain_segs_.clear();
     chain_start_ = start;
-    size_t max_len = 0;
-    for (const StackTxnList &list : txns)
-        max_len = std::max(max_len, list.size());
-    if (max_len == 0)
+    if (txn_arena_.totalCount() == 0)
         return start;
+    // Round r takes each lane's r-th transaction: walk all 32 lists in
+    // lock-step through one cursor per lane (the arena's inline links
+    // preserve per-lane order; lanes advance in ascending id within a
+    // round, as the flat per-lane lists did).
+    uint32_t cursor[kWarpSize];
+    size_t max_len = 0;
+    for (uint32_t lane = 0; lane < kWarpSize; ++lane) {
+        cursor[lane] = txn_arena_.laneHead(lane);
+        max_len = std::max(max_len,
+                           static_cast<size_t>(txn_arena_.laneCount(lane)));
+    }
 
     Cycle t = start;
     Cycle last_store_done = start;
@@ -424,9 +452,11 @@ TraversalSim::runStackRounds(
         // priority (ForcedFlush > BorrowChain > Spill > Refill).
         int origin = -1;
         for (uint32_t lane = 0; lane < kWarpSize; ++lane) {
-            if (round >= txns[lane].size())
+            if (cursor[lane] == StackTxnArena::kNil)
                 continue;
-            const StackTxn &txn = txns[lane][round];
+            const StackTxnArena::Node &node = txn_arena_.node(cursor[lane]);
+            cursor[lane] = node.next;
+            const StackTxn &txn = node.txn;
             if (static_cast<int>(txn.origin) > origin)
                 origin = static_cast<int>(txn.origin);
             switch (txn.kind) {
@@ -457,14 +487,14 @@ TraversalSim::runStackRounds(
         SharedAccessInfo sh_info;
         if (!shared_loads.empty()) {
             Cycle shared_done =
-                shared_mem_.access(t, shared_loads, &sh_info);
+                shared_mem_->access(t, shared_loads, &sh_info);
             if (shared_done > load_done)
                 shared_critical = true;
             load_done = std::max(load_done, shared_done);
         }
         if (!shared_stores.empty()) {
             last_store_done = std::max(
-                last_store_done, shared_mem_.access(t, shared_stores));
+                last_store_done, shared_mem_->access(t, shared_stores));
         }
         // Paper §VI-A: a thread's next transaction issues only after the
         // previous *load* returned; stores stream.

@@ -92,10 +92,24 @@ class TraversalSim
                  Addr shared_base, Addr local_base, MemorySystem &mem,
                  SharedMemory &shared_mem, DepthObserver *observer,
                  JobTape *record = nullptr,
-                 const JobTape *replay = nullptr);
+                 const JobTape *replay = nullptr,
+                 Histogram *depth_hist = nullptr);
+
+    /**
+     * Rearm this instance for a new warp job (scene, BVH, GPU config
+     * and memory system are fixed for the sweep cell). Equivalent to
+     * destroying and reconstructing, but reuses every internal
+     * allocation — RT-unit slots recycle their TraversalSim across the
+     * thousands of jobs of a run instead of reallocating one per job.
+     */
+    void reinit(const WarpJob &job, uint32_t sm, Addr shared_base,
+                Addr local_base, SharedMemory &shared_mem,
+                DepthObserver *observer, JobTape *record = nullptr,
+                const JobTape *replay = nullptr,
+                Histogram *depth_hist = nullptr);
 
     /** True when every lane finished its traversal. */
-    bool done() const { return running_lanes_ == 0; }
+    bool done() const { return running_mask_ == 0; }
 
     /**
      * Phase 1 of one warp-synchronous pipeline iteration: issue the
@@ -136,12 +150,8 @@ class TraversalSim
     const WarpJob &job() const { return job_; }
 
   private:
-    struct Lane
-    {
-        Ray ray;
-        HitRecord hit;
-        bool running = false;
-    };
+    /** Shared tail of construction and reinit(): seed the lanes. */
+    void seedJob(DepthObserver *observer);
 
     /**
      * Gather this step's fetch lines and intersection-latency inputs
@@ -153,17 +163,17 @@ class TraversalSim
 
     /**
      * Apply one lane's traversal update after its pop: geometry work
-     * in execute/record mode, tape-driven in replay mode.
+     * in execute/record mode, tape-driven in replay mode. Stack
+     * transactions collect into txn_arena_.
      * @return true when the lane terminated early (any-hit found)
      */
-    bool laneStepExecute(uint32_t lane_id, uint64_t top_value,
-                         StackTxnList &txns);
-    bool laneStepReplay(uint32_t lane_id, uint64_t top_value,
-                        StackTxnList &txns);
+    bool laneStepExecute(uint32_t lane_id, uint64_t top_value);
+    bool laneStepReplay(uint32_t lane_id, uint64_t top_value);
 
     void finishLane(uint32_t lane_id, bool abandoned);
-    Cycle runStackRounds(Cycle start,
-                         const std::array<StackTxnList, kWarpSize> &txns);
+
+    /** Run the manager rounds over txn_arena_'s per-lane lists. */
+    Cycle runStackRounds(Cycle start);
 
     /**
      * Charge the manager-stall window [from, to) to the chain segments
@@ -176,9 +186,12 @@ class TraversalSim
     // Per-step scratch buffers. The step functions run once per
     // traversal iteration of every warp job in a sweep (hundreds of
     // millions of calls); reusing these keeps the hot loops free of
-    // heap allocation. clear() preserves capacity.
-    std::vector<std::pair<Addr, TrafficClass>> fetch_lines_;
-    std::array<StackTxnList, kWarpSize> txn_scratch_;
+    // heap allocation. The fetch list holds packed
+    // (line_index << 2) | class entries — the tape's wire format — and
+    // the per-lane transaction lists live in one pooled arena whose
+    // clear() is O(1) per lane.
+    FetchLineList fetch_lines_;
+    StackTxnArena txn_arena_;
     std::vector<SharedLaneRequest> shared_loads_;
     std::vector<SharedLaneRequest> shared_stores_;
 
@@ -188,7 +201,7 @@ class TraversalSim
     WarpJob job_;
     uint32_t sm_;
     MemorySystem &mem_;
-    SharedMemory &shared_mem_;
+    SharedMemory *shared_mem_; ///< per-admission (reinit rebinds)
     WarpStackModel stack_;
     TapeWriter recorder_;
     TapeCursor cursor_;
@@ -208,8 +221,12 @@ class TraversalSim
     Cycle chain_start_ = 0;
     CycleAccount account_;
 
-    std::array<Lane, kWarpSize> lanes_;
-    uint32_t running_lanes_ = 0;
+    // Per-lane job state, struct-of-arrays: rays and hit records in
+    // parallel arrays, the running flags folded into one bitmask whose
+    // set bits drive the per-lane loops (count-trailing-zeros walk).
+    std::array<Ray, kWarpSize> rays_;
+    std::array<HitRecord, kWarpSize> hits_;
+    uint32_t running_mask_ = 0; ///< bit i: lane i still traversing
     JobCounters counters_;
     uint32_t mismatches_ = 0;
     /**

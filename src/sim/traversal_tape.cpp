@@ -45,17 +45,27 @@ hashF32(uint64_t h, float f)
 TapeMode
 traversalTapeMode()
 {
+    // With a workload cache configured (SMS_WORKLOAD_CACHE; probed
+    // directly since the cache itself lives a layer above this
+    // library), tapes persist next to the scene snapshots by default: a
+    // warm sweep replays every cell instead of re-recording column 0 on
+    // each run. Without one there is nowhere durable to put the tape,
+    // so share it in memory.
+    const char *cache = std::getenv("SMS_WORKLOAD_CACHE");
+    TapeMode fallback = cache && *cache ? TapeMode::Disk : TapeMode::Mem;
     const char *env = std::getenv("SMS_TRAVERSAL_TAPE");
-    if (!env || !*env || std::strcmp(env, "mem") == 0)
+    if (!env || !*env)
+        return fallback;
+    if (std::strcmp(env, "mem") == 0)
         return TapeMode::Mem;
     if (std::strcmp(env, "off") == 0)
         return TapeMode::Off;
     if (std::strcmp(env, "disk") == 0)
         return TapeMode::Disk;
     warn("SMS_TRAVERSAL_TAPE='%s' is not a recognized mode (expected "
-         "off, mem or disk); using mem",
-         env);
-    return TapeMode::Mem;
+         "off, mem or disk); using %s",
+         env, tapeModeName(fallback));
+    return fallback;
 }
 
 const char *

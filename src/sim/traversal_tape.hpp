@@ -44,6 +44,37 @@
 
 namespace sms {
 
+// ---------------------------------------------------------------------
+// Coalesced fetch lines, packed one per uint64_t as
+// (line_index << 2) | traffic_class — exactly the tape's wire layout
+// (minus delta-encoding), so the fetch scratch list the simulator
+// builds each step records and replays with a shift and a mask instead
+// of an (Addr, enum) pair per line. Sorting packed values orders by
+// (line, class), identical to sorting the pairs, because a line address
+// is its index times kLineBytes.
+// ---------------------------------------------------------------------
+
+/** One step's coalesced fetch lines (sorted, duplicate-free). */
+using FetchLineList = std::vector<uint64_t>;
+
+inline uint64_t
+packFetchLine(Addr line_addr, TrafficClass cls)
+{
+    return ((line_addr / kLineBytes) << 2) | static_cast<uint64_t>(cls);
+}
+
+inline Addr
+fetchLineAddr(uint64_t packed)
+{
+    return static_cast<Addr>(packed >> 2) * kLineBytes;
+}
+
+inline TrafficClass
+fetchLineClass(uint64_t packed)
+{
+    return static_cast<TrafficClass>(packed & 3);
+}
+
 /**
  * Tape format version. Bump on ANY change to the step encoding or to
  * the meaning of recorded fields; versioned on-disk tapes from older
@@ -60,8 +91,9 @@ enum class TapeMode : uint8_t
 };
 
 /**
- * Mode from SMS_TRAVERSAL_TAPE=off|mem|disk (default mem; unknown
- * values warn and fall back to mem).
+ * Mode from SMS_TRAVERSAL_TAPE=off|mem|disk (default disk when
+ * SMS_WORKLOAD_CACHE names a tape-persistence directory, else mem;
+ * unknown values warn and fall back to the default).
  */
 TapeMode traversalTapeMode();
 
@@ -147,17 +179,16 @@ class TapeWriter
      * issues) and the intersection-latency inputs.
      */
     void
-    fetchPhase(const std::vector<std::pair<Addr, TrafficClass>> &lines,
-               bool has_internal, bool has_leaf, uint32_t max_leaf_prims)
+    fetchPhase(const FetchLineList &lines, bool has_internal,
+               bool has_leaf, uint32_t max_leaf_prims)
     {
         ++tape_->steps;
         std::vector<uint8_t> &out = tape_->bytes;
         tapePutVarint(out, lines.size());
         uint64_t prev = 0;
-        for (const auto &[addr, cls] : lines) {
-            uint64_t idx = addr / kLineBytes;
-            tapePutVarint(out, ((idx - prev) << 2) |
-                                   static_cast<uint64_t>(cls));
+        for (uint64_t packed : lines) {
+            uint64_t idx = packed >> 2;
+            tapePutVarint(out, ((idx - prev) << 2) | (packed & 3));
             prev = idx;
         }
         tapePutVarint(out, (static_cast<uint64_t>(max_leaf_prims) << 2) |
@@ -205,15 +236,20 @@ class TapeCursor
 {
   public:
     TapeCursor() = default;
-    explicit TapeCursor(const JobTape *tape) : tape_(tape) {}
+    explicit TapeCursor(const JobTape *tape) : tape_(tape)
+    {
+        if (tape_) {
+            data_ = tape_->bytes.data();
+            size_ = tape_->bytes.size();
+        }
+    }
 
     bool enabled() const { return tape_ != nullptr; }
     const JobTape *tape() const { return tape_; }
 
     /** Inverse of TapeWriter::fetchPhase. */
     void
-    fetchPhase(std::vector<std::pair<Addr, TrafficClass>> &lines,
-               bool &has_internal, bool &has_leaf,
+    fetchPhase(FetchLineList &lines, bool &has_internal, bool &has_leaf,
                uint32_t &max_leaf_prims)
     {
         lines.clear();
@@ -222,8 +258,7 @@ class TapeCursor
         for (uint64_t i = 0; i < count; ++i) {
             uint64_t v = varint();
             idx += v >> 2;
-            lines.emplace_back(idx * kLineBytes,
-                               static_cast<TrafficClass>(v & 3));
+            lines.push_back((idx << 2) | (v & 3));
         }
         uint64_t op = varint();
         has_internal = (op & 1) != 0;
@@ -268,19 +303,26 @@ class TapeCursor
     }
 
     /** True when every recorded byte has been consumed. */
-    bool atEnd() const { return off_ == tape_->bytes.size(); }
+    bool atEnd() const { return off_ == size_; }
 
   private:
     uint64_t
     varint()
     {
-        const std::vector<uint8_t> &in = tape_->bytes;
-        uint64_t v = 0;
-        int shift = 0;
+        // The replay loop decodes every tape byte of every cell, so the
+        // buffer is cached as a raw pointer/size pair and the dominant
+        // single-byte encoding takes an early return.
+        SMS_ASSERT(off_ < size_, "traversal tape truncated at byte %zu",
+                   off_);
+        uint64_t v = data_[off_++];
+        if (v < 0x80)
+            return v;
+        v &= 0x7f;
+        int shift = 7;
         for (;;) {
-            SMS_ASSERT(off_ < in.size(),
+            SMS_ASSERT(off_ < size_,
                        "traversal tape truncated at byte %zu", off_);
-            uint8_t b = in[off_++];
+            uint8_t b = data_[off_++];
             v |= static_cast<uint64_t>(b & 0x7f) << shift;
             if (!(b & 0x80))
                 return v;
@@ -289,6 +331,8 @@ class TapeCursor
     }
 
     const JobTape *tape_ = nullptr;
+    const uint8_t *data_ = nullptr;
+    size_t size_ = 0;
     size_t off_ = 0;
 };
 

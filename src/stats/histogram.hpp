@@ -27,16 +27,25 @@ class Histogram
         : counts_(static_cast<size_t>(max_value) + 1, 0)
     {}
 
-    /** Record one sample. */
+    /**
+     * Record one sample. Saturating samples are clamped to the last
+     * bucket *before* any statistic is credited: the bucket counts,
+     * sum_ (and therefore mean()), max_seen_ and the percentiles all
+     * describe the same clamped distribution, so mean() can never
+     * exceed the largest value percentile()/median() can return. The
+     * JSONL depth_hist block inherits these semantics (docs/FORMATS.md).
+     */
     void
     add(uint32_t value)
     {
-        size_t idx = value < counts_.size() ? value : counts_.size() - 1;
-        ++counts_[idx];
+        uint32_t clamped = value < counts_.size()
+                               ? value
+                               : static_cast<uint32_t>(counts_.size() - 1);
+        ++counts_[clamped];
         total_ += 1;
-        sum_ += value;
-        if (value > max_seen_)
-            max_seen_ = value;
+        sum_ += clamped;
+        if (clamped > max_seen_)
+            max_seen_ = clamped;
     }
 
     /** Merge another histogram of the same bucket count into this one. */

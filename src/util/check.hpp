@@ -47,4 +47,18 @@ std::string vstrprintf(const char *fmt, va_list args);
         }                                                                   \
     } while (0)
 
+/**
+ * Debug-only invariant check for the innermost hot loops (ring-buffer
+ * index arithmetic, per-lane pool links), where even a predictable
+ * branch is measurable. Compiled out under NDEBUG; everything that is
+ * not on a per-entry hot path should use SMS_ASSERT instead.
+ */
+#ifdef NDEBUG
+#define SMS_DEBUG_ASSERT(cond, ...)                                         \
+    do {                                                                    \
+    } while (0)
+#else
+#define SMS_DEBUG_ASSERT(cond, ...) SMS_ASSERT(cond, __VA_ARGS__)
+#endif
+
 #endif // SMS_UTIL_CHECK_HPP

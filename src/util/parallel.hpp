@@ -48,8 +48,13 @@ parallelFor(size_t n, const std::function<void(size_t)> &fn,
         if (threads == 0)
             threads = 4;
     }
-    if (threads > n)
-        threads = static_cast<unsigned>(n);
+    // One worker per *chunk*, not per iteration: with chunk > 1 a
+    // thread claims `chunk` iterations per grab, so spawning more
+    // workers than chunks just creates threads that grab nothing (and
+    // the old per-iteration clamp never accounted for chunking at all).
+    size_t chunks = (n + chunk - 1) / chunk;
+    if (threads > chunks)
+        threads = static_cast<unsigned>(chunks);
     if (threads <= 1) {
         for (size_t i = 0; i < n; ++i)
             fn(i);

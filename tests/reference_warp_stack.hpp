@@ -1,0 +1,764 @@
+/**
+ * @file
+ * Frozen pre-SoA WarpStackModel — the AoS reference implementation the
+ * batched model in src/core/warp_stack.* replaced. Kept verbatim (minus
+ * timeline instrumentation) as the oracle for the AoS-vs-SoA
+ * differential suite: identical operation sequences through this model
+ * and the production model must produce byte-identical WarpStackStats
+ * and per-operation transaction lists.
+ *
+ * Test-only: not linked into the simulator.
+ */
+
+#ifndef SMS_TESTS_REFERENCE_WARP_STACK_HPP
+#define SMS_TESTS_REFERENCE_WARP_STACK_HPP
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "src/core/stack_config.hpp"
+#include "src/core/stack_txn.hpp"
+#include "src/core/warp_stack.hpp"
+#include "src/memory/request.hpp"
+#include "src/util/check.hpp"
+
+namespace sms {
+
+
+/**
+ * Growable circular buffer holding one lane's RB stack. Supports the
+ * deque subset the stack model needs (push/pop at both ends) without
+ * std::deque's segmented-map allocation per instance — RefWarpStackModel
+ * is constructed once per trace-ray warp, so construction cost is on
+ * the simulator's hot path.
+ */
+class RefRbRing
+{
+  public:
+    bool empty() const { return count_ == 0; }
+    uint32_t size() const { return count_; }
+
+    uint64_t back() const { return at((start_ + count_ - 1) & mask_); }
+    uint64_t front() const { return at(start_); }
+
+    void
+    push_back(uint64_t value)
+    {
+        if (count_ > mask_)
+            grow();
+        at((start_ + count_) & mask_) = value;
+        ++count_;
+    }
+
+    void pop_back() { --count_; }
+
+    void
+    push_front(uint64_t value)
+    {
+        if (count_ > mask_)
+            grow();
+        start_ = (start_ + mask_) & mask_;
+        at(start_) = value;
+        ++count_;
+    }
+
+    void
+    pop_front()
+    {
+        start_ = (start_ + 1) & mask_;
+        --count_;
+    }
+
+    void
+    clear()
+    {
+        start_ = 0;
+        count_ = 0;
+    }
+
+  private:
+    void grow();
+
+    /** Storage: the inline array until the first grow(), heap after. */
+    uint64_t &at(uint32_t i) { return heap_.empty() ? inline_[i] : heap_[i]; }
+    uint64_t at(uint32_t i) const
+    {
+        return heap_.empty() ? inline_[i] : heap_[i];
+    }
+
+    static constexpr uint32_t kInlineCapacity = 8; ///< power of two
+    uint64_t inline_[kInlineCapacity];
+    std::vector<uint64_t> heap_;
+    uint32_t start_ = 0;
+    uint32_t count_ = 0;
+    uint32_t mask_ = kInlineCapacity - 1;
+};
+
+
+/**
+ * Hierarchical traversal stacks of all 32 lanes of one warp.
+ *
+ * Instances are created per trace-ray warp instruction: a warp leaves
+ * the RT unit only when all its lanes finished (§V-B), so SH segments
+ * can never stay borrowed across warps.
+ */
+class RefWarpStackModel
+{
+  public:
+    /**
+     * @param config      stack configuration
+     * @param shared_base simulated shared-memory base of this warp
+     *                    slot's SH stack file
+     * @param local_base  simulated global-memory base of this warp's
+     *                    per-thread spill regions
+     */
+    RefWarpStackModel(const StackConfig &config, Addr shared_base,
+                   Addr local_base);
+
+    /** Push @p value on @p lane's stack; transactions appended. */
+    void push(uint32_t lane, uint64_t value, StackTxnList &txns);
+
+    /**
+     * Pop @p lane's stack top.
+     * @return false when the stack is empty (traversal is over)
+     */
+    bool pop(uint32_t lane, uint64_t &value, StackTxnList &txns);
+
+    /**
+     * Read @p lane's stack top without popping — the RT unit reads the
+     * top entry to obtain the next fetch address (§II-B) before the
+     * operation completes and the actual pop happens. No transactions:
+     * the top always resides in the on-chip RB stack.
+     */
+    uint64_t
+    peek(uint32_t lane) const
+    {
+        SMS_ASSERT(!lanes_[lane].rb.empty(), "peek on empty stack");
+        return lanes_[lane].rb.back();
+    }
+
+    /** True when @p lane's logical stack holds no values. */
+    bool laneEmpty(uint32_t lane) const { return lanes_[lane].depth == 0; }
+
+    /**
+     * Logical stack depth of @p lane (across all three levels). O(1):
+     * the depth counter is maintained on push/pop — internal migrations
+     * between RB/SH/global never change the logical total.
+     */
+    uint32_t logicalDepth(uint32_t lane) const { return lanes_[lane].depth; }
+
+    /**
+     * Mark @p lane's traversal complete; with reallocation enabled its
+     * dedicated SH segment becomes borrowable by other lanes.
+     */
+    void finishLane(uint32_t lane);
+
+    /**
+     * Terminate @p lane's traversal with entries still on the stack
+     * (any-hit early-out). Hardware just resets the stack pointers, so
+     * no memory transactions are generated; the lane then counts as
+     * finished exactly like finishLane().
+     */
+    void abandonLane(uint32_t lane);
+
+    bool laneFinished(uint32_t lane) const { return lanes_[lane].finished; }
+
+    /** Install a depth observer (may be nullptr). */
+    void setDepthObserver(DepthObserver *observer) { observer_ = observer; }
+
+    const WarpStackStats &stats() const { return stats_; }
+    const StackConfig &config() const { return config_; }
+
+    /** Number of segments currently borrowed by @p lane (tests). */
+    uint32_t borrowedCount(uint32_t lane) const;
+
+    /** Entries currently resident in @p lane's SH chain (tests). */
+    uint32_t shDepth(uint32_t lane) const;
+
+    /** Entries currently spilled to global memory for @p lane (tests). */
+    uint32_t
+    globalDepth(uint32_t lane) const
+    {
+        return static_cast<uint32_t>(lanes_[lane].global.size());
+    }
+
+    /** Shared-memory address of segment-local entry slot (tests). */
+    Addr sharedSlotAddr(uint32_t owner_lane, uint32_t slot) const;
+
+  private:
+    /** One per-lane SH segment (a circular queue in shared memory).
+     *  Slot storage lives in the model-wide sh_slots_ array (indexed by
+     *  owner lane) so constructing a warp costs one allocation, not 32. */
+    struct Segment
+    {
+        uint32_t top = 0;
+        uint32_t bottom = 0;
+        uint32_t count = 0;
+        uint32_t base = 0;     ///< skewed initial slot
+        uint32_t flushes = 0;  ///< consecutive-flush counter
+        uint32_t owner = 0;    ///< owning lane (fixed)
+        int32_t borrower = -1; ///< borrowing lane, -1 when not borrowed
+        bool available = false; ///< idle: owner finished, not borrowed
+
+        bool empty() const { return count == 0; }
+    };
+
+    struct LaneState
+    {
+        RefRbRing rb;                        ///< front = oldest, back = top
+        std::vector<uint32_t> chain;      ///< segment ids, front = bottom
+        std::vector<uint64_t> global;     ///< back = newest spill
+        uint32_t depth = 0;               ///< rb + SH chain + global
+        uint32_t sh_count = 0;            ///< entries across the SH chain
+        uint32_t global_high_water = 0;   ///< slots ever used (addressing)
+        bool finished = false;
+    };
+
+    void spillFromRb(uint32_t lane, StackTxnList &txns);
+    void shPushTop(uint32_t lane, uint64_t value, StackTxnList &txns);
+    uint64_t shPopTop(uint32_t lane, StackTxnList &txns);
+    void shPushBottom(uint32_t lane, uint64_t value, StackTxnList &txns);
+    bool shBottomHasSpace(uint32_t lane) const;
+    bool tryBorrow(uint32_t lane);
+    bool tryFlushBottom(uint32_t lane, StackTxnList &txns,
+                        bool ignore_budget = false);
+    void singleMoveToGlobal(uint32_t lane, StackTxnList &txns);
+    void pushGlobal(uint32_t lane, uint64_t value, StackTxnList &txns,
+                    StackTxnOrigin origin = StackTxnOrigin::Spill);
+    uint64_t popGlobal(uint32_t lane, StackTxnList &txns);
+    void releaseIfEmptyBorrowed(uint32_t lane);
+    void observe(uint32_t lane);
+
+    /** Flip a segment's availability, maintaining available_count_. */
+    void setAvailable(Segment &seg, bool available);
+
+    bool segFull(const Segment &seg) const
+    {
+        return seg.count == config_.sh_entries;
+    }
+
+    /** Slot @p idx of the segment owned by lane @p owner. */
+    uint64_t &shSlot(uint32_t owner, uint32_t idx)
+    {
+        return sh_slots_[owner * config_.sh_entries + idx];
+    }
+
+    Addr globalSlotAddr(uint32_t lane, uint32_t slot) const;
+
+    StackConfig config_;
+    Addr shared_base_;
+    Addr local_base_;
+    std::vector<Segment> segments_; ///< kWarpSize segments (may be empty)
+    std::vector<uint64_t> sh_slots_; ///< kWarpSize * sh_entries values
+    std::vector<LaneState> lanes_;
+    /** Segments currently marked available — lets tryBorrow() skip its
+     *  all-lane scan in the common case where no lane has finished. */
+    uint32_t available_count_ = 0;
+    WarpStackStats stats_;
+    DepthObserver *observer_ = nullptr;
+};
+
+
+// ------- implementation (verbatim from the pre-SoA model) -------
+
+
+inline void
+RefRbRing::grow()
+{
+    std::vector<uint64_t> wider((mask_ + 1) * 2);
+    for (uint32_t i = 0; i < count_; ++i)
+        wider[i] = at((start_ + i) & mask_);
+    heap_ = std::move(wider);
+    start_ = 0;
+    mask_ = static_cast<uint32_t>(heap_.size()) - 1;
+}
+
+inline RefWarpStackModel::RefWarpStackModel(const StackConfig &config, Addr shared_base,
+                               Addr local_base)
+    : config_(config), shared_base_(shared_base), local_base_(local_base)
+{
+    SMS_ASSERT(config.rb_entries >= 1 || config.rb_unbounded,
+               "RB stack needs at least one entry");
+    lanes_.resize(kWarpSize);
+    if (config_.hasShStack()) {
+        segments_.resize(kWarpSize);
+        sh_slots_.assign(static_cast<size_t>(kWarpSize) * config_.sh_entries,
+                         0);
+        for (uint32_t lane = 0; lane < kWarpSize; ++lane) {
+            Segment &seg = segments_[lane];
+            seg.owner = lane;
+            seg.base = config_.skewed_bank_access
+                           ? skewBaseEntry(lane, config_.sh_entries)
+                           : 0;
+            seg.top = seg.base;
+            seg.bottom = seg.base;
+            // Each lane's chain starts with its dedicated segment.
+            lanes_[lane].chain.push_back(lane);
+        }
+    }
+}
+
+inline Addr
+RefWarpStackModel::sharedSlotAddr(uint32_t owner_lane, uint32_t slot) const
+{
+    return shared_base_ +
+           (static_cast<Addr>(owner_lane) * config_.sh_entries + slot) *
+               kStackEntryBytes;
+}
+
+inline Addr
+RefWarpStackModel::globalSlotAddr(uint32_t lane, uint32_t slot) const
+{
+    // Interleaved per-thread local memory: consecutive spill slots of
+    // one thread are kWarpSize entries apart, so lanes spilling the
+    // same slot index coalesce while divergent depths do not (§II-C).
+    return local_base_ +
+           (static_cast<Addr>(slot) * kWarpSize + lane) * kStackEntryBytes;
+}
+
+inline uint32_t
+RefWarpStackModel::shDepth(uint32_t lane) const
+{
+    uint32_t total = 0;
+    for (uint32_t seg_id : lanes_[lane].chain)
+        total += segments_[seg_id].count;
+    return total;
+}
+
+inline uint32_t
+RefWarpStackModel::borrowedCount(uint32_t lane) const
+{
+    uint32_t n = 0;
+    for (uint32_t seg_id : lanes_[lane].chain)
+        if (segments_[seg_id].owner != lane)
+            ++n;
+    return n;
+}
+
+inline void
+RefWarpStackModel::observe(uint32_t lane)
+{
+    if (observer_)
+        observer_->onStackAccess(lane, logicalDepth(lane));
+}
+
+inline void
+RefWarpStackModel::push(uint32_t lane, uint64_t value, StackTxnList &txns)
+{
+    SMS_ASSERT(lane < kWarpSize, "lane %u out of range", lane);
+    LaneState &ls = lanes_[lane];
+    SMS_ASSERT(!ls.finished, "push on finished lane %u", lane);
+
+    if (!config_.rb_unbounded && ls.rb.size() == config_.rb_entries)
+        spillFromRb(lane, txns);
+
+    ls.rb.push_back(value);
+    ++ls.depth;
+    ++stats_.pushes;
+    if (ls.depth > stats_.max_logical_depth)
+        stats_.max_logical_depth = ls.depth;
+    observe(lane);
+}
+
+inline void
+RefWarpStackModel::spillFromRb(uint32_t lane, StackTxnList &txns)
+{
+    LaneState &ls = lanes_[lane];
+    uint64_t oldest = ls.rb.front();
+    ls.rb.pop_front();
+    ++stats_.rb_spills;
+    if (config_.hasShStack()) {
+        ++stats_.rb_spills_to_sh;
+        shPushTop(lane, oldest, txns);
+    } else {
+        ++stats_.rb_spills_to_global;
+        pushGlobal(lane, oldest, txns);
+    }
+}
+
+inline void
+RefWarpStackModel::shPushTop(uint32_t lane, uint64_t value, StackTxnList &txns)
+{
+    LaneState &ls = lanes_[lane];
+    SMS_ASSERT(!ls.chain.empty(), "lane %u has no SH segment", lane);
+
+    Segment *top = &segments_[ls.chain.back()];
+    if (segFull(*top)) {
+        bool resolved = false;
+        if (config_.intra_warp_realloc) {
+            if (borrowedCount(lane) < config_.max_borrowed &&
+                tryBorrow(lane)) {
+                resolved = true;
+            } else if (ls.chain.size() > 1 &&
+                       tryFlushBottom(lane, txns)) {
+                // Flushing exists because *linked* stacks are not
+                // contiguous (§VI-B); with a single dedicated segment
+                // the plain single-entry move below applies.
+                resolved = true;
+            } else if (ls.chain.size() > 1) {
+                // The paper sizes the flush budget so this never
+                // happens on its workloads (§VI-B: 72 entries suffice).
+                // Beyond that envelope, correctness requires flushing
+                // anyway; the forced flush is counted separately.
+                bool flushed = tryFlushBottom(lane, txns, true);
+                SMS_ASSERT(flushed, "forced flush failed");
+                ++stats_.forced_flushes;
+                resolved = true;
+            }
+        }
+        if (!resolved) {
+            // Single-entry move: oldest SH value migrates off-chip
+            // (shared load + global store), freeing one slot (§VI-A).
+            singleMoveToGlobal(lane, txns);
+        }
+        top = &segments_[ls.chain.back()];
+        SMS_ASSERT(!segFull(*top), "SH top still full after overflow fix");
+    }
+
+    // Circular push at the segment top.
+    if (top->empty()) {
+        top->top = top->base;
+        top->bottom = top->base;
+    } else {
+        top->top = (top->top + 1) % config_.sh_entries;
+    }
+    shSlot(top->owner, top->top) = value;
+    ++top->count;
+    ++ls.sh_count;
+    txns.push_back({StackTxnKind::SharedStore,
+                    sharedSlotAddr(top->owner, top->top),
+                    kStackEntryBytes, StackTxnOrigin::Spill});
+    ++stats_.sh_stores;
+}
+
+inline uint64_t
+RefWarpStackModel::shPopTop(uint32_t lane, StackTxnList &txns)
+{
+    LaneState &ls = lanes_[lane];
+    // Find the topmost non-empty segment (empty own segments may sit in
+    // the chain after flush promotions; they hold nothing).
+    int idx = static_cast<int>(ls.chain.size()) - 1;
+    while (idx >= 0 && segments_[ls.chain[idx]].empty())
+        --idx;
+    SMS_ASSERT(idx >= 0, "shPopTop on empty SH chain (lane %u)", lane);
+
+    Segment &seg = segments_[ls.chain[idx]];
+    uint64_t value = shSlot(seg.owner, seg.top);
+    txns.push_back({StackTxnKind::SharedLoad,
+                    sharedSlotAddr(seg.owner, seg.top), kStackEntryBytes,
+                    StackTxnOrigin::Refill});
+    ++stats_.sh_loads;
+    --seg.count;
+    --ls.sh_count;
+    if (seg.empty()) {
+        seg.top = seg.base;
+        seg.bottom = seg.base;
+        seg.flushes = 0; // drained: consecutive-flush budget resets
+    } else {
+        seg.top = (seg.top + config_.sh_entries - 1) % config_.sh_entries;
+    }
+
+    releaseIfEmptyBorrowed(lane);
+    return value;
+}
+
+inline void
+RefWarpStackModel::setAvailable(Segment &seg, bool available)
+{
+    if (seg.available == available)
+        return;
+    seg.available = available;
+    if (available)
+        ++available_count_;
+    else
+        --available_count_;
+}
+
+inline void
+RefWarpStackModel::releaseIfEmptyBorrowed(uint32_t lane)
+{
+    LaneState &ls = lanes_[lane];
+    // Release empty borrowed segments from the top of the chain; the
+    // paper releases the top stack the moment it empties (§V-B).
+    while (!ls.chain.empty()) {
+        Segment &seg = segments_[ls.chain.back()];
+        if (seg.owner == lane || !seg.empty())
+            break;
+        seg.borrower = -1;
+        seg.flushes = 0;
+        setAvailable(seg, lanes_[seg.owner].finished);
+        ls.chain.pop_back();
+    }
+}
+
+inline void
+RefWarpStackModel::shPushBottom(uint32_t lane, uint64_t value,
+                             StackTxnList &txns)
+{
+    LaneState &ls = lanes_[lane];
+    Segment &seg = segments_[ls.chain.front()];
+    SMS_ASSERT(!segFull(seg), "shPushBottom on full bottom segment");
+    if (seg.empty()) {
+        seg.top = seg.base;
+        seg.bottom = seg.base;
+    } else {
+        seg.bottom =
+            (seg.bottom + config_.sh_entries - 1) % config_.sh_entries;
+    }
+    shSlot(seg.owner, seg.bottom) = value;
+    ++seg.count;
+    ++ls.sh_count;
+    txns.push_back({StackTxnKind::SharedStore,
+                    sharedSlotAddr(seg.owner, seg.bottom),
+                    kStackEntryBytes, StackTxnOrigin::Refill});
+    ++stats_.sh_stores;
+}
+
+inline bool
+RefWarpStackModel::shBottomHasSpace(uint32_t lane) const
+{
+    const LaneState &ls = lanes_[lane];
+    if (ls.chain.empty())
+        return false;
+    return !segFull(segments_[ls.chain.front()]);
+}
+
+inline bool
+RefWarpStackModel::tryBorrow(uint32_t lane)
+{
+    // Common case: no lane finished yet, nothing borrowable — skip the
+    // scan entirely.
+    if (available_count_ == 0)
+        return false;
+    // Deterministic policy: borrow the available segment with the
+    // lowest owner lane id.
+    for (uint32_t owner = 0; owner < kWarpSize; ++owner) {
+        Segment &seg = segments_[owner];
+        if (!seg.available)
+            continue;
+        SMS_ASSERT(seg.empty(), "available segment %u not empty", owner);
+        setAvailable(seg, false);
+        seg.borrower = static_cast<int32_t>(lane);
+        seg.flushes = 0;
+        seg.top = seg.base;
+        seg.bottom = seg.base;
+        lanes_[lane].chain.push_back(owner);
+        ++stats_.borrows;
+        uint32_t len = static_cast<uint32_t>(lanes_[lane].chain.size());
+        if (len >= kBorrowChainBuckets)
+            len = kBorrowChainBuckets - 1;
+        ++stats_.borrow_chain_hist[len];
+        return true;
+    }
+    return false;
+}
+
+inline bool
+RefWarpStackModel::tryFlushBottom(uint32_t lane, StackTxnList &txns,
+                               bool ignore_budget)
+{
+    LaneState &ls = lanes_[lane];
+    uint32_t bottom_id = ls.chain.front();
+    Segment &seg = segments_[bottom_id];
+
+    if (seg.empty()) {
+        // Nothing to flush: promoting the empty bottom segment to the
+        // top provides capacity for free (possible when the dedicated
+        // segment drained while borrowed segments still hold entries).
+        if (ls.chain.size() == 1)
+            return false; // it is already the top and it is full-checked
+        ls.chain.erase(ls.chain.begin());
+        ls.chain.push_back(bottom_id);
+        return true;
+    }
+
+    if (seg.flushes >= config_.max_flushes && !ignore_budget)
+        return false;
+
+    // Flush the entire bottom segment to global memory, oldest first,
+    // then promote the emptied segment to the top of the chain (§VI-B).
+    StackTxnOrigin origin = ignore_budget ? StackTxnOrigin::ForcedFlush
+                                          : StackTxnOrigin::BorrowChain;
+    uint32_t flushed = seg.count;
+    while (!seg.empty()) {
+        uint64_t value = shSlot(seg.owner, seg.bottom);
+        txns.push_back({StackTxnKind::SharedLoad,
+                        sharedSlotAddr(seg.owner, seg.bottom),
+                        kStackEntryBytes, origin});
+        ++stats_.sh_loads;
+        --seg.count;
+        if (!seg.empty()) {
+            seg.bottom = (seg.bottom + 1) % config_.sh_entries;
+        }
+        pushGlobal(lane, value, txns, origin);
+    }
+    seg.top = seg.base;
+    seg.bottom = seg.base;
+    ls.sh_count -= flushed;
+    ++seg.flushes;
+    ++stats_.flushes;
+    stats_.flushed_entries += flushed;
+
+    if (ls.chain.size() > 1) {
+        ls.chain.erase(ls.chain.begin());
+        ls.chain.push_back(bottom_id);
+    }
+    return true;
+}
+
+inline void
+RefWarpStackModel::singleMoveToGlobal(uint32_t lane, StackTxnList &txns)
+{
+    LaneState &ls = lanes_[lane];
+    // Oldest SH entry lives at the bottom of the bottom-most non-empty
+    // segment.
+    size_t idx = 0;
+    while (idx < ls.chain.size() && segments_[ls.chain[idx]].empty())
+        ++idx;
+    SMS_ASSERT(idx < ls.chain.size(),
+               "single move with empty SH chain (lane %u)", lane);
+    Segment &seg = segments_[ls.chain[idx]];
+
+    uint64_t value = shSlot(seg.owner, seg.bottom);
+    txns.push_back({StackTxnKind::SharedLoad,
+                    sharedSlotAddr(seg.owner, seg.bottom),
+                    kStackEntryBytes, StackTxnOrigin::Spill});
+    ++stats_.sh_loads;
+    --seg.count;
+    --ls.sh_count;
+    if (seg.empty()) {
+        seg.top = seg.base;
+        seg.bottom = seg.base;
+        seg.flushes = 0;
+    } else {
+        seg.bottom = (seg.bottom + 1) % config_.sh_entries;
+    }
+    pushGlobal(lane, value, txns);
+    ++stats_.single_moves;
+}
+
+inline void
+RefWarpStackModel::pushGlobal(uint32_t lane, uint64_t value,
+                           StackTxnList &txns, StackTxnOrigin origin)
+{
+    LaneState &ls = lanes_[lane];
+    ls.global.push_back(value);
+    uint32_t slot = static_cast<uint32_t>(ls.global.size()) - 1;
+    if (slot + 1 > ls.global_high_water)
+        ls.global_high_water = slot + 1;
+    txns.push_back({StackTxnKind::GlobalStore, globalSlotAddr(lane, slot),
+                    kStackEntryBytes, origin});
+    ++stats_.global_stores;
+}
+
+inline uint64_t
+RefWarpStackModel::popGlobal(uint32_t lane, StackTxnList &txns)
+{
+    LaneState &ls = lanes_[lane];
+    SMS_ASSERT(!ls.global.empty(), "popGlobal on empty spill region");
+    uint32_t slot = static_cast<uint32_t>(ls.global.size()) - 1;
+    uint64_t value = ls.global.back();
+    ls.global.pop_back();
+    txns.push_back({StackTxnKind::GlobalLoad, globalSlotAddr(lane, slot),
+                    kStackEntryBytes, StackTxnOrigin::Refill});
+    ++stats_.global_loads;
+    return value;
+}
+
+inline bool
+RefWarpStackModel::pop(uint32_t lane, uint64_t &value, StackTxnList &txns)
+{
+    SMS_ASSERT(lane < kWarpSize, "lane %u out of range", lane);
+    LaneState &ls = lanes_[lane];
+    if (laneEmpty(lane))
+        return false;
+
+    observe(lane); // record the occupied depth this pop touches
+    SMS_ASSERT(!ls.rb.empty(), "logical depth > 0 but RB empty");
+    value = ls.rb.back();
+    ls.rb.pop_back();
+    --ls.depth;
+    ++stats_.pops;
+
+    // Eager refill (Fig. 7 steps 2/5/6). sh_count > 0 implies an SH
+    // stack exists, so no separate hasShStack() check is needed.
+    if (ls.sh_count > 0) {
+        uint64_t from_sh = shPopTop(lane, txns);
+        ls.rb.push_front(from_sh);
+        ++stats_.rb_refills;
+        ++stats_.rb_refills_from_sh;
+        if (!ls.global.empty() && shBottomHasSpace(lane)) {
+            uint64_t from_global = popGlobal(lane, txns);
+            shPushBottom(lane, from_global, txns);
+        }
+    } else if (!ls.global.empty()) {
+        uint64_t from_global = popGlobal(lane, txns);
+        ls.rb.push_front(from_global);
+        ++stats_.rb_refills;
+        ++stats_.rb_refills_from_global;
+    }
+    return true;
+}
+
+inline void
+RefWarpStackModel::abandonLane(uint32_t lane)
+{
+    LaneState &ls = lanes_[lane];
+    ls.rb.clear();
+    ls.global.clear();
+    ls.depth = 0;
+    ls.sh_count = 0;
+    if (config_.hasShStack()) {
+        for (uint32_t seg_id : ls.chain) {
+            Segment &seg = segments_[seg_id];
+            seg.count = 0;
+            seg.top = seg.base;
+            seg.bottom = seg.base;
+        }
+    }
+    finishLane(lane);
+}
+
+inline void
+RefWarpStackModel::finishLane(uint32_t lane)
+{
+    LaneState &ls = lanes_[lane];
+    SMS_ASSERT(laneEmpty(lane), "finishLane with non-empty stack");
+    ls.finished = true;
+    if (!config_.hasShStack())
+        return;
+
+    // Release any leftover borrowed segments (all empty by now); only
+    // the dedicated segment stays in the chain. Flush promotions can
+    // leave the dedicated segment anywhere in the chain, so filter by
+    // ownership rather than position.
+    std::vector<uint32_t> kept;
+    for (uint32_t seg_id : ls.chain) {
+        Segment &seg = segments_[seg_id];
+        SMS_ASSERT(seg.empty(), "releasing non-empty segment");
+        if (seg.owner == lane) {
+            kept.push_back(seg_id);
+            continue;
+        }
+        seg.borrower = -1;
+        seg.flushes = 0;
+        setAvailable(seg, lanes_[seg.owner].finished);
+    }
+    SMS_ASSERT(kept.size() == 1, "lane %u lost its dedicated segment",
+               lane);
+    ls.chain = std::move(kept);
+
+    // The dedicated segment becomes borrowable if nobody borrowed it
+    // already while we were running (impossible) — mark it idle.
+    Segment &own = segments_[lane];
+    if (own.borrower < 0) {
+        setAvailable(own, config_.intra_warp_realloc);
+        own.flushes = 0;
+    }
+}
+
+
+} // namespace sms
+
+#endif // SMS_TESTS_REFERENCE_WARP_STACK_HPP

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Death tests for the SMS_DEBUG_ASSERT guards on the ring-buffer hot
+ * path. The release build compiles these guards out (NDEBUG), so this
+ * translation unit un-defines NDEBUG *before* any include: check.hpp
+ * then expands SMS_DEBUG_ASSERT to the checked form, and the inline
+ * RbRing/WarpStackModel bodies instantiated here carry the guards.
+ * This test binary is the only TU in its executable, so the checked
+ * instantiations cannot collide with release-mode copies.
+ *
+ * These pin the underflow bug class this PR fixes: pop_back()/
+ * pop_front() on an empty ring used to wrap count_ to ~4 billion and
+ * corrupt every later size/occupancy computation instead of failing.
+ */
+
+#undef NDEBUG
+
+#include <gtest/gtest.h>
+
+#include "src/core/warp_stack.hpp"
+
+namespace sms {
+namespace {
+
+TEST(RbRingDebugGuards, PopBackOnEmptyRingDies)
+{
+    RbRing ring;
+    EXPECT_DEATH(ring.pop_back(), "pop_back on empty ring");
+}
+
+TEST(RbRingDebugGuards, PopFrontOnEmptyRingDies)
+{
+    RbRing ring;
+    EXPECT_DEATH(ring.pop_front(), "pop_front on empty ring");
+}
+
+TEST(RbRingDebugGuards, PopAfterDrainDiesInsteadOfUnderflowing)
+{
+    RbRing ring;
+    ring.push_back(1);
+    ring.push_back(2);
+    ring.pop_front();
+    ring.pop_back();
+    ASSERT_TRUE(ring.empty());
+    EXPECT_DEATH(ring.pop_back(), "pop_back on empty ring");
+}
+
+/** The pooled per-lane rings inside WarpStackModel carry the same
+ *  guards: popping a drained lane must fail loudly, not underflow. */
+TEST(RbRingDebugGuards, ModelPeekOnEmptyLaneDies)
+{
+    StackConfig config;
+    config.rb_entries = 4;
+    WarpStackModel model(config, 0x0, 0x100000000ull);
+    EXPECT_DEATH(model.peek(0), "peek on empty stack");
+}
+
+} // namespace
+} // namespace sms

@@ -102,18 +102,23 @@ TEST(TraversalTape, FetchPhaseRoundTrip)
 {
     JobTape tape;
     TapeWriter writer(&tape);
-    std::vector<std::pair<Addr, TrafficClass>> lines = {
-        {0 * kLineBytes, TrafficClass::Node},
-        {3 * kLineBytes, TrafficClass::Node},
-        {4 * kLineBytes, TrafficClass::Primitive},
-        {1000 * kLineBytes, TrafficClass::Stack},
+    FetchLineList lines = {
+        packFetchLine(0 * kLineBytes, TrafficClass::Node),
+        packFetchLine(3 * kLineBytes, TrafficClass::Node),
+        packFetchLine(4 * kLineBytes, TrafficClass::Primitive),
+        packFetchLine(1000 * kLineBytes, TrafficClass::Stack),
     };
+    // The packed entry IS the wire layout: line index above the 2-bit
+    // traffic class.
+    EXPECT_EQ(lines[2], (4u << 2) | 1u);
+    EXPECT_EQ(fetchLineAddr(lines[3]), 1000 * kLineBytes);
+    EXPECT_EQ(fetchLineClass(lines[3]), TrafficClass::Stack);
     writer.fetchPhase(lines, true, true, 17);
     writer.fetchPhase({}, false, true, 63);
     EXPECT_EQ(tape.steps, 2u);
 
     TapeCursor cursor(&tape);
-    std::vector<std::pair<Addr, TrafficClass>> got;
+    FetchLineList got;
     bool has_internal = false, has_leaf = false;
     uint32_t max_prims = 0;
     cursor.fetchPhase(got, has_internal, has_leaf, max_prims);

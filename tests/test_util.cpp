@@ -126,7 +126,32 @@ TEST(Histogram, SaturatesAtLastBucket)
     Histogram h(7);
     h.add(100);
     EXPECT_EQ(h.bucket(7), 1u);
-    EXPECT_EQ(h.maxSeen(), 100u);
+    // The sample is clamped *before* any statistic is credited, so
+    // maxSeen reports the saturated bucket, not the raw value.
+    EXPECT_EQ(h.maxSeen(), 7u);
+    EXPECT_EQ(h.percentile(100.0), 7u);
+    EXPECT_DOUBLE_EQ(h.mean(), 7.0);
+}
+
+TEST(Histogram, SaturatedMeanAgreesWithPercentiles)
+{
+    // Regression: out-of-range samples used to credit their raw value
+    // into the sum while the bucket counts clamped, so mean() could
+    // exceed the largest value percentile() can ever return. Every
+    // statistic must describe the same clamped distribution.
+    Histogram h(7);
+    for (uint32_t v : {3u, 50u, 100u, 1000u})
+        h.add(v);
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_EQ(h.bucket(3), 1u);
+    EXPECT_EQ(h.bucket(7), 3u);
+    EXPECT_EQ(h.maxSeen(), 7u);
+    // Clamped samples are 3, 7, 7, 7.
+    EXPECT_DOUBLE_EQ(h.mean(), 6.0);
+    EXPECT_EQ(h.median(), 7u);
+    EXPECT_EQ(h.p50(), 7u);
+    EXPECT_EQ(h.p99(), 7u);
+    EXPECT_LE(h.mean(), static_cast<double>(h.percentile(100.0)));
 }
 
 TEST(Histogram, Median)
@@ -326,6 +351,64 @@ TEST(ParallelFor, ChunkedResultsMatchUnchunked)
     parallelFor(a.size(), [&](size_t i) { a[i] = i * i; }, 4, 1);
     parallelFor(b.size(), [&](size_t i) { b[i] = i * i; }, 4, 64);
     EXPECT_EQ(a, b);
+}
+
+TEST(ParallelFor, ThrowMidChunkRethrownAndIndexValid)
+{
+    // A throw from the middle of a claimed chunk must surface on the
+    // caller like any other worker throw, and the thrower's chunk must
+    // stop at the throwing index (no later iteration of that chunk may
+    // run). Stress across chunk sizes and repeated rounds to shake out
+    // racy variants of the drain-out path.
+    for (size_t chunk : {size_t(2), size_t(16), size_t(64)}) {
+        for (int round = 0; round < 8; ++round) {
+            constexpr size_t kN = 4096;
+            std::vector<std::atomic<int>> visits(kN);
+            const size_t bad = 1000 + static_cast<size_t>(round) * 17;
+            try {
+                parallelFor(
+                    kN,
+                    [&](size_t i) {
+                        ++visits[i];
+                        if (i == bad)
+                            throw std::runtime_error("mid-chunk");
+                    },
+                    4, chunk);
+                FAIL() << "expected rethrow (chunk=" << chunk << ")";
+            } catch (const std::runtime_error &e) {
+                EXPECT_STREQ(e.what(), "mid-chunk");
+            }
+            // The throwing index ran exactly once; indices after it in
+            // the same chunk were abandoned.
+            EXPECT_EQ(visits[bad].load(), 1);
+            size_t chunk_end = (bad / chunk + 1) * chunk;
+            for (size_t i = bad + 1; i < chunk_end && i < kN; ++i)
+                EXPECT_EQ(visits[i].load(), 0)
+                    << "index " << i << " ran after its chunk threw";
+            // Nothing ever runs twice, even while workers drain out.
+            for (size_t i = 0; i < kN; ++i)
+                EXPECT_LE(visits[i].load(), 1);
+        }
+    }
+}
+
+TEST(ParallelFor, ThreadsClampedToChunksStillThrows)
+{
+    // More threads than chunks (the pre-fix clamp bug territory): the
+    // clamp must leave at least one worker and exceptions still
+    // propagate. n=60, chunk=100 -> a single chunk, serial path.
+    std::atomic<int> ran{0};
+    EXPECT_THROW(
+        parallelFor(
+            60,
+            [&](size_t i) {
+                ++ran;
+                if (i == 30)
+                    throw std::logic_error("single-chunk");
+            },
+            16, 100),
+        std::logic_error);
+    EXPECT_EQ(ran.load(), 31);
 }
 
 } // namespace

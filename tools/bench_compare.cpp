@@ -7,7 +7,7 @@
  * Usage:
  *   bench_compare <a.json> <b.json> [--ipc-eps X] [--traffic-eps X]
  *                 [--allow-missing] [--check-accounting]
- *                 [--accounting-eps X]
+ *                 [--accounting-eps X] [--throughput-floor R]
  *   bench_compare --check-throughput <record.json>
  *
  * Each file is JSONL: one record per bench run, appended. By default
@@ -19,6 +19,14 @@
  * the run-level "throughput" block must exist with finite numeric
  * fields (wall-clock magnitudes are machine-dependent and deliberately
  * NOT gated — only presence and finiteness are checked).
+ *
+ * --throughput-floor R (two-record mode) additionally gates the new
+ * record's throughput.sim_cycles_per_sec against the baseline
+ * record's: the run fails when new < R * old. Wall-clock throughput is
+ * machine-dependent, so R should be lenient enough to absorb runner
+ * speed variance — the floor exists to catch structural regressions
+ * (the tape replay path silently re-recording, a hot-loop rewrite
+ * losing its batching), not few-percent noise.
  *
  * --check-accounting additionally gates each cell's cycle_accounting
  * block: conservation is re-checked at zero epsilon on both records
@@ -51,7 +59,8 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s <a.json> <b.json> [--ipc-eps X] "
                  "[--traffic-eps X] [--allow-missing] "
-                 "[--check-accounting] [--accounting-eps X]\n"
+                 "[--check-accounting] [--accounting-eps X] "
+                 "[--throughput-floor R]\n"
                  "       %s --check-throughput <record.json>\n",
                  argv0, argv0);
 }
@@ -95,6 +104,8 @@ blockOfMetric(const std::string &metric)
     if (metric == "offchip_accesses" || metric == "norm_offchip" ||
         metric == "mean_norm_offchip")
         return "traffic";
+    if (metric.rfind("throughput", 0) == 0)
+        return "throughput";
     return "other";
 }
 
@@ -102,17 +113,17 @@ blockOfMetric(const std::string &metric)
 std::string
 blockSummary(const std::vector<CompareIssue> &issues)
 {
-    const char *order[] = {"ipc", "traffic", "accounting", "coverage",
-                           "other"};
-    size_t counts[5] = {};
+    const char *order[] = {"ipc", "traffic", "accounting", "throughput",
+                           "coverage", "other"};
+    size_t counts[6] = {};
     for (const CompareIssue &issue : issues) {
         const char *block = blockOfMetric(issue.metric);
-        for (int i = 0; i < 5; ++i)
+        for (int i = 0; i < 6; ++i)
             if (std::strcmp(order[i], block) == 0)
                 ++counts[i];
     }
     std::string out;
-    for (int i = 0; i < 5; ++i) {
+    for (int i = 0; i < 6; ++i) {
         if (!counts[i])
             continue;
         if (!out.empty())
@@ -205,6 +216,51 @@ checkThroughput(const char *path)
     return 1;
 }
 
+/**
+ * Gate @p b's sim-cycle throughput at @p floor_ratio times @p a's.
+ * Appends one issue when the floor is violated (or when either record
+ * lacks the field, which would otherwise make the gate pass vacuously).
+ * Returns a one-line human summary for the caller to print under the
+ * record header.
+ */
+std::string
+checkThroughputFloor(const JsonValue &a, const JsonValue &b,
+                     double floor_ratio,
+                     std::vector<CompareIssue> &issues)
+{
+    auto cyclesPerSec = [](const JsonValue &rec) {
+        const JsonValue *t = rec.find("throughput");
+        return t ? t->numberOr("sim_cycles_per_sec", NAN) : NAN;
+    };
+    double base = cyclesPerSec(a);
+    double cur = cyclesPerSec(b);
+    if (!std::isfinite(base) || !std::isfinite(cur) || base <= 0.0) {
+        CompareIssue issue;
+        issue.where = "throughput.sim_cycles_per_sec absent or not a "
+                      "positive finite number; cannot apply "
+                      "--throughput-floor";
+        issues.push_back(issue);
+        return "  throughput floor: sim_cycles_per_sec unavailable\n";
+    }
+    double floor = floor_ratio * base;
+    char line[160];
+    std::snprintf(line, sizeof line,
+                  "  throughput floor: %.4g vs baseline %.4g "
+                  "(%.3gx, floor %.2fx = %.4g): %s\n",
+                  cur, base, cur / base, floor_ratio, floor,
+                  cur >= floor ? "ok" : "VIOLATED");
+    if (cur < floor) {
+        CompareIssue issue;
+        issue.where = "throughput";
+        issue.metric = "throughput_floor";
+        issue.a = floor;
+        issue.b = cur;
+        issue.rel = (cur - base) / base;
+        issues.push_back(issue);
+    }
+    return line;
+}
+
 } // namespace
 
 int
@@ -213,10 +269,18 @@ main(int argc, char **argv)
     CompareOptions options;
     std::vector<const char *> paths;
     bool check_throughput = false;
+    double throughput_floor = 0.0;
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
         if (std::strcmp(arg, "--check-throughput") == 0) {
             check_throughput = true;
+        } else if (std::strcmp(arg, "--throughput-floor") == 0 &&
+                   i + 1 < argc) {
+            if (!parseEps(argv[++i], &throughput_floor) ||
+                throughput_floor <= 0.0) {
+                usage(argv[0]);
+                return 2;
+            }
         } else if (std::strcmp(arg, "--allow-missing") == 0) {
             options.allow_missing = true;
         } else if (std::strcmp(arg, "--check-accounting") == 0) {
@@ -246,7 +310,8 @@ main(int argc, char **argv)
         }
     }
     if (check_throughput) {
-        if (paths.size() != 1) {
+        // The floor needs a baseline record; it is a two-record option.
+        if (paths.size() != 1 || throughput_floor > 0.0) {
             usage(argv[0]);
             return 2;
         }
@@ -294,6 +359,11 @@ main(int argc, char **argv)
                          i, error.c_str());
             return status == CompareStatus::SchemaMismatch ? 3 : 2;
         }
+        std::string floor_line;
+        if (throughput_floor > 0.0)
+            floor_line = checkThroughputFloor(
+                *pairs[i].first, *pairs[i].second, throughput_floor,
+                issues);
         std::string fig = pairs[i].first->stringOr("figure", "?");
         std::printf("record %zu (%s): %zu issue%s (ipc_eps=%.3g, "
                     "traffic_eps=%.3g%s)\n",
@@ -302,6 +372,7 @@ main(int argc, char **argv)
                     options.traffic_eps,
                     options.check_accounting ? ", accounting checked"
                                              : "");
+        std::fputs(floor_line.c_str(), stdout);
         printIssues(issues);
         if (!issues.empty())
             ok = false;
