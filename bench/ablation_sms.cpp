@@ -49,23 +49,28 @@ runBorrowLimitSweep(const std::vector<std::shared_ptr<Workload>> &ws,
     }
     SweepResult sweep = runSweep(ws, configs);
 
-    Table table;
-    table.setHeader({"max borrowed", "norm IPC", "global spills",
-                     "borrows", "flushes"});
-    for (size_t c = 1; c < configs.size(); ++c) {
-        uint64_t spills = 0, borrows = 0, flushes = 0;
-        for (size_t s = 0; s < ws.size(); ++s) {
-            spills += sweep.results[s][c].stack.global_stores;
-            borrows += sweep.results[s][c].stack.borrows;
-            flushes += sweep.results[s][c].stack.flushes;
+    // Shard workers skip the cross-cell tables; the merge rebuilds
+    // the normalized view from all shards.
+    if (!sweepShardSpec().active()) {
+        Table table;
+        table.setHeader({"max borrowed", "norm IPC", "global spills",
+                         "borrows", "flushes"});
+        for (size_t c = 1; c < configs.size(); ++c) {
+            uint64_t spills = 0, borrows = 0, flushes = 0;
+            for (size_t s = 0; s < ws.size(); ++s) {
+                spills += sweep.results[s][c].stack.global_stores;
+                borrows += sweep.results[s][c].stack.borrows;
+                flushes += sweep.results[s][c].stack.flushes;
+            }
+            table.addRow({std::to_string(configs[c].max_borrowed),
+                          Table::num(meanNormIpc(sweep, c), 3),
+                          std::to_string(spills),
+                          std::to_string(borrows),
+                          std::to_string(flushes)});
         }
-        table.addRow({std::to_string(configs[c].max_borrowed),
-                      Table::num(meanNormIpc(sweep, c), 3),
-                      std::to_string(spills), std::to_string(borrows),
-                      std::to_string(flushes)});
+        table.print();
+        std::printf("\n");
     }
-    table.print();
-    std::printf("\n");
     reporter.addSweep(sweep, 0, "results_borrow");
 }
 
@@ -83,23 +88,26 @@ runFlushLimitSweep(const std::vector<std::shared_ptr<Workload>> &ws,
     }
     SweepResult sweep = runSweep(ws, configs);
 
-    Table table;
-    table.setHeader({"max flushes", "norm IPC", "flushes", "forced",
-                     "single moves"});
-    for (size_t c = 1; c < configs.size(); ++c) {
-        uint64_t flushes = 0, forced = 0, moves = 0;
-        for (size_t s = 0; s < ws.size(); ++s) {
-            flushes += sweep.results[s][c].stack.flushes;
-            forced += sweep.results[s][c].stack.forced_flushes;
-            moves += sweep.results[s][c].stack.single_moves;
+    if (!sweepShardSpec().active()) {
+        Table table;
+        table.setHeader({"max flushes", "norm IPC", "flushes", "forced",
+                         "single moves"});
+        for (size_t c = 1; c < configs.size(); ++c) {
+            uint64_t flushes = 0, forced = 0, moves = 0;
+            for (size_t s = 0; s < ws.size(); ++s) {
+                flushes += sweep.results[s][c].stack.flushes;
+                forced += sweep.results[s][c].stack.forced_flushes;
+                moves += sweep.results[s][c].stack.single_moves;
+            }
+            table.addRow({std::to_string(configs[c].max_flushes),
+                          Table::num(meanNormIpc(sweep, c), 3),
+                          std::to_string(flushes),
+                          std::to_string(forced),
+                          std::to_string(moves)});
         }
-        table.addRow({std::to_string(configs[c].max_flushes),
-                      Table::num(meanNormIpc(sweep, c), 3),
-                      std::to_string(flushes), std::to_string(forced),
-                      std::to_string(moves)});
+        table.print();
+        std::printf("\n");
     }
-    table.print();
-    std::printf("\n");
     reporter.addSweep(sweep, 0, "results_flush");
 }
 
@@ -116,53 +124,59 @@ runEnergyComparison(const std::vector<std::shared_ptr<Workload>> &ws,
     };
     SweepResult sweep = runSweep(ws, configs);
 
-    Table table;
-    table.setHeader({"config", "norm IPC", "energy (uJ)", "norm energy",
-                     "RB static %", "DRAM %"});
-    double base_energy = 0.0;
-    JsonValue energy = JsonValue::array();
-    for (size_t c = 0; c < configs.size(); ++c) {
-        EnergyBreakdown total;
-        for (size_t s = 0; s < ws.size(); ++s) {
-            GpuConfig gpu = makeGpuConfig(configs[c]);
-            EnergyBreakdown e =
-                estimateEnergy(sweep.results[s][c], gpu);
-            total.rb_dynamic += e.rb_dynamic;
-            total.rb_static += e.rb_static;
-            total.shared += e.shared;
-            total.l1 += e.l1;
-            total.l2 += e.l2;
-            total.dram += e.dram;
-            total.ops += e.ops;
+    // The energy roll-up sums every scene of each column, so a shard
+    // worker cannot compute it; per-cell counters still ride in the
+    // record for the merge.
+    if (!sweepShardSpec().active()) {
+        Table table;
+        table.setHeader({"config", "norm IPC", "energy (uJ)",
+                         "norm energy", "RB static %", "DRAM %"});
+        double base_energy = 0.0;
+        JsonValue energy = JsonValue::array();
+        for (size_t c = 0; c < configs.size(); ++c) {
+            EnergyBreakdown total;
+            for (size_t s = 0; s < ws.size(); ++s) {
+                GpuConfig gpu = makeGpuConfig(configs[c]);
+                EnergyBreakdown e =
+                    estimateEnergy(sweep.results[s][c], gpu);
+                total.rb_dynamic += e.rb_dynamic;
+                total.rb_static += e.rb_static;
+                total.shared += e.shared;
+                total.l1 += e.l1;
+                total.l2 += e.l2;
+                total.dram += e.dram;
+                total.ops += e.ops;
+            }
+            if (c == 0)
+                base_energy = total.total();
+            table.addRow(
+                {configs[c].name(),
+                 Table::num(meanNormIpc(sweep, c), 3),
+                 Table::num(total.total() / 1.0e6, 2),
+                 Table::num(total.total() / base_energy, 3),
+                 Table::num(100.0 * total.rb_static / total.total(), 1),
+                 Table::num(100.0 * total.dram / total.total(), 1)});
+            if (reporter.enabled()) {
+                JsonValue row = JsonValue::object();
+                row["config"] = configs[c].name();
+                row["config_index"] = c;
+                row["energy_pj"] = total.total();
+                row["norm_energy"] = total.total() / base_energy;
+                row["rb_static_pj"] = total.rb_static;
+                row["dram_pj"] = total.dram;
+                energy.push(row);
+            }
         }
-        if (c == 0)
-            base_energy = total.total();
-        table.addRow(
-            {configs[c].name(),
-             Table::num(meanNormIpc(sweep, c), 3),
-             Table::num(total.total() / 1.0e6, 2),
-             Table::num(total.total() / base_energy, 3),
-             Table::num(100.0 * total.rb_static / total.total(), 1),
-             Table::num(100.0 * total.dram / total.total(), 1)});
-        if (reporter.enabled()) {
-            JsonValue row = JsonValue::object();
-            row["config"] = configs[c].name();
-            row["config_index"] = c;
-            row["energy_pj"] = total.total();
-            row["norm_energy"] = total.total() / base_energy;
-            row["rb_static_pj"] = total.rb_static;
-            row["dram_pj"] = total.dram;
-            energy.push(row);
-        }
+        table.print();
+        if (reporter.enabled())
+            reporter.record()["energy"] = energy;
+        printPaperNote("§III-C/§VII-D motivation: enlarging the RB "
+                       "stack buys IPC at a growing static-storage "
+                       "energy cost; SMS reaches comparable IPC with "
+                       "272 B of bookkeeping instead of kilobytes of "
+                       "extra stack");
     }
-    table.print();
     reporter.addSweep(sweep, 0, "results_energy");
-    if (reporter.enabled())
-        reporter.record()["energy"] = energy;
-    printPaperNote("§III-C/§VII-D motivation: enlarging the RB stack "
-                   "buys IPC at a growing static-storage energy cost; "
-                   "SMS reaches comparable IPC with 272 B of "
-                   "bookkeeping instead of kilobytes of extra stack");
 }
 
 void

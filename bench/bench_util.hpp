@@ -11,6 +11,7 @@
 #ifndef SMS_BENCH_BENCH_UTIL_HPP
 #define SMS_BENCH_BENCH_UTIL_HPP
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
@@ -19,9 +20,13 @@
 #include <memory>
 #include <string>
 #include <sys/stat.h>
+#include <utility>
 #include <vector>
 
 #include "src/scene/registry.hpp"
+#include "src/serve/result_cache.hpp"
+#include "src/serve/sweep_shard.hpp"
+#include "src/sim/gpu_sim.hpp"
 #include "src/sim/traversal_tape.hpp"
 #include "src/stats/histogram.hpp"
 #include "src/stats/report.hpp"
@@ -138,6 +143,14 @@ prepareAllScenes(ScaleProfile profile = profileFromEnv())
     return workloads;
 }
 
+/** How a sweep cell's SimResult came to be. */
+enum class CellOrigin : uint8_t
+{
+    NotOwned = 0, ///< another shard's cell; result left default
+    Simulated,    ///< simulated by this run
+    CacheHit,     ///< deserialized from the result cache
+};
+
 /** Result grid of a (scene x config) sweep. */
 struct SweepResult
 {
@@ -148,6 +161,10 @@ struct SweepResult
     std::vector<std::vector<SimResult>> results;
     /** Wall-clock seconds spent simulating each cell (same shape). */
     std::vector<std::vector<double>> cell_wall_seconds;
+    /** Provenance of each cell (same shape). */
+    std::vector<std::vector<CellOrigin>> cell_origin;
+    /** Shard identity the sweep ran under (inactive = whole grid). */
+    SweepShardSpec shard;
     /** Wall-clock seconds of the whole sweep (includes scheduling). */
     double wall_seconds = 0.0;
 
@@ -172,6 +189,16 @@ struct SweepResult
  * counter-identical to execution, so the result grid does not depend
  * on the tape mode.
  *
+ * Two orthogonal reducers run before any cell simulates. When a shard
+ * identity is active (sweepShardSpec()), only the owned cells of the
+ * flattened grid are touched; the rest stay CellOrigin::NotOwned with
+ * default results. When SMS_RESULT_CACHE is set, every owned cell is
+ * first probed in the result cache — hits are deserialized instead of
+ * simulated (the simulator is deterministic, so the cached counters
+ * are the ones simulation would produce), and simulated cells are
+ * stored back. The tape phases then cover only the owned cache-miss
+ * cells; a fully warm sweep performs zero simulateJobs() calls.
+ *
  * @param threads worker threads for the grid (0 = hardware default);
  *                results are per-cell deterministic for any value
  */
@@ -191,6 +218,7 @@ runSweep(const std::vector<std::shared_ptr<Workload>> &workloads,
         tl_start = timelineWallMicros();
     }
     SweepResult sweep;
+    sweep.shard = sweepShardSpec();
     sweep.configs = configs;
     sweep.l1_overrides = l1_overrides.empty()
                              ? std::vector<uint64_t>(configs.size(), 0)
@@ -201,6 +229,31 @@ runSweep(const std::vector<std::shared_ptr<Workload>> &workloads,
                          std::vector<SimResult>(configs.size()));
     sweep.cell_wall_seconds.assign(
         workloads.size(), std::vector<double>(configs.size(), 0.0));
+    sweep.cell_origin.assign(workloads.size(),
+                             std::vector<CellOrigin>(
+                                 configs.size(), CellOrigin::NotOwned));
+
+    const size_t num_configs = configs.size();
+    auto owned = [&](size_t s, size_t c) {
+        return sweep.shard.owns(
+            static_cast<uint64_t>(s) * num_configs + c);
+    };
+
+    // Result-cache keys: one workload fingerprint per scene, one
+    // config digest per column (both sides of each cell's identity).
+    const std::string result_dir = resultCacheDir();
+    std::vector<uint64_t> fingerprints;
+    std::vector<uint64_t> digests;
+    if (!result_dir.empty()) {
+        fingerprints.resize(workloads.size());
+        for (size_t s = 0; s < workloads.size(); ++s)
+            fingerprints[s] = workloadFingerprint(
+                workloads[s]->render.jobs, workloads[s]->bvh);
+        digests.resize(configs.size());
+        for (size_t c = 0; c < configs.size(); ++c)
+            digests[c] = gpuConfigDigest(
+                makeGpuConfig(configs[c], sweep.l1_overrides[c]));
+    }
 
     auto runCell = [&](size_t s, size_t c, const SimOptions &options) {
         GpuConfig config =
@@ -213,6 +266,12 @@ runSweep(const std::vector<std::shared_ptr<Workload>> &workloads,
             std::chrono::duration<double>(
                 std::chrono::steady_clock::now() - cell_start)
                 .count();
+        sweep.cell_origin[s][c] = CellOrigin::Simulated;
+        if (!result_dir.empty())
+            storeCachedResult(result_dir, workloads[s]->id,
+                              workloads[s]->profile, fingerprints[s],
+                              digests[c], sweep.results[s][c],
+                              sweep.cell_wall_seconds[s][c]);
         if (tl) {
             // One wall-clock row per sweep cell; the cell's simulated
             // cycles ride along so the two clock domains can be tied
@@ -228,19 +287,57 @@ runSweep(const std::vector<std::shared_ptr<Workload>> &workloads,
         }
     };
 
-    TapeMode tape_mode = traversalTapeMode();
-    // Recording costs a little; with a single config (or in disk mode,
-    // where a later run amortizes it) a tape only pays off when there
-    // is at least one cell to replay.
-    bool use_tape = tape_mode != TapeMode::Off && !workloads.empty() &&
-                    !configs.empty() &&
-                    (configs.size() > 1 || tape_mode == TapeMode::Disk);
-    if (!use_tape) {
-        size_t total = workloads.size() * configs.size();
+    // Probe the result cache for every owned cell before simulating
+    // anything: a hit deserializes the finished counters (identical to
+    // what simulation would produce — the simulator is deterministic)
+    // and carries the recording run's simulation wall seconds.
+    if (!result_dir.empty()) {
         parallelFor(
-            total,
+            workloads.size() * num_configs,
             [&](size_t i) {
-                runCell(i / configs.size(), i % configs.size(), {});
+                size_t s = i / num_configs;
+                size_t c = i % num_configs;
+                if (!owned(s, c))
+                    return;
+                if (loadCachedResult(result_dir, workloads[s]->id,
+                                     workloads[s]->profile,
+                                     fingerprints[s], digests[c],
+                                     sweep.results[s][c],
+                                     sweep.cell_wall_seconds[s][c]))
+                    sweep.cell_origin[s][c] = CellOrigin::CacheHit;
+            },
+            threads);
+    }
+
+    // The cells still to simulate: owned and not served by the cache.
+    std::vector<std::vector<size_t>> todo(workloads.size());
+    size_t missing = 0;
+    size_t max_todo = 0;
+    for (size_t s = 0; s < workloads.size(); ++s) {
+        for (size_t c = 0; c < num_configs; ++c)
+            if (owned(s, c) &&
+                sweep.cell_origin[s][c] != CellOrigin::CacheHit)
+                todo[s].push_back(c);
+        missing += todo[s].size();
+        max_todo = std::max(max_todo, todo[s].size());
+    }
+
+    TapeMode tape_mode = traversalTapeMode();
+    // Recording costs a little; with a single missing cell per scene
+    // (or in disk mode, where a later run amortizes it) a tape only
+    // pays off when there is at least one cell to replay.
+    bool use_tape = tape_mode != TapeMode::Off && missing > 0 &&
+                    (max_todo > 1 || tape_mode == TapeMode::Disk);
+    if (!use_tape) {
+        std::vector<std::pair<size_t, size_t>> cells;
+        cells.reserve(missing);
+        for (size_t s = 0; s < workloads.size(); ++s)
+            for (size_t c : todo[s])
+                cells.emplace_back(s, c);
+        parallelFor(
+            cells.size(),
+            [&](size_t i) {
+                runCell(cells[i].first, cells[i].second, {});
             },
             threads);
     } else {
@@ -248,11 +345,17 @@ runSweep(const std::vector<std::shared_ptr<Workload>> &workloads,
             tape_mode == TapeMode::Disk ? workloadCacheDir() : "";
         std::vector<std::shared_ptr<TraversalTape>> tapes(
             workloads.size());
-        // Phase A: one execution (or disk replay) per scene yields the
-        // scene's tape and its first result column.
+        // Phase A: one execution (or disk replay) per scene with
+        // missing cells yields the scene's tape and its first missing
+        // result column.
+        std::vector<size_t> lead;
+        for (size_t s = 0; s < workloads.size(); ++s)
+            if (!todo[s].empty())
+                lead.push_back(s);
         parallelFor(
-            workloads.size(),
-            [&](size_t s) {
+            lead.size(),
+            [&](size_t i) {
+                size_t s = lead[i];
                 auto tape = std::make_shared<TraversalTape>();
                 bool loaded =
                     !cache_dir.empty() &&
@@ -262,21 +365,26 @@ runSweep(const std::vector<std::shared_ptr<Workload>> &workloads,
                     options.replay_tape = tape.get();
                 else
                     options.record_tape = tape.get();
-                runCell(s, 0, options);
+                runCell(s, todo[s][0], options);
                 if (!loaded && !cache_dir.empty())
                     saveTraversalTape(cache_dir, *workloads[s], *tape);
                 tapes[s] = std::move(tape);
             },
             threads);
-        // Phase B: every remaining cell replays its scene's tape.
-        size_t rest_configs = configs.size() - 1;
+        // Phase B: every remaining missing cell replays its scene's
+        // tape.
+        std::vector<std::pair<size_t, size_t>> rest;
+        rest.reserve(missing - lead.size());
+        for (size_t s = 0; s < workloads.size(); ++s)
+            for (size_t j = 1; j < todo[s].size(); ++j)
+                rest.emplace_back(s, todo[s][j]);
         parallelFor(
-            workloads.size() * rest_configs,
+            rest.size(),
             [&](size_t i) {
-                size_t s = i / rest_configs;
+                size_t s = rest[i].first;
                 SimOptions options;
                 options.replay_tape = tapes[s].get();
-                runCell(s, 1 + i % rest_configs, options);
+                runCell(s, rest[i].second, options);
             },
             threads);
     }
@@ -396,21 +504,60 @@ printPaperNote(const std::string &note)
  * other PATH is used verbatim. One schema "sms-bench-1" record is
  * *appended* per run (JSONL), so consecutive runs build a perf
  * trajectory that tools/bench_compare can diff.
+ *
+ * Sharded execution rides on the same flags: --shards=i/N makes this
+ * process shard worker i (equivalent to SMS_SWEEP_SHARDS, see
+ * sweep_shard.hpp), and --shard-workers=N turns it into a coordinator
+ * that forks N workers of itself, merges their records, and appends
+ * the merged record to the --json path (required) without returning.
  */
 class JsonReporter
 {
   public:
-    /** Consumes any --json flag from argc/argv. */
+    /** Consumes --json / --shards / --shard-workers from argc/argv. */
     JsonReporter(const std::string &figure, int &argc, char **argv)
         : figure_(figure), start_(std::chrono::steady_clock::now())
     {
         timelineInitFromEnv();
         std::string spec = consumeFlag(argc, argv);
+        std::string shards = consumeValueFlag(argc, argv, "--shards=");
+        std::string workers =
+            consumeValueFlag(argc, argv, "--shard-workers=");
+        if (!shards.empty()) {
+            SweepShardSpec shard;
+            std::string error;
+            if (!parseSweepShardSpec(shards, shard, error))
+                fatal("--shards=%s: %s", shards.c_str(), error.c_str());
+            setSweepShardSpec(shard);
+        }
         if (spec.empty()) {
             const char *env = std::getenv("SMS_JSON");
             if (env && *env)
                 spec = env;
         }
+        if (!workers.empty()) {
+            if (!shards.empty())
+                fatal("--shard-workers cannot be combined with "
+                      "--shards");
+            char *end = nullptr;
+            unsigned long n = std::strtoul(workers.c_str(), &end, 10);
+            if (!end || *end || n < 1 || n > 4096)
+                fatal("--shard-workers=%s: want a worker count in "
+                      "1..4096",
+                      workers.c_str());
+            if (spec.empty())
+                fatal("--shard-workers requires --json (the merged "
+                      "record needs a path)");
+            // Forks the workers, merges, appends, exits.
+            runShardCoordinator(static_cast<uint32_t>(n),
+                                resolvePath(spec), argc, argv);
+        }
+        shard_ = sweepShardSpec();
+        if (shard_.active() && spec.empty())
+            warn("shard %u/%u is active without --json/SMS_JSON; the "
+                 "partial results have nowhere to go and cannot be "
+                 "merged",
+                 shard_.index, shard_.count);
         if (spec.empty())
             return;
         path_ = resolvePath(spec);
@@ -427,6 +574,13 @@ class JsonReporter
     /**
      * Add a sweep's cells under @p key ("results", "results_l1", ...)
      * plus, for the default key, the per-config summary means.
+     *
+     * Under an active shard identity only the owned cells are emitted,
+     * and the cross-cell derived values (norm_ipc, norm_offchip,
+     * baseline, summary) are left null/absent — the other shards'
+     * baseline cells are not available here. A "shard" block records
+     * the identity, the ordered scene list, and each key's baseline
+     * column so mergeShardRecords() can recompute them.
      */
     void
     addSweep(const SweepResult &sweep, size_t base = 0,
@@ -434,9 +588,17 @@ class JsonReporter
     {
         if (!enabled())
             return;
+        const bool sharded = sweep.shard.active();
         JsonValue cells = JsonValue::array();
         for (size_t s = 0; s < sweep.results.size(); ++s) {
             for (size_t c = 0; c < sweep.configs.size(); ++c) {
+                CellOrigin origin =
+                    s < sweep.cell_origin.size() &&
+                            c < sweep.cell_origin[s].size()
+                        ? sweep.cell_origin[s][c]
+                        : CellOrigin::Simulated;
+                if (origin == CellOrigin::NotOwned)
+                    continue;
                 JsonValue cell = JsonValue::object();
                 cell["scene"] = sweep.sceneLabel(s);
                 cell["config"] = sweep.configs[c].name();
@@ -444,14 +606,23 @@ class JsonReporter
                 cell["l1_override"] = sweep.l1_overrides[c];
                 const SimResult &r = sweep.results[s][c];
                 cell["ipc"] = r.ipc();
-                cell["norm_ipc"] = normIpc(sweep, s, c, base);
-                cell["norm_offchip"] = normOffchip(sweep, s, c, base);
+                if (sharded) {
+                    // The merge recomputes these against the full grid.
+                    cell["norm_ipc"] = JsonValue();
+                    cell["norm_offchip"] = JsonValue();
+                } else {
+                    cell["norm_ipc"] = normIpc(sweep, s, c, base);
+                    cell["norm_offchip"] =
+                        normOffchip(sweep, s, c, base);
+                }
                 cell["stack_config"] = toJson(sweep.configs[c]);
                 cell["counters"] = toJson(r);
                 // Promote the headline traffic metric for the gate.
                 cell["offchip_accesses"] = r.offchip_accesses;
                 // Simulator throughput of this cell (never compared by
-                // the regression gate — machine-dependent).
+                // the regression gate — machine-dependent). A
+                // result-cache hit reports the recording run's
+                // simulation wall seconds.
                 double wall = s < sweep.cell_wall_seconds.size() &&
                                       c < sweep.cell_wall_seconds[s].size()
                                   ? sweep.cell_wall_seconds[s][c]
@@ -460,6 +631,9 @@ class JsonReporter
                 cell["sim_cycles_per_sec"] =
                     wall > 0.0 ? static_cast<double>(r.cycles) / wall
                                : 0.0;
+                cell["origin"] = origin == CellOrigin::CacheHit
+                                     ? "result_cache"
+                                     : "simulated";
                 // When a timeline trace was recorded, name the trace
                 // process holding this cell's cycle-domain tracks.
                 if (timelineAnyOn())
@@ -473,6 +647,23 @@ class JsonReporter
         }
         sweep_wall_seconds_ += sweep.wall_seconds;
         record_[key] = std::move(cells);
+        sweep_added_ = true;
+
+        if (sharded) {
+            if (!record_.find("shard")) {
+                JsonValue shard = JsonValue::object();
+                shard["index"] = sweep.shard.index;
+                shard["count"] = sweep.shard.count;
+                JsonValue scenes = JsonValue::array();
+                for (size_t s = 0; s < sweep.results.size(); ++s)
+                    scenes.push(sweep.sceneLabel(s));
+                shard["scenes"] = std::move(scenes);
+                shard["bases"] = JsonValue::object();
+                record_["shard"] = std::move(shard);
+            }
+            record_["shard"]["bases"][key] = base;
+            return;
+        }
 
         if (key == "results") {
             record_["baseline"] = sweep.configs[base].name();
@@ -537,6 +728,9 @@ class JsonReporter
                 ? static_cast<double>(sim_cycles_total_) /
                       sweep_wall_seconds_
                 : 0.0;
+        // Proof obligation of the warm path: a fully result-cached
+        // sweep must report simulate_calls == 0.
+        throughput["simulate_calls"] = simulateJobsCallCount();
         WorkloadCacheStats cache = workloadCacheStats();
         JsonValue cache_json = JsonValue::object();
         cache_json["enabled"] = !workloadCacheDir().empty();
@@ -545,6 +739,14 @@ class JsonReporter
         cache_json["stores"] = cache.stores;
         cache_json["failures"] = cache.failures;
         throughput["workload_cache"] = std::move(cache_json);
+        ResultCacheStats rcache = resultCacheStats();
+        JsonValue rcache_json = JsonValue::object();
+        rcache_json["enabled"] = !resultCacheDir().empty();
+        rcache_json["hits"] = rcache.hits;
+        rcache_json["misses"] = rcache.misses;
+        rcache_json["stores"] = rcache.stores;
+        rcache_json["failures"] = rcache.failures;
+        throughput["result_cache"] = std::move(rcache_json);
         TraversalTapeStats tape = traversalTapeStats();
         JsonValue tape_json = JsonValue::object();
         tape_json["mode"] = tapeModeName(traversalTapeMode());
@@ -564,6 +766,12 @@ class JsonReporter
         tl_json["events_dropped"] = tls.events_dropped;
         throughput["timeline"] = std::move(tl_json);
         record_["throughput"] = std::move(throughput);
+
+        if (shard_.active() && !sweep_added_)
+            warn("shard %u/%u ran a bench with no sweep; the record "
+                 "has no shard block and mergeShardRecords() will "
+                 "reject it",
+                 shard_.index, shard_.count);
 
         std::string error;
         if (!appendJsonLine(path_, record_, error))
@@ -602,6 +810,23 @@ class JsonReporter
         return spec;
     }
 
+    /** Consume one "--name=VALUE" flag; "" when absent. */
+    std::string
+    consumeValueFlag(int &argc, char **argv, const char *prefix)
+    {
+        std::string value;
+        size_t len = std::strlen(prefix);
+        int out = 1;
+        for (int i = 1; i < argc; ++i) {
+            if (std::strncmp(argv[i], prefix, len) == 0)
+                value = argv[i] + len;
+            else
+                argv[out++] = argv[i];
+        }
+        argc = out;
+        return value;
+    }
+
     std::string
     resolvePath(const std::string &spec) const
     {
@@ -626,7 +851,9 @@ class JsonReporter
     std::string path_;
     JsonValue record_;
     std::chrono::steady_clock::time_point start_;
+    SweepShardSpec shard_;
     bool finished_ = false;
+    bool sweep_added_ = false;
     double sweep_wall_seconds_ = 0.0;
     uint64_t sim_cycles_total_ = 0;
     uint64_t cells_total_ = 0;

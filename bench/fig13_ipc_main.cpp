@@ -35,28 +35,33 @@ runFig13(JsonReporter &reporter)
     };
     SweepResult sweep = runSweep(workloads, configs);
 
-    Table table;
-    table.setHeader({"scene", "+SH_8", "+SK", "+RA (SMS)", "RB_FULL"});
-    for (size_t s = 0; s < workloads.size(); ++s) {
-        std::vector<std::string> row{sceneName(workloads[s]->id)};
+    // A shard worker holds only its slice of the grid; the cross-cell
+    // human tables are computed by nobody and the JSON merge instead.
+    if (!sweepShardSpec().active()) {
+        Table table;
+        table.setHeader(
+            {"scene", "+SH_8", "+SK", "+RA (SMS)", "RB_FULL"});
+        for (size_t s = 0; s < workloads.size(); ++s) {
+            std::vector<std::string> row{sceneName(workloads[s]->id)};
+            for (size_t c = 1; c < configs.size(); ++c)
+                row.push_back(Table::num(normIpc(sweep, s, c), 3));
+            table.addRow(row);
+        }
+        std::vector<std::string> mean_row{"GEOMEAN"};
         for (size_t c = 1; c < configs.size(); ++c)
-            row.push_back(Table::num(normIpc(sweep, s, c), 3));
-        table.addRow(row);
-    }
-    std::vector<std::string> mean_row{"GEOMEAN"};
-    for (size_t c = 1; c < configs.size(); ++c)
-        mean_row.push_back(Table::num(meanNormIpc(sweep, c), 3));
-    table.addRow(mean_row);
-    table.print();
+            mean_row.push_back(Table::num(meanNormIpc(sweep, c), 3));
+        table.addRow(mean_row);
+        table.print();
 
-    std::printf("\nmean improvement: +SH_8 %+.1f%%, +SK %+.1f%%, "
-                "SMS %+.1f%%, RB_FULL %+.1f%%\n",
-                (meanNormIpc(sweep, 1) - 1.0) * 100.0,
-                (meanNormIpc(sweep, 2) - 1.0) * 100.0,
-                (meanNormIpc(sweep, 3) - 1.0) * 100.0,
-                (meanNormIpc(sweep, 4) - 1.0) * 100.0);
-    printPaperNote("+SH_8: +15.1%, +SK: +19.4%, +RA (SMS): +23.2%, "
-                   "RB_FULL: +25.3%");
+        std::printf("\nmean improvement: +SH_8 %+.1f%%, +SK %+.1f%%, "
+                    "SMS %+.1f%%, RB_FULL %+.1f%%\n",
+                    (meanNormIpc(sweep, 1) - 1.0) * 100.0,
+                    (meanNormIpc(sweep, 2) - 1.0) * 100.0,
+                    (meanNormIpc(sweep, 3) - 1.0) * 100.0,
+                    (meanNormIpc(sweep, 4) - 1.0) * 100.0);
+        printPaperNote("+SH_8: +15.1%, +SK: +19.4%, +RA (SMS): "
+                       "+23.2%, RB_FULL: +25.3%");
+    }
 
     reporter.addSweep(sweep);
     reporter.finish();

@@ -33,35 +33,40 @@ runFig15(JsonReporter &reporter)
     }
     SweepResult sweep = runSweep(workloads, configs);
 
-    std::printf("=== Fig. 15a: IPC vs RB stack size, with/without SMS "
-                "(normalized to RB_8) ===\n\n");
-    Table ipc_table;
-    ipc_table.setHeader({"config", "norm-IPC", "norm-offchip"});
-    for (size_t c = 1; c < configs.size(); ++c) {
-        ipc_table.addRow({configs[c].name(),
-                          Table::num(meanNormIpc(sweep, c), 3),
-                          Table::num(meanNormOffchip(sweep, c), 3)});
-    }
-    ipc_table.print();
+    // Shard workers skip the cross-cell tables; the merge rebuilds
+    // the normalized view from all shards.
+    if (!sweepShardSpec().active()) {
+        std::printf("=== Fig. 15a: IPC vs RB stack size, with/without "
+                    "SMS (normalized to RB_8) ===\n\n");
+        Table ipc_table;
+        ipc_table.setHeader({"config", "norm-IPC", "norm-offchip"});
+        for (size_t c = 1; c < configs.size(); ++c) {
+            ipc_table.addRow({configs[c].name(),
+                              Table::num(meanNormIpc(sweep, c), 3),
+                              Table::num(meanNormOffchip(sweep, c), 3)});
+        }
+        ipc_table.print();
 
-    std::printf("\n=== Fig. 15 per-scene normalized IPC ===\n\n");
-    Table per_scene;
-    std::vector<std::string> h2{"scene"};
-    for (size_t c = 1; c < configs.size(); ++c)
-        h2.push_back(configs[c].name());
-    per_scene.setHeader(h2);
-    for (size_t s = 0; s < workloads.size(); ++s) {
-        std::vector<std::string> row{sceneName(workloads[s]->id)};
+        std::printf("\n=== Fig. 15 per-scene normalized IPC ===\n\n");
+        Table per_scene;
+        std::vector<std::string> h2{"scene"};
         for (size_t c = 1; c < configs.size(); ++c)
-            row.push_back(Table::num(normIpc(sweep, s, c), 3));
-        per_scene.addRow(row);
-    }
-    per_scene.print();
+            h2.push_back(configs[c].name());
+        per_scene.setHeader(h2);
+        for (size_t s = 0; s < workloads.size(); ++s) {
+            std::vector<std::string> row{sceneName(workloads[s]->id)};
+            for (size_t c = 1; c < configs.size(); ++c)
+                row.push_back(Table::num(normIpc(sweep, s, c), 3));
+            per_scene.addRow(row);
+        }
+        per_scene.print();
 
-    printPaperNote("RB_2 alone: -28.3% IPC, +62.3% off-chip accesses; "
-                   "RB_2+SMS recovers +39.7 pp IPC and -79.2 pp "
-                   "off-chip; SMS with RB_2/RB_4 outperforms the RB_8 "
-                   "baseline; RB_16+SMS gains only ~3.5 pp");
+        printPaperNote("RB_2 alone: -28.3% IPC, +62.3% off-chip "
+                       "accesses; RB_2+SMS recovers +39.7 pp IPC and "
+                       "-79.2 pp off-chip; SMS with RB_2/RB_4 "
+                       "outperforms the RB_8 baseline; RB_16+SMS gains "
+                       "only ~3.5 pp");
+    }
 
     reporter.addSweep(sweep);
     reporter.finish();

@@ -32,30 +32,36 @@ runFig4(JsonReporter &reporter)
     std::vector<StackConfig> configs{StackConfig::baseline(8)};
     SweepResult sweep = runSweep(workloads, configs);
 
-    Table table;
-    table.setHeader({"scene", "max", "avg", "median", "accesses"});
-    Histogram overall(63);
-    for (size_t s = 0; s < workloads.size(); ++s) {
-        const Histogram &h = sweep.results[s][0].depth_hist;
-        table.addRow({sceneName(workloads[s]->id),
-                      std::to_string(h.maxSeen()),
-                      Table::num(h.mean(), 2),
-                      std::to_string(h.median()),
-                      std::to_string(h.total())});
-        overall.merge(h);
-    }
-    table.addRow({"ALL", std::to_string(overall.maxSeen()),
-                  Table::num(overall.mean(), 2),
-                  std::to_string(overall.median()),
-                  std::to_string(overall.total())});
-    table.print();
+    // A shard worker holds only its scenes; the cross-scene table and
+    // the suite-wide histogram need the full grid (the merged record's
+    // aggregate.depth_hist covers the latter).
+    if (!sweepShardSpec().active()) {
+        Table table;
+        table.setHeader({"scene", "max", "avg", "median", "accesses"});
+        Histogram overall(63);
+        for (size_t s = 0; s < workloads.size(); ++s) {
+            const Histogram &h = sweep.results[s][0].depth_hist;
+            table.addRow({sceneName(workloads[s]->id),
+                          std::to_string(h.maxSeen()),
+                          Table::num(h.mean(), 2),
+                          std::to_string(h.median()),
+                          std::to_string(h.total())});
+            overall.merge(h);
+        }
+        table.addRow({"ALL", std::to_string(overall.maxSeen()),
+                      Table::num(overall.mean(), 2),
+                      std::to_string(overall.median()),
+                      std::to_string(overall.total())});
+        table.print();
 
-    printPaperNote("overall average and median depths range between 4 "
-                   "and 5; maximum reaches around 30");
+        printPaperNote("overall average and median depths range "
+                       "between 4 and 5; maximum reaches around 30");
+
+        if (reporter.enabled())
+            reporter.record()["overall_depth_hist"] = toJson(overall);
+    }
 
     reporter.addSweep(sweep);
-    if (reporter.enabled())
-        reporter.record()["overall_depth_hist"] = toJson(overall);
     reporter.finish();
 }
 

@@ -27,52 +27,59 @@ runFig5(JsonReporter &reporter)
     std::vector<StackConfig> configs{StackConfig::baseline(8)};
     SweepResult sweep = runSweep(workloads, configs);
 
-    // The paper averages the per-workload distributions (each workload
-    // weighted equally, not by access count).
-    constexpr uint32_t kMaxDepth = 40;
-    std::vector<double> avg_fraction(kMaxDepth + 1, 0.0);
-    double frac_1_8 = 0.0, frac_9_16 = 0.0, frac_17p = 0.0;
-    for (size_t s = 0; s < workloads.size(); ++s) {
-        const Histogram &h = sweep.results[s][0].depth_hist;
-        for (uint32_t d = 0; d <= kMaxDepth; ++d)
-            avg_fraction[d] += h.fractionInRange(d, d);
-        frac_1_8 += h.fractionInRange(0, 8);
-        frac_9_16 += h.fractionInRange(9, 16);
-        frac_17p += h.fractionInRange(17, 63);
-    }
-    double n = static_cast<double>(workloads.size());
-    for (double &f : avg_fraction)
-        f /= n;
-    frac_1_8 /= n;
-    frac_9_16 /= n;
-    frac_17p /= n;
+    // The workload-averaged distribution needs every scene; a shard
+    // worker leaves it (and the bucket block) to nobody — the per-cell
+    // histograms survive in the record and merge per cell.
+    if (!sweepShardSpec().active()) {
+        // The paper averages the per-workload distributions (each
+        // workload weighted equally, not by access count).
+        constexpr uint32_t kMaxDepth = 40;
+        std::vector<double> avg_fraction(kMaxDepth + 1, 0.0);
+        double frac_1_8 = 0.0, frac_9_16 = 0.0, frac_17p = 0.0;
+        for (size_t s = 0; s < workloads.size(); ++s) {
+            const Histogram &h = sweep.results[s][0].depth_hist;
+            for (uint32_t d = 0; d <= kMaxDepth; ++d)
+                avg_fraction[d] += h.fractionInRange(d, d);
+            frac_1_8 += h.fractionInRange(0, 8);
+            frac_9_16 += h.fractionInRange(9, 16);
+            frac_17p += h.fractionInRange(17, 63);
+        }
+        double n = static_cast<double>(workloads.size());
+        for (double &f : avg_fraction)
+            f /= n;
+        frac_1_8 /= n;
+        frac_9_16 /= n;
+        frac_17p /= n;
 
-    Table table;
-    table.setHeader({"depth", "fraction", "histogram"});
-    for (uint32_t d = 0; d <= kMaxDepth; ++d) {
-        if (avg_fraction[d] < 1.0e-5)
-            continue;
-        int bars = static_cast<int>(avg_fraction[d] * 200.0);
-        table.addRow({std::to_string(d),
-                      Table::num(avg_fraction[d] * 100.0, 2) + "%",
-                      std::string(static_cast<size_t>(bars), '#')});
-    }
-    table.print();
+        Table table;
+        table.setHeader({"depth", "fraction", "histogram"});
+        for (uint32_t d = 0; d <= kMaxDepth; ++d) {
+            if (avg_fraction[d] < 1.0e-5)
+                continue;
+            int bars = static_cast<int>(avg_fraction[d] * 200.0);
+            table.addRow({std::to_string(d),
+                          Table::num(avg_fraction[d] * 100.0, 2) + "%",
+                          std::string(static_cast<size_t>(bars), '#')});
+        }
+        table.print();
 
-    std::printf("\nbuckets: depth 0-8: %.1f%%  depth 9-16: %.1f%%  "
-                "depth >16: %.1f%%\n",
-                frac_1_8 * 100.0, frac_9_16 * 100.0, frac_17p * 100.0);
-    printPaperNote("17.0% of traversal steps require 9-16 entries; only "
-                   "1.9% exceed 16 entries");
+        std::printf("\nbuckets: depth 0-8: %.1f%%  depth 9-16: %.1f%%  "
+                    "depth >16: %.1f%%\n",
+                    frac_1_8 * 100.0, frac_9_16 * 100.0,
+                    frac_17p * 100.0);
+        printPaperNote("17.0% of traversal steps require 9-16 entries; "
+                       "only 1.9% exceed 16 entries");
+
+        if (reporter.enabled()) {
+            JsonValue buckets = JsonValue::object();
+            buckets["frac_depth_0_8"] = frac_1_8;
+            buckets["frac_depth_9_16"] = frac_9_16;
+            buckets["frac_depth_gt_16"] = frac_17p;
+            reporter.record()["depth_buckets"] = buckets;
+        }
+    }
 
     reporter.addSweep(sweep);
-    if (reporter.enabled()) {
-        JsonValue buckets = JsonValue::object();
-        buckets["frac_depth_0_8"] = frac_1_8;
-        buckets["frac_depth_9_16"] = frac_9_16;
-        buckets["frac_depth_gt_16"] = frac_17p;
-        reporter.record()["depth_buckets"] = buckets;
-    }
     reporter.finish();
 }
 

@@ -32,24 +32,28 @@ runFig6a(const std::vector<std::shared_ptr<Workload>> &workloads,
     };
     SweepResult sweep = runSweep(workloads, configs);
 
-    Table table;
-    std::vector<std::string> header{"scene"};
-    for (const StackConfig &c : configs)
-        header.push_back(c.name());
-    table.setHeader(header);
-    for (size_t s = 0; s < workloads.size(); ++s) {
-        std::vector<std::string> row{sceneName(workloads[s]->id)};
+    // Shard workers skip the cross-cell tables; the merge rebuilds
+    // the normalized view from all shards.
+    if (!sweepShardSpec().active()) {
+        Table table;
+        std::vector<std::string> header{"scene"};
+        for (const StackConfig &c : configs)
+            header.push_back(c.name());
+        table.setHeader(header);
+        for (size_t s = 0; s < workloads.size(); ++s) {
+            std::vector<std::string> row{sceneName(workloads[s]->id)};
+            for (size_t c = 0; c < configs.size(); ++c)
+                row.push_back(Table::num(normIpc(sweep, s, c), 3));
+            table.addRow(row);
+        }
+        std::vector<std::string> mean_row{"GEOMEAN"};
         for (size_t c = 0; c < configs.size(); ++c)
-            row.push_back(Table::num(normIpc(sweep, s, c), 3));
-        table.addRow(row);
+            mean_row.push_back(Table::num(meanNormIpc(sweep, c), 3));
+        table.addRow(mean_row);
+        table.print();
+        printPaperNote("RB_4: -18.4%, RB_16: +19.9%, RB_32: +25.2%, "
+                       "RB_FULL: ~+25.3% vs RB_8");
     }
-    std::vector<std::string> mean_row{"GEOMEAN"};
-    for (size_t c = 0; c < configs.size(); ++c)
-        mean_row.push_back(Table::num(meanNormIpc(sweep, c), 3));
-    table.addRow(mean_row);
-    table.print();
-    printPaperNote("RB_4: -18.4%, RB_16: +19.9%, RB_32: +25.2%, "
-                   "RB_FULL: ~+25.3% vs RB_8");
     reporter.addSweep(sweep);
 }
 
@@ -65,24 +69,26 @@ runFig6b(const std::vector<std::shared_ptr<Workload>> &workloads,
                                    128 * kKb, 256 * kKb};
     SweepResult sweep = runSweep(workloads, configs, l1_sizes);
 
-    Table table;
-    std::vector<std::string> header{"scene"};
-    for (uint64_t sz : l1_sizes)
-        header.push_back(std::to_string(sz / kKb) + "KB");
-    table.setHeader(header);
-    for (size_t s = 0; s < workloads.size(); ++s) {
-        std::vector<std::string> row{sceneName(workloads[s]->id)};
+    if (!sweepShardSpec().active()) {
+        Table table;
+        std::vector<std::string> header{"scene"};
+        for (uint64_t sz : l1_sizes)
+            header.push_back(std::to_string(sz / kKb) + "KB");
+        table.setHeader(header);
+        for (size_t s = 0; s < workloads.size(); ++s) {
+            std::vector<std::string> row{sceneName(workloads[s]->id)};
+            for (size_t c = 0; c < configs.size(); ++c)
+                row.push_back(Table::num(normIpc(sweep, s, c), 3));
+            table.addRow(row);
+        }
+        std::vector<std::string> mean_row{"GEOMEAN"};
         for (size_t c = 0; c < configs.size(); ++c)
-            row.push_back(Table::num(normIpc(sweep, s, c), 3));
-        table.addRow(row);
+            mean_row.push_back(Table::num(meanNormIpc(sweep, c), 3));
+        table.addRow(mean_row);
+        table.print();
+        printPaperNote("16KB: -9.6%, 32KB: -4.5%, 128KB: +4.5%, "
+                       "256KB: +12.6% vs 64KB");
     }
-    std::vector<std::string> mean_row{"GEOMEAN"};
-    for (size_t c = 0; c < configs.size(); ++c)
-        mean_row.push_back(Table::num(meanNormIpc(sweep, c), 3));
-    table.addRow(mean_row);
-    table.print();
-    printPaperNote("16KB: -9.6%, 32KB: -4.5%, 128KB: +4.5%, "
-                   "256KB: +12.6% vs 64KB");
     reporter.addSweep(sweep, 0, "results_l1");
 }
 

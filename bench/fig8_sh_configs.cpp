@@ -33,31 +33,35 @@ runFig8(JsonReporter &reporter)
     };
     SweepResult sweep = runSweep(workloads, configs);
 
-    Table table;
-    table.setHeader({"scene", "RB_8+SH_4", "RB_8+SH_8", "RB_8+SH_16",
-                     "RB_FULL"});
-    for (size_t s = 0; s < workloads.size(); ++s) {
-        std::vector<std::string> row{sceneName(workloads[s]->id)};
+    // Shard workers skip the cross-cell tables; the merge rebuilds
+    // the normalized view from all shards.
+    if (!sweepShardSpec().active()) {
+        Table table;
+        table.setHeader({"scene", "RB_8+SH_4", "RB_8+SH_8",
+                         "RB_8+SH_16", "RB_FULL"});
+        for (size_t s = 0; s < workloads.size(); ++s) {
+            std::vector<std::string> row{sceneName(workloads[s]->id)};
+            for (size_t c = 1; c < configs.size(); ++c)
+                row.push_back(Table::num(normIpc(sweep, s, c), 3));
+            table.addRow(row);
+        }
+        std::vector<std::string> mean_row{"GEOMEAN"};
         for (size_t c = 1; c < configs.size(); ++c)
-            row.push_back(Table::num(normIpc(sweep, s, c), 3));
-        table.addRow(row);
-    }
-    std::vector<std::string> mean_row{"GEOMEAN"};
-    for (size_t c = 1; c < configs.size(); ++c)
-        mean_row.push_back(Table::num(meanNormIpc(sweep, c), 3));
-    table.addRow(mean_row);
-    table.print();
+            mean_row.push_back(Table::num(meanNormIpc(sweep, c), 3));
+        table.addRow(mean_row);
+        table.print();
 
-    std::printf("\nshared-memory carve-out: SH_4 = %llu KB, SH_8 = %llu "
-                "KB, SH_16 = %llu KB (of 64 KB unified)\n",
-                static_cast<unsigned long long>(
-                    configs[1].sharedBytesPerSm() / 1024),
-                static_cast<unsigned long long>(
-                    configs[2].sharedBytesPerSm() / 1024),
-                static_cast<unsigned long long>(
-                    configs[3].sharedBytesPerSm() / 1024));
-    printPaperNote("RB_8+SH_4: +11.0%, RB_8+SH_8: +17.4%, RB_8+SH_16: "
-                   "+21.2%, RB_FULL: +25.3%");
+        std::printf("\nshared-memory carve-out: SH_4 = %llu KB, SH_8 = "
+                    "%llu KB, SH_16 = %llu KB (of 64 KB unified)\n",
+                    static_cast<unsigned long long>(
+                        configs[1].sharedBytesPerSm() / 1024),
+                    static_cast<unsigned long long>(
+                        configs[2].sharedBytesPerSm() / 1024),
+                    static_cast<unsigned long long>(
+                        configs[3].sharedBytesPerSm() / 1024));
+        printPaperNote("RB_8+SH_4: +11.0%, RB_8+SH_8: +17.4%, "
+                       "RB_8+SH_16: +21.2%, RB_FULL: +25.3%");
+    }
 
     reporter.addSweep(sweep);
     reporter.finish();

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * LRU-by-mtime cache eviction (see cache_gc.hpp for the policy).
+ */
+
+#include "src/serve/cache_gc.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include "src/util/check.hpp"
+
+namespace sms {
+
+namespace {
+
+struct GcEntry
+{
+    std::string path;
+    uint64_t bytes = 0;
+    int64_t mtime = 0;
+};
+
+/** Cache entries plus orphaned atomic-write temporaries. */
+bool
+eligibleName(const std::string &name)
+{
+    for (const char *suffix : {".wkld", ".tape", ".res"}) {
+        size_t n = std::strlen(suffix);
+        if (name.size() >= n &&
+            name.compare(name.size() - n, n, suffix) == 0)
+            return true;
+    }
+    return name.find(".tmp.") != std::string::npos;
+}
+
+} // namespace
+
+bool
+runCacheGc(const std::string &dir, const CacheGcOptions &options,
+           CacheGcResult &out, std::string &error)
+{
+    out = CacheGcResult{};
+    DIR *d = ::opendir(dir.c_str());
+    if (!d) {
+        error = strprintf("opendir %s: %s", dir.c_str(),
+                          std::strerror(errno));
+        return false;
+    }
+    std::vector<GcEntry> entries;
+    while (struct dirent *ent = ::readdir(d)) {
+        std::string name = ent->d_name;
+        if (!eligibleName(name))
+            continue;
+        GcEntry e;
+        e.path = dir + "/" + name;
+        struct stat st;
+        if (::stat(e.path.c_str(), &st) != 0 || !S_ISREG(st.st_mode))
+            continue; // vanished underneath us, or not a plain file
+        e.bytes = static_cast<uint64_t>(st.st_size);
+        e.mtime = static_cast<int64_t>(st.st_mtime);
+        out.scanned_files += 1;
+        out.scanned_bytes += e.bytes;
+        entries.push_back(std::move(e));
+    }
+    ::closedir(d);
+
+    if (out.scanned_bytes <= options.max_bytes)
+        return true;
+
+    // Oldest first; path breaks mtime ties so the order is stable.
+    std::sort(entries.begin(), entries.end(),
+              [](const GcEntry &a, const GcEntry &b) {
+                  return a.mtime != b.mtime ? a.mtime < b.mtime
+                                            : a.path < b.path;
+              });
+
+    uint64_t remaining = out.scanned_bytes;
+    for (const GcEntry &e : entries) {
+        if (remaining <= options.max_bytes)
+            break;
+        if (!options.dry_run && std::remove(e.path.c_str()) != 0) {
+            error = strprintf("remove %s: %s", e.path.c_str(),
+                              std::strerror(errno));
+            return false;
+        }
+        remaining -= e.bytes;
+        out.evicted_files += 1;
+        out.evicted_bytes += e.bytes;
+        out.evicted.push_back(e.path);
+    }
+    return true;
+}
+
+} // namespace sms

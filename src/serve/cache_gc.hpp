@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Size-capped garbage collection for the on-disk caches.
+ *
+ * The workload (.wkld), traversal-tape (.tape), and result (.res)
+ * caches are append-only: nothing in the simulator ever deletes an
+ * entry, so a long-lived cache directory grows without bound. The GC
+ * reclaims space with an LRU-by-mtime policy: eligible files are
+ * sorted oldest-first (path as the tie-break so the order is
+ * deterministic when mtimes collide) and evicted until the directory
+ * fits the byte budget. Orphaned atomic-write temporaries
+ * (*.tmp.<pid>.<serial>, left behind only by a crashed writer) are
+ * eligible too. Files with other names are never touched.
+ */
+
+#ifndef SMS_SERVE_CACHE_GC_HPP
+#define SMS_SERVE_CACHE_GC_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sms {
+
+/** Knobs of one GC pass. */
+struct CacheGcOptions
+{
+    /** Byte budget the eligible files must fit after the pass. */
+    uint64_t max_bytes = 0;
+    /** Report evictions without deleting anything. */
+    bool dry_run = false;
+};
+
+/** Outcome of one GC pass. */
+struct CacheGcResult
+{
+    uint64_t scanned_files = 0; ///< eligible files found
+    uint64_t scanned_bytes = 0; ///< their total size
+    uint64_t evicted_files = 0; ///< files evicted (or would-be, dry run)
+    uint64_t evicted_bytes = 0; ///< bytes reclaimed (ditto)
+    /** Evicted paths, oldest first (the eviction order). */
+    std::vector<std::string> evicted;
+};
+
+/**
+ * Run one GC pass over the cache directory @p dir (non-recursive; the
+ * cache layouts are flat). @return false with @p error set when the
+ * directory cannot be read or an eviction unlink fails; a dry run
+ * never fails on unlink.
+ */
+bool runCacheGc(const std::string &dir, const CacheGcOptions &options,
+                CacheGcResult &out, std::string &error);
+
+} // namespace sms
+
+#endif // SMS_SERVE_CACHE_GC_HPP

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Content-addressed result cache for sweep cells.
+ *
+ * The simulator is deterministic and tape-replayed: a sweep cell's
+ * SimResult is a pure function of (prepared workload, GPU
+ * configuration). The result cache exploits that by persisting each
+ * finished cell keyed by
+ *
+ *   (workload fingerprint, ScaleProfile,
+ *    full stack/GPU config digest, result schema version)
+ *
+ * so any later run — same process, another shard worker, another
+ * machine with the same build schema — that asks for the same cell
+ * deserializes the finished counters in microseconds instead of
+ * re-simulating. A fully warm sweep performs zero simulateJobs()
+ * calls; the bench throughput block proves it via simulate_calls and
+ * the hit/miss counters reported here.
+ *
+ * Enabled by pointing SMS_RESULT_CACHE at a directory (created on
+ * first store). Entries are self-validating, mirroring the
+ * .wkld/SMSTAPE1 semantics: "SMSRSLT1" magic, versioned little-endian
+ * body carrying an echo of the full key, and a trailing FNV-1a
+ * checksum. Any validation failure — wrong magic, version, schema
+ * hash, key echo, truncation, checksum — warns, counts a failure, and
+ * is treated as a miss so the caller re-simulates and rewrites the
+ * entry. Writes go through writeFileAtomic(), so racing shard workers
+ * never interleave bytes; every writer of a key produces identical
+ * content, making the race benign.
+ */
+
+#ifndef SMS_SERVE_RESULT_CACHE_HPP
+#define SMS_SERVE_RESULT_CACHE_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "src/scene/registry.hpp"
+#include "src/sim/gpu_config.hpp"
+#include "src/sim/gpu_sim.hpp"
+
+namespace sms {
+
+/**
+ * Entry format version. Bump on ANY change to the serialized SimResult
+ * layout or the key derivation; older entries then fail validation and
+ * are re-simulated.
+ */
+constexpr uint32_t kResultCacheVersion = 1;
+
+/** Counters over all result-cache activity of this process. */
+struct ResultCacheStats
+{
+    uint64_t hits = 0;     ///< cells served from a cached entry
+    uint64_t misses = 0;   ///< lookups that had to simulate
+    uint64_t stores = 0;   ///< entries written
+    uint64_t failures = 0; ///< invalid/unreadable entries discarded
+};
+
+/** Snapshot of this process's result-cache counters (thread-safe). */
+ResultCacheStats resultCacheStats();
+
+/** Reset the result-cache counters (tests). */
+void resetResultCacheStats();
+
+/**
+ * Result-cache directory from SMS_RESULT_CACHE, or "" when the cache
+ * is disabled.
+ */
+std::string resultCacheDir();
+
+/**
+ * Digest of everything on the configuration side of a cell's identity:
+ * every GpuConfig field (stack configuration, memory hierarchy, RT-unit
+ * timings, shading costs) plus the structural constants that shape the
+ * serialized counters. Two configs with equal digests time identically.
+ */
+uint64_t gpuConfigDigest(const GpuConfig &config);
+
+/**
+ * Entry path for a cell key:
+ * `<scene>-<profile>-<fingerprint16>-<digest16>.res`.
+ */
+std::string resultCachePath(const std::string &dir, SceneId id,
+                            ScaleProfile profile, uint64_t fingerprint,
+                            uint64_t digest);
+
+/**
+ * Load the cached SimResult for the key into @p result (and the
+ * recording run's simulation wall seconds into @p sim_wall_seconds).
+ * A missing entry is a quiet miss; an invalid one warns, counts a
+ * failure, and is a miss so the caller re-simulates and rewrites it.
+ */
+bool loadCachedResult(const std::string &dir, SceneId id,
+                      ScaleProfile profile, uint64_t fingerprint,
+                      uint64_t digest, SimResult &result,
+                      double &sim_wall_seconds);
+
+/**
+ * Persist @p result under the key. @return false (with a warning) on
+ * I/O failure — the run proceeds uncached.
+ */
+bool storeCachedResult(const std::string &dir, SceneId id,
+                      ScaleProfile profile, uint64_t fingerprint,
+                      uint64_t digest, const SimResult &result,
+                      double sim_wall_seconds);
+
+} // namespace sms
+
+#endif // SMS_SERVE_RESULT_CACHE_HPP

@@ -1,0 +1,581 @@
+/**
+ * @file
+ * Shard partitioning, record merge, and the fork/exec coordinator
+ * (see sweep_shard.hpp for the partition and bit-identity contract).
+ */
+
+#include "src/serve/sweep_shard.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "src/stats/cycle_accounting.hpp"
+#include "src/stats/histogram.hpp"
+#include "src/util/check.hpp"
+
+namespace sms {
+
+namespace {
+
+SweepShardSpec g_override;
+bool g_override_set = false;
+
+/** Max over shards of a numeric field (wall clocks run concurrently). */
+double
+maxField(const std::vector<const JsonValue *> &blocks,
+         const std::string &field)
+{
+    double v = 0.0;
+    for (const JsonValue *b : blocks)
+        if (b)
+            v = std::max(v, b->numberOr(field, 0.0));
+    return v;
+}
+
+/** Sum over shards of a numeric field (counters). */
+double
+sumField(const std::vector<const JsonValue *> &blocks,
+         const std::string &field)
+{
+    double v = 0.0;
+    for (const JsonValue *b : blocks)
+        if (b)
+            v += b->numberOr(field, 0.0);
+    return v;
+}
+
+/** OR over shards of a boolean field. */
+bool
+orField(const std::vector<const JsonValue *> &blocks,
+        const std::string &field)
+{
+    for (const JsonValue *b : blocks)
+        if (b) {
+            const JsonValue *f = b->find(field);
+            if (f && f->isBool() && f->asBool())
+                return true;
+        }
+    return false;
+}
+
+/** The named sub-blocks of each shard's throughput block. */
+std::vector<const JsonValue *>
+subBlocks(const std::vector<const JsonValue *> &blocks,
+          const std::string &name)
+{
+    std::vector<const JsonValue *> subs;
+    for (const JsonValue *b : blocks)
+        subs.push_back(b ? b->find(name) : nullptr);
+    return subs;
+}
+
+/** Merge the workers' throughput blocks (see sweep_shard.hpp). */
+JsonValue
+mergeThroughput(const std::vector<const JsonValue *> &blocks)
+{
+    JsonValue tp = JsonValue::object();
+    tp["prepare_wall_seconds"] = maxField(blocks, "prepare_wall_seconds");
+    double sweep_wall = maxField(blocks, "sweep_wall_seconds");
+    tp["sweep_wall_seconds"] = sweep_wall;
+    tp["cells"] = sumField(blocks, "cells");
+    double cycles = sumField(blocks, "sim_cycles_total");
+    tp["sim_cycles_total"] = cycles;
+    tp["sim_cycles_per_sec"] = sweep_wall > 0.0 ? cycles / sweep_wall
+                                                : 0.0;
+    tp["simulate_calls"] = sumField(blocks, "simulate_calls");
+
+    for (const char *cache : {"workload_cache", "result_cache"}) {
+        auto subs = subBlocks(blocks, cache);
+        JsonValue c = JsonValue::object();
+        c["enabled"] = orField(subs, "enabled");
+        for (const char *f : {"hits", "misses", "stores", "failures"})
+            c[f] = sumField(subs, f);
+        tp[cache] = std::move(c);
+    }
+
+    auto tapes = subBlocks(blocks, "traversal_tape");
+    JsonValue tape = JsonValue::object();
+    std::string mode;
+    for (const JsonValue *t : tapes)
+        if (t && mode.empty())
+            mode = t->stringOr("mode", "");
+    tape["mode"] = mode;
+    for (const char *f : {"jobs_recorded", "jobs_replayed", "bytes",
+                          "disk_loads", "disk_stores", "failures"})
+        tape[f] = sumField(tapes, f);
+    tp["traversal_tape"] = std::move(tape);
+
+    auto tls = subBlocks(blocks, "timeline");
+    JsonValue tl = JsonValue::object();
+    tl["enabled"] = orField(tls, "enabled");
+    std::string path, cats;
+    for (const JsonValue *t : tls)
+        if (t && path.empty()) {
+            path = t->stringOr("path", "");
+            cats = t->stringOr("categories", "");
+        }
+    tl["path"] = path;
+    tl["categories"] = cats;
+    tl["events_recorded"] = sumField(tls, "events_recorded");
+    tl["events_dropped"] = sumField(tls, "events_dropped");
+    tp["timeline"] = std::move(tl);
+    return tp;
+}
+
+} // namespace
+
+bool
+parseSweepShardSpec(const std::string &spec, SweepShardSpec &out,
+                    std::string &error)
+{
+    // Validated by hand: sscanf's %lu silently accepts a sign ("1/-2"
+    // wraps to a huge count) and unsigned long may be wider than the
+    // uint32_t fields (a silent narrowing truncation).
+    size_t slash = spec.find('/');
+    bool ok = slash != std::string::npos && slash > 0 &&
+              slash + 1 < spec.size();
+    if (ok)
+        for (size_t k = 0; k < spec.size(); ++k)
+            if (k != slash &&
+                !std::isdigit(static_cast<unsigned char>(spec[k])))
+                ok = false;
+    unsigned long long i = 0, n = 0;
+    if (ok) {
+        errno = 0;
+        i = std::strtoull(spec.c_str(), nullptr, 10);
+        n = std::strtoull(spec.c_str() + slash + 1, nullptr, 10);
+        ok = errno == 0 && i >= 1 && n >= 1 && i <= n &&
+             n <= std::numeric_limits<uint32_t>::max();
+    }
+    if (!ok) {
+        error = strprintf("'%s' is not a valid shard spec (want i/N "
+                          "with 1 <= i <= N)",
+                          spec.c_str());
+        return false;
+    }
+    out.index = static_cast<uint32_t>(i);
+    out.count = static_cast<uint32_t>(n);
+    return true;
+}
+
+SweepShardSpec
+sweepShardSpec()
+{
+    if (g_override_set)
+        return g_override;
+    const char *env = std::getenv("SMS_SWEEP_SHARDS");
+    if (!env || !*env)
+        return {};
+    SweepShardSpec spec;
+    std::string error;
+    if (!parseSweepShardSpec(env, spec, error))
+        fatal("SMS_SWEEP_SHARDS=%s: %s", env, error.c_str());
+    return spec;
+}
+
+void
+setSweepShardSpec(const SweepShardSpec &spec)
+{
+    g_override = spec;
+    g_override_set = true;
+}
+
+bool
+mergeShardRecords(const std::vector<JsonValue> &shards, JsonValue &merged,
+                  std::string &error)
+{
+    if (shards.empty()) {
+        error = "no shard records to merge";
+        return false;
+    }
+
+    // ---- Validate the manifests and order the shards by index. ----
+    uint32_t count = 0;
+    std::vector<const JsonValue *> by_index;
+    for (const JsonValue &rec : shards) {
+        if (rec.stringOr("schema", "") != "sms-bench-1") {
+            error = "record schema is not sms-bench-1";
+            return false;
+        }
+        const JsonValue *shard = rec.find("shard");
+        if (!shard || !shard->isObject()) {
+            error = "record carries no shard block (not produced by a "
+                    "shard worker)";
+            return false;
+        }
+        uint32_t n = static_cast<uint32_t>(shard->numberOr("count", 0));
+        uint32_t i = static_cast<uint32_t>(shard->numberOr("index", 0));
+        if (count == 0) {
+            if (n < 1) {
+                error = "shard block has count < 1";
+                return false;
+            }
+            count = n;
+            by_index.assign(count, nullptr);
+        }
+        if (n != count) {
+            error = strprintf("shard counts disagree (%u vs %u)", n,
+                              count);
+            return false;
+        }
+        if (i < 1 || i > count) {
+            error = strprintf("shard index %u out of range 1..%u", i,
+                              count);
+            return false;
+        }
+        if (by_index[i - 1]) {
+            error = strprintf("duplicate shard index %u", i);
+            return false;
+        }
+        by_index[i - 1] = &rec;
+        if (rec.stringOr("figure", "") !=
+                shards[0].stringOr("figure", "") ||
+            rec.stringOr("profile", "") !=
+                shards[0].stringOr("profile", "")) {
+            error = "shard records mix figures or profiles";
+            return false;
+        }
+    }
+    if (shards.size() != count) {
+        error = strprintf("have %zu of %u shard records", shards.size(),
+                          count);
+        return false;
+    }
+
+    const JsonValue &first = *by_index[0];
+    const JsonValue &fshard = *first.find("shard");
+    const JsonValue *scenes = fshard.find("scenes");
+    const JsonValue *bases = fshard.find("bases");
+    if (!scenes || !scenes->isArray() || !bases || !bases->isObject()) {
+        error = "shard block lacks scenes/bases";
+        return false;
+    }
+    for (const JsonValue *rec : by_index) {
+        const JsonValue *shard = rec->find("shard");
+        const JsonValue *s = shard->find("scenes");
+        const JsonValue *b = shard->find("bases");
+        if (!s || s->dump() != scenes->dump() || !b ||
+            b->dump() != bases->dump()) {
+            error = "shard records disagree on scenes or baseline "
+                    "columns";
+            return false;
+        }
+    }
+    std::vector<std::string> scene_names;
+    for (const JsonValue &s : scenes->elements())
+        scene_names.push_back(s.asString());
+
+    merged = JsonValue::object();
+    merged["schema"] = "sms-bench-1";
+    merged["figure"] = first.stringOr("figure", "");
+    merged["git"] = first.stringOr("git", "");
+    merged["timestamp"] = first.stringOr("timestamp", "");
+    merged["profile"] = first.stringOr("profile", "");
+    JsonValue minfo = JsonValue::object();
+    minfo["shards"] = count;
+    merged["merge"] = std::move(minfo);
+
+    // Run-level aggregates over every merged cell.
+    CycleAccount agg_account;
+    std::vector<uint64_t> agg_hist;
+    uint64_t agg_cells = 0;
+    auto accumulate = [&](const JsonValue &cell) -> bool {
+        const JsonValue *counters = cell.find("counters");
+        if (!counters)
+            return true; // addResult-style minimal cell
+        ++agg_cells;
+        const JsonValue *hist = counters->find("depth_hist");
+        const JsonValue *counts = hist ? hist->find("counts") : nullptr;
+        if (counts && counts->isArray()) {
+            if (counts->size() > agg_hist.size())
+                agg_hist.resize(counts->size(), 0);
+            for (size_t i = 0; i < counts->size(); ++i)
+                agg_hist[i] += counts->at(i).asU64();
+        }
+        const JsonValue *acct = counters->find("cycle_accounting");
+        if (!acct)
+            return true;
+        agg_account.warp_active_cycles +=
+            static_cast<uint64_t>(acct->numberOr("warp_active_cycles", 0));
+        agg_account.slot_cycles +=
+            static_cast<uint64_t>(acct->numberOr("slot_cycles", 0));
+        const JsonValue *leaves = acct->find("leaves");
+        if (!leaves || !leaves->isObject()) {
+            error = "cell cycle_accounting lacks leaves";
+            return false;
+        }
+        for (const auto &m : leaves->members()) {
+            int idx = cycleLeafFromName(m.first);
+            if (idx < 0) {
+                error = strprintf("unknown accounting leaf '%s'",
+                                  m.first.c_str());
+                return false;
+            }
+            agg_account.leaves[idx] += m.second.asU64();
+        }
+        return true;
+    };
+
+    // ---- Union, re-order and re-derive each results array. ----
+    for (const auto &base_member : bases->members()) {
+        const std::string &key = base_member.first;
+        size_t base = static_cast<size_t>(base_member.second.asNumber());
+
+        // (scene, config_index) -> cell, duplicates rejected.
+        std::map<std::string, std::map<uint64_t, const JsonValue *>>
+            by_scene;
+        std::map<uint64_t, const JsonValue *> config_rep;
+        for (const JsonValue *rec : by_index) {
+            const JsonValue *arr = rec->find(key);
+            if (!arr || !arr->isArray()) {
+                error = strprintf("shard record lacks results array "
+                                  "'%s'",
+                                  key.c_str());
+                return false;
+            }
+            for (const JsonValue &cell : arr->elements()) {
+                std::string scene = cell.stringOr("scene", "");
+                uint64_t ci = static_cast<uint64_t>(
+                    cell.numberOr("config_index", 0));
+                if (!by_scene[scene].emplace(ci, &cell).second) {
+                    error = strprintf(
+                        "cell %s#%llu of '%s' assigned to more than "
+                        "one shard",
+                        scene.c_str(),
+                        static_cast<unsigned long long>(ci),
+                        key.c_str());
+                    return false;
+                }
+                config_rep.emplace(ci, &cell);
+            }
+        }
+        size_t num_configs = config_rep.size();
+        for (const auto &cfg : config_rep)
+            if (cfg.first >= num_configs) {
+                error = strprintf("non-contiguous config_index %llu in "
+                                  "'%s'",
+                                  static_cast<unsigned long long>(
+                                      cfg.first),
+                                  key.c_str());
+                return false;
+            }
+        for (const auto &sc : by_scene) {
+            bool known = false;
+            for (const std::string &sn : scene_names)
+                known = known || sn == sc.first;
+            if (!known) {
+                error = strprintf("cell scene '%s' not in the shard "
+                                  "scene list",
+                                  sc.first.c_str());
+                return false;
+            }
+        }
+        if (num_configs > 0 && base >= num_configs) {
+            error = strprintf("baseline column %zu out of range in '%s'",
+                              base, key.c_str());
+            return false;
+        }
+
+        // Per-config norm columns in scene order, for the summary.
+        std::vector<std::vector<double>> norm_ipc(num_configs);
+        std::vector<std::vector<double>> norm_off(num_configs);
+
+        JsonValue out = JsonValue::array();
+        for (const std::string &sn : scene_names) {
+            auto it = by_scene.find(sn);
+            if (it == by_scene.end()) {
+                if (num_configs == 0)
+                    continue;
+                error = strprintf("scene %s missing from '%s'",
+                                  sn.c_str(), key.c_str());
+                return false;
+            }
+            if (it->second.size() != num_configs) {
+                error = strprintf("scene %s has %zu of %zu cells in "
+                                  "'%s'",
+                                  sn.c_str(), it->second.size(),
+                                  num_configs, key.c_str());
+                return false;
+            }
+            double b_ipc = it->second.at(base)->numberOr("ipc", 0.0);
+            double b_off = it->second.at(base)->numberOr(
+                "offchip_accesses", 0.0);
+            for (uint64_t ci = 0; ci < num_configs; ++ci) {
+                JsonValue cell = *it->second.at(ci);
+                double v_ipc = cell.numberOr("ipc", 0.0);
+                double v_off = cell.numberOr("offchip_accesses", 0.0);
+                // Exactly normIpc()/normOffchip() of bench_util.hpp:
+                // same doubles (JSON round-trips are exact), same
+                // operations — bit-identical to the single-process run.
+                double ni = b_ipc > 0.0 && v_ipc > 0.0
+                                ? v_ipc / b_ipc
+                                : std::numeric_limits<
+                                      double>::quiet_NaN();
+                double ratio;
+                if (b_off > 0.0)
+                    ratio = v_off / b_off;
+                else if (v_off > 0.0)
+                    ratio = v_off;
+                else
+                    ratio = 1.0;
+                double no = ratio > 1.0e-6 ? ratio : 1.0e-6;
+                cell["norm_ipc"] =
+                    std::isfinite(ni) ? JsonValue(ni) : JsonValue();
+                cell["norm_offchip"] = no;
+                norm_ipc[ci].push_back(ni);
+                norm_off[ci].push_back(no);
+                if (!accumulate(cell))
+                    return false;
+                out.push(std::move(cell));
+            }
+        }
+        merged[key] = std::move(out);
+
+        if (key == "results" && num_configs > 0) {
+            merged["baseline"] =
+                config_rep.at(base)->stringOr("config", "");
+            JsonValue summary = JsonValue::array();
+            for (uint64_t ci = 0; ci < num_configs; ++ci) {
+                JsonValue row = JsonValue::object();
+                const JsonValue *rep = config_rep.at(ci);
+                row["config"] = rep->stringOr("config", "");
+                row["config_index"] = ci;
+                row["l1_override"] = rep->numberOr("l1_override", 0);
+                // meanNormIpc(): geomean over the finite, positive
+                // per-scene norms, NaN (-> null) when none survive.
+                std::vector<double> vals;
+                for (double v : norm_ipc[ci])
+                    if (std::isfinite(v) && v > 0.0)
+                        vals.push_back(v);
+                row["mean_norm_ipc"] =
+                    vals.empty()
+                        ? JsonValue()
+                        : JsonValue(geomean(vals));
+                row["mean_norm_offchip"] =
+                    norm_off[ci].empty()
+                        ? JsonValue()
+                        : JsonValue(geomean(norm_off[ci]));
+                summary.push(std::move(row));
+            }
+            merged["summary"] = std::move(summary);
+        }
+    }
+
+    // ---- Run-level aggregate, conservation re-checked. ----
+    JsonValue agg = JsonValue::object();
+    agg["cells"] = agg_cells;
+    Histogram hist = Histogram::fromBuckets(
+        agg_hist, agg_hist.empty() ? 1 : agg_hist.size());
+    agg["depth_hist"] = toJson(hist);
+    JsonValue acct = toJson(agg_account);
+    acct["conserved"] = agg_account.conserved();
+    agg["cycle_accounting"] = std::move(acct);
+    merged["aggregate"] = std::move(agg);
+    if (!agg_account.conserved()) {
+        error = strprintf(
+            "merged cycle accounting violates conservation: leaf sum "
+            "%llu != warp_active_cycles %llu",
+            static_cast<unsigned long long>(agg_account.activeSum()),
+            static_cast<unsigned long long>(
+                agg_account.warp_active_cycles));
+        return false;
+    }
+
+    double wall = 0.0;
+    std::vector<const JsonValue *> throughputs;
+    for (const JsonValue *rec : by_index) {
+        wall = std::max(wall, rec->numberOr("wall_seconds", 0.0));
+        throughputs.push_back(rec->find("throughput"));
+    }
+    merged["wall_seconds"] = wall;
+    merged["throughput"] = mergeThroughput(throughputs);
+    return true;
+}
+
+void
+runShardCoordinator(uint32_t workers, const std::string &json_path,
+                    int argc, char **argv)
+{
+    if (workers < 1)
+        fatal("--shard-workers=%u: need at least one worker", workers);
+    if (sweepShardSpec().active())
+        fatal("--shard-workers cannot be combined with a shard "
+              "identity (--shards / SMS_SWEEP_SHARDS)");
+
+    char exe[4096];
+    ssize_t n = ::readlink("/proc/self/exe", exe, sizeof exe - 1);
+    std::string exe_path =
+        n > 0 ? std::string(exe, static_cast<size_t>(n))
+              : std::string(argv[0]);
+
+    std::vector<std::string> worker_paths;
+    std::vector<pid_t> pids;
+    for (uint32_t i = 1; i <= workers; ++i) {
+        std::string wpath =
+            json_path + ".shard" + std::to_string(i);
+        std::remove(wpath.c_str());
+        std::string shard_flag = "--shards=" + std::to_string(i) + "/" +
+                                 std::to_string(workers);
+        std::string json_flag = "--json=" + wpath;
+        pid_t pid = ::fork();
+        if (pid < 0)
+            fatal("fork: %s", std::strerror(errno));
+        if (pid == 0) {
+            std::vector<char *> child_argv;
+            child_argv.push_back(const_cast<char *>(exe_path.c_str()));
+            for (int a = 1; a < argc; ++a)
+                child_argv.push_back(argv[a]);
+            child_argv.push_back(const_cast<char *>(shard_flag.c_str()));
+            child_argv.push_back(const_cast<char *>(json_flag.c_str()));
+            child_argv.push_back(nullptr);
+            ::execv(exe_path.c_str(), child_argv.data());
+            std::fprintf(stderr, "execv %s: %s\n", exe_path.c_str(),
+                         std::strerror(errno));
+            ::_exit(127);
+        }
+        pids.push_back(pid);
+        worker_paths.push_back(std::move(wpath));
+    }
+
+    for (uint32_t i = 0; i < workers; ++i) {
+        int status = 0;
+        if (::waitpid(pids[i], &status, 0) < 0)
+            fatal("waitpid shard %u: %s", i + 1,
+                  std::strerror(errno));
+        if (!WIFEXITED(status) || WEXITSTATUS(status) != 0)
+            fatal("shard worker %u/%u (pid %ld) failed with status %d",
+                  i + 1, workers, static_cast<long>(pids[i]), status);
+    }
+
+    std::vector<JsonValue> records;
+    for (const std::string &wpath : worker_paths) {
+        std::vector<JsonValue> lines;
+        std::string err;
+        if (!readJsonLines(wpath, lines, err) || lines.empty())
+            fatal("shard record %s unreadable: %s", wpath.c_str(),
+                  err.empty() ? "no records" : err.c_str());
+        records.push_back(std::move(lines.back()));
+    }
+
+    JsonValue merged;
+    std::string err;
+    if (!mergeShardRecords(records, merged, err))
+        fatal("shard merge failed: %s", err.c_str());
+    if (!appendJsonLine(json_path, merged, err))
+        fatal("merged record not written: %s", err.c_str());
+    for (const std::string &wpath : worker_paths)
+        std::remove(wpath.c_str());
+    std::printf("\nmerged %u shard records into %s\n", workers,
+                json_path.c_str());
+    std::exit(0);
+}
+
+} // namespace sms

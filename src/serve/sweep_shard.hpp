@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Sharded sweep execution: deterministic partitioning of the
+ * (scene x config) cell grid across worker processes, and the merge
+ * that reassembles the workers' partial sms-bench-1 records into one
+ * record bit-identical to a single-process run.
+ *
+ * Partitioning is round-robin over the flattened cell index
+ * g = scene * num_configs + config: shard i of N (1-based) owns every
+ * cell with g % N == i-1, so every cell is owned by exactly one shard
+ * for any N — including ragged N that does not divide the cell count,
+ * and N larger than the grid (the excess shards own nothing and emit
+ * empty results arrays).
+ *
+ * A worker is selected by SMS_SWEEP_SHARDS=i/N or the --shards=i/N
+ * bench flag (the flag wins). Workers emit the same per-cell fields as
+ * a single-process run but leave the cross-cell derived values —
+ * norm_ipc, norm_offchip, baseline, summary — null/absent, and attach
+ * a "shard" block (index, count, the ordered scene list, the baseline
+ * column of each results key) carrying exactly what the merge needs to
+ * recompute them. The merge recomputes the normalized columns and the
+ * summary geomeans from the per-cell ipc/offchip_accesses numbers; the
+ * JSON serializer prints doubles with shortest-round-trip precision,
+ * so the recomputed values are bit-identical to the single-process
+ * ones (same doubles, same operations, same order).
+ *
+ * The coordinator (--shard-workers=N) forks N worker processes of the
+ * same binary, waits for them, merges their records, and appends the
+ * merged record to the requested JSONL path.
+ */
+
+#ifndef SMS_SERVE_SWEEP_SHARD_HPP
+#define SMS_SERVE_SWEEP_SHARD_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/stats/report.hpp"
+
+namespace sms {
+
+/** One worker's identity in a sharded sweep. */
+struct SweepShardSpec
+{
+    uint32_t index = 0; ///< 1-based shard index
+    uint32_t count = 0; ///< total shards; 0 = not sharded
+
+    /** True when this process runs as a shard worker. */
+    bool active() const { return count >= 1; }
+
+    /** Does this shard own flattened cell @p g? (true when unsharded) */
+    bool
+    owns(uint64_t g) const
+    {
+        return !active() || g % count == index - 1;
+    }
+};
+
+/**
+ * Parse "i/N" (1 <= i <= N). @return false with @p error set on
+ * malformed input.
+ */
+bool parseSweepShardSpec(const std::string &spec, SweepShardSpec &out,
+                         std::string &error);
+
+/**
+ * The process's shard identity: the setSweepShardSpec() override when
+ * one was installed (the --shards flag, tests), else SMS_SWEEP_SHARDS
+ * (malformed values are fatal — a typo must not silently run the full
+ * grid in every worker), else inactive.
+ */
+SweepShardSpec sweepShardSpec();
+
+/** Install a shard identity override (flag parsing, tests). */
+void setSweepShardSpec(const SweepShardSpec &spec);
+
+/**
+ * Merge the (last) records of N shard workers into one record
+ * equivalent to a single-process run: cells unioned and re-ordered,
+ * norm_ipc/norm_offchip and the summary geomeans recomputed, the
+ * run-level "aggregate" block (merged depth histogram + merged
+ * cycle-accounting tree) rebuilt from the per-cell counters with the
+ * conservation invariant re-checked on the merged totals, and the
+ * throughput blocks combined (counters summed, wall-clock maxed — the
+ * workers run concurrently).
+ *
+ * Every shard 1..N must be present exactly once, every cell exactly
+ * once, and the grid must be complete. @return false with @p error on
+ * any violation (including a conservation failure on the merged
+ * accounting).
+ */
+bool mergeShardRecords(const std::vector<JsonValue> &shards,
+                       JsonValue &merged, std::string &error);
+
+/**
+ * Coordinator: fork @p workers copies of this binary (argv must
+ * already be stripped of --json/--shards/--shard-workers), each with
+ * --shards=i/N --json=<json_path>.shard<i>, wait for all of them,
+ * merge their records, and append the merged record to @p json_path.
+ * Fatal on any worker failure; exits the process on success.
+ */
+[[noreturn]] void runShardCoordinator(uint32_t workers,
+                                      const std::string &json_path,
+                                      int argc, char **argv);
+
+} // namespace sms
+
+#endif // SMS_SERVE_SWEEP_SHARD_HPP

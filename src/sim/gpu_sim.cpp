@@ -6,6 +6,7 @@
 #include "src/sim/gpu_sim.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <memory>
 #include <queue>
 #include <string>
@@ -83,11 +84,28 @@ struct JobState
 
 } // namespace
 
+namespace {
+std::atomic<uint64_t> g_simulate_calls{0};
+} // namespace
+
+uint64_t
+simulateJobsCallCount()
+{
+    return g_simulate_calls.load(std::memory_order_relaxed);
+}
+
+void
+resetSimulateJobsCallCount()
+{
+    g_simulate_calls.store(0, std::memory_order_relaxed);
+}
+
 SimResult
 simulateJobs(const Scene &scene, const WideBvh &bvh,
              const WarpJobList &jobs, const GpuConfig &config,
              const SimOptions &options)
 {
+    g_simulate_calls.fetch_add(1, std::memory_order_relaxed);
     SimResult result;
     result.jobs = static_cast<uint32_t>(jobs.size());
 

@@ -121,6 +121,17 @@ SimResult simulateJobs(const Scene &scene, const WideBvh &bvh,
                        const WarpJobList &jobs, const GpuConfig &config,
                        const SimOptions &options = {});
 
+/**
+ * Process-wide count of simulateJobs() invocations (thread-safe). The
+ * result cache's "fully warm sweep performs zero simulations" guarantee
+ * is gated on this counter (the bench throughput block reports it as
+ * simulate_calls).
+ */
+uint64_t simulateJobsCallCount();
+
+/** Reset the invocation counter (tests). */
+void resetSimulateJobsCallCount();
+
 } // namespace sms
 
 #endif // SMS_SIM_GPU_SIM_HPP

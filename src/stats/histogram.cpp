@@ -24,6 +24,24 @@ Histogram::merge(const Histogram &other)
         max_seen_ = other.max_seen_;
 }
 
+Histogram
+Histogram::fromBuckets(const std::vector<uint64_t> &counts,
+                       size_t bucket_count)
+{
+    SMS_ASSERT(bucket_count >= 1 && counts.size() <= bucket_count,
+               "fromBuckets: %zu counts exceed %zu buckets",
+               counts.size(), bucket_count);
+    Histogram h(static_cast<uint32_t>(bucket_count - 1));
+    for (size_t i = 0; i < counts.size(); ++i) {
+        h.counts_[i] = counts[i];
+        h.total_ += counts[i];
+        h.sum_ += counts[i] * static_cast<uint64_t>(i);
+        if (counts[i] && i > h.max_seen_)
+            h.max_seen_ = static_cast<uint32_t>(i);
+    }
+    return h;
+}
+
 uint32_t
 Histogram::median() const
 {

@@ -51,6 +51,17 @@ class Histogram
     /** Merge another histogram of the same bucket count into this one. */
     void merge(const Histogram &other);
 
+    /**
+     * Rebuild a histogram from per-bucket counts (deserialization:
+     * result-cache entries, merged-manifest JSONL blocks). The derived
+     * statistics — total, sum, maxSeen and thus mean/percentiles — are
+     * recomputed from the buckets, which is exact because add() clamps
+     * samples before crediting any statistic. @p counts shorter than
+     * @p bucket_count is zero-padded (JSONL trims trailing zeros).
+     */
+    static Histogram fromBuckets(const std::vector<uint64_t> &counts,
+                                 size_t bucket_count);
+
     uint64_t total() const { return total_; }
     uint32_t maxSeen() const { return max_seen_; }
 

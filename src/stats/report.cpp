@@ -913,6 +913,20 @@ compareBenchRecords(const JsonValue &a, const JsonValue &b,
                           b.stringOr("figure", "").c_str());
         return CompareStatus::SchemaMismatch;
     }
+    // A record with a "shard" block is one worker's partial grid:
+    // its norms are null and most cells are absent, so comparing it
+    // against a full (single-process or merged) record would drown in
+    // bogus coverage issues. Both-partial is allowed — that compares
+    // the same shard across runs.
+    bool shard_a = a.find("shard") != nullptr;
+    bool shard_b = b.find("shard") != nullptr;
+    if (shard_a != shard_b) {
+        error = strprintf("record %s is an unmerged shard-worker "
+                          "record (merge with sweep_merge or "
+                          "--shard-workers first)",
+                          shard_a ? "a" : "b");
+        return CompareStatus::SchemaMismatch;
+    }
 
     std::map<std::string, const JsonValue *> cells_a, cells_b;
     collectCells(a, cells_a);

@@ -3,10 +3,11 @@
  * Workload snapshot cache implementation.
  *
  * Format: "SMSWKLD1" magic, little-endian fixed-width fields appended
- * by the Writer below, then an FNV-1a checksum of everything before it.
- * Floats are serialized as their IEEE-754 bit patterns, so a reload is
- * bit-exact — the timing simulation over a snapshot is
- * counter-identical to one over a freshly prepared workload.
+ * by the shared CacheWriter (cache_io.hpp), then an FNV-1a checksum of
+ * everything before it. Floats are serialized as their IEEE-754 bit
+ * patterns, so a reload is bit-exact — the timing simulation over a
+ * snapshot is counter-identical to one over a freshly prepared
+ * workload.
  */
 
 #include "src/trace/workload_cache.hpp"
@@ -16,10 +17,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <sys/stat.h>
-#include <unistd.h>
 #include <vector>
 
+#include "src/trace/cache_io.hpp"
 #include "src/util/check.hpp"
 
 namespace sms {
@@ -33,184 +33,6 @@ std::atomic<uint64_t> g_hits{0};
 std::atomic<uint64_t> g_misses{0};
 std::atomic<uint64_t> g_stores{0};
 std::atomic<uint64_t> g_failures{0};
-
-uint64_t
-fnv1a(const void *data, size_t n, uint64_t h = 0xcbf29ce484222325ull)
-{
-    const unsigned char *p = static_cast<const unsigned char *>(data);
-    for (size_t i = 0; i < n; ++i) {
-        h ^= p[i];
-        h *= 0x100000001b3ull;
-    }
-    return h;
-}
-
-/** Append-only little-endian serializer. */
-class Writer
-{
-  public:
-    void
-    u8(uint8_t v)
-    {
-        out_.push_back(static_cast<char>(v));
-    }
-
-    void
-    u16(uint16_t v)
-    {
-        raw(&v, sizeof v);
-    }
-
-    void
-    u32(uint32_t v)
-    {
-        raw(&v, sizeof v);
-    }
-
-    void
-    u64(uint64_t v)
-    {
-        raw(&v, sizeof v);
-    }
-
-    void
-    i32(int32_t v)
-    {
-        raw(&v, sizeof v);
-    }
-
-    void
-    f32(float v)
-    {
-        uint32_t bits;
-        std::memcpy(&bits, &v, sizeof bits);
-        u32(bits);
-    }
-
-    void
-    vec3(const Vec3 &v)
-    {
-        f32(v.x);
-        f32(v.y);
-        f32(v.z);
-    }
-
-    void
-    str(const std::string &s)
-    {
-        u64(s.size());
-        out_.append(s);
-    }
-
-    const std::string &buffer() const { return out_; }
-
-  private:
-    void
-    raw(const void *p, size_t n)
-    {
-        out_.append(static_cast<const char *>(p), n);
-    }
-
-    std::string out_;
-};
-
-/** Bounds-checked reader; any overrun flags failure and returns zeros. */
-class Reader
-{
-  public:
-    explicit Reader(const std::string &data) : data_(data) {}
-
-    bool ok() const { return ok_; }
-    size_t offset() const { return off_; }
-
-    uint8_t
-    u8()
-    {
-        uint8_t v = 0;
-        raw(&v, sizeof v);
-        return v;
-    }
-
-    uint16_t
-    u16()
-    {
-        uint16_t v = 0;
-        raw(&v, sizeof v);
-        return v;
-    }
-
-    uint32_t
-    u32()
-    {
-        uint32_t v = 0;
-        raw(&v, sizeof v);
-        return v;
-    }
-
-    uint64_t
-    u64()
-    {
-        uint64_t v = 0;
-        raw(&v, sizeof v);
-        return v;
-    }
-
-    int32_t
-    i32()
-    {
-        int32_t v = 0;
-        raw(&v, sizeof v);
-        return v;
-    }
-
-    float
-    f32()
-    {
-        uint32_t bits = u32();
-        float v;
-        std::memcpy(&v, &bits, sizeof v);
-        return v;
-    }
-
-    Vec3
-    vec3()
-    {
-        Vec3 v;
-        v.x = f32();
-        v.y = f32();
-        v.z = f32();
-        return v;
-    }
-
-    std::string
-    str()
-    {
-        uint64_t n = u64();
-        if (!ok_ || n > data_.size() - off_) {
-            ok_ = false;
-            return {};
-        }
-        std::string s = data_.substr(off_, n);
-        off_ += n;
-        return s;
-    }
-
-  private:
-    void
-    raw(void *p, size_t n)
-    {
-        if (!ok_ || n > data_.size() - off_) {
-            ok_ = false;
-            return;
-        }
-        std::memcpy(p, data_.data() + off_, n);
-        off_ += n;
-    }
-
-    const std::string &data_;
-    size_t off_ = 0;
-    bool ok_ = true;
-};
 
 /**
  * Hash of everything that determines snapshot content besides the key:
@@ -231,7 +53,7 @@ buildSchemaHash()
 }
 
 void
-writeParams(Writer &w, const RenderParams &p)
+writeParams(CacheWriter &w, const RenderParams &p)
 {
     w.u32(p.width);
     w.u32(p.height);
@@ -242,7 +64,7 @@ writeParams(Writer &w, const RenderParams &p)
 }
 
 bool
-readAndCheckParams(Reader &r, const RenderParams &expect)
+readAndCheckParams(CacheReader &r, const RenderParams &expect)
 {
     RenderParams p;
     p.width = r.u32();
@@ -258,7 +80,7 @@ readAndCheckParams(Reader &r, const RenderParams &expect)
 }
 
 void
-writeRay(Writer &w, const Ray &ray)
+writeRay(CacheWriter &w, const Ray &ray)
 {
     w.vec3(ray.origin);
     w.vec3(ray.dir);
@@ -268,7 +90,7 @@ writeRay(Writer &w, const Ray &ray)
 }
 
 Ray
-readRay(Reader &r)
+readRay(CacheReader &r)
 {
     // Bypass the caching constructor: invDir is restored bit-exactly
     // rather than recomputed.
@@ -282,7 +104,7 @@ readRay(Reader &r)
 }
 
 void
-writeScene(Writer &w, const Scene &scene)
+writeScene(CacheWriter &w, const Scene &scene)
 {
     w.str(scene.name);
     w.vec3(scene.camera.position);
@@ -316,7 +138,7 @@ writeScene(Writer &w, const Scene &scene)
 }
 
 bool
-readScene(Reader &r, Scene &scene)
+readScene(CacheReader &r, Scene &scene)
 {
     scene.name = r.str();
     scene.camera.position = r.vec3();
@@ -361,7 +183,7 @@ readScene(Reader &r, Scene &scene)
 }
 
 void
-writeBvh(Writer &w, const WideBvh &bvh)
+writeBvh(CacheWriter &w, const WideBvh &bvh)
 {
     w.u32(bvh.rootRef().bits());
     w.u64(bvh.nodes().size());
@@ -379,7 +201,7 @@ writeBvh(Writer &w, const WideBvh &bvh)
 }
 
 bool
-readBvh(Reader &r, WideBvh &bvh)
+readBvh(CacheReader &r, WideBvh &bvh)
 {
     ChildRef root = ChildRef::fromBits(r.u32());
     uint64_t node_count = r.u64();
@@ -412,7 +234,7 @@ readBvh(Reader &r, WideBvh &bvh)
 }
 
 void
-writeJobs(Writer &w, const WarpJobList &jobs)
+writeJobs(CacheWriter &w, const WarpJobList &jobs)
 {
     w.u64(jobs.size());
     for (const WarpJob &job : jobs) {
@@ -434,7 +256,7 @@ writeJobs(Writer &w, const WarpJobList &jobs)
 }
 
 bool
-readJobs(Reader &r, WarpJobList &jobs)
+readJobs(CacheReader &r, WarpJobList &jobs)
 {
     uint64_t count = r.u64();
     if (!r.ok())
@@ -462,7 +284,7 @@ readJobs(Reader &r, WarpJobList &jobs)
 }
 
 void
-writeRender(Writer &w, const RenderOutput &render)
+writeRender(CacheWriter &w, const RenderOutput &render)
 {
     w.u32(render.film.width());
     w.u32(render.film.height());
@@ -474,7 +296,7 @@ writeRender(Writer &w, const RenderOutput &render)
 }
 
 bool
-readRender(Reader &r, std::unique_ptr<RenderOutput> &out)
+readRender(CacheReader &r, std::unique_ptr<RenderOutput> &out)
 {
     uint32_t width = r.u32();
     uint32_t height = r.u32();
@@ -489,80 +311,14 @@ readRender(Reader &r, std::unique_ptr<RenderOutput> &out)
     return readJobs(r, out->jobs) && r.ok();
 }
 
-const char *
-profileTag(ScaleProfile profile)
-{
-    switch (profile) {
-    case ScaleProfile::Tiny: return "tiny";
-    case ScaleProfile::Small: return "small";
-    case ScaleProfile::Large: return "large";
-    }
-    return "unknown";
-}
-
 /** Hash identifying the render params + build schema in the filename. */
 uint64_t
 keyHash(const RenderParams &params)
 {
-    Writer w;
+    CacheWriter w;
     writeParams(w, params);
     return fnv1a(w.buffer().data(), w.buffer().size(),
                  buildSchemaHash());
-}
-
-bool
-writeFileAtomic(const std::string &path, const std::string &data)
-{
-    std::string tmp =
-        path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
-    std::FILE *f = std::fopen(tmp.c_str(), "wb");
-    if (!f)
-        return false;
-    bool ok = data.empty() ||
-              std::fwrite(data.data(), 1, data.size(), f) == data.size();
-    ok = std::fclose(f) == 0 && ok;
-    if (ok)
-        ok = std::rename(tmp.c_str(), path.c_str()) == 0;
-    if (!ok)
-        std::remove(tmp.c_str());
-    return ok;
-}
-
-bool
-readFile(const std::string &path, std::string &out)
-{
-    std::FILE *f = std::fopen(path.c_str(), "rb");
-    if (!f)
-        return false;
-    std::fseek(f, 0, SEEK_END);
-    long size = std::ftell(f);
-    if (size < 0) {
-        std::fclose(f);
-        return false;
-    }
-    std::fseek(f, 0, SEEK_SET);
-    out.resize(static_cast<size_t>(size));
-    bool ok = size == 0 || std::fread(out.data(), 1, out.size(), f) ==
-                               out.size();
-    std::fclose(f);
-    return ok;
-}
-
-bool
-ensureDir(const std::string &dir)
-{
-    struct stat st{};
-    if (::stat(dir.c_str(), &st) == 0)
-        return S_ISDIR(st.st_mode);
-    // Create parents one component at a time (mkdir -p).
-    for (size_t pos = 1; pos <= dir.size(); ++pos) {
-        if (pos != dir.size() && dir[pos] != '/')
-            continue;
-        std::string prefix = dir.substr(0, pos);
-        if (::mkdir(prefix.c_str(), 0777) != 0 && errno != EEXIST)
-            return false;
-    }
-    return true;
 }
 
 } // namespace
@@ -626,17 +382,11 @@ loadWorkloadSnapshot(const std::string &dir, SceneId id,
         return nullptr;
     };
 
-    if (data.size() < sizeof kMagic + 8 ||
-        std::memcmp(data.data(), kMagic, sizeof kMagic) != 0)
-        return invalid("bad magic");
-    uint64_t stored_sum;
-    std::memcpy(&stored_sum, data.data() + data.size() - 8, 8);
-    if (fnv1a(data.data(), data.size() - 8) != stored_sum)
-        return invalid("checksum mismatch");
+    std::string body;
+    if (!openCacheEnvelope(kMagic, data, body))
+        return invalid("bad magic or checksum");
 
-    std::string body = data.substr(sizeof kMagic,
-                                   data.size() - sizeof kMagic - 8);
-    Reader r(body);
+    CacheReader r(body);
     if (r.u32() != kWorkloadSnapshotVersion)
         return invalid("version mismatch");
     if (r.u64() != buildSchemaHash())
@@ -675,7 +425,7 @@ saveWorkloadSnapshot(const std::string &dir, const Workload &workload,
              dir.c_str());
         return false;
     }
-    Writer w;
+    CacheWriter w;
     w.u32(kWorkloadSnapshotVersion);
     w.u64(buildSchemaHash());
     w.u8(static_cast<uint8_t>(workload.id));
@@ -685,11 +435,7 @@ saveWorkloadSnapshot(const std::string &dir, const Workload &workload,
     writeBvh(w, workload.bvh);
     writeRender(w, workload.render);
 
-    std::string data(kMagic, sizeof kMagic);
-    data += w.buffer();
-    uint64_t sum = fnv1a(data.data(), data.size());
-    data.append(reinterpret_cast<const char *>(&sum), 8);
-
+    std::string data = sealCacheEnvelope(kMagic, w.buffer());
     std::string path = workloadSnapshotPath(dir, workload.id, profile,
                                             params);
     if (!writeFileAtomic(path, data)) {
@@ -727,17 +473,11 @@ loadTraversalTape(const std::string &dir, const Workload &workload,
         return false;
     };
 
-    if (data.size() < sizeof kTapeMagic + 8 ||
-        std::memcmp(data.data(), kTapeMagic, sizeof kTapeMagic) != 0)
-        return invalid("bad magic");
-    uint64_t stored_sum;
-    std::memcpy(&stored_sum, data.data() + data.size() - 8, 8);
-    if (fnv1a(data.data(), data.size() - 8) != stored_sum)
-        return invalid("checksum mismatch");
+    std::string body;
+    if (!openCacheEnvelope(kTapeMagic, data, body))
+        return invalid("bad magic or checksum");
 
-    std::string body = data.substr(sizeof kTapeMagic,
-                                   data.size() - sizeof kTapeMagic - 8);
-    Reader r(body);
+    CacheReader r(body);
     if (r.u32() != kTraversalTapeVersion)
         return invalid("version mismatch");
     uint64_t fingerprint = r.u64();
@@ -776,7 +516,7 @@ saveTraversalTape(const std::string &dir, const Workload &workload,
              dir.c_str());
         return false;
     }
-    Writer w;
+    CacheWriter w;
     w.u32(kTraversalTapeVersion);
     w.u64(tape.fingerprint);
     w.u64(tape.jobs.size());
@@ -786,11 +526,7 @@ saveTraversalTape(const std::string &dir, const Workload &workload,
         w.str(std::string(job.bytes.begin(), job.bytes.end()));
     }
 
-    std::string data(kTapeMagic, sizeof kTapeMagic);
-    data += w.buffer();
-    uint64_t sum = fnv1a(data.data(), data.size());
-    data.append(reinterpret_cast<const char *>(&sum), 8);
-
+    std::string data = sealCacheEnvelope(kTapeMagic, w.buffer());
     std::string path = traversalTapePath(dir, workload.id,
                                          workload.profile,
                                          workload.params);

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Tests for the cache-directory garbage collector: strict
+ * oldest-mtime-first eviction order, byte-budget semantics, dry-run
+ * leaving the directory untouched, and non-cache file names never
+ * being eligible.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <sys/stat.h>
+#include <unistd.h>
+#include <utime.h>
+#include <vector>
+
+#include "src/serve/cache_gc.hpp"
+
+namespace sms {
+namespace {
+
+/** Fresh per-test directory, removed on destruction. */
+class TempDir
+{
+  public:
+    TempDir()
+        : path_("/tmp/sms_cache_gc_test_" +
+                std::to_string(static_cast<long>(::getpid())) + "_" +
+                std::to_string(counter_++))
+    {
+        std::string cmd = "rm -rf '" + path_ + "' && mkdir -p '" +
+                          path_ + "'";
+        [[maybe_unused]] int rc = std::system(cmd.c_str());
+    }
+    ~TempDir()
+    {
+        std::string cmd = "rm -rf '" + path_ + "'";
+        [[maybe_unused]] int rc = std::system(cmd.c_str());
+    }
+    const std::string &path() const { return path_; }
+
+  private:
+    static int counter_;
+    std::string path_;
+};
+
+int TempDir::counter_ = 0;
+
+/** Create a file of @p bytes with mtime @p age_seconds in the past. */
+std::string
+makeFile(const TempDir &dir, const std::string &name, size_t bytes,
+         long age_seconds)
+{
+    std::string path = dir.path() + "/" + name;
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    EXPECT_NE(f, nullptr) << path;
+    std::vector<char> fill(bytes, 'x');
+    if (bytes) {
+        EXPECT_EQ(std::fwrite(fill.data(), 1, bytes, f), bytes);
+    }
+    std::fclose(f);
+    struct utimbuf times{};
+    times.actime = ::time(nullptr) - age_seconds;
+    times.modtime = ::time(nullptr) - age_seconds;
+    EXPECT_EQ(::utime(path.c_str(), &times), 0) << path;
+    return path;
+}
+
+bool
+exists(const std::string &path)
+{
+    struct stat st{};
+    return ::stat(path.c_str(), &st) == 0;
+}
+
+TEST(CacheGc, BudgetMetIsNoOp)
+{
+    TempDir dir;
+    std::string a = makeFile(dir, "a.wkld", 100, 300);
+    std::string b = makeFile(dir, "b.tape", 100, 200);
+
+    CacheGcOptions options;
+    options.max_bytes = 1000;
+    CacheGcResult result;
+    std::string error;
+    ASSERT_TRUE(runCacheGc(dir.path(), options, result, error)) << error;
+    EXPECT_EQ(result.scanned_files, 2u);
+    EXPECT_EQ(result.scanned_bytes, 200u);
+    EXPECT_EQ(result.evicted_files, 0u);
+    EXPECT_TRUE(result.evicted.empty());
+    EXPECT_TRUE(exists(a));
+    EXPECT_TRUE(exists(b));
+}
+
+TEST(CacheGc, EvictsOldestFirstUntilUnderBudget)
+{
+    TempDir dir;
+    // Oldest to newest: c.res (400s), a.wkld (300s), b.tape (200s),
+    // d.res (100s). 100 bytes each; budget 250 forces out exactly the
+    // two oldest.
+    std::string c = makeFile(dir, "c.res", 100, 400);
+    std::string a = makeFile(dir, "a.wkld", 100, 300);
+    std::string b = makeFile(dir, "b.tape", 100, 200);
+    std::string d = makeFile(dir, "d.res", 100, 100);
+
+    CacheGcOptions options;
+    options.max_bytes = 250;
+    CacheGcResult result;
+    std::string error;
+    ASSERT_TRUE(runCacheGc(dir.path(), options, result, error)) << error;
+    EXPECT_EQ(result.scanned_files, 4u);
+    EXPECT_EQ(result.scanned_bytes, 400u);
+    EXPECT_EQ(result.evicted_files, 2u);
+    EXPECT_EQ(result.evicted_bytes, 200u);
+    ASSERT_EQ(result.evicted.size(), 2u);
+    EXPECT_EQ(result.evicted[0], c);
+    EXPECT_EQ(result.evicted[1], a);
+    EXPECT_FALSE(exists(c));
+    EXPECT_FALSE(exists(a));
+    EXPECT_TRUE(exists(b));
+    EXPECT_TRUE(exists(d));
+}
+
+TEST(CacheGc, MtimeTieBreaksByPath)
+{
+    TempDir dir;
+    std::string b = makeFile(dir, "b.res", 100, 300);
+    std::string a = makeFile(dir, "a.res", 100, 300);
+    std::string c = makeFile(dir, "c.res", 100, 100);
+
+    CacheGcOptions options;
+    options.max_bytes = 250;
+    CacheGcResult result;
+    std::string error;
+    ASSERT_TRUE(runCacheGc(dir.path(), options, result, error)) << error;
+    ASSERT_EQ(result.evicted.size(), 1u);
+    EXPECT_EQ(result.evicted[0], a); // same mtime: path order decides
+    EXPECT_TRUE(exists(b));
+    EXPECT_TRUE(exists(c));
+}
+
+TEST(CacheGc, DryRunReportsButDeletesNothing)
+{
+    TempDir dir;
+    std::string old_file = makeFile(dir, "old.wkld", 100, 400);
+    std::string new_file = makeFile(dir, "new.res", 100, 100);
+
+    CacheGcOptions options;
+    options.max_bytes = 100;
+    options.dry_run = true;
+    CacheGcResult result;
+    std::string error;
+    ASSERT_TRUE(runCacheGc(dir.path(), options, result, error)) << error;
+    EXPECT_EQ(result.evicted_files, 1u);
+    ASSERT_EQ(result.evicted.size(), 1u);
+    EXPECT_EQ(result.evicted[0], old_file);
+    EXPECT_TRUE(exists(old_file));
+    EXPECT_TRUE(exists(new_file));
+}
+
+TEST(CacheGc, NonCacheNamesAreNeverTouched)
+{
+    TempDir dir;
+    // A zero budget evicts everything eligible — but only cache entry
+    // suffixes (.wkld/.tape/.res) and orphaned atomic-write temps
+    // (names containing ".tmp.") are eligible.
+    std::string keep1 = makeFile(dir, "README.txt", 100, 500);
+    std::string keep2 = makeFile(dir, "results.json", 100, 500);
+    std::string keep3 = makeFile(dir, "resume", 100, 500); // no dot-res
+    std::string gone1 = makeFile(dir, "a.wkld", 100, 400);
+    std::string gone2 = makeFile(dir, "a.wkld.tmp.1234.5", 100, 300);
+
+    CacheGcOptions options;
+    options.max_bytes = 0;
+    CacheGcResult result;
+    std::string error;
+    ASSERT_TRUE(runCacheGc(dir.path(), options, result, error)) << error;
+    EXPECT_EQ(result.scanned_files, 2u);
+    EXPECT_EQ(result.evicted_files, 2u);
+    EXPECT_TRUE(exists(keep1));
+    EXPECT_TRUE(exists(keep2));
+    EXPECT_TRUE(exists(keep3));
+    EXPECT_FALSE(exists(gone1));
+    EXPECT_FALSE(exists(gone2));
+}
+
+TEST(CacheGc, MissingDirectoryIsAnError)
+{
+    CacheGcOptions options;
+    options.max_bytes = 100;
+    CacheGcResult result;
+    std::string error;
+    EXPECT_FALSE(runCacheGc("/tmp/sms_cache_gc_test_does_not_exist_xyz",
+                            options, result, error));
+    EXPECT_FALSE(error.empty());
+}
+
+} // namespace
+} // namespace sms

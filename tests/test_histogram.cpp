@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Tests for Histogram merge and reconstruction: merging the histograms
+ * of a split sample stream must equal the histogram of the whole
+ * stream (the property the sharded sweep merge relies on), merges must
+ * be order-invariant, fromBuckets() must round-trip the serialized
+ * bucket counts exactly, and mismatched bucket counts must be refused.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/stats/histogram.hpp"
+
+namespace sms {
+namespace {
+
+/** Deterministic pseudo-random sample stream (LCG; no libc rand). */
+class SampleStream
+{
+  public:
+    explicit SampleStream(uint64_t seed) : state_(seed) {}
+
+    uint32_t
+    next(uint32_t bound)
+    {
+        state_ = state_ * 6364136223846793005ull + 1442695040888963407ull;
+        return static_cast<uint32_t>((state_ >> 33) % bound);
+    }
+
+  private:
+    uint64_t state_;
+};
+
+void
+expectIdentical(const Histogram &a, const Histogram &b)
+{
+    ASSERT_EQ(a.bucketCount(), b.bucketCount());
+    EXPECT_EQ(a.total(), b.total());
+    EXPECT_EQ(a.maxSeen(), b.maxSeen());
+    EXPECT_DOUBLE_EQ(a.mean(), b.mean());
+    EXPECT_EQ(a.median(), b.median());
+    EXPECT_EQ(a.p50(), b.p50());
+    EXPECT_EQ(a.p90(), b.p90());
+    EXPECT_EQ(a.p99(), b.p99());
+    for (uint32_t v = 0; v < a.bucketCount(); ++v)
+        EXPECT_EQ(a.bucket(v), b.bucket(v)) << "bucket " << v;
+}
+
+TEST(HistogramMerge, MergeOfSplitsEqualsWhole)
+{
+    // Split one sample stream round-robin across three histograms; the
+    // merge of the splits must match the whole on every bucket and
+    // every derived statistic. This is exactly how shard workers split
+    // the depth samples of a sweep.
+    Histogram whole(63);
+    Histogram splits[3] = {Histogram(63), Histogram(63), Histogram(63)};
+    SampleStream stream(0x5eed);
+    for (int i = 0; i < 10000; ++i) {
+        // Mostly in range, some saturating beyond the last bucket.
+        uint32_t v = stream.next(80);
+        whole.add(v);
+        splits[i % 3].add(v);
+    }
+
+    Histogram merged(63);
+    for (const Histogram &part : splits)
+        merged.merge(part);
+    expectIdentical(merged, whole);
+}
+
+TEST(HistogramMerge, OrderInvariant)
+{
+    Histogram parts[3] = {Histogram(31), Histogram(31), Histogram(31)};
+    SampleStream stream(7);
+    for (int i = 0; i < 3000; ++i)
+        parts[i % 3].add(stream.next(40));
+
+    Histogram forward(31);
+    forward.merge(parts[0]);
+    forward.merge(parts[1]);
+    forward.merge(parts[2]);
+    Histogram backward(31);
+    backward.merge(parts[2]);
+    backward.merge(parts[1]);
+    backward.merge(parts[0]);
+    expectIdentical(forward, backward);
+}
+
+TEST(HistogramMerge, EmptyMergeIsIdentity)
+{
+    Histogram h(15);
+    SampleStream stream(42);
+    for (int i = 0; i < 100; ++i)
+        h.add(stream.next(16));
+    Histogram before(15);
+    before.merge(h);
+    h.merge(Histogram(15));
+    expectIdentical(h, before);
+}
+
+TEST(HistogramMerge, PercentilesStableAcrossSplitCounts)
+{
+    // The same stream split 2-way and 5-way must merge to the same
+    // percentiles (the merge result cannot depend on shard count).
+    SampleStream stream(99);
+    std::vector<uint32_t> samples;
+    for (int i = 0; i < 5000; ++i)
+        samples.push_back(stream.next(64));
+
+    auto mergeSplit = [&](size_t ways) {
+        std::vector<Histogram> parts(ways, Histogram(63));
+        for (size_t i = 0; i < samples.size(); ++i)
+            parts[i % ways].add(samples[i]);
+        Histogram merged(63);
+        for (const Histogram &part : parts)
+            merged.merge(part);
+        return merged;
+    };
+    expectIdentical(mergeSplit(2), mergeSplit(5));
+}
+
+TEST(HistogramFromBuckets, RoundTripIsExact)
+{
+    Histogram h(63);
+    SampleStream stream(0xabcd);
+    for (int i = 0; i < 4000; ++i)
+        h.add(stream.next(70));
+
+    std::vector<uint64_t> counts;
+    for (uint32_t v = 0; v < h.bucketCount(); ++v)
+        counts.push_back(h.bucket(v));
+    Histogram rebuilt = Histogram::fromBuckets(counts, h.bucketCount());
+    expectIdentical(rebuilt, h);
+}
+
+TEST(HistogramFromBuckets, ShortCountsAreZeroPadded)
+{
+    // JSONL blocks trim trailing zero buckets; reconstruction must
+    // restore the full bucket count.
+    Histogram h(63);
+    h.add(1);
+    h.add(1);
+    h.add(5);
+    std::vector<uint64_t> trimmed = {0, 2, 0, 0, 0, 1};
+    Histogram rebuilt = Histogram::fromBuckets(trimmed, 64);
+    expectIdentical(rebuilt, h);
+}
+
+TEST(HistogramFromBuckets, EmptyCountsGiveEmptyHistogram)
+{
+    Histogram rebuilt = Histogram::fromBuckets({}, 8);
+    EXPECT_EQ(rebuilt.total(), 0u);
+    EXPECT_EQ(rebuilt.bucketCount(), 8u);
+    EXPECT_DOUBLE_EQ(rebuilt.mean(), 0.0);
+    EXPECT_EQ(rebuilt.p99(), 0u);
+}
+
+TEST(HistogramMergeDeathTest, BucketCountMismatchIsRefused)
+{
+    Histogram a(63);
+    Histogram b(31);
+    EXPECT_DEATH(a.merge(b),
+                 "merging histograms with different bucket counts");
+}
+
+TEST(HistogramFromBucketsDeathTest, OverflowingCountsAreRefused)
+{
+    std::vector<uint64_t> counts(10, 1);
+    EXPECT_DEATH(Histogram::fromBuckets(counts, 4), "fromBuckets");
+}
+
+} // namespace
+} // namespace sms

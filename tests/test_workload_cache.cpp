@@ -11,12 +11,17 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <dirent.h>
 #include <string>
 #include <sys/stat.h>
+#include <thread>
 #include <unistd.h>
+#include <vector>
 
+#include "src/sim/gpu_sim.hpp"
 #include "src/stats/report.hpp"
 #include "src/trace/render.hpp"
+#include "src/sim/traversal_tape.hpp"
 #include "src/trace/workload_cache.hpp"
 
 namespace sms {
@@ -197,6 +202,74 @@ TEST(WorkloadCache, TruncatedSnapshotIsRejected)
     ASSERT_NE(rebuilt, nullptr);
     EXPECT_EQ(workloadCacheStats().failures, 1u);
     EXPECT_EQ(workloadCacheStats().hits, 0u);
+}
+
+TEST(WorkloadCache, ConcurrentWritersNeverCorruptOrLeakTemps)
+{
+    // Multi-process/multi-thread safety stress: several writers race
+    // saving the same snapshot and tape keys while readers load them
+    // concurrently. Writes go through writeFileAtomic (unique temp +
+    // rename), so a reader must only ever see a complete, validating
+    // entry — zero failures — and no temp files may be left behind.
+    TempCacheDir dir;
+    ScopedEnv env("SMS_WORKLOAD_CACHE", nullptr); // explicit-dir API
+    resetWorkloadCacheStats();
+
+    auto workload = prepareWorkload(SceneId::REF, ScaleProfile::Tiny);
+    ASSERT_NE(workload, nullptr);
+    TraversalTape tape;
+    SimOptions record;
+    record.record_tape = &tape;
+    runWorkload(*workload, makeGpuConfig(StackConfig::sms()), record);
+
+    RenderParams params = RenderParams::forScene(SceneId::REF);
+    constexpr int kWriters = 4;
+    constexpr int kIters = 6;
+    std::vector<std::thread> threads;
+    threads.reserve(kWriters);
+    for (int t = 0; t < kWriters; ++t) {
+        threads.emplace_back([&] {
+            for (int i = 0; i < kIters; ++i) {
+                EXPECT_TRUE(saveWorkloadSnapshot(
+                    dir.path(), *workload, ScaleProfile::Tiny, params));
+                EXPECT_TRUE(
+                    saveTraversalTape(dir.path(), *workload, tape));
+                // A concurrent reader sees a complete entry or (before
+                // the first rename lands) none — never a partial one.
+                auto loaded = loadWorkloadSnapshot(
+                    dir.path(), SceneId::REF, ScaleProfile::Tiny,
+                    params);
+                if (loaded)
+                    EXPECT_EQ(loaded->render.film.contentHash(),
+                              workload->render.film.contentHash());
+                TraversalTape replay;
+                loadTraversalTape(dir.path(), *workload, replay);
+            }
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+
+    // No reader ever saw a torn entry.
+    EXPECT_EQ(workloadCacheStats().failures, 0u);
+
+    // Final state validates and no atomic-write temporaries leaked.
+    auto final_load = loadWorkloadSnapshot(dir.path(), SceneId::REF,
+                                           ScaleProfile::Tiny, params);
+    ASSERT_NE(final_load, nullptr);
+    EXPECT_EQ(final_load->render.film.contentHash(),
+              workload->render.film.contentHash());
+    TraversalTape final_tape;
+    EXPECT_TRUE(loadTraversalTape(dir.path(), *workload, final_tape));
+
+    DIR *d = ::opendir(dir.path().c_str());
+    ASSERT_NE(d, nullptr);
+    while (struct dirent *ent = ::readdir(d)) {
+        std::string name = ent->d_name;
+        EXPECT_EQ(name.find(".tmp."), std::string::npos)
+            << "leaked temp file: " << name;
+    }
+    ::closedir(d);
 }
 
 } // namespace

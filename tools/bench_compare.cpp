@@ -9,6 +9,18 @@
  *                 [--allow-missing] [--check-accounting]
  *                 [--accounting-eps X] [--throughput-floor R]
  *   bench_compare --check-throughput <record.json>
+ *   bench_compare --require-result-cache-hits <record.json>
+ *
+ * --require-result-cache-hits gates the warm result-cache path on the
+ * most recent record of a single file: every sweep cell must have been
+ * served from the result cache (hits == cells > 0, zero misses and
+ * failures) and the run must not have simulated anything
+ * (throughput.simulate_calls == 0). Used by CI to prove that a warm
+ * re-run of a sweep performs zero simulation work.
+ *
+ * Unmerged shard-worker records (carrying a "shard" block) are only
+ * comparable against other worker records of the same shard; comparing
+ * one against a full or merged record exits 3 (schema mismatch).
  *
  * Each file is JSONL: one record per bench run, appended. By default
  * the LAST record of each file is compared (the most recent run); if
@@ -61,8 +73,9 @@ usage(const char *argv0)
                  "[--traffic-eps X] [--allow-missing] "
                  "[--check-accounting] [--accounting-eps X] "
                  "[--throughput-floor R]\n"
-                 "       %s --check-throughput <record.json>\n",
-                 argv0, argv0);
+                 "       %s --check-throughput <record.json>\n"
+                 "       %s --require-result-cache-hits <record.json>\n",
+                 argv0, argv0, argv0);
 }
 
 bool
@@ -178,7 +191,8 @@ checkThroughput(const char *path)
     } else {
         for (const char *field :
              {"prepare_wall_seconds", "sweep_wall_seconds", "cells",
-              "sim_cycles_total", "sim_cycles_per_sec"})
+              "sim_cycles_total", "sim_cycles_per_sec",
+              "simulate_calls"})
             requireFinite(*throughput, "throughput", field);
         const JsonValue *cache = throughput->find("workload_cache");
         if (!cache) {
@@ -188,6 +202,15 @@ checkThroughput(const char *path)
             for (const char *field :
                  {"hits", "misses", "stores", "failures"})
                 requireFinite(*cache, "throughput.workload_cache", field);
+        }
+        const JsonValue *rcache = throughput->find("result_cache");
+        if (!rcache) {
+            std::printf("  missing throughput.result_cache object\n");
+            ok = false;
+        } else {
+            for (const char *field :
+                 {"hits", "misses", "stores", "failures"})
+                requireFinite(*rcache, "throughput.result_cache", field);
         }
         const JsonValue *tape = throughput->find("traversal_tape");
         if (!tape) {
@@ -214,6 +237,57 @@ checkThroughput(const char *path)
     std::printf("FAIL: throughput block of %s (%s) incomplete\n", path,
                 fig.c_str());
     return 1;
+}
+
+/**
+ * Gate the warm result-cache path on the most recent record of
+ * @p path: hits == cells > 0, zero misses/failures, and zero
+ * simulateJobs() calls — the whole sweep was served from the cache.
+ */
+int
+checkResultCacheHits(const char *path)
+{
+    std::string error;
+    std::vector<JsonValue> records;
+    if (!readJsonLines(path, records, error)) {
+        std::fprintf(stderr, "bench_compare: %s: %s\n", path,
+                     error.c_str());
+        return 2;
+    }
+    if (records.empty()) {
+        std::fprintf(stderr, "bench_compare: %s: no records\n", path);
+        return 2;
+    }
+    const JsonValue &rec = records.back();
+    const JsonValue *throughput = rec.find("throughput");
+    const JsonValue *rcache =
+        throughput ? throughput->find("result_cache") : nullptr;
+    if (!throughput || !rcache) {
+        std::printf("FAIL: %s: record lacks a "
+                    "throughput.result_cache block\n",
+                    path);
+        return 1;
+    }
+    double cells = throughput->numberOr("cells", NAN);
+    double sim_calls = throughput->numberOr("simulate_calls", NAN);
+    double hits = rcache->numberOr("hits", NAN);
+    double misses = rcache->numberOr("misses", NAN);
+    double failures = rcache->numberOr("failures", NAN);
+    bool enabled = false;
+    if (const JsonValue *e = rcache->find("enabled"))
+        enabled = e->isBool() && e->asBool();
+    bool ok = enabled && std::isfinite(cells) && cells > 0.0 &&
+              hits == cells && misses == 0.0 && failures == 0.0 &&
+              sim_calls == 0.0;
+    std::printf("%s: %s: result_cache enabled=%d hits=%.0f "
+                "misses=%.0f failures=%.0f cells=%.0f "
+                "simulate_calls=%.0f\n",
+                ok ? "OK" : "FAIL", path, enabled ? 1 : 0, hits,
+                misses, failures, cells, sim_calls);
+    if (!ok)
+        std::printf("  expected: enabled, hits == cells > 0, zero "
+                    "misses/failures, zero simulate_calls\n");
+    return ok ? 0 : 1;
 }
 
 /**
@@ -269,11 +343,15 @@ main(int argc, char **argv)
     CompareOptions options;
     std::vector<const char *> paths;
     bool check_throughput = false;
+    bool require_cache_hits = false;
     double throughput_floor = 0.0;
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
         if (std::strcmp(arg, "--check-throughput") == 0) {
             check_throughput = true;
+        } else if (std::strcmp(arg, "--require-result-cache-hits") ==
+                   0) {
+            require_cache_hits = true;
         } else if (std::strcmp(arg, "--throughput-floor") == 0 &&
                    i + 1 < argc) {
             if (!parseEps(argv[++i], &throughput_floor) ||
@@ -309,13 +387,15 @@ main(int argc, char **argv)
             paths.push_back(arg);
         }
     }
-    if (check_throughput) {
+    if (check_throughput || require_cache_hits) {
         // The floor needs a baseline record; it is a two-record option.
-        if (paths.size() != 1 || throughput_floor > 0.0) {
+        if (paths.size() != 1 || throughput_floor > 0.0 ||
+            (check_throughput && require_cache_hits)) {
             usage(argv[0]);
             return 2;
         }
-        return checkThroughput(paths[0]);
+        return check_throughput ? checkThroughput(paths[0])
+                                : checkResultCacheHits(paths[0]);
     }
     if (paths.size() != 2) {
         usage(argv[0]);

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * cache_gc — size-capped LRU eviction for the on-disk cache
+ * directories (workload snapshots .wkld, traversal tapes .tape, result
+ * cache entries .res, plus orphaned atomic-write temporaries).
+ *
+ * Usage:
+ *   cache_gc <dir> --max-bytes N [--dry-run]
+ *
+ * Eligible files are evicted oldest-mtime-first (path as tie-break)
+ * until the directory's eligible bytes fit under --max-bytes. Files
+ * with other names are never touched. --dry-run prints what would be
+ * evicted without deleting anything.
+ *
+ * Exit codes: 0 = budget met (possibly after evictions), 2 = usage or
+ * I/O error.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/serve/cache_gc.hpp"
+
+using namespace sms;
+
+namespace {
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s <dir> --max-bytes N [--dry-run]\n", argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string dir;
+    CacheGcOptions options;
+    bool have_budget = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--dry-run") == 0) {
+            options.dry_run = true;
+        } else if (std::strcmp(argv[i], "--max-bytes") == 0 &&
+                   i + 1 < argc) {
+            char *end = nullptr;
+            options.max_bytes = std::strtoull(argv[++i], &end, 10);
+            if (!end || *end) {
+                usage(argv[0]);
+                return 2;
+            }
+            have_budget = true;
+        } else if (std::strncmp(argv[i], "--max-bytes=", 12) == 0) {
+            char *end = nullptr;
+            options.max_bytes = std::strtoull(argv[i] + 12, &end, 10);
+            if (!end || *end) {
+                usage(argv[0]);
+                return 2;
+            }
+            have_budget = true;
+        } else if (std::strncmp(argv[i], "--", 2) == 0) {
+            usage(argv[0]);
+            return 2;
+        } else if (dir.empty()) {
+            dir = argv[i];
+        } else {
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (dir.empty() || !have_budget) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    CacheGcResult result;
+    std::string error;
+    if (!runCacheGc(dir, options, result, error)) {
+        std::fprintf(stderr, "cache_gc: %s\n", error.c_str());
+        return 2;
+    }
+    for (const std::string &path : result.evicted)
+        std::printf("%s %s\n",
+                    options.dry_run ? "would evict" : "evicted",
+                    path.c_str());
+    std::printf("%s: %llu files / %llu bytes eligible, %s %llu files "
+                "/ %llu bytes (budget %llu)\n",
+                dir.c_str(),
+                static_cast<unsigned long long>(result.scanned_files),
+                static_cast<unsigned long long>(result.scanned_bytes),
+                options.dry_run ? "would evict" : "evicted",
+                static_cast<unsigned long long>(result.evicted_files),
+                static_cast<unsigned long long>(result.evicted_bytes),
+                static_cast<unsigned long long>(options.max_bytes));
+    return 0;
+}
