@@ -151,11 +151,51 @@ enum class CellOrigin : uint8_t
     CacheHit,     ///< deserialized from the result cache
 };
 
+/**
+ * One column of a sweep grid: a stack configuration plus the
+ * traversal-variant axes (node layout, ray scheduling) and an optional
+ * L1 size override. The plain stack-config sweeps the paper figures
+ * run are the special case of all-default layout/order columns.
+ */
+struct SweepColumn
+{
+    StackConfig stack;
+    uint64_t l1_override = 0; ///< 0 = the config's own L1 size
+    NodeLayoutConfig layout;  ///< exact by default
+    RayOrderConfig order;     ///< no reordering by default
+
+    /** Full GpuConfig of this column (Table I otherwise). */
+    GpuConfig
+    gpuConfig() const
+    {
+        GpuConfig config = makeGpuConfig(stack, l1_override);
+        config.node_layout = layout;
+        config.ray_order = order;
+        return config;
+    }
+
+    /** The column's traversal variant (tape/fingerprint identity). */
+    TraversalVariant
+    variant() const
+    {
+        return TraversalVariant{layout, order};
+    }
+
+    /** "RB_8", "SMS+q8+mort", ... (bare stack name at defaults). */
+    std::string
+    displayName() const
+    {
+        return configDisplayName(gpuConfig());
+    }
+};
+
 /** Result grid of a (scene x config) sweep. */
 struct SweepResult
 {
     std::vector<StackConfig> configs;
     std::vector<uint64_t> l1_overrides; ///< parallel to configs; 0 = auto
+    /** Full column axes (layout/order), parallel to configs. */
+    std::vector<SweepColumn> columns;
     std::vector<std::string> scene_names; ///< parallel to results rows
     /** results[scene][config] */
     std::vector<std::vector<SimResult>> results;
@@ -175,19 +215,32 @@ struct SweepResult
         return s < scene_names.size() ? scene_names[s]
                                       : "scene#" + std::to_string(s);
     }
+
+    /**
+     * Display label of column @p c: the stack name plus the variant
+     * tag ("SMS+q8+mort"); reduces to the bare stack name for
+     * default-variant columns, keeping existing record keys stable.
+     */
+    std::string
+    configLabel(size_t c) const
+    {
+        return c < columns.size() ? columns[c].displayName()
+                                  : configs[c].name();
+    }
 };
 
 /**
- * Run every workload under every configuration.
+ * Run every workload under every column of the sweep grid.
  *
- * When the traversal tape is enabled (SMS_TRAVERSAL_TAPE, default on)
- * and the sweep has more than one configuration, the sweep runs in two
- * phases: phase A executes each scene's first cell once, recording the
- * functional traversal into a per-scene tape (or replays a tape loaded
- * from the workload cache in disk mode); phase B replays every
- * remaining cell from that tape with zero geometry work. Replay is
- * counter-identical to execution, so the result grid does not depend
- * on the tape mode.
+ * When the traversal tape is enabled (SMS_TRAVERSAL_TAPE, default on),
+ * the sweep runs in two phases per (scene, traversal variant) group —
+ * columns sharing a node layout and ray ordering record the same
+ * functional traversal, so they share one tape: phase A executes each
+ * group's first cell once, recording the traversal into the group's
+ * tape (or replays a tape loaded from the workload cache in disk
+ * mode); phase B replays every remaining cell of the group from that
+ * tape with zero geometry work. Replay is counter-identical to
+ * execution, so the result grid does not depend on the tape mode.
  *
  * Two orthogonal reducers run before any cell simulates. When a shard
  * identity is active (sweepShardSpec()), only the owned cells of the
@@ -204,9 +257,7 @@ struct SweepResult
  */
 inline SweepResult
 runSweep(const std::vector<std::shared_ptr<Workload>> &workloads,
-         const std::vector<StackConfig> &configs,
-         const std::vector<uint64_t> &l1_overrides = {},
-         unsigned threads = 0)
+         const std::vector<SweepColumn> &columns, unsigned threads = 0)
 {
     timelineInitFromEnv();
     auto start = std::chrono::steady_clock::now();
@@ -219,21 +270,24 @@ runSweep(const std::vector<std::shared_ptr<Workload>> &workloads,
     }
     SweepResult sweep;
     sweep.shard = sweepShardSpec();
-    sweep.configs = configs;
-    sweep.l1_overrides = l1_overrides.empty()
-                             ? std::vector<uint64_t>(configs.size(), 0)
-                             : l1_overrides;
+    sweep.columns = columns;
+    sweep.configs.reserve(columns.size());
+    sweep.l1_overrides.reserve(columns.size());
+    for (const auto &col : columns) {
+        sweep.configs.push_back(col.stack);
+        sweep.l1_overrides.push_back(col.l1_override);
+    }
     for (const auto &w : workloads)
         sweep.scene_names.push_back(sceneName(w->id));
     sweep.results.assign(workloads.size(),
-                         std::vector<SimResult>(configs.size()));
+                         std::vector<SimResult>(columns.size()));
     sweep.cell_wall_seconds.assign(
-        workloads.size(), std::vector<double>(configs.size(), 0.0));
+        workloads.size(), std::vector<double>(columns.size(), 0.0));
     sweep.cell_origin.assign(workloads.size(),
                              std::vector<CellOrigin>(
-                                 configs.size(), CellOrigin::NotOwned));
+                                 columns.size(), CellOrigin::NotOwned));
 
-    const size_t num_configs = configs.size();
+    const size_t num_configs = columns.size();
     auto owned = [&](size_t s, size_t c) {
         return sweep.shard.owns(
             static_cast<uint64_t>(s) * num_configs + c);
@@ -241,6 +295,9 @@ runSweep(const std::vector<std::shared_ptr<Workload>> &workloads,
 
     // Result-cache keys: one workload fingerprint per scene, one
     // config digest per column (both sides of each cell's identity).
+    // The digest covers the layout/order axes, so variant columns map
+    // to distinct cache cells even though the scene fingerprint is
+    // shared.
     const std::string result_dir = resultCacheDir();
     std::vector<uint64_t> fingerprints;
     std::vector<uint64_t> digests;
@@ -249,15 +306,13 @@ runSweep(const std::vector<std::shared_ptr<Workload>> &workloads,
         for (size_t s = 0; s < workloads.size(); ++s)
             fingerprints[s] = workloadFingerprint(
                 workloads[s]->render.jobs, workloads[s]->bvh);
-        digests.resize(configs.size());
-        for (size_t c = 0; c < configs.size(); ++c)
-            digests[c] = gpuConfigDigest(
-                makeGpuConfig(configs[c], sweep.l1_overrides[c]));
+        digests.resize(columns.size());
+        for (size_t c = 0; c < columns.size(); ++c)
+            digests[c] = gpuConfigDigest(columns[c].gpuConfig());
     }
 
     auto runCell = [&](size_t s, size_t c, const SimOptions &options) {
-        GpuConfig config =
-            makeGpuConfig(configs[c], sweep.l1_overrides[c]);
+        GpuConfig config = columns[c].gpuConfig();
         uint64_t t0 = tl ? timelineWallMicros() : 0;
         auto cell_start = std::chrono::steady_clock::now();
         sweep.results[s][c] =
@@ -277,10 +332,10 @@ runSweep(const std::vector<std::shared_ptr<Workload>> &workloads,
             // cycles ride along so the two clock domains can be tied
             // together when reading the trace.
             uint32_t tid =
-                static_cast<uint32_t>(s * configs.size() + c) + 1;
+                static_cast<uint32_t>(s * columns.size() + c) + 1;
             timelineNameThread(tl_pid, tid,
                                sweep.sceneLabel(s) + " " +
-                                   configs[c].name());
+                                   sweep.configLabel(c));
             timelineSpanAt(TimelineCategory::Sweep, "cell", tl_pid, tid,
                            t0, timelineWallMicros() - t0,
                            sweep.results[s][c].cycles, "sim_cycles");
@@ -312,22 +367,51 @@ runSweep(const std::vector<std::shared_ptr<Workload>> &workloads,
     // The cells still to simulate: owned and not served by the cache.
     std::vector<std::vector<size_t>> todo(workloads.size());
     size_t missing = 0;
-    size_t max_todo = 0;
     for (size_t s = 0; s < workloads.size(); ++s) {
         for (size_t c = 0; c < num_configs; ++c)
             if (owned(s, c) &&
                 sweep.cell_origin[s][c] != CellOrigin::CacheHit)
                 todo[s].push_back(c);
         missing += todo[s].size();
-        max_todo = std::max(max_todo, todo[s].size());
     }
 
+    // Tape sharing is per (scene, traversal variant): columns with a
+    // different node layout or ray ordering record a different
+    // functional traversal and cannot replay each other's tape.
+    struct TapeGroup
+    {
+        size_t scene;
+        size_t lead;              ///< column that records the tape
+        std::vector<size_t> rest; ///< columns replaying the tape
+    };
+    std::vector<TapeGroup> groups;
+    size_t max_group = 0;
+    for (size_t s = 0; s < workloads.size(); ++s) {
+        size_t first_group = groups.size();
+        for (size_t c : todo[s]) {
+            uint64_t digest = columns[c].variant().digest();
+            TapeGroup *group = nullptr;
+            for (size_t g = first_group; g < groups.size(); ++g)
+                if (columns[groups[g].lead].variant().digest() ==
+                    digest) {
+                    group = &groups[g];
+                    break;
+                }
+            if (group)
+                group->rest.push_back(c);
+            else
+                groups.push_back({s, c, {}});
+        }
+    }
+    for (const auto &g : groups)
+        max_group = std::max(max_group, g.rest.size() + 1);
+
     TapeMode tape_mode = traversalTapeMode();
-    // Recording costs a little; with a single missing cell per scene
-    // (or in disk mode, where a later run amortizes it) a tape only
-    // pays off when there is at least one cell to replay.
+    // Recording costs a little; with single-cell groups (or in disk
+    // mode, where a later run amortizes it) a tape only pays off when
+    // a group has at least one cell to replay.
     bool use_tape = tape_mode != TapeMode::Off && missing > 0 &&
-                    (max_todo > 1 || tape_mode == TapeMode::Disk);
+                    (max_group > 1 || tape_mode == TapeMode::Disk);
     if (!use_tape) {
         std::vector<std::pair<size_t, size_t>> cells;
         cells.reserve(missing);
@@ -344,47 +428,46 @@ runSweep(const std::vector<std::shared_ptr<Workload>> &workloads,
         std::string cache_dir =
             tape_mode == TapeMode::Disk ? workloadCacheDir() : "";
         std::vector<std::shared_ptr<TraversalTape>> tapes(
-            workloads.size());
-        // Phase A: one execution (or disk replay) per scene with
-        // missing cells yields the scene's tape and its first missing
-        // result column.
-        std::vector<size_t> lead;
-        for (size_t s = 0; s < workloads.size(); ++s)
-            if (!todo[s].empty())
-                lead.push_back(s);
+            groups.size());
+        // Phase A: one execution (or disk replay) per (scene, variant)
+        // group yields the group's tape and its first missing result
+        // column.
         parallelFor(
-            lead.size(),
+            groups.size(),
             [&](size_t i) {
-                size_t s = lead[i];
+                const TapeGroup &g = groups[i];
+                TraversalVariant variant = columns[g.lead].variant();
                 auto tape = std::make_shared<TraversalTape>();
                 bool loaded =
                     !cache_dir.empty() &&
-                    loadTraversalTape(cache_dir, *workloads[s], *tape);
+                    loadTraversalTape(cache_dir, *workloads[g.scene],
+                                      variant, *tape);
                 SimOptions options;
                 if (loaded)
                     options.replay_tape = tape.get();
                 else
                     options.record_tape = tape.get();
-                runCell(s, todo[s][0], options);
+                runCell(g.scene, g.lead, options);
                 if (!loaded && !cache_dir.empty())
-                    saveTraversalTape(cache_dir, *workloads[s], *tape);
-                tapes[s] = std::move(tape);
+                    saveTraversalTape(cache_dir, *workloads[g.scene],
+                                      variant, *tape);
+                tapes[i] = std::move(tape);
             },
             threads);
-        // Phase B: every remaining missing cell replays its scene's
+        // Phase B: every remaining missing cell replays its group's
         // tape.
-        std::vector<std::pair<size_t, size_t>> rest;
-        rest.reserve(missing - lead.size());
-        for (size_t s = 0; s < workloads.size(); ++s)
-            for (size_t j = 1; j < todo[s].size(); ++j)
-                rest.emplace_back(s, todo[s][j]);
+        std::vector<std::pair<size_t, size_t>> rest; // (group, column)
+        rest.reserve(missing - groups.size());
+        for (size_t g = 0; g < groups.size(); ++g)
+            for (size_t c : groups[g].rest)
+                rest.emplace_back(g, c);
         parallelFor(
             rest.size(),
             [&](size_t i) {
-                size_t s = rest[i].first;
+                size_t g = rest[i].first;
                 SimOptions options;
-                options.replay_tape = tapes[s].get();
-                runCell(s, rest[i].second, options);
+                options.replay_tape = tapes[g].get();
+                runCell(groups[g].scene, rest[i].second, options);
             },
             threads);
     }
@@ -395,8 +478,27 @@ runSweep(const std::vector<std::shared_ptr<Workload>> &workloads,
     if (tl)
         timelineSpanAt(TimelineCategory::Sweep, "sweep", tl_pid, 0,
                        tl_start, timelineWallMicros() - tl_start,
-                       workloads.size() * configs.size(), "cells");
+                       workloads.size() * columns.size(), "cells");
     return sweep;
+}
+
+/**
+ * Stack-config sweep: every column uses the default traversal variant
+ * (exact node layout, no reordering), matching the paper figures.
+ */
+inline SweepResult
+runSweep(const std::vector<std::shared_ptr<Workload>> &workloads,
+         const std::vector<StackConfig> &configs,
+         const std::vector<uint64_t> &l1_overrides = {},
+         unsigned threads = 0)
+{
+    std::vector<SweepColumn> columns(configs.size());
+    for (size_t c = 0; c < configs.size(); ++c) {
+        columns[c].stack = configs[c];
+        if (c < l1_overrides.size())
+            columns[c].l1_override = l1_overrides[c];
+    }
+    return runSweep(workloads, columns, threads);
 }
 
 /**
@@ -601,9 +703,18 @@ class JsonReporter
                     continue;
                 JsonValue cell = JsonValue::object();
                 cell["scene"] = sweep.sceneLabel(s);
-                cell["config"] = sweep.configs[c].name();
+                cell["config"] = sweep.configLabel(c);
                 cell["config_index"] = c;
                 cell["l1_override"] = sweep.l1_overrides[c];
+                // Variant axes are emitted only when non-default so
+                // default-variant records stay byte-identical to the
+                // pre-variant golden files.
+                if (c < sweep.columns.size() &&
+                    !sweep.columns[c].variant().isDefault()) {
+                    cell["node_layout"] =
+                        sweep.columns[c].layout.name();
+                    cell["ray_order"] = sweep.columns[c].order.name();
+                }
                 const SimResult &r = sweep.results[s][c];
                 cell["ipc"] = r.ipc();
                 if (sharded) {
@@ -639,7 +750,7 @@ class JsonReporter
                 if (timelineAnyOn())
                     cell["timeline_process"] =
                         sweep.sceneLabel(s) + " " +
-                        sweep.configs[c].name() + " (cycles)";
+                        sweep.configLabel(c) + " (cycles)";
                 cells.push(std::move(cell));
                 sim_cycles_total_ += r.cycles;
                 ++cells_total_;
@@ -666,13 +777,18 @@ class JsonReporter
         }
 
         if (key == "results") {
-            record_["baseline"] = sweep.configs[base].name();
+            record_["baseline"] = sweep.configLabel(base);
             JsonValue summary = JsonValue::array();
             for (size_t c = 0; c < sweep.configs.size(); ++c) {
                 JsonValue row = JsonValue::object();
-                row["config"] = sweep.configs[c].name();
+                row["config"] = sweep.configLabel(c);
                 row["config_index"] = c;
                 row["l1_override"] = sweep.l1_overrides[c];
+                if (c < sweep.columns.size() &&
+                    !sweep.columns[c].variant().isDefault()) {
+                    row["node_layout"] = sweep.columns[c].layout.name();
+                    row["ray_order"] = sweep.columns[c].order.name();
+                }
                 row["mean_norm_ipc"] = meanNormIpc(sweep, c, base);
                 row["mean_norm_offchip"] =
                     meanNormOffchip(sweep, c, base);

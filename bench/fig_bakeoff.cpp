@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Memory-traffic bake-off: quantized BVH6 node layouts crossed with
+ * ray-stream reordering and the paper's stack configurations.
+ *
+ * The paper attacks stack traffic with shared-memory stacks; the other
+ * big off-chip consumer of a traversal is node fetch. This harness puts
+ * the two side by side: for each scene it sweeps
+ *   {RB_8, SMS} x {exact, q8 quantized} x {none, octant+Morton order}
+ * and reports off-chip node-fetch bytes, stack-spill bytes, and IPC per
+ * cell, so the node-layout frontier and the stack-config frontier can
+ * be compared on one grid. The baseline column is RB_8 with the exact
+ * layout and no reordering.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "src/bvh/node_layout.hpp"
+#include "src/memory/request.hpp"
+#include "src/sim/ray_reorder.hpp"
+
+using namespace sms;
+using namespace sms::benchutil;
+
+namespace {
+
+/** Off-chip bytes of one traffic class (DRAM accesses are lines). */
+double
+offchipBytes(const SimResult &r, TrafficClass cls)
+{
+    return static_cast<double>(
+               r.dram.by_class[static_cast<int>(cls)]) *
+           kLineBytes;
+}
+
+void
+runBakeoff(JsonReporter &reporter)
+{
+    std::printf("=== Bake-off: node layout x ray order x stack "
+                "config ===\n\n");
+    auto workloads = prepareAllScenes();
+
+    const std::vector<StackConfig> stacks{
+        StackConfig::baseline(8), // RB_8
+        StackConfig::sms(),       // RB_8+SH_8+SK+RA
+    };
+    const std::vector<NodeLayoutConfig> layouts{
+        NodeLayoutConfig::exact(),
+        NodeLayoutConfig::quantized(8),
+    };
+    const std::vector<RayOrderConfig> orders{
+        RayOrderConfig::none(),
+        RayOrderConfig::octantMorton(),
+    };
+    std::vector<SweepColumn> columns;
+    for (const auto &stack : stacks)
+        for (const auto &layout : layouts)
+            for (const auto &order : orders)
+                columns.push_back(SweepColumn{stack, 0, layout, order});
+
+    SweepResult sweep = runSweep(workloads, columns);
+
+    // A shard worker holds only its slice of the grid; the cross-cell
+    // human tables are computed by nobody and the JSON merge instead.
+    if (!sweepShardSpec().active()) {
+        for (size_t s = 0; s < workloads.size(); ++s) {
+            std::printf("scene %s:\n", sceneName(workloads[s]->id));
+            Table table;
+            table.setHeader({"config", "node KiB", "stack KiB",
+                             "prim KiB", "IPC", "norm IPC"});
+            for (size_t c = 0; c < columns.size(); ++c) {
+                const SimResult &r = sweep.results[s][c];
+                table.addRow(
+                    {sweep.configLabel(c),
+                     Table::num(offchipBytes(r, TrafficClass::Node) /
+                                    1024.0,
+                                1),
+                     Table::num(offchipBytes(r, TrafficClass::Stack) /
+                                    1024.0,
+                                1),
+                     Table::num(
+                         offchipBytes(r, TrafficClass::Primitive) /
+                             1024.0,
+                         1),
+                     Table::num(r.ipc(), 3),
+                     Table::num(normIpc(sweep, s, c), 3)});
+            }
+            table.print();
+            std::printf("\n");
+        }
+
+        // Cross-scene headline: node-fetch bytes saved by the
+        // quantized layout, per stack/order pair (geomean of per-scene
+        // ratios, quantized over exact).
+        std::printf("node-fetch off-chip bytes, quantized vs exact:\n");
+        for (size_t c = 0; c < columns.size(); ++c) {
+            if (!columns[c].layout.isQuantized())
+                continue;
+            // The exact twin differs only in the layout axis. Column
+            // order is (stack, layout, order), so it sits one layout
+            // stride back.
+            size_t exact_c = c - orders.size();
+            std::vector<double> ratios;
+            for (size_t s = 0; s < workloads.size(); ++s) {
+                double e = offchipBytes(sweep.results[s][exact_c],
+                                        TrafficClass::Node);
+                double q = offchipBytes(sweep.results[s][c],
+                                        TrafficClass::Node);
+                if (e > 0.0 && q > 0.0)
+                    ratios.push_back(q / e);
+            }
+            double mean = ratios.empty() ? 1.0 : geomean(ratios);
+            std::printf("  %-18s vs %-12s %.3fx (%+.1f%%)\n",
+                        sweep.configLabel(c).c_str(),
+                        sweep.configLabel(exact_c).c_str(), mean,
+                        (mean - 1.0) * 100.0);
+        }
+        printPaperNote("the paper's SMS attacks the stack-traffic "
+                       "column; quantized nodes attack the node-fetch "
+                       "column of the same off-chip budget");
+    }
+
+    reporter.addSweep(sweep);
+    reporter.finish();
+}
+
+/** Microbenchmark: quantized-node build throughput over a real BVH. */
+void
+BM_QuantizedBvhBuild(benchmark::State &state)
+{
+    auto workload = prepareWorkload(SceneId::BUNNY, ScaleProfile::Tiny);
+    NodeLayoutConfig layout = NodeLayoutConfig::quantized(8);
+    for (auto _ : state) {
+        QuantizedBvh qbvh;
+        qbvh.build(workload->bvh, layout);
+        benchmark::DoNotOptimize(qbvh.nodes().data());
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(workload->bvh.nodes().size()));
+}
+BENCHMARK(BM_QuantizedBvhBuild);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    JsonReporter reporter("bakeoff", argc, argv);
+    runBakeoff(reporter);
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

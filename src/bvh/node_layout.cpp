@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Quantized node-layout builder: conservative per-node grid encoding.
+ */
+
+#include "src/bvh/node_layout.hpp"
+
+#include <cmath>
+
+#include "src/util/check.hpp"
+
+namespace sms {
+
+std::string
+NodeLayoutConfig::name() const
+{
+    if (!isQuantized())
+        return "exact";
+    return "q" + std::to_string(bits_per_plane);
+}
+
+namespace {
+
+/** Mutable per-axis access (Vec3::operator[] is read-only). */
+inline float &
+axisRef(Vec3 &v, int axis)
+{
+    return axis == 0 ? v.x : (axis == 1 ? v.y : v.z);
+}
+
+/**
+ * Quantize one node's child boxes onto a grid anchored at the node's
+ * min corner with per-axis power-of-two scales, then decode them back.
+ * Returns false when float rounding broke containment at the given
+ * exponents, in which case the caller retries with coarser scales.
+ */
+bool
+encodeNode(const WideNode &in, uint32_t bits, const Vec3 &origin,
+           const int e[3], WideNode &out)
+{
+    const float maxq = static_cast<float>((1u << bits) - 1);
+    for (uint8_t c = 0; c < in.child_count; ++c) {
+        const Aabb &exact = in.child_bounds[c];
+        Aabb decoded;
+        for (int axis = 0; axis < 3; ++axis) {
+            float scale = std::ldexp(1.0f, e[axis]);
+            float qlo = std::floor((exact.lo[axis] - origin[axis]) / scale);
+            float qhi = std::ceil((exact.hi[axis] - origin[axis]) / scale);
+            if (qlo < 0.0f)
+                qlo = 0.0f;
+            if (qhi > maxq)
+                qhi = maxq;
+            if (qhi < qlo)
+                qhi = qlo;
+            float dlo = origin[axis] + qlo * scale;
+            float dhi = origin[axis] + qhi * scale;
+            // Float rounding in the divide/multiply round trip can land
+            // a decoded plane on the wrong side of the exact one; walk
+            // the grid outward until containment holds.
+            while (dlo > exact.lo[axis] && qlo > 0.0f) {
+                qlo -= 1.0f;
+                dlo = origin[axis] + qlo * scale;
+            }
+            while (dhi < exact.hi[axis] && qhi < maxq) {
+                qhi += 1.0f;
+                dhi = origin[axis] + qhi * scale;
+            }
+            if (dlo > exact.lo[axis] || dhi < exact.hi[axis])
+                return false;
+            axisRef(decoded.lo, axis) = dlo;
+            axisRef(decoded.hi, axis) = dhi;
+        }
+        out.child_bounds[c] = decoded;
+    }
+    return true;
+}
+
+} // namespace
+
+void
+QuantizedBvh::build(const WideBvh &bvh, const NodeLayoutConfig &layout)
+{
+    SMS_ASSERT(layout.isQuantized(),
+               "QuantizedBvh::build with a non-quantized layout");
+    SMS_ASSERT(layout.bits_per_plane >= 1 && layout.bits_per_plane <= 16,
+               "bits_per_plane out of range [1, 16]");
+    layout_ = layout;
+    nodes_.clear();
+    nodes_.reserve(bvh.nodes().size());
+
+    const uint32_t bits = layout.bits_per_plane;
+    const float maxq = static_cast<float>((1u << bits) - 1);
+
+    for (const WideNode &in : bvh.nodes()) {
+        WideNode out = in; // refs, counts, and box array shape carry over
+        if (in.child_count > 0) {
+            // Grid origin: the min corner over all valid children, so
+            // every quantized coordinate is non-negative.
+            Vec3 origin = in.child_bounds[0].lo;
+            Vec3 top = in.child_bounds[0].hi;
+            for (uint8_t c = 1; c < in.child_count; ++c) {
+                origin = min(origin, in.child_bounds[c].lo);
+                top = max(top, in.child_bounds[c].hi);
+            }
+            // Per-axis power-of-two scale: the smallest 2^e whose grid
+            // spans the node extent in maxq steps. Power-of-two scales
+            // keep decode exact-ish and make the stored exponent 1 byte.
+            int e[3];
+            for (int axis = 0; axis < 3; ++axis) {
+                float extent = top[axis] - origin[axis];
+                if (!(extent > 0.0f)) {
+                    e[axis] = -126; // degenerate axis: any tiny grid works
+                    continue;
+                }
+                int exp = static_cast<int>(
+                    std::ceil(std::log2(extent / maxq)));
+                while (std::ldexp(maxq, exp) < extent)
+                    ++exp;
+                if (exp < -126)
+                    exp = -126;
+                e[axis] = exp;
+            }
+            // Retry with coarser grids until containment survives float
+            // rounding; a couple of steps is always enough in practice.
+            bool ok = false;
+            for (int attempt = 0; attempt < 8 && !ok; ++attempt) {
+                ok = encodeNode(in, bits, origin, e, out);
+                if (!ok)
+                    for (int axis = 0; axis < 3; ++axis)
+                        ++e[axis];
+            }
+            SMS_ASSERT(ok, "quantized node encoding failed to converge");
+        }
+        nodes_.push_back(out);
+    }
+}
+
+} // namespace sms

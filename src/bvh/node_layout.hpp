@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Wide-BVH node layouts: the byte-level encoding the simulated RT unit
+ * fetches per node visit, as a first-class configuration axis.
+ *
+ * The baseline "exact" layout is the uncompressed BVH6 node (176 B:
+ * six full-precision child AABBs plus refs and metadata). The
+ * "quantized" layout follows Grauer et al. (PAPERS.md, arXiv
+ * 2505.24653): child planes are quantized to a configurable
+ * bits-per-plane grid anchored at a per-node origin with per-axis
+ * power-of-two scales, shrinking the node to
+ *
+ *   16 B header (origin 3xf32, scale exponents 3xi8, child_count)
+ *   + 24 B child refs (6 x u32)
+ *   + ceil(36 * bits / 8) B quantized planes (6 children x 6 planes)
+ *
+ * i.e. 76 B at 8 bits/plane vs 176 B exact — fewer cache lines per
+ * node visit, at the cost of a per-visit decode charge
+ * (GpuConfig::timing.node_decode_op) and slightly inflated boxes.
+ *
+ * Correctness contract: quantization is CONSERVATIVE. Lo planes round
+ * down to the grid, hi planes round up, and the builder re-encodes
+ * with a coarser scale whenever float rounding would violate
+ * containment, so every decoded child AABB contains its exact AABB.
+ * Traversal through decoded nodes therefore visits a superset of the
+ * exact visit set and — because leaf primitive tests stay exact —
+ * produces identical hit verdicts and closest distances (equal-t ties
+ * may resolve to a different primitive id; see DESIGN.md).
+ *
+ * The simulator consumes decoded nodes, pre-materialized at build time
+ * by QuantizedBvh: the timing model charges the narrow fetch footprint
+ * and decode latency while the functional traversal reads the decoded
+ * (inflated) boxes — exactly what quantized hardware would compute.
+ */
+
+#ifndef SMS_BVH_NODE_LAYOUT_HPP
+#define SMS_BVH_NODE_LAYOUT_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/bvh/wide_bvh.hpp"
+
+namespace sms {
+
+/** Node encodings the traversal hardware can fetch. */
+enum class NodeLayoutKind : uint8_t
+{
+    Exact = 0,     ///< uncompressed BVH6 node (WideBvh::kNodeBytes)
+    Quantized = 1, ///< per-node-grid quantized planes
+};
+
+/** One point on the node-layout axis of a GpuConfig. */
+struct NodeLayoutConfig
+{
+    NodeLayoutKind kind = NodeLayoutKind::Exact;
+    /** Grid resolution per plane, 1..16 bits (quantized layouts only). */
+    uint32_t bits_per_plane = 8;
+
+    static NodeLayoutConfig
+    exact()
+    {
+        return NodeLayoutConfig{};
+    }
+
+    static NodeLayoutConfig
+    quantized(uint32_t bits = 8)
+    {
+        NodeLayoutConfig c;
+        c.kind = NodeLayoutKind::Quantized;
+        c.bits_per_plane = bits;
+        return c;
+    }
+
+    bool isQuantized() const { return kind == NodeLayoutKind::Quantized; }
+
+    /** Simulated footprint of one node under this layout. */
+    uint64_t
+    nodeBytes() const
+    {
+        if (!isQuantized())
+            return WideBvh::kNodeBytes;
+        // 16 B header + 24 B refs + 36 planes at bits_per_plane each.
+        return 16 + 24 +
+               (36ull * bits_per_plane + 7) / 8;
+    }
+
+    /** Simulated byte address of node @p index under this layout. */
+    uint64_t
+    nodeAddress(uint32_t index) const
+    {
+        return WideBvh::kNodeBase + index * nodeBytes();
+    }
+
+    /** Short tag for record/display keys: "exact", "q8", "q12", ... */
+    std::string name() const;
+
+    bool
+    operator==(const NodeLayoutConfig &o) const
+    {
+        return kind == o.kind &&
+               (!isQuantized() || bits_per_plane == o.bits_per_plane);
+    }
+    bool operator!=(const NodeLayoutConfig &o) const { return !(*this == o); }
+};
+
+/**
+ * Decoded view of a WideBvh re-encoded under a quantized layout.
+ *
+ * build() quantizes every node's child planes to the layout grid and
+ * stores the DECODED (conservatively inflated) boxes as plain
+ * WideNodes, so traversal code paths are shared with the exact layout.
+ * Child refs, counts and the primitive index list are untouched — only
+ * boxes change.
+ */
+class QuantizedBvh
+{
+  public:
+    /** Re-encode @p bvh under @p layout (which must be quantized). */
+    void build(const WideBvh &bvh, const NodeLayoutConfig &layout);
+
+    bool empty() const { return nodes_.empty(); }
+    const NodeLayoutConfig &layout() const { return layout_; }
+
+    /** Decoded node (boxes conservatively contain the exact ones). */
+    const WideNode &
+    node(uint32_t index) const
+    {
+        return nodes_[index];
+    }
+
+    const std::vector<WideNode> &nodes() const { return nodes_; }
+
+  private:
+    NodeLayoutConfig layout_ = NodeLayoutConfig::quantized();
+    std::vector<WideNode> nodes_;
+};
+
+} // namespace sms
+
+#endif // SMS_BVH_NODE_LAYOUT_HPP

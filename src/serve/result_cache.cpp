@@ -319,9 +319,19 @@ gpuConfigDigest(const GpuConfig &config)
     w.u64(config.timing.leaf_op_base);
     w.u64(config.timing.leaf_op_per_prim);
     w.u64(config.timing.stack_round);
+    w.u64(config.timing.node_decode_op);
     w.u64(config.timing.shading_latency);
     w.u32(config.shading_instructions);
     w.u32(config.shadow_instructions);
+
+    // Traversal-variant axes: node layout and ray scheduling change the
+    // functional traversal, so two configs differing only here must map
+    // to distinct cells.
+    w.u8(static_cast<uint8_t>(config.node_layout.kind));
+    w.u32(config.node_layout.isQuantized()
+              ? config.node_layout.bits_per_plane
+              : 0);
+    w.u8(static_cast<uint8_t>(config.ray_order.kind));
 
     return fnv1a(w.buffer().data(), w.buffer().size(),
                  resultSchemaHash());

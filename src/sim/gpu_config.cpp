@@ -9,6 +9,41 @@
 
 namespace sms {
 
+uint64_t
+TraversalVariant::digest() const
+{
+    if (isDefault())
+        return 0;
+    // Word-mixed hash in the style of workloadFingerprint; seeded with
+    // a tag so a variant digest never collides with the 0 sentinel.
+    uint64_t h = 0x736d732d76617231ull; // "sms-var1"
+    auto mix = [&h](uint32_t v) {
+        h ^= v;
+        h *= 0x100000001b3ull;
+        h ^= h >> 29;
+    };
+    mix(static_cast<uint32_t>(layout.kind));
+    mix(layout.isQuantized() ? layout.bits_per_plane : 0u);
+    mix(static_cast<uint32_t>(order.kind));
+    return h != 0 ? h : 1;
+}
+
+std::string
+TraversalVariant::tag() const
+{
+    if (isDefault())
+        return "";
+    std::string t;
+    if (layout.isQuantized())
+        t = layout.name();
+    if (order.active()) {
+        if (!t.empty())
+            t += "+";
+        t += order.name();
+    }
+    return t;
+}
+
 GpuConfig
 GpuConfig::tableI()
 {

@@ -8,9 +8,12 @@
 #define SMS_SIM_GPU_CONFIG_HPP
 
 #include <cstdint>
+#include <string>
 
+#include "src/bvh/node_layout.hpp"
 #include "src/core/stack_config.hpp"
 #include "src/memory/memory_system.hpp"
+#include "src/sim/ray_reorder.hpp"
 
 namespace sms {
 
@@ -26,10 +29,46 @@ struct RtUnitTiming
     /** Stack-manager bookkeeping latency per transaction round. */
     Cycle stack_round = 2;
     /**
+     * Per-internal-visit decode latency of a quantized node layout
+     * (dequantizing six child boxes before the ray-box phase). Only
+     * charged when the node layout is quantized.
+     */
+    Cycle node_decode_op = 4;
+    /**
      * SIMT-core shading latency between a warp's trace instructions
      * (hit shading + next-bounce setup). Runs outside the RT unit.
      */
     Cycle shading_latency = 200;
+};
+
+/**
+ * The functional-traversal side of a configuration: node layout plus
+ * ray scheduling. Unlike the stack/memory axes, these change WHICH
+ * traversal steps happen (inflated boxes visit supersets; reordering
+ * repacks the job stream), so traversal tapes and workload fingerprints
+ * are keyed per variant via digest().
+ */
+struct TraversalVariant
+{
+    NodeLayoutConfig layout;
+    RayOrderConfig order;
+
+    /** Exact layout, generation-order scheduling — the paper baseline. */
+    bool
+    isDefault() const
+    {
+        return !layout.isQuantized() && !order.active();
+    }
+
+    /**
+     * Key folded into tape/workload fingerprints. Exactly 0 for the
+     * default variant so every pre-existing fingerprint, tape file and
+     * golden record is unchanged.
+     */
+    uint64_t digest() const;
+
+    /** Display tag: "" for default, else e.g. "q8", "mort", "q8+mort". */
+    std::string tag() const;
 };
 
 /**
@@ -55,6 +94,11 @@ struct GpuConfig
     StackConfig stack;
     RtUnitTiming timing;
 
+    /** Node encoding the RT unit fetches (exact BVH6 by default). */
+    NodeLayoutConfig node_layout;
+    /** Ray scheduling between path segments (generation order default). */
+    RayOrderConfig ray_order;
+
     /** Per-lane instructions charged for shading per closest-hit job. */
     uint32_t shading_instructions = 32;
     /** Per-lane instructions charged per shadow (any-hit) job. */
@@ -75,6 +119,13 @@ struct GpuConfig
 
     /** Finalized memory-hierarchy config (L1 size resolved). */
     MemoryHierarchyConfig resolvedMemConfig() const;
+
+    /** The functional-traversal variant selected by this config. */
+    TraversalVariant
+    variant() const
+    {
+        return TraversalVariant{node_layout, ray_order};
+    }
 };
 
 } // namespace sms

@@ -11,6 +11,7 @@
 #include <queue>
 #include <string>
 
+#include "src/bvh/node_layout.hpp"
 #include "src/sim/traversal_tape.hpp"
 #include "src/stats/timeline.hpp"
 #include "src/util/check.hpp"
@@ -115,7 +116,11 @@ simulateJobs(const Scene &scene, const WideBvh &bvh,
                "a run cannot record and replay a tape at once");
     if (record) {
         record->jobs.assign(jobs.size(), JobTape{});
-        record->fingerprint = workloadFingerprint(jobs, bvh);
+        // Quantized layouts change the functional traversal (superset
+        // visits), so the variant digest keys the tape alongside the
+        // job stream; the default variant folds in 0.
+        record->fingerprint =
+            workloadFingerprint(jobs, bvh) ^ config.variant().digest();
     }
     if (replay) {
         SMS_ASSERT(replay->jobs.size() == jobs.size(),
@@ -123,6 +128,15 @@ simulateJobs(const Scene &scene, const WideBvh &bvh,
                    "%zu",
                    replay->jobs.size(), jobs.size());
     }
+
+    const QuantizedBvh *qbvh = options.quantized_bvh;
+    if (config.node_layout.isQuantized() && !replay) {
+        SMS_ASSERT(qbvh && qbvh->layout() == config.node_layout,
+                   "quantized node layout requires a matching decoded "
+                   "QuantizedBvh in SimOptions");
+    }
+    if (!config.node_layout.isQuantized())
+        qbvh = nullptr;
 
     MemorySystem mem(config.resolvedMemConfig(), config.num_sms);
     std::vector<SharedMemory> shared_mems(
@@ -157,14 +171,38 @@ simulateJobs(const Scene &scene, const WideBvh &bvh,
     // rather than a std::set insert per job.
     std::vector<std::vector<uint32_t>> children(jobs.size());
     std::vector<JobState> states(jobs.size());
+    // Wavefront barriers (reordered streams): distinct barrier values
+    // ascending, the jobs gated on each, and how many jobs with id <=
+    // the barrier are still incomplete. Job ids are dense (asserted
+    // below), so the initial remaining count is barrier + 1.
+    std::vector<int32_t> barrier_values;
+    std::vector<std::vector<uint32_t>> barrier_jobs;
+    std::vector<uint32_t> barrier_remaining;
     std::vector<uint8_t> warp_seen;
     uint32_t traced_jobs = 0;
     for (uint32_t j = 0; j < jobs.size(); ++j) {
         SMS_ASSERT(jobs[j].job_id == j, "jobs must be indexed by job_id");
         if (jobs[j].parent >= 0) {
+            SMS_ASSERT(jobs[j].barrier < 0,
+                       "a job cannot carry both a parent and a barrier");
             SMS_ASSERT(static_cast<uint32_t>(jobs[j].parent) < j,
                        "parent must precede child");
             children[static_cast<uint32_t>(jobs[j].parent)].push_back(j);
+        } else if (jobs[j].barrier >= 0) {
+            SMS_ASSERT(static_cast<uint32_t>(jobs[j].barrier) < j,
+                       "barrier must precede the gated job");
+            auto it = std::lower_bound(barrier_values.begin(),
+                                       barrier_values.end(),
+                                       jobs[j].barrier);
+            size_t k = static_cast<size_t>(it - barrier_values.begin());
+            if (it == barrier_values.end() || *it != jobs[j].barrier) {
+                barrier_values.insert(it, jobs[j].barrier);
+                barrier_jobs.emplace(barrier_jobs.begin() + k);
+                barrier_remaining.insert(
+                    barrier_remaining.begin() + k,
+                    static_cast<uint32_t>(jobs[j].barrier) + 1);
+            }
+            barrier_jobs[k].push_back(j);
         } else {
             states[j].is_ready = true;
             states[j].ready = 0;
@@ -276,7 +314,7 @@ simulateJobs(const Scene &scene, const WideBvh &bvh,
                 scene, bvh, config, job, sm_id, shared_base, local_base,
                 mem, shared_mems[sm_id],
                 traced ? fl.collector.get() : nullptr, rec, rep,
-                &result.depth_hist);
+                &result.depth_hist, qbvh);
         }
         events.emplace(cycle, seq++, idx);
     };
@@ -385,12 +423,48 @@ simulateJobs(const Scene &scene, const WideBvh &bvh,
             cs.is_ready = true;
             sms[sm_of(child)].pending.push({cs.ready, child});
         }
+        // Wavefront barriers: this completion retires one pending
+        // dependency of every barrier at or beyond this job id. A
+        // barrier whose remaining count hits zero releases its whole
+        // batch (shadow batches immediately, bounces after shading),
+        // mirroring the parent-edge semantics above.
+        std::vector<uint32_t> barrier_released;
+        if (!barrier_values.empty()) {
+            auto it = std::lower_bound(barrier_values.begin(),
+                                       barrier_values.end(),
+                                       static_cast<int32_t>(job_index));
+            for (size_t k = static_cast<size_t>(
+                     it - barrier_values.begin());
+                 k < barrier_values.size(); ++k) {
+                SMS_ASSERT(barrier_remaining[k] > 0,
+                           "barrier %d released twice",
+                           barrier_values[k]);
+                if (--barrier_remaining[k] == 0)
+                    for (uint32_t waiter : barrier_jobs[k])
+                        barrier_released.push_back(waiter);
+            }
+        }
+        for (uint32_t waiter : barrier_released) {
+            JobState &ws = states[waiter];
+            Cycle extra = jobs[waiter].any_hit
+                              ? 0
+                              : config.timing.shading_latency;
+            ws.ready = cycle + extra;
+            ws.is_ready = true;
+            sms[sm_of(waiter)].pending.push({ws.ready, waiter});
+        }
+
         schedule_sm(sm_id, cycle);
         // A child may target a different SM with idle slots.
         for (uint32_t child : children[job_index]) {
             uint32_t child_sm = sm_of(child);
             if (child_sm != sm_id)
                 schedule_sm(child_sm, cycle);
+        }
+        for (uint32_t waiter : barrier_released) {
+            uint32_t waiter_sm = sm_of(waiter);
+            if (waiter_sm != sm_id)
+                schedule_sm(waiter_sm, cycle);
         }
     }
 

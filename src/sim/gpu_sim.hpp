@@ -26,6 +26,8 @@
 
 namespace sms {
 
+class QuantizedBvh;
+
 /** One record of the per-access depth trace (Fig. 10). */
 struct DepthTraceRecord
 {
@@ -60,6 +62,14 @@ struct SimOptions
      * Only consulted when the timeline tracer is enabled.
      */
     std::string timeline_label;
+
+    /**
+     * Decoded quantized BVH matching config.node_layout. Required when
+     * the layout is quantized and geometry executes (i.e. not a pure
+     * tape replay): traversal intersects the decoded boxes and fetches
+     * the narrow footprint. Must stay alive for the simulateJobs call.
+     */
+    const QuantizedBvh *quantized_bvh = nullptr;
 };
 
 /** Aggregated outcome of one simulated frame. */

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Ray-stream reorder stage implementation.
+ */
+
+#include "src/sim/ray_reorder.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/util/check.hpp"
+
+namespace sms {
+
+std::string
+RayOrderConfig::name() const
+{
+    switch (kind) {
+    case RayOrderKind::None: return "none";
+    case RayOrderKind::OctantMorton: return "mort";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Spread the low 10 bits of @p v to every third bit. */
+uint32_t
+spreadBits10(uint32_t v)
+{
+    v &= 0x3ffu;
+    v = (v | (v << 16)) & 0x030000ffu;
+    v = (v | (v << 8)) & 0x0300f00fu;
+    v = (v | (v << 4)) & 0x030c30c3u;
+    v = (v | (v << 2)) & 0x09249249u;
+    return v;
+}
+
+uint32_t
+quantizeAxis(float v, float lo, float hi)
+{
+    if (!(hi > lo))
+        return 0;
+    float t = (v - lo) / (hi - lo);
+    if (!(t > 0.0f))
+        t = 0.0f;
+    if (t > 1.0f)
+        t = 1.0f;
+    uint32_t q = static_cast<uint32_t>(t * 1023.0f);
+    return q > 1023u ? 1023u : q;
+}
+
+/** One pending ray lifted out of its generation-order job. */
+struct PendingRay
+{
+    uint64_t key;
+    uint32_t source; ///< original (job << 5 | lane), the stable tiebreak
+    uint32_t job;
+    uint32_t lane;
+};
+
+/** Union of the root node's child boxes (the scene bounds proxy). */
+Aabb
+rootBounds(const WideBvh &bvh, const WarpJobList &jobs)
+{
+    Aabb bounds;
+    if (!bvh.empty() && bvh.rootRef().isInternal()) {
+        const WideNode &root = bvh.nodes()[bvh.rootRef().nodeIndex()];
+        for (uint8_t c = 0; c < root.child_count; ++c)
+            bounds.extend(root.child_bounds[c]);
+    }
+    if (bounds.empty()) {
+        // Single-leaf or empty BVH: fall back to the ray origins so the
+        // Morton grid still spans the batch.
+        for (const WarpJob &job : jobs)
+            for (uint32_t l = 0; l < kWarpSize; ++l)
+                if (job.active[l])
+                    bounds.extend(job.rays[l].origin);
+    }
+    return bounds;
+}
+
+} // namespace
+
+uint64_t
+rayOrderKey(const Ray &ray, const Aabb &bounds)
+{
+    uint32_t octant = (ray.dir.x < 0.0f ? 4u : 0u) |
+                      (ray.dir.y < 0.0f ? 2u : 0u) |
+                      (ray.dir.z < 0.0f ? 1u : 0u);
+    uint32_t mx = quantizeAxis(ray.origin.x, bounds.lo.x, bounds.hi.x);
+    uint32_t my = quantizeAxis(ray.origin.y, bounds.lo.y, bounds.hi.y);
+    uint32_t mz = quantizeAxis(ray.origin.z, bounds.lo.z, bounds.hi.z);
+    uint64_t morton = (spreadBits10(mx) << 2) | (spreadBits10(my) << 1) |
+                      spreadBits10(mz);
+    return (static_cast<uint64_t>(octant) << 30) | morton;
+}
+
+WarpJobList
+reorderJobs(const WarpJobList &jobs, const WideBvh &bvh,
+            const RayOrderConfig &order)
+{
+    if (!order.active())
+        return jobs;
+
+    Aabb bounds = rootBounds(bvh, jobs);
+
+    // Wavefront batches: one per (segment, any_hit) generation, in
+    // first-appearance order — the order the untransformed stream
+    // produced them, which respects every parent dependency.
+    std::vector<std::pair<uint32_t, bool>> batch_keys;
+    std::vector<std::vector<PendingRay>> batches;
+    for (uint32_t j = 0; j < jobs.size(); ++j) {
+        const WarpJob &job = jobs[j];
+        std::pair<uint32_t, bool> key{job.segment, job.any_hit};
+        size_t b = 0;
+        for (; b < batch_keys.size(); ++b)
+            if (batch_keys[b] == key)
+                break;
+        if (b == batch_keys.size()) {
+            batch_keys.push_back(key);
+            batches.emplace_back();
+        }
+        for (uint32_t l = 0; l < kWarpSize; ++l) {
+            if (!job.active[l])
+                continue;
+            PendingRay p;
+            p.key = rayOrderKey(job.rays[l], bounds);
+            p.source = (j << 5) | l;
+            p.job = j;
+            p.lane = l;
+            batches[b].push_back(p);
+        }
+    }
+
+    WarpJobList out;
+    int32_t prev_batch_last = -1;
+    for (size_t b = 0; b < batches.size(); ++b) {
+        std::vector<PendingRay> &rays = batches[b];
+        std::sort(rays.begin(), rays.end(),
+                  [](const PendingRay &a, const PendingRay &c) {
+                      if (a.key != c.key)
+                          return a.key < c.key;
+                      return a.source < c.source;
+                  });
+        int32_t batch_first = static_cast<int32_t>(out.size());
+        for (size_t i = 0; i < rays.size(); i += kWarpSize) {
+            WarpJob job;
+            job.job_id = static_cast<uint32_t>(out.size());
+            job.warp_id = job.job_id;
+            job.segment = batch_keys[b].first;
+            job.any_hit = batch_keys[b].second;
+            job.parent = -1;
+            job.barrier = prev_batch_last;
+            uint32_t lanes =
+                static_cast<uint32_t>(std::min<size_t>(kWarpSize,
+                                                       rays.size() - i));
+            for (uint32_t l = 0; l < lanes; ++l) {
+                const PendingRay &p = rays[i + l];
+                const WarpJob &src = jobs[p.job];
+                job.rays[l] = src.rays[p.lane];
+                job.active[l] = true;
+                job.expected_t[l] = src.expected_t[p.lane];
+                job.expected_prim[l] = src.expected_prim[p.lane];
+                job.expected_hit[l] = src.expected_hit[p.lane];
+            }
+            out.push_back(job);
+        }
+        if (static_cast<int32_t>(out.size()) > batch_first)
+            prev_batch_last = static_cast<int32_t>(out.size()) - 1;
+    }
+    return out;
+}
+
+} // namespace sms

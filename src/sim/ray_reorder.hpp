@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Ray-stream reordering: a wavefront scheduling stage between path
+ * segments, as a first-class configuration axis.
+ *
+ * The job generator emits warp jobs in image order; secondary rays
+ * inherit the camera-warp packing, so a warp's 32 rays can diverge into
+ * unrelated treelets and every lane fetches different node lines. The
+ * reorder stage (Grauer et al., PAPERS.md arXiv 2505.24653; SNIPPETS.md
+ * §1 wavefront idioms) regroups each wavefront batch — all pending rays
+ * of one (segment, any_hit) generation — by direction octant and origin
+ * Morton key before repacking them 32-to-a-warp, so warps traverse the
+ * same treelets and the node working set per warp shrinks.
+ *
+ * Reordered jobs lose their 1:1 parent edge (a repacked warp mixes rays
+ * from many parents); instead each batch carries a barrier on the last
+ * job of the previous batch, modeling the global wavefront sync a
+ * reorder pass implies. Reordering is a pure, deterministic function of
+ * the job stream, so tapes and result-cache entries key on the
+ * reordered stream via the traversal-variant digest.
+ */
+
+#ifndef SMS_SIM_RAY_REORDER_HPP
+#define SMS_SIM_RAY_REORDER_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "src/bvh/wide_bvh.hpp"
+#include "src/sim/warp_job.hpp"
+
+namespace sms {
+
+/** Ray scheduling modes between path segments. */
+enum class RayOrderKind : uint8_t
+{
+    None = 0,         ///< generation order (image-space packing)
+    OctantMorton = 1, ///< sort batches by direction octant + origin Morton
+};
+
+/** One point on the ray-scheduling axis of a GpuConfig. */
+struct RayOrderConfig
+{
+    RayOrderKind kind = RayOrderKind::None;
+
+    static RayOrderConfig
+    none()
+    {
+        return RayOrderConfig{};
+    }
+
+    static RayOrderConfig
+    octantMorton()
+    {
+        RayOrderConfig c;
+        c.kind = RayOrderKind::OctantMorton;
+        return c;
+    }
+
+    bool active() const { return kind != RayOrderKind::None; }
+
+    /** Short tag for record/display keys: "none", "mort". */
+    std::string name() const;
+
+    bool operator==(const RayOrderConfig &o) const { return kind == o.kind; }
+    bool operator!=(const RayOrderConfig &o) const { return !(*this == o); }
+};
+
+/**
+ * Sort key for one ray: direction octant (3 sign bits) in the top
+ * bits, then a 30-bit Morton code of the origin within @p bounds.
+ * Exposed for tests.
+ */
+uint64_t rayOrderKey(const Ray &ray, const Aabb &bounds);
+
+/**
+ * Reorder @p jobs per the scheduling mode. Returns the input unchanged
+ * when the mode is None. Otherwise rays are regrouped into wavefront
+ * batches by (segment, any_hit) in first-appearance order, sorted
+ * within each batch by rayOrderKey (stable on ties), and repacked into
+ * fresh 32-lane jobs with sequential ids, no parent edges, and a
+ * barrier on the last job of the previous batch. Expected-hit oracle
+ * values travel with their rays. Deterministic: equal inputs produce
+ * equal outputs.
+ */
+WarpJobList reorderJobs(const WarpJobList &jobs, const WideBvh &bvh,
+                        const RayOrderConfig &order);
+
+} // namespace sms
+
+#endif // SMS_SIM_RAY_REORDER_HPP

@@ -34,6 +34,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/bvh/node_layout.hpp"
 #include "src/bvh/traverse.hpp"
 #include "src/bvh/wide_bvh.hpp"
 #include "src/core/warp_stack.hpp"
@@ -86,6 +87,8 @@ class TraversalSim
      *               traversal to the tape while executing
      * @param replay when non-null, skip the geometry work and drive
      *               the timing model from the recorded tape instead
+     * @param qbvh   decoded quantized BVH; required when the config's
+     *               node layout is quantized and geometry executes
      */
     TraversalSim(const Scene &scene, const WideBvh &bvh,
                  const GpuConfig &config, const WarpJob &job, uint32_t sm,
@@ -93,7 +96,8 @@ class TraversalSim
                  SharedMemory &shared_mem, DepthObserver *observer,
                  JobTape *record = nullptr,
                  const JobTape *replay = nullptr,
-                 Histogram *depth_hist = nullptr);
+                 Histogram *depth_hist = nullptr,
+                 const QuantizedBvh *qbvh = nullptr);
 
     /**
      * Rearm this instance for a new warp job (scene, BVH, GPU config
@@ -197,6 +201,8 @@ class TraversalSim
 
     const Scene &scene_;
     const WideBvh &bvh_;
+    /** Decoded quantized view; null under the exact layout or replay. */
+    const QuantizedBvh *qbvh_;
     const GpuConfig &config_;
     WarpJob job_;
     uint32_t sm_;

@@ -117,6 +117,13 @@ workloadFingerprint(const WarpJobList &jobs, const WideBvh &bvh)
         h = hashU32(h, job.job_id);
         h = hashU32(h, job.warp_id);
         h = hashU32(h, static_cast<uint32_t>(job.parent));
+        // Barriers only exist on reordered streams; hashing them behind
+        // the guard keeps every legacy (barrier-free) fingerprint — and
+        // thus every existing tape and result-cache entry — unchanged.
+        if (job.barrier >= 0) {
+            h = hashU32(h, 0x9e3779b9u);
+            h = hashU32(h, static_cast<uint32_t>(job.barrier));
+        }
         h = hashU32(h, job.any_hit ? 1u : 0u);
         uint32_t mask = 0;
         for (uint32_t i = 0; i < kWarpSize; ++i)

@@ -27,6 +27,14 @@ struct WarpJob
     uint32_t segment = 0;
     /** Job that must complete (plus shading) before this one starts. */
     int32_t parent = -1;
+    /**
+     * Wavefront barrier: when >= 0, this job is ready only after every
+     * job with job_id <= barrier has completed (plus shading for
+     * closest-hit jobs). Emitted by the ray-reorder stage, which
+     * replaces 1:1 parent edges with per-batch barriers; mutually
+     * exclusive with parent.
+     */
+    int32_t barrier = -1;
     /** Shadow-ray batch: any-hit semantics, no child jobs. */
     bool any_hit = false;
 

@@ -813,6 +813,53 @@ compareMetric(const std::string &where, const char *metric,
 }
 
 /**
+ * Compare the per-class traffic counters of a cell pair: the
+ * counters.{l1,l2}.class_misses objects (Node/Primitive/Stack splits).
+ * Every diverging class yields its own issue with the signed delta
+ * b - a — a layout change typically moves one class down and another
+ * up, and reporting only the first diverging class hides the shape of
+ * the shift. Classes absent from either record (older files) are
+ * skipped like any absent metric.
+ */
+void
+compareClassTraffic(const std::string &where, const JsonValue &cell_a,
+                    const JsonValue &cell_b, double eps,
+                    std::vector<CompareIssue> &issues)
+{
+    for (const char *level : {"l1", "l2"}) {
+        auto classes_of =
+            [&](const JsonValue &cell) -> const JsonValue * {
+            const JsonValue *counters = cell.find("counters");
+            const JsonValue *lvl =
+                counters ? counters->find(level) : nullptr;
+            const JsonValue *cls =
+                lvl ? lvl->find("class_misses") : nullptr;
+            return cls && cls->isObject() ? cls : nullptr;
+        };
+        const JsonValue *cls_a = classes_of(cell_a);
+        const JsonValue *cls_b = classes_of(cell_b);
+        if (!cls_a || !cls_b)
+            continue;
+        for (const auto &[name, va] : cls_a->members()) {
+            const JsonValue *vb = cls_b->find(name);
+            if (!vb || !va.isNumber() || !vb->isNumber())
+                continue;
+            double da = va.asNumber();
+            double db = vb->asNumber();
+            double rel = relDelta(da, db);
+            if (rel > eps) {
+                CompareIssue issue{where,
+                                   std::string(level) +
+                                       "_class_misses:" + name,
+                                   da, db, rel};
+                issue.signed_delta = db - da;
+                issues.push_back(std::move(issue));
+            }
+        }
+    }
+}
+
+/**
  * Re-check one cycle_accounting tree's conservation invariant at zero
  * epsilon: non-idle leaves sum to warp_active_cycles, and when a slot
  * budget is present every leaf sums to slot_cycles.
@@ -948,6 +995,8 @@ compareBenchRecords(const JsonValue &a, const JsonValue &b,
                       options.traffic_eps, issues);
         compareMetric(key, "norm_offchip", *cell_a, cell_b,
                       options.traffic_eps, issues);
+        compareClassTraffic(key, *cell_a, cell_b, options.traffic_eps,
+                            issues);
         if (options.check_accounting)
             compareAccounting(key, *cell_a, cell_b, options, issues);
     }

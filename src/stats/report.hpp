@@ -200,6 +200,12 @@ struct CompareIssue
     double a = 0.0;
     double b = 0.0;
     double rel = 0.0; ///< relative delta |a-b|/max(|a|,|b|)
+    /**
+     * Signed delta b - a, set for the per-class traffic metrics
+     * ("l1_class_misses:node", ...) where the direction of the
+     * divergence matters for diagnosis.
+     */
+    double signed_delta = 0.0;
 };
 
 /**

@@ -5,6 +5,8 @@
 
 #include "src/trace/render.hpp"
 
+#include "src/bvh/node_layout.hpp"
+#include "src/sim/ray_reorder.hpp"
 #include "src/stats/timeline.hpp"
 #include "src/trace/workload_cache.hpp"
 #include "src/util/check.hpp"
@@ -46,27 +48,52 @@ makeGpuConfig(const StackConfig &stack, uint64_t l1_override_bytes)
     return config;
 }
 
+std::string
+configDisplayName(const GpuConfig &config)
+{
+    std::string name = config.stack.name();
+    std::string tag = config.variant().tag();
+    if (!tag.empty())
+        name += "+" + tag;
+    return name;
+}
+
 SimResult
 runWorkload(const Workload &workload, const GpuConfig &config,
             const SimOptions &options)
 {
-    SimResult result;
-    if (timelineAnyOn() && options.timeline_label.empty()) {
-        // Default trace-process label: "scene config (cycles)".
-        SimOptions labeled = options;
-        labeled.timeline_label = std::string(sceneName(workload.id)) +
-                                 " " + config.stack.name() + " (cycles)";
-        result = simulateJobs(workload.scene, workload.bvh,
-                              workload.render.jobs, config, labeled);
-    } else {
-        result = simulateJobs(workload.scene, workload.bvh,
-                              workload.render.jobs, config, options);
+    // The traversal variant reshapes the simulator inputs: reordering
+    // repacks the job stream, quantization swaps the intersected boxes.
+    // Both are deterministic pure functions of the prepared workload,
+    // so tapes and cached results key on them via the variant digest.
+    const WarpJobList *jobs = &workload.render.jobs;
+    WarpJobList reordered;
+    if (config.ray_order.active()) {
+        reordered =
+            reorderJobs(workload.render.jobs, workload.bvh,
+                        config.ray_order);
+        jobs = &reordered;
     }
+    SimOptions opts = options;
+    QuantizedBvh qbvh;
+    if (config.node_layout.isQuantized() && !options.replay_tape) {
+        // Replay never touches geometry, so the decode pass is skipped
+        // there; record/execute cells intersect the decoded boxes.
+        qbvh.build(workload.bvh, config.node_layout);
+        opts.quantized_bvh = &qbvh;
+    }
+    if (timelineAnyOn() && opts.timeline_label.empty()) {
+        // Default trace-process label: "scene config (cycles)".
+        opts.timeline_label = std::string(sceneName(workload.id)) + " " +
+                              configDisplayName(config) + " (cycles)";
+    }
+    SimResult result =
+        simulateJobs(workload.scene, workload.bvh, *jobs, config, opts);
     SMS_ASSERT(result.mismatches == 0,
                "timing simulation diverged from the functional oracle "
                "(%u lanes) on scene %s under %s",
                result.mismatches, sceneName(workload.id),
-               config.stack.name().c_str());
+               configDisplayName(config).c_str());
     return result;
 }
 

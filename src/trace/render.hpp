@@ -9,6 +9,7 @@
 #define SMS_TRACE_RENDER_HPP
 
 #include <memory>
+#include <string>
 
 #include "src/bvh/wide_bvh.hpp"
 #include "src/scene/registry.hpp"
@@ -49,6 +50,14 @@ prepareWorkload(SceneId id, ScaleProfile profile = ScaleProfile::Small,
 /** GPU config with the given stack setup (Table I otherwise). */
 GpuConfig makeGpuConfig(const StackConfig &stack,
                         uint64_t l1_override_bytes = 0);
+
+/**
+ * Display name of a configuration: the stack name, plus the traversal
+ * variant tag when non-default ("RB_8", "SMS+q8+mort", ...). Default
+ * variants reduce to the bare stack name, keeping existing record keys
+ * byte-identical.
+ */
+std::string configDisplayName(const GpuConfig &config);
 
 /** Simulate a prepared workload under one configuration. */
 SimResult runWorkload(const Workload &workload, const GpuConfig &config,

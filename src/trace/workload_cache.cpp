@@ -19,6 +19,7 @@
 #include <cstring>
 #include <vector>
 
+#include "src/sim/ray_reorder.hpp"
 #include "src/trace/cache_io.hpp"
 #include "src/util/check.hpp"
 
@@ -451,19 +452,72 @@ std::string
 traversalTapePath(const std::string &dir, SceneId id,
                   ScaleProfile profile, const RenderParams &params)
 {
+    return traversalTapePath(dir, id, profile, params,
+                             TraversalVariant{});
+}
+
+std::string
+traversalTapePath(const std::string &dir, SceneId id,
+                  ScaleProfile profile, const RenderParams &params,
+                  const TraversalVariant &variant)
+{
     std::string path = workloadSnapshotPath(dir, id, profile, params);
-    // <scene>-<profile>-<hash>.wkld -> .tape
-    path.replace(path.size() - 5, 5, ".tape");
+    // <scene>-<profile>-<hash>.wkld -> [-v<digest16>].tape. Default
+    // variants keep the historical suffix-only name, so existing tape
+    // files stay valid.
+    path.resize(path.size() - 5);
+    uint64_t digest = variant.digest();
+    if (digest != 0) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "-v%016llx",
+                      static_cast<unsigned long long>(digest));
+        path += buf;
+    }
+    path += ".tape";
     return path;
 }
+
+namespace {
+
+/**
+ * The fingerprint a tape recorded under @p variant must carry: the
+ * fingerprint of the job stream AS SIMULATED (reordered when the
+ * variant reorders) xor the variant digest. Reduces to the plain
+ * workload fingerprint for the default variant.
+ */
+uint64_t
+expectedTapeIdentity(const Workload &workload,
+                     const TraversalVariant &variant, size_t &job_count)
+{
+    uint64_t base;
+    if (variant.order.active()) {
+        WarpJobList reordered = reorderJobs(workload.render.jobs,
+                                            workload.bvh, variant.order);
+        job_count = reordered.size();
+        base = workloadFingerprint(reordered, workload.bvh);
+    } else {
+        job_count = workload.render.jobs.size();
+        base = workloadFingerprint(workload.render.jobs, workload.bvh);
+    }
+    return base ^ variant.digest();
+}
+
+} // namespace
 
 bool
 loadTraversalTape(const std::string &dir, const Workload &workload,
                   TraversalTape &out)
 {
+    return loadTraversalTape(dir, workload, TraversalVariant{}, out);
+}
+
+bool
+loadTraversalTape(const std::string &dir, const Workload &workload,
+                  const TraversalVariant &variant, TraversalTape &out)
+{
     std::string path = traversalTapePath(dir, workload.id,
                                          workload.profile,
-                                         workload.params);
+                                         workload.params, variant);
     std::string data;
     if (!readFile(path, data))
         return false; // quiet miss: never recorded here
@@ -481,11 +535,14 @@ loadTraversalTape(const std::string &dir, const Workload &workload,
     if (r.u32() != kTraversalTapeVersion)
         return invalid("version mismatch");
     uint64_t fingerprint = r.u64();
-    if (fingerprint !=
-        workloadFingerprint(workload.render.jobs, workload.bvh))
+    size_t expected_jobs = 0;
+    if (fingerprint != expectedTapeIdentity(workload, variant,
+                                            expected_jobs))
         return invalid("workload fingerprint mismatch");
     uint64_t job_count = r.u64();
-    if (!r.ok() || job_count != workload.render.jobs.size())
+    // Reordering repacks rays 32-to-a-warp, so the expected count is
+    // the reordered stream's, not the generation-order one's.
+    if (!r.ok() || job_count != expected_jobs)
         return invalid("job count mismatch");
 
     TraversalTape tape;
@@ -510,6 +567,14 @@ bool
 saveTraversalTape(const std::string &dir, const Workload &workload,
                   const TraversalTape &tape)
 {
+    return saveTraversalTape(dir, workload, TraversalVariant{}, tape);
+}
+
+bool
+saveTraversalTape(const std::string &dir, const Workload &workload,
+                  const TraversalVariant &variant,
+                  const TraversalTape &tape)
+{
     if (!ensureDir(dir)) {
         warn("SMS_WORKLOAD_CACHE=%s is not a creatable directory; "
              "traversal tape not written",
@@ -529,7 +594,7 @@ saveTraversalTape(const std::string &dir, const Workload &workload,
     std::string data = sealCacheEnvelope(kTapeMagic, w.buffer());
     std::string path = traversalTapePath(dir, workload.id,
                                          workload.profile,
-                                         workload.params);
+                                         workload.params, variant);
     if (!writeFileAtomic(path, data)) {
         warn("traversal tape %s not written: %s", path.c_str(),
              std::strerror(errno));

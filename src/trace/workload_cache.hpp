@@ -89,11 +89,18 @@ bool saveWorkloadSnapshot(const std::string &dir,
 /**
  * Traversal-tape file path for a cache key (diagnostics/tests). Tapes
  * live alongside the .wkld snapshots under the same key because the
- * tape is a pure function of the prepared workload.
+ * tape is a pure function of the prepared workload. The default
+ * (exact-layout, unordered) traversal variant keeps the historical
+ * `<key>.tape` name; non-default variants append `-v<digest16>` since
+ * their tapes record a different functional traversal.
  */
 std::string traversalTapePath(const std::string &dir, SceneId id,
                               ScaleProfile profile,
                               const RenderParams &params);
+std::string traversalTapePath(const std::string &dir, SceneId id,
+                              ScaleProfile profile,
+                              const RenderParams &params,
+                              const TraversalVariant &variant);
 
 /**
  * Load a persisted traversal tape for @p workload into @p out.
@@ -101,9 +108,15 @@ std::string traversalTapePath(const std::string &dir, SceneId id,
  * A missing file is a quiet miss; an invalid file (bad magic, version,
  * checksum, truncation) or one whose fingerprint does not match the
  * workload's job stream counts a tape failure and is treated as a miss
- * so the caller re-records (and rewrites) the tape.
+ * so the caller re-records (and rewrites) the tape. The variant-aware
+ * overload validates against the variant's job stream (reordered when
+ * it reorders) xor the variant digest; the plain overload assumes the
+ * default variant.
  */
 bool loadTraversalTape(const std::string &dir, const Workload &workload,
+                       TraversalTape &out);
+bool loadTraversalTape(const std::string &dir, const Workload &workload,
+                       const TraversalVariant &variant,
                        TraversalTape &out);
 
 /**
@@ -111,6 +124,9 @@ bool loadTraversalTape(const std::string &dir, const Workload &workload,
  * @return false (with a warning) on I/O failure.
  */
 bool saveTraversalTape(const std::string &dir, const Workload &workload,
+                       const TraversalTape &tape);
+bool saveTraversalTape(const std::string &dir, const Workload &workload,
+                       const TraversalVariant &variant,
                        const TraversalTape &tape);
 
 } // namespace sms

@@ -18,12 +18,42 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdio>
+#include <cstdlib>
 #include <exception>
 #include <functional>
 #include <thread>
 #include <vector>
 
 namespace sms {
+
+/**
+ * Default worker count for parallelFor's threads==0 mode: SMS_THREADS
+ * when set to a positive integer, otherwise hardware_concurrency()
+ * (with a fallback of 4 when even that is unknown). Parsed once per
+ * process; a malformed value warns and falls through to the hardware
+ * default rather than silently serializing.
+ */
+inline unsigned
+defaultThreadCount()
+{
+    static const unsigned count = [] {
+        const char *env = std::getenv("SMS_THREADS");
+        if (env && *env) {
+            char *end = nullptr;
+            unsigned long n = std::strtoul(env, &end, 10);
+            if (end && !*end && n >= 1 && n <= 65536)
+                return static_cast<unsigned>(n);
+            std::fprintf(stderr,
+                         "sms: SMS_THREADS='%s' is not a thread count "
+                         "in 1..65536; using the hardware default\n",
+                         env);
+        }
+        unsigned hw = std::thread::hardware_concurrency();
+        return hw == 0 ? 4u : hw;
+    }();
+    return count;
+}
 
 /**
  * Run fn(i) for i in [0, n) across up to @p threads workers.
@@ -43,11 +73,8 @@ parallelFor(size_t n, const std::function<void(size_t)> &fn,
         return;
     if (chunk == 0)
         chunk = 1;
-    if (threads == 0) {
-        threads = std::thread::hardware_concurrency();
-        if (threads == 0)
-            threads = 4;
-    }
+    if (threads == 0)
+        threads = defaultThreadCount();
     // One worker per *chunk*, not per iteration: with chunk > 1 a
     // thread claims `chunk` iterations per grab, so spawning more
     // workers than chunks just creates threads that grab nothing (and

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Quantized node-layout tests: configuration arithmetic, the
+ * conservative-containment guarantee of the builder (randomized
+ * property test), and a differential traversal check — decoded nodes
+ * must visit a superset of the exact visit set while producing
+ * identical closest hits.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "src/bvh/node_layout.hpp"
+#include "src/bvh/traverse.hpp"
+#include "src/bvh/wide_bvh.hpp"
+#include "src/scene/registry.hpp"
+#include "src/util/rng.hpp"
+
+namespace sms {
+namespace {
+
+Scene
+randomSoup(uint32_t count, uint64_t seed)
+{
+    Scene scene;
+    uint16_t mat = scene.addMaterial({});
+    Pcg32 rng(seed);
+    for (uint32_t i = 0; i < count; ++i) {
+        Vec3 c{rng.nextRange(-50, 50), rng.nextRange(-50, 50),
+               rng.nextRange(-50, 50)};
+        auto jitter = [&]() {
+            return Vec3{rng.nextRange(-2.0f, 2.0f),
+                        rng.nextRange(-2.0f, 2.0f),
+                        rng.nextRange(-2.0f, 2.0f)};
+        };
+        scene.addTriangle(
+            Triangle(c + jitter(), c + jitter(), c + jitter()), mat);
+    }
+    for (uint32_t i = 0; i < count / 8 + 1; ++i)
+        scene.addSphere(Sphere({rng.nextRange(-50, 50),
+                                rng.nextRange(-50, 50),
+                                rng.nextRange(-50, 50)},
+                               rng.nextRange(0.3f, 3.0f)),
+                        mat);
+    return scene;
+}
+
+Ray
+randomRay(Pcg32 &rng)
+{
+    Vec3 dir;
+    do {
+        dir = Vec3{rng.nextRange(-1, 1), rng.nextRange(-1, 1),
+                   rng.nextRange(-1, 1)};
+    } while (lengthSquared(dir) < 1e-4f);
+    return Ray({rng.nextRange(-60, 60), rng.nextRange(-60, 60),
+                rng.nextRange(-60, 60)},
+               normalize(dir), 1e-4f);
+}
+
+/**
+ * Internal nodes reachable from the root by boxes intersecting the
+ * FIXED ray segment (no tMax shrinking). Without pruning, conservative
+ * box inflation can only add reachable nodes, making the superset
+ * property exact rather than order-dependent.
+ */
+std::set<uint32_t>
+reachableNodes(const WideBvh &bvh, const std::vector<WideNode> &nodes,
+               const Ray &ray)
+{
+    std::set<uint32_t> visited;
+    if (bvh.empty() || !bvh.rootRef().isInternal())
+        return visited;
+    std::vector<uint32_t> stack{bvh.rootRef().nodeIndex()};
+    while (!stack.empty()) {
+        uint32_t index = stack.back();
+        stack.pop_back();
+        if (!visited.insert(index).second)
+            continue;
+        const WideNode &node = nodes[index];
+        for (uint8_t c = 0; c < node.child_count; ++c) {
+            if (!node.children[c].isInternal())
+                continue;
+            float t;
+            if (node.child_bounds[c].intersect(ray, t))
+                stack.push_back(node.children[c].nodeIndex());
+        }
+    }
+    return visited;
+}
+
+/** Closest-hit traversal reading node boxes from @p nodes. */
+HitRecord
+closestHitOver(const Scene &scene, const WideBvh &bvh,
+               const std::vector<WideNode> &nodes, Ray ray)
+{
+    HitRecord hit;
+    if (bvh.empty())
+        return hit;
+    uint32_t tested = 0;
+    std::vector<ChildRef> stack{bvh.rootRef()};
+    while (!stack.empty()) {
+        ChildRef ref = stack.back();
+        stack.pop_back();
+        if (ref.isLeaf()) {
+            intersectLeaf(scene, bvh, ref, ray, hit, false, tested);
+            continue;
+        }
+        ChildHits hits =
+            intersectNodeChildren(nodes[ref.nodeIndex()], ray);
+        for (int i = hits.count - 1; i >= 0; --i)
+            stack.push_back(hits.refs[i]);
+    }
+    return hit;
+}
+
+// ---------------------------------------------------------------------
+// Layout configuration arithmetic
+// ---------------------------------------------------------------------
+
+TEST(NodeLayoutConfig, ExactMatchesWideBvhLayout)
+{
+    NodeLayoutConfig exact = NodeLayoutConfig::exact();
+    EXPECT_FALSE(exact.isQuantized());
+    EXPECT_EQ(exact.nodeBytes(), WideBvh::kNodeBytes);
+    EXPECT_EQ(exact.nodeAddress(0), WideBvh::kNodeBase);
+    EXPECT_EQ(exact.nodeAddress(7),
+              WideBvh::kNodeBase + 7 * WideBvh::kNodeBytes);
+    EXPECT_EQ(exact.name(), "exact");
+}
+
+TEST(NodeLayoutConfig, QuantizedFootprint)
+{
+    // 16 B header + 24 B refs + ceil(36*bits/8) B planes.
+    EXPECT_EQ(NodeLayoutConfig::quantized(8).nodeBytes(), 76u);
+    EXPECT_EQ(NodeLayoutConfig::quantized(4).nodeBytes(), 58u);
+    EXPECT_EQ(NodeLayoutConfig::quantized(16).nodeBytes(), 112u);
+    EXPECT_EQ(NodeLayoutConfig::quantized(1).nodeBytes(),
+              16u + 24u + 5u);
+    EXPECT_LT(NodeLayoutConfig::quantized(16).nodeBytes(),
+              WideBvh::kNodeBytes);
+    EXPECT_EQ(NodeLayoutConfig::quantized(8).name(), "q8");
+    EXPECT_EQ(NodeLayoutConfig::quantized(12).name(), "q12");
+}
+
+TEST(NodeLayoutConfig, Equality)
+{
+    EXPECT_EQ(NodeLayoutConfig::exact(), NodeLayoutConfig::exact());
+    EXPECT_EQ(NodeLayoutConfig::quantized(8),
+              NodeLayoutConfig::quantized(8));
+    EXPECT_NE(NodeLayoutConfig::quantized(8),
+              NodeLayoutConfig::quantized(4));
+    EXPECT_NE(NodeLayoutConfig::exact(), NodeLayoutConfig::quantized(8));
+    // bits_per_plane is irrelevant while the layout is exact.
+    NodeLayoutConfig a = NodeLayoutConfig::exact();
+    NodeLayoutConfig b = NodeLayoutConfig::exact();
+    b.bits_per_plane = 12;
+    EXPECT_EQ(a, b);
+}
+
+// ---------------------------------------------------------------------
+// Conservative containment (randomized property)
+// ---------------------------------------------------------------------
+
+TEST(QuantizedBvh, ConservativeContainmentProperty)
+{
+    for (uint64_t seed : {1u, 7u, 42u}) {
+        for (uint32_t count : {16u, 120u, 600u}) {
+            Scene scene = randomSoup(count, seed);
+            WideBvh bvh = WideBvh::build(scene);
+            for (uint32_t bits : {2u, 4u, 8u, 12u, 16u}) {
+                QuantizedBvh qbvh;
+                qbvh.build(bvh, NodeLayoutConfig::quantized(bits));
+                ASSERT_EQ(qbvh.nodes().size(), bvh.nodes().size());
+                for (size_t n = 0; n < bvh.nodes().size(); ++n) {
+                    const WideNode &exact = bvh.nodes()[n];
+                    const WideNode &decoded = qbvh.node(
+                        static_cast<uint32_t>(n));
+                    ASSERT_EQ(decoded.child_count, exact.child_count);
+                    for (uint8_t c = 0; c < exact.child_count; ++c) {
+                        EXPECT_EQ(decoded.children[c],
+                                  exact.children[c]);
+                        EXPECT_TRUE(decoded.child_bounds[c].contains(
+                            exact.child_bounds[c]))
+                            << "seed=" << seed << " count=" << count
+                            << " bits=" << bits << " node=" << n
+                            << " child=" << int(c);
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(QuantizedBvh, CoarseGridsStayFinite)
+{
+    // 1-bit planes collapse every box onto a 2-point grid; containment
+    // must still hold and boxes must not blow up to non-finite extents.
+    Scene scene = randomSoup(64, 3);
+    WideBvh bvh = WideBvh::build(scene);
+    QuantizedBvh qbvh;
+    qbvh.build(bvh, NodeLayoutConfig::quantized(1));
+    for (size_t n = 0; n < bvh.nodes().size(); ++n) {
+        const WideNode &exact = bvh.nodes()[n];
+        const WideNode &decoded = qbvh.node(static_cast<uint32_t>(n));
+        for (uint8_t c = 0; c < exact.child_count; ++c) {
+            EXPECT_TRUE(decoded.child_bounds[c].contains(
+                exact.child_bounds[c]));
+            for (int axis = 0; axis < 3; ++axis) {
+                EXPECT_TRUE(std::isfinite(
+                    decoded.child_bounds[c].lo[axis]));
+                EXPECT_TRUE(std::isfinite(
+                    decoded.child_bounds[c].hi[axis]));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Differential traversal
+// ---------------------------------------------------------------------
+
+TEST(QuantizedBvh, TraversalVisitsSupersetWithIdenticalHits)
+{
+    for (uint64_t seed : {11u, 29u}) {
+        Scene scene = randomSoup(400, seed);
+        WideBvh bvh = WideBvh::build(scene);
+        QuantizedBvh qbvh;
+        qbvh.build(bvh, NodeLayoutConfig::quantized(8));
+
+        Pcg32 rng(seed * 1000 + 5);
+        size_t superset_strict = 0;
+        for (int r = 0; r < 200; ++r) {
+            Ray ray = randomRay(rng);
+
+            std::set<uint32_t> exact_visits =
+                reachableNodes(bvh, bvh.nodes(), ray);
+            std::set<uint32_t> quantized_visits =
+                reachableNodes(bvh, qbvh.nodes(), ray);
+            for (uint32_t n : exact_visits)
+                EXPECT_TRUE(quantized_visits.count(n))
+                    << "ray " << r << " seed " << seed
+                    << ": exact visited node " << n
+                    << " missing from the quantized visit set";
+            if (quantized_visits.size() > exact_visits.size())
+                ++superset_strict;
+
+            HitRecord exact_hit =
+                closestHitOver(scene, bvh, bvh.nodes(), ray);
+            HitRecord quantized_hit =
+                closestHitOver(scene, bvh, qbvh.nodes(), ray);
+            ASSERT_EQ(quantized_hit.valid(), exact_hit.valid())
+                << "ray " << r << " seed " << seed;
+            if (exact_hit.valid()) {
+                // Leaf tests are exact in both runs, so the closest
+                // distance is bit-identical; only equal-t ties may
+                // resolve to a different primitive id.
+                EXPECT_EQ(quantized_hit.t, exact_hit.t)
+                    << "ray " << r << " seed " << seed;
+            }
+        }
+        // Inflated boxes must actually inflate the visit set for some
+        // rays, or the quantized path is silently running exact boxes.
+        EXPECT_GT(superset_strict, 0u);
+    }
+}
+
+} // namespace
+} // namespace sms

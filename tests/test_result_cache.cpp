@@ -153,6 +153,39 @@ TEST(ResultCache, DigestSeparatesConfigs)
     EXPECT_EQ(sms, gpuConfigDigest(makeGpuConfig(StackConfig::sms())));
 }
 
+TEST(ResultCache, DigestSeparatesTraversalVariantAxes)
+{
+    // The node-layout and ray-order axes change the functional
+    // traversal, so configs differing ONLY there must map to distinct
+    // cache cells; likewise the decode-latency knob.
+    GpuConfig base = makeGpuConfig(StackConfig::sms());
+    uint64_t d_base = gpuConfigDigest(base);
+
+    GpuConfig q8 = base;
+    q8.node_layout = NodeLayoutConfig::quantized(8);
+    GpuConfig q4 = base;
+    q4.node_layout = NodeLayoutConfig::quantized(4);
+    GpuConfig mort = base;
+    mort.ray_order = RayOrderConfig::octantMorton();
+    GpuConfig both = q8;
+    both.ray_order = RayOrderConfig::octantMorton();
+    GpuConfig decode = base;
+    decode.timing.node_decode_op += 2;
+
+    EXPECT_NE(gpuConfigDigest(q8), d_base);
+    EXPECT_NE(gpuConfigDigest(q4), d_base);
+    EXPECT_NE(gpuConfigDigest(q8), gpuConfigDigest(q4));
+    EXPECT_NE(gpuConfigDigest(mort), d_base);
+    EXPECT_NE(gpuConfigDigest(both), gpuConfigDigest(q8));
+    EXPECT_NE(gpuConfigDigest(both), gpuConfigDigest(mort));
+    EXPECT_NE(gpuConfigDigest(decode), d_base);
+
+    // An exact layout ignores bits_per_plane: not part of the key.
+    GpuConfig exact_bits = base;
+    exact_bits.node_layout.bits_per_plane = 12;
+    EXPECT_EQ(gpuConfigDigest(exact_bits), d_base);
+}
+
 TEST(ResultCache, PathSeparatesKeys)
 {
     std::string a = resultCachePath("/d", SceneId::REF,

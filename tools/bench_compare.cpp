@@ -2,7 +2,11 @@
  * @file
  * bench_compare — diff two BENCH_*.json records produced by the bench
  * harnesses (see bench/bench_util.hpp JsonReporter) and fail loudly on
- * IPC or off-chip-traffic deltas beyond epsilon.
+ * IPC or off-chip-traffic deltas beyond epsilon. Traffic is gated both
+ * in aggregate (offchip_accesses) and per class: when the
+ * counters.{l1,l2}.class_misses splits diverge, every diverging class
+ * is reported with its signed delta rather than stopping at the first
+ * mismatch.
  *
  * Usage:
  *   bench_compare <a.json> <b.json> [--ipc-eps X] [--traffic-eps X]
@@ -95,6 +99,16 @@ printIssues(const std::vector<CompareIssue> &issues)
     for (const CompareIssue &issue : issues) {
         if (issue.metric.empty()) {
             std::printf("  %s\n", issue.where.c_str());
+        } else if (issue.metric.find("class_misses") !=
+                   std::string::npos) {
+            // Per-class traffic carries the direction of the shift:
+            // one class moving down and another up is a different
+            // diagnosis than everything drifting the same way.
+            std::printf("  %s: %s %.6g vs %.6g (delta %+.6g, rel "
+                        "%.4f)\n",
+                        issue.where.c_str(), issue.metric.c_str(),
+                        issue.a, issue.b, issue.signed_delta,
+                        issue.rel);
         } else {
             std::printf("  %s: %s %.6g vs %.6g (rel delta %.4f)\n",
                         issue.where.c_str(), issue.metric.c_str(),
@@ -115,7 +129,8 @@ blockOfMetric(const std::string &metric)
         metric == "mean_norm_ipc")
         return "ipc";
     if (metric == "offchip_accesses" || metric == "norm_offchip" ||
-        metric == "mean_norm_offchip")
+        metric == "mean_norm_offchip" ||
+        metric.find("class_misses") != std::string::npos)
         return "traffic";
     if (metric.rfind("throughput", 0) == 0)
         return "throughput";
