@@ -153,16 +153,18 @@ enum class CellOrigin : uint8_t
 
 /**
  * One column of a sweep grid: a stack configuration plus the
- * traversal-variant axes (node layout, ray scheduling) and an optional
- * L1 size override. The plain stack-config sweeps the paper figures
- * run are the special case of all-default layout/order columns.
+ * traversal-variant axes (node layout, ray scheduling, traversal
+ * architecture) and an optional L1 size override. The plain
+ * stack-config sweeps the paper figures run are the special case of
+ * all-default variant columns.
  */
 struct SweepColumn
 {
     StackConfig stack;
-    uint64_t l1_override = 0; ///< 0 = the config's own L1 size
-    NodeLayoutConfig layout;  ///< exact by default
-    RayOrderConfig order;     ///< no reordering by default
+    uint64_t l1_override = 0;  ///< 0 = the config's own L1 size
+    NodeLayoutConfig layout;   ///< exact by default
+    RayOrderConfig order;      ///< no reordering by default
+    TraversalArchConfig arch;  ///< stack machine by default
 
     /** Full GpuConfig of this column (Table I otherwise). */
     GpuConfig
@@ -171,6 +173,7 @@ struct SweepColumn
         GpuConfig config = makeGpuConfig(stack, l1_override);
         config.node_layout = layout;
         config.ray_order = order;
+        config.traversal_arch = arch;
         return config;
     }
 
@@ -178,7 +181,7 @@ struct SweepColumn
     TraversalVariant
     variant() const
     {
-        return TraversalVariant{layout, order};
+        return TraversalVariant{layout, order, arch};
     }
 
     /** "RB_8", "SMS+q8+mort", ... (bare stack name at defaults). */
@@ -714,6 +717,8 @@ class JsonReporter
                     cell["node_layout"] =
                         sweep.columns[c].layout.name();
                     cell["ray_order"] = sweep.columns[c].order.name();
+                    cell["architecture"] =
+                        sweep.columns[c].arch.name();
                 }
                 const SimResult &r = sweep.results[s][c];
                 cell["ipc"] = r.ipc();
@@ -788,6 +793,7 @@ class JsonReporter
                     !sweep.columns[c].variant().isDefault()) {
                     row["node_layout"] = sweep.columns[c].layout.name();
                     row["ray_order"] = sweep.columns[c].order.name();
+                    row["architecture"] = sweep.columns[c].arch.name();
                 }
                 row["mean_norm_ipc"] = meanNormIpc(sweep, c, base);
                 row["mean_norm_offchip"] =

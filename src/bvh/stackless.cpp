@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Stackless traversal implementation.
+ */
+
+#include "src/bvh/stackless.hpp"
+
+#include <limits>
+
+#include "src/util/check.hpp"
+
+namespace sms {
+
+StacklessLinks
+StacklessLinks::build(const WideBvh &bvh)
+{
+    StacklessLinks links;
+    links.parent.assign(bvh.nodes().size(), kNoParent);
+    links.slot.assign(bvh.nodes().size(), 0);
+    for (uint32_t n = 0; n < bvh.nodes().size(); ++n) {
+        const WideNode &node = bvh.nodes()[n];
+        for (uint8_t c = 0; c < node.child_count; ++c) {
+            if (!node.children[c].isInternal())
+                continue;
+            uint32_t child = node.children[c].nodeIndex();
+            SMS_ASSERT(links.parent[child] == kNoParent,
+                       "node %u reachable through two parents", child);
+            links.parent[child] = n;
+            links.slot[child] = c;
+        }
+    }
+    return links;
+}
+
+SlotHits
+intersectNodeSlots(const WideNode &node, const Ray &ray)
+{
+    SlotHits out;
+    out.tests = node.child_count;
+    for (uint8_t i = 0; i < node.child_count; ++i) {
+        const Aabb &b = node.child_bounds[i];
+        float t0 = ray.tMin;
+        float t1 = ray.tMax;
+        for (int axis = 0; axis < 3; ++axis) {
+            float inv = ray.invDir[axis];
+            float near = (b.lo[axis] - ray.origin[axis]) * inv;
+            float far = (b.hi[axis] - ray.origin[axis]) * inv;
+            if (near > far) {
+                float tmp = near;
+                near = far;
+                far = tmp;
+            }
+            // NaN (0 * inf) propagates as "no constraint", exactly as
+            // in Aabb::intersect.
+            if (near > t0)
+                t0 = near;
+            if (far < t1)
+                t1 = far;
+        }
+        // t0 only grows and t1 only shrinks, so the final comparison is
+        // equivalent to Aabb::intersect's early-out checks.
+        out.t[i] = t0;
+        if (t0 <= t1)
+            out.hit_mask |= static_cast<uint8_t>(1u << i);
+    }
+    return out;
+}
+
+int
+nextStacklessSlot(const SlotHits &hits, int resume_slot)
+{
+    float resume_t = resume_slot >= 0
+                         ? hits.t[resume_slot]
+                         : -std::numeric_limits<float>::infinity();
+    int best = -1;
+    float best_t = 0.0f;
+    for (int i = 0; i < kWideBvhWidth; ++i) {
+        if (!(hits.hit_mask & (1u << i)))
+            continue;
+        // Strictly after (resume_t, resume_slot) in the lexicographic
+        // (t, slot) order that intersectNodeChildren's stable
+        // nearest-first sort produces.
+        if (resume_slot >= 0 &&
+            (hits.t[i] < resume_t ||
+             (hits.t[i] == resume_t && i <= resume_slot)))
+            continue;
+        if (best < 0 || hits.t[i] < best_t) {
+            best = i;
+            best_t = hits.t[i];
+        }
+    }
+    return best;
+}
+
+namespace {
+
+HitRecord
+traverseStacklessImpl(const Scene &scene, const WideBvh &bvh,
+                      const StacklessLinks &links, const Ray &in_ray,
+                      bool any_hit, TraversalCounters *counters)
+{
+    HitRecord hit;
+    if (bvh.empty())
+        return hit;
+
+    Ray ray = in_ray;
+    TraversalCounters local;
+    TraversalCounters &ctr = counters ? *counters : local;
+
+    ChildRef cur = bvh.rootRef();
+    uint32_t cur_parent = StacklessLinks::kNoParent;
+    uint8_t cur_slot = 0;
+    int resume_slot = -1;
+
+    auto backtrack = [&](uint8_t from_slot) {
+        uint32_t p = cur_parent;
+        resume_slot = from_slot;
+        cur = ChildRef::makeInternal(p);
+        cur_parent = links.parent[p];
+        cur_slot = links.slot[p];
+    };
+
+    for (;;) {
+        if (cur.isLeaf()) {
+            ++ctr.leaf_visits;
+            uint32_t tested = 0;
+            bool found = intersectLeaf(scene, bvh, cur, ray, hit, any_hit,
+                                       tested);
+            ctr.prim_tests += tested;
+            if (found && any_hit)
+                return hit;
+            if (cur_parent == StacklessLinks::kNoParent)
+                break; // the root itself is a leaf
+            backtrack(cur_slot);
+            continue;
+        }
+        SMS_ASSERT(cur.isInternal(),
+                   "invalid child reference during stackless traversal");
+        ++ctr.nodes_visited;
+        const WideNode &node = bvh.nodes()[cur.nodeIndex()];
+        SlotHits hits = intersectNodeSlots(node, ray);
+        ctr.box_tests += static_cast<uint64_t>(hits.tests);
+        int s = nextStacklessSlot(hits, resume_slot);
+        if (s >= 0) {
+            cur_parent = cur.nodeIndex();
+            cur_slot = static_cast<uint8_t>(s);
+            cur = node.children[s];
+            resume_slot = -1;
+            continue;
+        }
+        if (cur_parent == StacklessLinks::kNoParent)
+            break; // subtree of the root exhausted
+        backtrack(cur_slot);
+    }
+    return hit;
+}
+
+} // namespace
+
+HitRecord
+traverseClosestStackless(const Scene &scene, const WideBvh &bvh,
+                         const StacklessLinks &links, const Ray &ray,
+                         TraversalCounters *counters)
+{
+    return traverseStacklessImpl(scene, bvh, links, ray, false, counters);
+}
+
+bool
+traverseAnyHitStackless(const Scene &scene, const WideBvh &bvh,
+                        const StacklessLinks &links, const Ray &ray,
+                        TraversalCounters *counters)
+{
+    return traverseStacklessImpl(scene, bvh, links, ray, true, counters)
+        .valid();
+}
+
+} // namespace sms

@@ -31,7 +31,7 @@ struct DramStats
 {
     uint64_t loads = 0;
     uint64_t stores = 0;
-    uint64_t by_class[kTrafficClassCount] = {0, 0, 0};
+    uint64_t by_class[kTrafficClassCount] = {};
     /** Total cycles requests waited for a service slot. */
     uint64_t queue_wait_cycles = 0;
     /** Cycles the service queue was occupied (bandwidth consumed). */

@@ -47,10 +47,11 @@ enum class TrafficClass : uint8_t
     Node,      ///< BVH node fetch
     Primitive, ///< leaf primitive fetch
     Stack,     ///< traversal-stack spill/reload
+    Predictor, ///< ray-path predictor table probe/update
 };
 
 /** Number of TrafficClass values. */
-constexpr int kTrafficClassCount = 3;
+constexpr int kTrafficClassCount = 4;
 
 /** Aggregate counters for one level of the hierarchy. */
 struct LevelStats

@@ -9,6 +9,20 @@
 
 namespace sms {
 
+const char *
+TraversalArchConfig::name() const
+{
+    switch (kind) {
+    case TraversalArchKind::Stack:
+        return "stack";
+    case TraversalArchKind::Stackless:
+        return "sl";
+    case TraversalArchKind::Predicted:
+        return "pred";
+    }
+    fatal("unknown traversal architecture %d", static_cast<int>(kind));
+}
+
 uint64_t
 TraversalVariant::digest() const
 {
@@ -25,6 +39,12 @@ TraversalVariant::digest() const
     mix(static_cast<uint32_t>(layout.kind));
     mix(layout.isQuantized() ? layout.bits_per_plane : 0u);
     mix(static_cast<uint32_t>(order.kind));
+    mix(static_cast<uint32_t>(arch.kind));
+    if (arch.kind == TraversalArchKind::Predicted) {
+        mix(arch.predictor_entries_log2);
+        mix(arch.predictor_origin_bits);
+        mix(arch.predictor_dir_bits);
+    }
     return h != 0 ? h : 1;
 }
 
@@ -40,6 +60,11 @@ TraversalVariant::tag() const
         if (!t.empty())
             t += "+";
         t += order.name();
+    }
+    if (arch.active()) {
+        if (!t.empty())
+            t += "+";
+        t += arch.name();
     }
     return t;
 }

@@ -41,23 +41,103 @@ struct RtUnitTiming
     Cycle shading_latency = 200;
 };
 
+/** How a warp walks the BVH between its fetch and update phases. */
+enum class TraversalArchKind : uint8_t
+{
+    /** Per-lane short stack with the warp stack manager (the paper). */
+    Stack,
+    /**
+     * No per-lane stack: interior nodes carry parent/slot links in
+     * their metadata word and the lane backtracks through them,
+     * re-testing child boxes to find the next unvisited subtree.
+     */
+    Stackless,
+    /**
+     * Stack-based traversal fronted by a direction/origin-quantized
+     * ray-hash table whose hits jump straight to a predicted leaf
+     * before normal traversal verifies or falls back.
+     */
+    Predicted,
+};
+
 /**
- * The functional-traversal side of a configuration: node layout plus
- * ray scheduling. Unlike the stack/memory axes, these change WHICH
- * traversal steps happen (inflated boxes visit supersets; reordering
- * repacks the job stream), so traversal tapes and workload fingerprints
- * are keyed per variant via digest().
+ * Traversal-architecture axis: which machine executes the traversal
+ * loop. Like node layout and ray order this changes WHICH steps happen
+ * (stackless revisits interior nodes; prediction front-loads a leaf
+ * visit), so it participates in the variant digest.
+ */
+struct TraversalArchConfig
+{
+    TraversalArchKind kind = TraversalArchKind::Stack;
+    /** log2 of the predictor hash-table entry count (Predicted only). */
+    uint32_t predictor_entries_log2 = 12;
+    /** High mantissa bits per origin coordinate folded into the hash. */
+    uint32_t predictor_origin_bits = 6;
+    /** High mantissa bits per direction coordinate folded in. */
+    uint32_t predictor_dir_bits = 8;
+
+    static TraversalArchConfig
+    stack()
+    {
+        return {};
+    }
+
+    static TraversalArchConfig
+    stackless()
+    {
+        TraversalArchConfig c;
+        c.kind = TraversalArchKind::Stackless;
+        return c;
+    }
+
+    static TraversalArchConfig
+    predicted()
+    {
+        TraversalArchConfig c;
+        c.kind = TraversalArchKind::Predicted;
+        return c;
+    }
+
+    /** True when the architecture differs from the paper's stack one. */
+    bool active() const { return kind != TraversalArchKind::Stack; }
+
+    /** Short display name: "stack", "sl" or "pred". */
+    const char *name() const;
+
+    bool
+    operator==(const TraversalArchConfig &o) const
+    {
+        if (kind != o.kind)
+            return false;
+        if (kind != TraversalArchKind::Predicted)
+            return true;
+        return predictor_entries_log2 == o.predictor_entries_log2 &&
+               predictor_origin_bits == o.predictor_origin_bits &&
+               predictor_dir_bits == o.predictor_dir_bits;
+    }
+
+    bool operator!=(const TraversalArchConfig &o) const { return !(*this == o); }
+};
+
+/**
+ * The functional-traversal side of a configuration: node layout, ray
+ * scheduling and traversal architecture. Unlike the stack/memory axes,
+ * these change WHICH traversal steps happen (inflated boxes visit
+ * supersets; reordering repacks the job stream; stackless/predicted
+ * machines reshape the step stream), so traversal tapes and workload
+ * fingerprints are keyed per variant via digest().
  */
 struct TraversalVariant
 {
     NodeLayoutConfig layout;
     RayOrderConfig order;
+    TraversalArchConfig arch;
 
-    /** Exact layout, generation-order scheduling — the paper baseline. */
+    /** Exact layout, generation order, stack machine — the baseline. */
     bool
     isDefault() const
     {
-        return !layout.isQuantized() && !order.active();
+        return !layout.isQuantized() && !order.active() && !arch.active();
     }
 
     /**
@@ -67,7 +147,7 @@ struct TraversalVariant
      */
     uint64_t digest() const;
 
-    /** Display tag: "" for default, else e.g. "q8", "mort", "q8+mort". */
+    /** Display tag: "" for default, else e.g. "q8", "sl", "q8+pred". */
     std::string tag() const;
 };
 
@@ -98,6 +178,8 @@ struct GpuConfig
     NodeLayoutConfig node_layout;
     /** Ray scheduling between path segments (generation order default). */
     RayOrderConfig ray_order;
+    /** Traversal architecture (per-lane short stack by default). */
+    TraversalArchConfig traversal_arch;
 
     /** Per-lane instructions charged for shading per closest-hit job. */
     uint32_t shading_instructions = 32;
@@ -124,7 +206,7 @@ struct GpuConfig
     TraversalVariant
     variant() const
     {
-        return TraversalVariant{node_layout, ray_order};
+        return TraversalVariant{node_layout, ray_order, traversal_arch};
     }
 };
 

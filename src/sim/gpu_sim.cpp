@@ -12,6 +12,8 @@
 #include <string>
 
 #include "src/bvh/node_layout.hpp"
+#include "src/bvh/stackless.hpp"
+#include "src/sim/ray_predictor.hpp"
 #include "src/sim/traversal_tape.hpp"
 #include "src/stats/timeline.hpp"
 #include "src/util/check.hpp"
@@ -137,6 +139,24 @@ simulateJobs(const Scene &scene, const WideBvh &bvh,
     }
     if (!config.node_layout.isQuantized())
         qbvh = nullptr;
+
+    // Architecture support structures: both are cheap pure functions of
+    // (bvh) resp. (jobs, bvh, arch config), so execute and replay
+    // rebuild identical copies instead of serializing them anywhere.
+    StacklessLinks links;
+    PredictorSchedule predictor;
+    if (config.traversal_arch.kind == TraversalArchKind::Stackless)
+        links = StacklessLinks::build(bvh);
+    if (config.traversal_arch.kind == TraversalArchKind::Predicted)
+        predictor =
+            buildPredictorSchedule(jobs, bvh, config.traversal_arch);
+    const StacklessLinks *links_p =
+        config.traversal_arch.kind == TraversalArchKind::Stackless ? &links
+                                                                   : nullptr;
+    const PredictorSchedule *predictor_p =
+        config.traversal_arch.kind == TraversalArchKind::Predicted
+            ? &predictor
+            : nullptr;
 
     MemorySystem mem(config.resolvedMemConfig(), config.num_sms);
     std::vector<SharedMemory> shared_mems(
@@ -314,7 +334,7 @@ simulateJobs(const Scene &scene, const WideBvh &bvh,
                 scene, bvh, config, job, sm_id, shared_base, local_base,
                 mem, shared_mems[sm_id],
                 traced ? fl.collector.get() : nullptr, rec, rep,
-                &result.depth_hist, qbvh);
+                &result.depth_hist, qbvh, links_p, predictor_p);
         }
         events.emplace(cycle, seq++, idx);
     };

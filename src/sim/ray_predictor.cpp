@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Ray-path predictor schedule precompute.
+ */
+
+#include "src/sim/ray_predictor.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/util/check.hpp"
+
+namespace sms {
+
+namespace {
+
+/** Sign + exponent + the top @p mantissa_bits of an IEEE float. */
+uint32_t
+quantizeFloat(float f, uint32_t mantissa_bits)
+{
+    uint32_t bits;
+    std::memcpy(&bits, &f, sizeof(bits));
+    return bits >> (23u - mantissa_bits);
+}
+
+/**
+ * Leaf child reference containing each scene primitive, looked up by
+ * unified primitive id. 0 (invalid ChildRef) for uncovered ids.
+ */
+std::vector<uint32_t>
+leafOfPrimitive(const WideBvh &bvh)
+{
+    const auto &prim_indices = bvh.primIndices();
+    uint32_t max_id = 0;
+    for (uint32_t id : prim_indices)
+        max_id = std::max(max_id, id);
+    std::vector<uint32_t> leaf_of(prim_indices.empty() ? 0 : max_id + 1, 0);
+
+    auto cover = [&](ChildRef leaf) {
+        for (uint32_t i = 0; i < leaf.primCount(); ++i)
+            leaf_of[prim_indices[leaf.primOffset() + i]] = leaf.bits();
+    };
+    if (bvh.rootRef().isLeaf())
+        cover(bvh.rootRef());
+    for (const WideNode &node : bvh.nodes())
+        for (uint8_t c = 0; c < node.child_count; ++c)
+            if (node.children[c].isLeaf())
+                cover(node.children[c]);
+    return leaf_of;
+}
+
+} // namespace
+
+uint64_t
+rayPredictorHash(const Ray &ray, const TraversalArchConfig &arch)
+{
+    SMS_ASSERT(arch.predictor_origin_bits <= 23 &&
+                   arch.predictor_dir_bits <= 23,
+               "predictor mantissa bits out of range");
+    uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](uint32_t v) {
+        h ^= v;
+        h *= 0x100000001b3ull;
+    };
+    for (int axis = 0; axis < 3; ++axis)
+        mix(quantizeFloat(ray.origin[axis], arch.predictor_origin_bits));
+    for (int axis = 0; axis < 3; ++axis)
+        mix(quantizeFloat(ray.dir[axis], arch.predictor_dir_bits));
+    h ^= h >> 32;
+    return h;
+}
+
+PredictorSchedule
+buildPredictorSchedule(const WarpJobList &jobs, const WideBvh &bvh,
+                       const TraversalArchConfig &arch)
+{
+    SMS_ASSERT(arch.kind == TraversalArchKind::Predicted,
+               "predictor schedule for a non-predicted architecture");
+    SMS_ASSERT(arch.predictor_entries_log2 >= 1 &&
+                   arch.predictor_entries_log2 <= 24,
+               "predictor table size out of range");
+
+    std::vector<uint32_t> leaf_of = leafOfPrimitive(bvh);
+    const uint32_t mask = (1u << arch.predictor_entries_log2) - 1;
+    // Direct-mapped, no tags: aliasing rays overwrite each other, and a
+    // false hit is just a wasted verification leaf visit.
+    std::vector<uint32_t> table(static_cast<size_t>(mask) + 1, 0);
+
+    PredictorSchedule schedule;
+    schedule.jobs.resize(jobs.size());
+    for (size_t j = 0; j < jobs.size(); ++j) {
+        const WarpJob &job = jobs[j];
+        SMS_ASSERT(job.job_id == j, "job_id %u out of order at %zu",
+                   job.job_id, j);
+        PredictorJobPlan &plan = schedule.jobs[j];
+        std::array<uint32_t, kWarpSize> slot{};
+        for (int lane = 0; lane < kWarpSize; ++lane) {
+            if (!job.active[lane])
+                continue;
+            uint32_t idx =
+                static_cast<uint32_t>(rayPredictorHash(job.rays[lane], arch)) &
+                mask;
+            slot[lane] = idx;
+            plan.entry[lane] =
+                kPredictorBase + static_cast<Addr>(idx) * kPredictorEntryBytes;
+            plan.predicted[lane] = table[idx];
+        }
+        // Train after probing: job j sees only the state left by jobs
+        // before it. Shadow batches carry no expected primitive, so
+        // only closest-hit jobs train the table.
+        if (job.any_hit)
+            continue;
+        for (int lane = 0; lane < kWarpSize; ++lane) {
+            if (!job.active[lane] || !job.expected_hit[lane])
+                continue;
+            uint32_t prim = job.expected_prim[lane];
+            if (prim >= leaf_of.size() || leaf_of[prim] == 0)
+                continue;
+            table[slot[lane]] = leaf_of[prim];
+            plan.write_mask |= 1u << lane;
+        }
+    }
+    return schedule;
+}
+
+} // namespace sms

@@ -20,12 +20,21 @@ TraversalSim::TraversalSim(const Scene &scene, const WideBvh &bvh,
                            MemorySystem &mem, SharedMemory &shared_mem,
                            DepthObserver *observer, JobTape *record,
                            const JobTape *replay, Histogram *depth_hist,
-                           const QuantizedBvh *qbvh)
-    : scene_(scene), bvh_(bvh), qbvh_(qbvh), config_(config), job_(job),
-      sm_(sm), mem_(mem), shared_mem_(&shared_mem),
+                           const QuantizedBvh *qbvh,
+                           const StacklessLinks *links,
+                           const PredictorSchedule *predictor)
+    : scene_(scene), bvh_(bvh), qbvh_(qbvh), links_(links),
+      predictor_(predictor), config_(config), job_(job), sm_(sm), mem_(mem),
+      shared_mem_(&shared_mem),
       stack_(config.stack, shared_base, local_base), recorder_(record),
       cursor_(replay)
 {
+    SMS_ASSERT((links_ != nullptr) ==
+                   (config.traversal_arch.kind == TraversalArchKind::Stackless),
+               "stackless links must accompany exactly the stackless arch");
+    SMS_ASSERT((predictor_ != nullptr) ==
+                   (config.traversal_arch.kind == TraversalArchKind::Predicted),
+               "predictor schedule must accompany exactly the predicted arch");
     stack_.setDepthHistogram(depth_hist);
     seedJob(observer);
 }
@@ -52,6 +61,16 @@ TraversalSim::reinit(const WarpJob &job, uint32_t sm, Addr shared_base,
     seedJob(observer);
 }
 
+const PredictorJobPlan *
+TraversalSim::predictorPlan() const
+{
+    if (!predictor_)
+        return nullptr;
+    SMS_ASSERT(job_.job_id < predictor_->jobs.size(),
+               "job %u missing from the predictor schedule", job_.job_id);
+    return &predictor_->jobs[job_.job_id];
+}
+
 void
 TraversalSim::seedJob(DepthObserver *observer)
 {
@@ -59,6 +78,7 @@ TraversalSim::seedJob(DepthObserver *observer)
                "a job cannot record and replay the tape at once");
     stack_.setDepthObserver(observer);
     running_mask_ = 0;
+    const PredictorJobPlan *plan = predictorPlan();
     for (uint32_t i = 0; i < kWarpSize; ++i) {
         hits_[i] = HitRecord{};
         if (!job_.active[i] || bvh_.empty()) {
@@ -70,11 +90,32 @@ TraversalSim::seedJob(DepthObserver *observer)
         }
         rays_[i] = job_.rays[i];
         running_mask_ |= 1u << i;
+        if (links_) {
+            // Stackless lanes keep no stack at all: the machine state
+            // is the current child reference plus the parent chain
+            // position it was reached through.
+            sl_cur_[i] = bvh_.rootRef().bits();
+            sl_parent_[i] = StacklessLinks::kNoParent;
+            sl_slot_[i] = 0;
+            sl_resume_[i] = kNoResume;
+            continue;
+        }
         // Seed the traversal stack with the root reference (§II-B: the
         // next fetch address is always read from the stack top).
         StackTxnList seed;
         stack_.push(i, bvh_.rootRef().stackValue(), seed);
         SMS_ASSERT(seed.empty(), "root push cannot spill");
+        // A predictor hit lands its leaf on top of the root, so the
+        // first iteration visits the predicted leaf; a correct
+        // prediction tightens tMax (or abandons an any-hit job) before
+        // normal traversal starts, a wrong one just falls through.
+        if (plan && ChildRef::fromBits(plan->predicted[i]).isLeaf()) {
+            stack_.push(i, ChildRef::fromBits(plan->predicted[i])
+                               .stackValue(),
+                        seed);
+            SMS_ASSERT(seed.empty(), "predicted-leaf push cannot spill");
+            ++counters_.instructions;
+        }
     }
     // Per-lane instruction charge for the shading work surrounding this
     // trace call (constant across stack configurations).
@@ -154,7 +195,12 @@ TraversalSim::collectFetch(bool &has_internal, bool &has_leaf,
     };
     for (uint32_t mask = running_mask_; mask != 0; mask &= mask - 1) {
         uint32_t i = static_cast<uint32_t>(__builtin_ctz(mask));
-        ChildRef current = ChildRef::fromStackValue(stack_.peek(i));
+        // Stackless lanes fetch the node they are visiting (including
+        // backtracking revisits — the architecture's extra node
+        // traffic); stack lanes read their stack top.
+        ChildRef current = links_
+                               ? ChildRef::fromBits(sl_cur_[i])
+                               : ChildRef::fromStackValue(stack_.peek(i));
         if (current.isInternal()) {
             has_internal = true;
             // The layout sets the fetch footprint: quantized nodes pack
@@ -173,6 +219,18 @@ TraversalSim::collectFetch(bool &has_internal, bool &has_leaf,
                 add_range(bvh_.primitiveAddress(scene_, prim),
                           bvh_.primitiveFetchBytes(scene_, prim),
                           TrafficClass::Primitive);
+            }
+        }
+    }
+    // The first iteration of a predicted job carries the per-lane
+    // predictor-table probes alongside the root fetch; they ride the
+    // recorded fetch lines, so replay reproduces them verbatim.
+    if (counters_.steps == 1) {
+        if (const PredictorJobPlan *plan = predictorPlan()) {
+            for (uint32_t mask = running_mask_; mask != 0; mask &= mask - 1) {
+                uint32_t i = static_cast<uint32_t>(__builtin_ctz(mask));
+                add_range(plan->entry[i], kPredictorEntryBytes,
+                          TrafficClass::Predictor);
             }
         }
     }
@@ -218,10 +276,19 @@ TraversalSim::stepFetch(Cycle now)
                        "window: %llu of %llu cycles",
                        static_cast<unsigned long long>(crit.total()),
                        static_cast<unsigned long long>(fetch_done - now));
-        account_.add(CycleLeaf::Issue, crit.port_wait + crit.hit_base);
-        account_.add(CycleLeaf::StallMemL1Miss, crit.l1_miss_extra);
-        account_.add(CycleLeaf::StallMemDramQueue, crit.dram_queue);
-        account_.add(CycleLeaf::StallMemL2Miss, crit.l2_miss_serve);
+        if (predictor_ && counters_.steps == 1) {
+            // The whole first fetch window of a predicted job — root
+            // fetch plus the predictor-table probes it carries — is the
+            // cost of consulting the predictor. Step index and window
+            // are identical in replay, so the split stays mode-
+            // invariant.
+            account_.add(CycleLeaf::StallArchPredictor, fetch_done - now);
+        } else {
+            account_.add(CycleLeaf::Issue, crit.port_wait + crit.hit_base);
+            account_.add(CycleLeaf::StallMemL1Miss, crit.l1_miss_extra);
+            account_.add(CycleLeaf::StallMemDramQueue, crit.dram_queue);
+            account_.add(CycleLeaf::StallMemL2Miss, crit.l2_miss_serve);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -246,7 +313,24 @@ TraversalSim::stepFetch(Cycle now)
                             config_.timing.leaf_op_per_prim *
                                 static_cast<Cycle>(max_leaf_prims));
     Cycle op_done = fetch_done + op_latency;
-    account_.add(CycleLeaf::Intersect, op_latency);
+    bool backtracking = false;
+    if (links_) {
+        // A stackless step where any lane is revisiting an interior
+        // node through its parent link repeats box tests the stack
+        // machine would not have run; surface that op window as the
+        // architecture's backtracking overhead. The resume flags are
+        // maintained identically in replay.
+        for (uint32_t mask = running_mask_; mask != 0; mask &= mask - 1) {
+            uint32_t i = static_cast<uint32_t>(__builtin_ctz(mask));
+            if (sl_resume_[i] != kNoResume) {
+                backtracking = true;
+                break;
+            }
+        }
+    }
+    account_.add(backtracking ? CycleLeaf::StallArchBacktrack
+                              : CycleLeaf::Intersect,
+                 op_latency);
     counters_.fetch_cycles += fetch_done - now;
     counters_.op_cycles += op_latency;
     if (timelineOn(TimelineCategory::Sim)) {
@@ -333,6 +417,114 @@ TraversalSim::laneStepReplay(uint32_t lane_id, uint64_t top_value)
     return action.abandoned;
 }
 
+void
+TraversalSim::stacklessBacktrack(uint32_t lane_id)
+{
+    uint32_t p = sl_parent_[lane_id];
+    sl_resume_[lane_id] = sl_slot_[lane_id];
+    sl_cur_[lane_id] = ChildRef::makeInternal(p).bits();
+    sl_parent_[lane_id] = links_->parent[p];
+    sl_slot_[lane_id] = links_->slot[p];
+}
+
+TraversalSim::LaneOutcome
+TraversalSim::laneStepStacklessExecute(uint32_t lane_id)
+{
+    ChildRef current = ChildRef::fromBits(sl_cur_[lane_id]);
+
+    if (current.isInternal()) {
+        ++counters_.node_visits;
+        const WideNode &node = qbvh_ ? qbvh_->node(current.nodeIndex())
+                                     : bvh_.nodes()[current.nodeIndex()];
+        SlotHits hits = intersectNodeSlots(node, rays_[lane_id]);
+        counters_.box_tests += static_cast<uint64_t>(hits.tests);
+        counters_.instructions += static_cast<uint64_t>(hits.tests);
+        int resume =
+            sl_resume_[lane_id] == kNoResume ? -1 : sl_resume_[lane_id];
+        int s = nextStacklessSlot(hits, resume);
+        if (s >= 0) {
+            uint64_t value = node.children[s].stackValue();
+            ++counters_.instructions;
+            if (recorder_.enabled())
+                recorder_.internalVisit(static_cast<uint32_t>(hits.tests),
+                                        &value, 1);
+            sl_parent_[lane_id] = current.nodeIndex();
+            sl_slot_[lane_id] = static_cast<uint8_t>(s);
+            sl_cur_[lane_id] = node.children[s].bits();
+            sl_resume_[lane_id] = kNoResume;
+            return LaneOutcome::Continue;
+        }
+        if (recorder_.enabled())
+            recorder_.internalVisit(static_cast<uint32_t>(hits.tests),
+                                    nullptr, 0);
+        if (sl_parent_[lane_id] == StacklessLinks::kNoParent)
+            return LaneOutcome::Done;
+        stacklessBacktrack(lane_id);
+        return LaneOutcome::Continue;
+    }
+
+    ++counters_.leaf_visits;
+    uint32_t tested = 0;
+    bool found = intersectLeaf(scene_, bvh_, current, rays_[lane_id],
+                               hits_[lane_id], job_.any_hit, tested);
+    counters_.prim_tests += tested;
+    counters_.instructions += tested;
+    bool abandoned = found && job_.any_hit;
+    if (recorder_.enabled())
+        recorder_.leafVisit(tested, abandoned);
+    if (abandoned)
+        return LaneOutcome::Abandoned;
+    if (sl_parent_[lane_id] == StacklessLinks::kNoParent)
+        return LaneOutcome::Done; // the root itself was the leaf
+    stacklessBacktrack(lane_id);
+    return LaneOutcome::Continue;
+}
+
+TraversalSim::LaneOutcome
+TraversalSim::laneStepStacklessReplay(uint32_t lane_id)
+{
+    TapeCursor::LaneAction action = cursor_.laneAction();
+    ChildRef current = ChildRef::fromBits(sl_cur_[lane_id]);
+    SMS_ASSERT(action.is_leaf == current.isLeaf(),
+               "traversal tape desync on lane %u at step %llu", lane_id,
+               static_cast<unsigned long long>(counters_.steps));
+
+    if (!action.is_leaf) {
+        ++counters_.node_visits;
+        counters_.box_tests += action.tests;
+        counters_.instructions += action.tests;
+        if (action.pushes == 1) {
+            // Descend to the recorded child. The child's slot within
+            // the parent is unknown here, but replay never selects a
+            // resume slot — only the parent chain and the revisit flag
+            // matter, and both are maintained exactly.
+            uint64_t value = cursor_.pushValue();
+            ++counters_.instructions;
+            sl_parent_[lane_id] = current.nodeIndex();
+            sl_slot_[lane_id] = 0;
+            sl_cur_[lane_id] = ChildRef::fromStackValue(value).bits();
+            sl_resume_[lane_id] = kNoResume;
+            return LaneOutcome::Continue;
+        }
+        SMS_ASSERT(action.pushes == 0,
+                   "stackless tape action with %u pushes", action.pushes);
+        if (sl_parent_[lane_id] == StacklessLinks::kNoParent)
+            return LaneOutcome::Done;
+        stacklessBacktrack(lane_id);
+        return LaneOutcome::Continue;
+    }
+
+    ++counters_.leaf_visits;
+    counters_.prim_tests += action.tests;
+    counters_.instructions += action.tests;
+    if (action.abandoned)
+        return LaneOutcome::Abandoned;
+    if (sl_parent_[lane_id] == StacklessLinks::kNoParent)
+        return LaneOutcome::Done;
+    stacklessBacktrack(lane_id);
+    return LaneOutcome::Continue;
+}
+
 Cycle
 TraversalSim::stepStack(Cycle now)
 {
@@ -353,29 +545,58 @@ TraversalSim::stepStack(Cycle now)
     }
     txn_arena_.clear();
     bool replaying = cursor_.enabled();
-    for (uint32_t mask = running_mask_; mask != 0; mask &= mask - 1) {
-        uint32_t i = static_cast<uint32_t>(__builtin_ctz(mask));
-
-        // Pop the entry being visited (reloads spilled values), then
-        // push the intersected children so the nearest ends on top.
-        uint64_t top_value;
-        bool popped = stack_.pop(i, top_value, txn_arena_);
-        SMS_ASSERT(popped, "running lane with empty stack");
-        ++counters_.instructions;
-
-        bool abandoned = replaying ? laneStepReplay(i, top_value)
-                                   : laneStepExecute(i, top_value);
-        if (abandoned) {
-            finishLane(i, true);
-            continue;
+    if (links_) {
+        // Stackless update: no pops, no pushes, no stack manager — the
+        // lane state machine advances in place. The per-lane
+        // bookkeeping instruction mirrors the stack machine's pop.
+        for (uint32_t mask = running_mask_; mask != 0; mask &= mask - 1) {
+            uint32_t i = static_cast<uint32_t>(__builtin_ctz(mask));
+            ++counters_.instructions;
+            LaneOutcome out = replaying ? laneStepStacklessReplay(i)
+                                        : laneStepStacklessExecute(i);
+            if (out == LaneOutcome::Abandoned)
+                finishLane(i, true);
+            else if (out == LaneOutcome::Done)
+                finishLane(i, false);
         }
-        if (stack_.laneEmpty(i))
-            finishLane(i, false);
+    } else {
+        for (uint32_t mask = running_mask_; mask != 0; mask &= mask - 1) {
+            uint32_t i = static_cast<uint32_t>(__builtin_ctz(mask));
+
+            // Pop the entry being visited (reloads spilled values), then
+            // push the intersected children so the nearest ends on top.
+            uint64_t top_value;
+            bool popped = stack_.pop(i, top_value, txn_arena_);
+            SMS_ASSERT(popped, "running lane with empty stack");
+            ++counters_.instructions;
+
+            bool abandoned = replaying ? laneStepReplay(i, top_value)
+                                       : laneStepExecute(i, top_value);
+            if (abandoned) {
+                finishLane(i, true);
+                continue;
+            }
+            if (stack_.laneEmpty(i))
+                finishLane(i, false);
+        }
     }
 
     if (running_mask_ == 0) {
         if (recorder_.enabled())
             recorder_.finish(mismatches_);
+        // Lanes the schedule trained write their predictor-table entry
+        // back when the job completes. Fire-and-forget stores (same
+        // policy as global stack spills): bandwidth is charged, nothing
+        // gates on completion. The plan is a pure function of the
+        // workload, so replay issues the identical writes.
+        if (const PredictorJobPlan *plan = predictorPlan()) {
+            for (uint32_t mask = plan->write_mask; mask != 0;
+                 mask &= mask - 1) {
+                uint32_t i = static_cast<uint32_t>(__builtin_ctz(mask));
+                mem_.accessRange(sm_, plan->entry[i], kPredictorEntryBytes,
+                                 true, TrafficClass::Predictor, start);
+            }
+        }
         if (replaying) {
             SMS_ASSERT(cursor_.atEnd() &&
                            counters_.steps == cursor_.tape()->steps,

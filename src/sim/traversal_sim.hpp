@@ -35,12 +35,14 @@
 #include <vector>
 
 #include "src/bvh/node_layout.hpp"
+#include "src/bvh/stackless.hpp"
 #include "src/bvh/traverse.hpp"
 #include "src/bvh/wide_bvh.hpp"
 #include "src/core/warp_stack.hpp"
 #include "src/memory/memory_system.hpp"
 #include "src/memory/shared_memory.hpp"
 #include "src/sim/gpu_config.hpp"
+#include "src/sim/ray_predictor.hpp"
 #include "src/sim/traversal_tape.hpp"
 #include "src/sim/warp_job.hpp"
 #include "src/stats/cycle_accounting.hpp"
@@ -89,6 +91,10 @@ class TraversalSim
      *               the timing model from the recorded tape instead
      * @param qbvh   decoded quantized BVH; required when the config's
      *               node layout is quantized and geometry executes
+     * @param links  parent/slot links; required when the traversal
+     *               architecture is Stackless (execute and replay)
+     * @param predictor precomputed predictor schedule; required when
+     *               the architecture is Predicted (execute and replay)
      */
     TraversalSim(const Scene &scene, const WideBvh &bvh,
                  const GpuConfig &config, const WarpJob &job, uint32_t sm,
@@ -97,7 +103,9 @@ class TraversalSim
                  JobTape *record = nullptr,
                  const JobTape *replay = nullptr,
                  Histogram *depth_hist = nullptr,
-                 const QuantizedBvh *qbvh = nullptr);
+                 const QuantizedBvh *qbvh = nullptr,
+                 const StacklessLinks *links = nullptr,
+                 const PredictorSchedule *predictor = nullptr);
 
     /**
      * Rearm this instance for a new warp job (scene, BVH, GPU config
@@ -174,6 +182,24 @@ class TraversalSim
     bool laneStepExecute(uint32_t lane_id, uint64_t top_value);
     bool laneStepReplay(uint32_t lane_id, uint64_t top_value);
 
+    /** How a stackless lane step left the lane. */
+    enum class LaneOutcome : uint8_t { Continue, Done, Abandoned };
+
+    /**
+     * One stackless lane step: visit sl_cur_, then descend to the next
+     * unvisited child or backtrack through the parent link. Records /
+     * consumes the same tape actions as the stack machine (descend =
+     * internalVisit with one push, backtrack = zero pushes).
+     */
+    LaneOutcome laneStepStacklessExecute(uint32_t lane_id);
+    LaneOutcome laneStepStacklessReplay(uint32_t lane_id);
+
+    /** Move a stackless lane back to the parent of its current node. */
+    void stacklessBacktrack(uint32_t lane_id);
+
+    /** This job's predictor plan; null unless the arch is Predicted. */
+    const PredictorJobPlan *predictorPlan() const;
+
     void finishLane(uint32_t lane_id, bool abandoned);
 
     /** Run the manager rounds over txn_arena_'s per-lane lists. */
@@ -203,6 +229,10 @@ class TraversalSim
     const WideBvh &bvh_;
     /** Decoded quantized view; null under the exact layout or replay. */
     const QuantizedBvh *qbvh_;
+    /** Parent/slot links; non-null exactly when the arch is Stackless. */
+    const StacklessLinks *links_;
+    /** Predictor schedule; non-null exactly when the arch is Predicted. */
+    const PredictorSchedule *predictor_;
     const GpuConfig &config_;
     WarpJob job_;
     uint32_t sm_;
@@ -233,6 +263,20 @@ class TraversalSim
     std::array<Ray, kWarpSize> rays_;
     std::array<HitRecord, kWarpSize> hits_;
     uint32_t running_mask_ = 0; ///< bit i: lane i still traversing
+
+    /** sl_resume_ sentinel: the lane is on its first visit of sl_cur_. */
+    static constexpr uint8_t kNoResume = 0xff;
+    // Stackless lane machine (arch == Stackless only): the child
+    // reference being visited, the parent chain position it was reached
+    // through, and the slot the lane just returned from (kNoResume on a
+    // first visit — a set resume slot marks the step as a backtracking
+    // revisit for the stall.arch.backtrack accounting leaf). Replay
+    // maintains the same state from tape actions plus parent links; the
+    // slot values are only consulted by execute's resume selection.
+    std::array<uint32_t, kWarpSize> sl_cur_{};
+    std::array<uint32_t, kWarpSize> sl_parent_{};
+    std::array<uint8_t, kWarpSize> sl_slot_{};
+    std::array<uint8_t, kWarpSize> sl_resume_{};
     JobCounters counters_;
     uint32_t mismatches_ = 0;
     /**

@@ -26,8 +26,22 @@ const char *const kLeafNames[kCycleLeafCount] = {
     "stall.mem.l2_miss",
     "stall.mem.dram_queue",
     "stall.shmem.bank_conflict",
+    "stall.arch.backtrack",
+    "stall.arch.predictor",
     "idle.done",
 };
+
+/**
+ * The stall.arch.* leaves only exist for the non-default traversal
+ * architectures; they are emitted conditionally so default-architecture
+ * records (including the checked-in goldens) stay byte-identical.
+ */
+bool
+leafEmittedWhenZero(int idx)
+{
+    return idx != static_cast<int>(CycleLeaf::StallArchBacktrack) &&
+           idx != static_cast<int>(CycleLeaf::StallArchPredictor);
+}
 
 } // namespace
 
@@ -100,8 +114,11 @@ toJson(const CycleAccount &account)
     v["warp_active_cycles"] = account.warp_active_cycles;
     v["slot_cycles"] = account.slot_cycles;
     JsonValue leaves = JsonValue::object();
-    for (int i = 0; i < kCycleLeafCount; ++i)
+    for (int i = 0; i < kCycleLeafCount; ++i) {
+        if (account.leaves[i] == 0 && !leafEmittedWhenZero(i))
+            continue;
         leaves[kLeafNames[i]] = account.leaves[i];
+    }
     v["leaves"] = leaves;
     return v;
 }

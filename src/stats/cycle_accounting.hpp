@@ -32,6 +32,15 @@
  *    beyond the L1-hit baseline (fetch phase only).
  *  - "stall.shmem.bank_conflict": extra serialization passes of SH
  *    stack accesses on the chain's critical path.
+ *  - "stall.arch.backtrack": stackless architecture only — the
+ *    intersection-op latency of steps where at least one lane is
+ *    revisiting an interior node via its parent link instead of
+ *    popping a stack entry (the stackless traversal's redundant-work
+ *    overhead, kept separate from "intersect" useful work).
+ *  - "stall.arch.predictor": predicted architecture only — the entire
+ *    fetch window of each job's first step, which carries the
+ *    predictor-table probe lines alongside the root fetch (the cost of
+ *    consulting the predictor before normal traversal starts).
  *  - "idle.done": RT-unit slot cycles with no job in flight (derived
  *    at run scope: slots * frame cycles - sum of active cycles).
  *
@@ -65,11 +74,13 @@ enum class CycleLeaf : uint8_t
     StallMemL2Miss,        ///< fetch critical line: DRAM service
     StallMemDramQueue,     ///< fetch critical line: DRAM queue wait
     StallShmemBankConflict, ///< SH-stack serialization passes
+    StallArchBacktrack,    ///< stackless: parent-link revisit op windows
+    StallArchPredictor,    ///< predicted: predictor-probe fetch windows
     IdleDone,              ///< RT-unit slot idle (no job in flight)
 };
 
 /** Number of leaves. */
-constexpr int kCycleLeafCount = 11;
+constexpr int kCycleLeafCount = 13;
 
 /** Dotted hierarchical name ("stall.stack.spill", ...). */
 const char *cycleLeafName(CycleLeaf leaf);

@@ -523,6 +523,10 @@ toJson(const DramStats &s)
     by_class["node"] = s.by_class[0];
     by_class["primitive"] = s.by_class[1];
     by_class["stack"] = s.by_class[2];
+    // Only the predictor architecture generates class-3 traffic; keep
+    // default-architecture records byte-identical to older files.
+    if (s.by_class[3] != 0)
+        by_class["predictor"] = s.by_class[3];
     v["by_class"] = by_class;
     v["queue_wait_cycles"] = s.queue_wait_cycles;
     v["busy_cycles"] = s.busy_cycles;
@@ -630,6 +634,8 @@ toJson(const SimResult &r)
     l1_cls["node"] = r.l1_class_misses[0];
     l1_cls["primitive"] = r.l1_class_misses[1];
     l1_cls["stack"] = r.l1_class_misses[2];
+    if (r.l1_class_misses[3] != 0)
+        l1_cls["predictor"] = r.l1_class_misses[3];
     l1["class_misses"] = l1_cls;
     v["l1"] = l1;
     JsonValue l2 = toJson(r.l2);
@@ -637,6 +643,8 @@ toJson(const SimResult &r)
     l2_cls["node"] = r.l2_class_misses[0];
     l2_cls["primitive"] = r.l2_class_misses[1];
     l2_cls["stack"] = r.l2_class_misses[2];
+    if (r.l2_class_misses[3] != 0)
+        l2_cls["predictor"] = r.l2_class_misses[3];
     l2["class_misses"] = l2_cls;
     v["l2"] = l2;
     v["dram"] = toJson(r.dram);
@@ -810,6 +818,37 @@ compareMetric(const std::string &where, const char *metric,
     if (rel > eps)
         issues.push_back(
             {where, metric, va->asNumber(), vb->asNumber(), rel});
+}
+
+/**
+ * Two records can pair cells under identical scene/config keys and
+ * still disagree on the traversal-variant axes behind those keys —
+ * e.g. one file's column was recorded as a stackless run and the
+ * other's as a predictor run. Every numeric delta downstream would
+ * then be diagnosed against the wrong baseline, so each diverging
+ * axis is reported as its own issue naming the two human-readable
+ * values ("sl" vs "pred") rather than leaving the reader to decode
+ * variant digests. Axes absent from both cells (the default variant
+ * suppresses them) compare equal.
+ */
+void
+compareVariantAxes(const std::string &where, const JsonValue &cell_a,
+                   const JsonValue &cell_b,
+                   std::vector<CompareIssue> &issues)
+{
+    for (const char *axis :
+         {"architecture", "node_layout", "ray_order"}) {
+        std::string va = cell_a.stringOr(axis, "");
+        std::string vb = cell_b.stringOr(axis, "");
+        if (va == vb)
+            continue;
+        CompareIssue issue;
+        issue.where = where;
+        issue.metric = strprintf("variant:%s '%s' vs '%s'", axis,
+                                 va.empty() ? "default" : va.c_str(),
+                                 vb.empty() ? "default" : vb.c_str());
+        issues.push_back(std::move(issue));
+    }
 }
 
 /**
@@ -987,6 +1026,7 @@ compareBenchRecords(const JsonValue &a, const JsonValue &b,
             continue;
         }
         const JsonValue &cell_b = *it->second;
+        compareVariantAxes(key, *cell_a, cell_b, issues);
         compareMetric(key, "ipc", *cell_a, cell_b, options.ipc_eps,
                       issues);
         compareMetric(key, "norm_ipc", *cell_a, cell_b, options.ipc_eps,
@@ -1019,6 +1059,8 @@ compareBenchRecords(const JsonValue &a, const JsonValue &b,
             auto it = rows_b.find(cellKey("summary", row));
             if (it == rows_b.end())
                 continue;
+            compareVariantAxes(cellKey("summary", row), row,
+                               *it->second, issues);
             compareMetric(cellKey("summary", row), "mean_norm_ipc", row,
                           *it->second, options.ipc_eps, issues);
             compareMetric(cellKey("summary", row), "mean_norm_offchip",

@@ -1,0 +1,429 @@
+/**
+ * @file
+ * Competing-traversal-architecture tests: stackless parent-link
+ * structure, bit-identical differential traversal against the stack
+ * reference (closest and any-hit, randomized scenes), the ray-path
+ * predictor's hash/schedule semantics, end-to-end simulation of both
+ * architectures against the functional oracle (zero stack traffic for
+ * stackless, predictor-table traffic for predicted, the stall.arch.*
+ * accounting leaves, zero-epsilon conservation), tape record/replay
+ * counter identity, and variant/result-cache digest distinctness.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "src/bvh/stackless.hpp"
+#include "src/bvh/traverse.hpp"
+#include "src/bvh/wide_bvh.hpp"
+#include "src/scene/registry.hpp"
+#include "src/serve/result_cache.hpp"
+#include "src/sim/gpu_sim.hpp"
+#include "src/sim/ray_predictor.hpp"
+#include "src/sim/traversal_tape.hpp"
+#include "src/trace/render.hpp"
+#include "src/util/rng.hpp"
+
+namespace sms {
+namespace {
+
+Scene
+randomSoup(uint32_t count, uint64_t seed)
+{
+    Scene scene;
+    uint16_t mat = scene.addMaterial({});
+    Pcg32 rng(seed);
+    for (uint32_t i = 0; i < count; ++i) {
+        Vec3 c{rng.nextRange(-50, 50), rng.nextRange(-50, 50),
+               rng.nextRange(-50, 50)};
+        auto jitter = [&]() {
+            return Vec3{rng.nextRange(-2.0f, 2.0f),
+                        rng.nextRange(-2.0f, 2.0f),
+                        rng.nextRange(-2.0f, 2.0f)};
+        };
+        scene.addTriangle(
+            Triangle(c + jitter(), c + jitter(), c + jitter()), mat);
+    }
+    for (uint32_t i = 0; i < count / 8 + 1; ++i)
+        scene.addSphere(Sphere({rng.nextRange(-50, 50),
+                                rng.nextRange(-50, 50),
+                                rng.nextRange(-50, 50)},
+                               rng.nextRange(0.3f, 3.0f)),
+                        mat);
+    return scene;
+}
+
+Ray
+randomRay(Pcg32 &rng)
+{
+    Vec3 dir;
+    do {
+        dir = Vec3{rng.nextRange(-1, 1), rng.nextRange(-1, 1),
+                   rng.nextRange(-1, 1)};
+    } while (lengthSquared(dir) < 1e-4f);
+    return Ray({rng.nextRange(-60, 60), rng.nextRange(-60, 60),
+                rng.nextRange(-60, 60)},
+               normalize(dir), 1e-4f);
+}
+
+// ---------------------------------------------------------------------
+// Architecture configuration arithmetic
+// ---------------------------------------------------------------------
+
+TEST(TraversalArchConfig, NamesAndEquality)
+{
+    EXPECT_FALSE(TraversalArchConfig::stack().active());
+    EXPECT_TRUE(TraversalArchConfig::stackless().active());
+    EXPECT_TRUE(TraversalArchConfig::predicted().active());
+    EXPECT_STREQ(TraversalArchConfig::stack().name(), "stack");
+    EXPECT_STREQ(TraversalArchConfig::stackless().name(), "sl");
+    EXPECT_STREQ(TraversalArchConfig::predicted().name(), "pred");
+
+    EXPECT_EQ(TraversalArchConfig::stackless(),
+              TraversalArchConfig::stackless());
+    EXPECT_NE(TraversalArchConfig::stack(),
+              TraversalArchConfig::stackless());
+    // Predictor parameters participate in equality only when the
+    // predictor is selected.
+    TraversalArchConfig a = TraversalArchConfig::predicted();
+    TraversalArchConfig b = TraversalArchConfig::predicted();
+    b.predictor_entries_log2 = 10;
+    EXPECT_NE(a, b);
+    TraversalArchConfig c = TraversalArchConfig::stackless();
+    TraversalArchConfig d = TraversalArchConfig::stackless();
+    d.predictor_entries_log2 = 10;
+    EXPECT_EQ(c, d);
+}
+
+TEST(TraversalArchConfig, VariantDigestsAreDistinct)
+{
+    GpuConfig base = makeGpuConfig(StackConfig::sms());
+    GpuConfig sl = base;
+    sl.traversal_arch = TraversalArchConfig::stackless();
+    GpuConfig pred = base;
+    pred.traversal_arch = TraversalArchConfig::predicted();
+    GpuConfig pred_small = pred;
+    pred_small.traversal_arch.predictor_entries_log2 = 8;
+
+    EXPECT_EQ(base.variant().digest(), 0u);
+    std::set<uint64_t> digests{sl.variant().digest(),
+                               pred.variant().digest(),
+                               pred_small.variant().digest()};
+    EXPECT_EQ(digests.size(), 3u);
+    EXPECT_EQ(digests.count(0), 0u);
+
+    // The architecture also keys the result cache.
+    std::set<uint64_t> cfg{gpuConfigDigest(base), gpuConfigDigest(sl),
+                           gpuConfigDigest(pred),
+                           gpuConfigDigest(pred_small)};
+    EXPECT_EQ(cfg.size(), 4u);
+
+    // And the display tag names it.
+    EXPECT_NE(sl.variant().tag().find("sl"), std::string::npos);
+    EXPECT_NE(pred.variant().tag().find("pred"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Parent links
+// ---------------------------------------------------------------------
+
+TEST(StacklessLinks, ParentSlotInverseOfChildEdges)
+{
+    Scene scene = randomSoup(400, 17);
+    WideBvh bvh = WideBvh::build(scene);
+    StacklessLinks links = StacklessLinks::build(bvh);
+    ASSERT_EQ(links.parent.size(), bvh.nodes().size());
+    ASSERT_EQ(links.slot.size(), bvh.nodes().size());
+
+    // Every interior child edge has a matching parent/slot entry.
+    for (size_t n = 0; n < bvh.nodes().size(); ++n) {
+        const WideNode &node = bvh.nodes()[n];
+        for (uint8_t c = 0; c < node.child_count; ++c) {
+            if (!node.children[c].isInternal())
+                continue;
+            uint32_t child = node.children[c].nodeIndex();
+            EXPECT_EQ(links.parent[child], static_cast<uint32_t>(n));
+            EXPECT_EQ(links.slot[child], c);
+        }
+    }
+    // Exactly one root.
+    size_t roots = 0;
+    for (uint32_t p : links.parent)
+        if (p == StacklessLinks::kNoParent)
+            ++roots;
+    EXPECT_EQ(roots, 1u);
+    if (bvh.rootRef().isInternal())
+        EXPECT_EQ(links.parent[bvh.rootRef().nodeIndex()],
+                  StacklessLinks::kNoParent);
+}
+
+// ---------------------------------------------------------------------
+// Differential traversal (functional reference)
+// ---------------------------------------------------------------------
+
+TEST(StacklessTraversal, ClosestHitBitIdenticalToStack)
+{
+    for (uint64_t seed : {3u, 19u, 71u}) {
+        Scene scene = randomSoup(500, seed);
+        WideBvh bvh = WideBvh::build(scene);
+        StacklessLinks links = StacklessLinks::build(bvh);
+        Pcg32 rng(seed * 7919 + 1);
+        for (int r = 0; r < 400; ++r) {
+            Ray ray = randomRay(rng);
+            TraversalCounters sc{}, lc{};
+            HitRecord a = traverseClosest(scene, bvh, ray, &sc);
+            HitRecord b =
+                traverseClosestStackless(scene, bvh, links, ray, &lc);
+            ASSERT_EQ(b.valid(), a.valid())
+                << "seed " << seed << " ray " << r;
+            if (a.valid()) {
+                // Bit-identical, including the winning primitive on
+                // equal-t ties: a subtree the stackless re-test culls
+                // under a tightened tMax could never have updated the
+                // hit (its entry distance already exceeds tMax).
+                EXPECT_EQ(b.t, a.t) << "seed " << seed << " ray " << r;
+                EXPECT_EQ(b.primitive, a.primitive)
+                    << "seed " << seed << " ray " << r;
+                EXPECT_EQ(b.kind, a.kind);
+            }
+            // The stack machine visits every leaf it pushed even after
+            // tMax tightened past it; the stackless re-test culls such
+            // leaves on backtrack, so it does at most the stack
+            // machine's leaf work — with zero stack operations.
+            EXPECT_LE(lc.leaf_visits, sc.leaf_visits);
+            EXPECT_LE(lc.prim_tests, sc.prim_tests);
+            EXPECT_EQ(lc.stack_pushes, 0u);
+            EXPECT_EQ(lc.stack_pops, 0u);
+        }
+    }
+}
+
+TEST(StacklessTraversal, AnyHitMatchesStack)
+{
+    Scene scene = randomSoup(500, 23);
+    WideBvh bvh = WideBvh::build(scene);
+    StacklessLinks links = StacklessLinks::build(bvh);
+    Pcg32 rng(555);
+    size_t hits = 0;
+    for (int r = 0; r < 400; ++r) {
+        Ray ray = randomRay(rng);
+        bool a = traverseAnyHit(scene, bvh, ray);
+        bool b = traverseAnyHitStackless(scene, bvh, links, ray);
+        EXPECT_EQ(b, a) << "ray " << r;
+        hits += a;
+    }
+    // The soup is dense enough that both outcomes occur.
+    EXPECT_GT(hits, 0u);
+    EXPECT_LT(hits, 400u);
+}
+
+// ---------------------------------------------------------------------
+// Predictor hash and schedule
+// ---------------------------------------------------------------------
+
+TEST(RayPredictor, HashIsDeterministicAndParamSensitive)
+{
+    TraversalArchConfig arch = TraversalArchConfig::predicted();
+    Ray a({1.0f, 2.0f, 3.0f}, normalize(Vec3{1, 1, 0}));
+    Ray b({1.0f, 2.0f, 3.0f}, normalize(Vec3{1, 1, 0}));
+    EXPECT_EQ(rayPredictorHash(a, arch), rayPredictorHash(b, arch));
+
+    Ray far_origin({40.0f, 2.0f, 3.0f}, normalize(Vec3{1, 1, 0}));
+    EXPECT_NE(rayPredictorHash(a, arch),
+              rayPredictorHash(far_origin, arch));
+    Ray flipped({1.0f, 2.0f, 3.0f}, normalize(Vec3{-1, 1, 0}));
+    EXPECT_NE(rayPredictorHash(a, arch), rayPredictorHash(flipped, arch));
+
+    // Coarser quantization folds nearby rays onto one slot.
+    TraversalArchConfig coarse = arch;
+    coarse.predictor_origin_bits = 0;
+    coarse.predictor_dir_bits = 0;
+    Ray nudged({1.0f + 1e-6f, 2.0f, 3.0f}, normalize(Vec3{1, 1, 0}));
+    EXPECT_EQ(rayPredictorHash(a, coarse),
+              rayPredictorHash(nudged, coarse));
+}
+
+TEST(RayPredictor, ScheduleTrainsInJobOrder)
+{
+    Scene scene = randomSoup(300, 31);
+    WideBvh bvh = WideBvh::build(scene);
+    TraversalArchConfig arch = TraversalArchConfig::predicted();
+
+    // Two closest-hit jobs carrying the same ray in lane 0: the first
+    // probes a cold table, the second must see the leaf the first
+    // trained.
+    Pcg32 rng(99);
+    Ray ray;
+    HitRecord oracle;
+    do {
+        ray = randomRay(rng);
+        oracle = traverseClosest(scene, bvh, ray);
+    } while (!oracle.valid());
+
+    WarpJobList jobs(2);
+    for (uint32_t j = 0; j < 2; ++j) {
+        jobs[j].job_id = j;
+        jobs[j].warp_id = j;
+        jobs[j].any_hit = false;
+        jobs[j].active[0] = true;
+        jobs[j].rays[0] = ray;
+        jobs[j].expected_hit[0] = true;
+        jobs[j].expected_t[0] = oracle.t;
+        jobs[j].expected_prim[0] = oracle.primitive;
+    }
+
+    PredictorSchedule schedule = buildPredictorSchedule(jobs, bvh, arch);
+    ASSERT_EQ(schedule.jobs.size(), 2u);
+    // Cold probe: nothing predicted, but the first job trains lane 0.
+    EXPECT_EQ(schedule.jobs[0].predicted[0], 0u);
+    EXPECT_EQ(schedule.jobs[0].write_mask & 1u, 1u);
+    // Warm probe: a valid leaf containing the expected primitive.
+    ChildRef predicted =
+        ChildRef::fromBits(schedule.jobs[1].predicted[0]);
+    ASSERT_TRUE(predicted.isLeaf());
+    bool covers = false;
+    for (uint32_t i = 0; i < predicted.primCount(); ++i)
+        covers |= bvh.primIndices()[predicted.primOffset() + i] ==
+                  oracle.primitive;
+    EXPECT_TRUE(covers);
+    // Identical ray, identical table state: both probe the same entry.
+    EXPECT_EQ(schedule.jobs[1].entry[0], schedule.jobs[0].entry[0]);
+
+    // An any-hit job never trains the table.
+    jobs[0].any_hit = true;
+    PredictorSchedule shadow = buildPredictorSchedule(jobs, bvh, arch);
+    EXPECT_EQ(shadow.jobs[0].write_mask, 0u);
+    EXPECT_EQ(shadow.jobs[1].predicted[0], 0u);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end simulation
+// ---------------------------------------------------------------------
+
+class TraversalArchWorkload : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        workload_ = prepareWorkload(SceneId::BUNNY, ScaleProfile::Tiny);
+    }
+    static void TearDownTestSuite() { workload_.reset(); }
+
+    static std::shared_ptr<Workload> workload_;
+};
+
+std::shared_ptr<Workload> TraversalArchWorkload::workload_;
+
+TEST_F(TraversalArchWorkload, StacklessMatchesOracleWithZeroStackTraffic)
+{
+    SimResult base =
+        runWorkload(*workload_, makeGpuConfig(StackConfig::baseline(8)));
+
+    GpuConfig config = makeGpuConfig(StackConfig::baseline(8));
+    config.traversal_arch = TraversalArchConfig::stackless();
+    SimResult r = runWorkload(*workload_, config);
+
+    EXPECT_EQ(r.mismatches, 0u);
+    EXPECT_EQ(r.rays, base.rays);
+    // Stack traffic is zero by construction, not merely reduced.
+    EXPECT_EQ(r.stack.pushes, 0u);
+    EXPECT_EQ(r.stack.pops, 0u);
+    EXPECT_EQ(r.stack.global_stores, 0u);
+    EXPECT_EQ(r.stack.global_loads, 0u);
+    EXPECT_EQ(r.dram.by_class[static_cast<int>(TrafficClass::Stack)], 0u);
+    EXPECT_EQ(r.l1_class_misses[static_cast<int>(TrafficClass::Stack)],
+              0u);
+    // Backtracking re-visits cost extra node work, surfaced in the
+    // dedicated accounting leaf; conservation still closes exactly.
+    EXPECT_GT(r.ops.node_visits, base.ops.node_visits);
+    EXPECT_GT(r.accounting.leaf(CycleLeaf::StallArchBacktrack), 0u);
+    EXPECT_EQ(r.accounting.leaf(CycleLeaf::StallArchPredictor), 0u);
+    EXPECT_TRUE(r.accounting.conserved());
+}
+
+TEST_F(TraversalArchWorkload, PredictedMatchesOracleWithPredictorTraffic)
+{
+    SimResult base =
+        runWorkload(*workload_, makeGpuConfig(StackConfig::baseline(8)));
+
+    GpuConfig config = makeGpuConfig(StackConfig::baseline(8));
+    config.traversal_arch = TraversalArchConfig::predicted();
+    SimResult r = runWorkload(*workload_, config);
+
+    EXPECT_EQ(r.mismatches, 0u);
+    EXPECT_EQ(r.rays, base.rays);
+    // The predictor table is a real traffic class: probes and
+    // train-writebacks reach DRAM (compulsory misses at minimum).
+    EXPECT_GT(r.dram.by_class[static_cast<int>(TrafficClass::Predictor)],
+              0u);
+    EXPECT_GT(r.accounting.leaf(CycleLeaf::StallArchPredictor), 0u);
+    EXPECT_EQ(r.accounting.leaf(CycleLeaf::StallArchBacktrack), 0u);
+    EXPECT_TRUE(r.accounting.conserved());
+}
+
+TEST_F(TraversalArchWorkload, ArchTapeReplayIsCounterIdentical)
+{
+    for (TraversalArchConfig arch : {TraversalArchConfig::stackless(),
+                                     TraversalArchConfig::predicted()}) {
+        GpuConfig config = makeGpuConfig(StackConfig::sms());
+        config.traversal_arch = arch;
+
+        TraversalTape tape;
+        SimOptions record;
+        record.record_tape = &tape;
+        SimResult a = runWorkload(*workload_, config, record);
+
+        SimOptions replay;
+        replay.replay_tape = &tape;
+        SimResult b = runWorkload(*workload_, config, replay);
+
+        EXPECT_EQ(b.cycles, a.cycles) << arch.name();
+        EXPECT_EQ(b.instructions, a.instructions) << arch.name();
+        EXPECT_EQ(b.offchip_accesses, a.offchip_accesses) << arch.name();
+        EXPECT_EQ(b.ops.node_visits, a.ops.node_visits) << arch.name();
+        EXPECT_EQ(b.ops.prim_tests, a.ops.prim_tests) << arch.name();
+        EXPECT_EQ(b.accounting.leaf(CycleLeaf::StallArchBacktrack),
+                  a.accounting.leaf(CycleLeaf::StallArchBacktrack))
+            << arch.name();
+        EXPECT_EQ(b.accounting.leaf(CycleLeaf::StallArchPredictor),
+                  a.accounting.leaf(CycleLeaf::StallArchPredictor))
+            << arch.name();
+        for (int cls = 0; cls < kTrafficClassCount; ++cls) {
+            EXPECT_EQ(b.l1_class_misses[cls], a.l1_class_misses[cls]);
+            EXPECT_EQ(b.l2_class_misses[cls], a.l2_class_misses[cls]);
+        }
+    }
+}
+
+TEST_F(TraversalArchWorkload, ArchTapeReplaysUnderAnyStackConfig)
+{
+    // A tape recorded under one stack configuration drives the timing
+    // model under another (the repo-wide tape contract); the traversal
+    // work counters are configuration-independent.
+    GpuConfig rb = makeGpuConfig(StackConfig::baseline(8));
+    rb.traversal_arch = TraversalArchConfig::stackless();
+    TraversalTape tape;
+    SimOptions record;
+    record.record_tape = &tape;
+    SimResult a = runWorkload(*workload_, rb, record);
+
+    GpuConfig sms = makeGpuConfig(StackConfig::sms());
+    sms.traversal_arch = TraversalArchConfig::stackless();
+    SimOptions replay;
+    replay.replay_tape = &tape;
+    SimResult b = runWorkload(*workload_, sms, replay);
+
+    EXPECT_EQ(b.ops.node_visits, a.ops.node_visits);
+    EXPECT_EQ(b.ops.leaf_visits, a.ops.leaf_visits);
+    EXPECT_EQ(b.ops.prim_tests, a.ops.prim_tests);
+    EXPECT_EQ(b.ops.box_tests, a.ops.box_tests);
+    EXPECT_EQ(b.stack.pushes, 0u);
+    EXPECT_TRUE(b.accounting.conserved());
+}
+
+} // namespace
+} // namespace sms

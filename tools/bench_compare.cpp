@@ -99,6 +99,11 @@ printIssues(const std::vector<CompareIssue> &issues)
     for (const CompareIssue &issue : issues) {
         if (issue.metric.empty()) {
             std::printf("  %s\n", issue.where.c_str());
+        } else if (issue.metric.rfind("variant:", 0) == 0) {
+            // Variant-axis divergence carries no numbers — the metric
+            // string already names both sides ("'sl' vs 'pred'").
+            std::printf("  %s: %s\n", issue.where.c_str(),
+                        issue.metric.c_str());
         } else if (issue.metric.find("class_misses") !=
                    std::string::npos) {
             // Per-class traffic carries the direction of the shift:
@@ -121,6 +126,8 @@ printIssues(const std::vector<CompareIssue> &issues)
 const char *
 blockOfMetric(const std::string &metric)
 {
+    if (metric.rfind("variant", 0) == 0)
+        return "variant";
     if (metric.rfind("accounting", 0) == 0)
         return "accounting";
     if (metric.rfind("missing", 0) == 0)
@@ -141,17 +148,18 @@ blockOfMetric(const std::string &metric)
 std::string
 blockSummary(const std::vector<CompareIssue> &issues)
 {
-    const char *order[] = {"ipc", "traffic", "accounting", "throughput",
-                           "coverage", "other"};
-    size_t counts[6] = {};
+    const char *order[] = {"variant",    "ipc",      "traffic",
+                           "accounting", "throughput", "coverage",
+                           "other"};
+    size_t counts[7] = {};
     for (const CompareIssue &issue : issues) {
         const char *block = blockOfMetric(issue.metric);
-        for (int i = 0; i < 6; ++i)
+        for (int i = 0; i < 7; ++i)
             if (std::strcmp(order[i], block) == 0)
                 ++counts[i];
     }
     std::string out;
-    for (int i = 0; i < 6; ++i) {
+    for (int i = 0; i < 7; ++i) {
         if (!counts[i])
             continue;
         if (!out.empty())

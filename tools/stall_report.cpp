@@ -217,8 +217,9 @@ printText(const std::vector<CellAccounting> &cells)
 {
     // Short column labels, in leaf order.
     static const char *const kShort[kCycleLeafCount] = {
-        "issue",  "isect",  "st.spill", "st.refil", "st.borrw", "st.flush",
-        "m.l1ms", "m.l2ms", "m.dramq",  "sh.conf",  "idle",
+        "issue",  "isect",  "st.spill", "st.refil", "st.borrw",
+        "st.flush", "m.l1ms", "m.l2ms", "m.dramq",  "sh.conf",
+        "a.btrk", "a.pred", "idle",
     };
     std::string last_header_key;
     for (const CellAccounting &cell : cells) {
