@@ -24,11 +24,13 @@
 #include <vector>
 
 #include "src/scene/registry.hpp"
+#include "src/serve/heartbeat.hpp"
 #include "src/serve/result_cache.hpp"
 #include "src/serve/sweep_shard.hpp"
 #include "src/sim/gpu_sim.hpp"
 #include "src/sim/traversal_tape.hpp"
 #include "src/stats/histogram.hpp"
+#include "src/stats/metrics.hpp"
 #include "src/stats/report.hpp"
 #include "src/stats/table.hpp"
 #include "src/stats/timeline.hpp"
@@ -263,6 +265,8 @@ runSweep(const std::vector<std::shared_ptr<Workload>> &workloads,
          const std::vector<SweepColumn> &columns, unsigned threads = 0)
 {
     timelineInitFromEnv();
+    metricsInitFromEnv();
+    heartbeatInitFromEnv();
     auto start = std::chrono::steady_clock::now();
     const bool tl = timelineOn(TimelineCategory::Sweep);
     uint32_t tl_pid = 0;
@@ -294,6 +298,39 @@ runSweep(const std::vector<std::shared_ptr<Workload>> &workloads,
     auto owned = [&](size_t s, size_t c) {
         return sweep.shard.owns(
             static_cast<uint64_t>(s) * num_configs + c);
+    };
+
+    // Live telemetry: publish how many cells this process owns before
+    // any of them runs, so heartbeat progress bars have a denominator
+    // from the very first sample.
+    if (metricsOn()) {
+        uint64_t owned_cells = 0;
+        for (size_t s = 0; s < workloads.size(); ++s)
+            for (size_t c = 0; c < num_configs; ++c)
+                if (owned(s, c))
+                    ++owned_cells;
+        heartbeatNoteCellsOwned(owned_cells);
+    }
+    // Per-cell completion instrumentation, shared by the cache-hit and
+    // simulated paths. The wall histogram only sees simulated cells
+    // (hits complete in microseconds and would drown the signal).
+    auto noteCellDone = [](CellOrigin origin, double wall_seconds) {
+        if (!metricsOn())
+            return;
+        static MetricCounter &m_hits =
+            metricCounter("sweep.cells_cache_hits");
+        static MetricCounter &m_simulated =
+            metricCounter("sweep.cells_simulated");
+        static MetricHistogram &m_wall = metricHistogram(
+            "sweep.cell_wall_ms",
+            {1, 3, 10, 30, 100, 300, 1000, 3000, 10000, 30000});
+        if (origin == CellOrigin::CacheHit) {
+            m_hits.add();
+        } else {
+            m_simulated.add();
+            m_wall.observe(wall_seconds * 1e3);
+        }
+        heartbeatNoteCellDone();
     };
 
     // Result-cache keys: one workload fingerprint per scene, one
@@ -330,6 +367,8 @@ runSweep(const std::vector<std::shared_ptr<Workload>> &workloads,
                               workloads[s]->profile, fingerprints[s],
                               digests[c], sweep.results[s][c],
                               sweep.cell_wall_seconds[s][c]);
+        noteCellDone(CellOrigin::Simulated,
+                     sweep.cell_wall_seconds[s][c]);
         if (tl) {
             // One wall-clock row per sweep cell; the cell's simulated
             // cycles ride along so the two clock domains can be tied
@@ -361,8 +400,10 @@ runSweep(const std::vector<std::shared_ptr<Workload>> &workloads,
                                      workloads[s]->profile,
                                      fingerprints[s], digests[c],
                                      sweep.results[s][c],
-                                     sweep.cell_wall_seconds[s][c]))
+                                     sweep.cell_wall_seconds[s][c])) {
                     sweep.cell_origin[s][c] = CellOrigin::CacheHit;
+                    noteCellDone(CellOrigin::CacheHit, 0.0);
+                }
             },
             threads);
     }
@@ -657,6 +698,11 @@ class JsonReporter
             runShardCoordinator(static_cast<uint32_t>(n),
                                 resolvePath(spec), argc, argv);
         }
+        // Telemetry starts only here, after the coordinator branch: a
+        // coordinator process must not run a sampler or write a
+        // heartbeat of its own — it only watches its workers'.
+        metricsInitFromEnv();
+        heartbeatInitFromEnv();
         shard_ = sweepShardSpec();
         if (shard_.active() && spec.empty())
             warn("shard %u/%u is active without --json/SMS_JSON; the "
@@ -832,6 +878,13 @@ class JsonReporter
         if (!enabled() || finished_)
             return;
         finished_ = true;
+        // Final telemetry flush first, so the throughput block below
+        // reports the heartbeat/sample counts including the last write
+        // and watchers see the finished state as soon as possible.
+        if (heartbeatActive())
+            heartbeatFinish();
+        else if (metricsActive())
+            metricsFlushNow();
         auto elapsed = std::chrono::steady_clock::now() - start_;
         record_["wall_seconds"] =
             std::chrono::duration<double>(elapsed).count();
@@ -887,6 +940,19 @@ class JsonReporter
         tl_json["events_recorded"] = tls.events_recorded;
         tl_json["events_dropped"] = tls.events_dropped;
         throughput["timeline"] = std::move(tl_json);
+        // Live-telemetry summary, present only when telemetry ran so
+        // telemetry-off records stay byte-identical to the goldens.
+        MetricsStats ms = metricsStats();
+        if (ms.enabled) {
+            JsonValue m_json = JsonValue::object();
+            m_json["enabled"] = true;
+            m_json["path"] = ms.path;
+            m_json["interval_ms"] = ms.interval_ms;
+            m_json["samples"] = ms.samples;
+            m_json["heartbeat_dir"] = heartbeatDir();
+            m_json["heartbeat_writes"] = heartbeatWriteCount();
+            throughput["metrics"] = std::move(m_json);
+        }
         record_["throughput"] = std::move(throughput);
 
         if (shard_.active() && !sweep_added_)

@@ -69,18 +69,23 @@ runCacheGc(const std::string &dir, const CacheGcOptions &options,
     }
     ::closedir(d);
 
-    if (out.scanned_bytes <= options.max_bytes)
-        return true;
-
-    // Oldest first; path breaks mtime ties so the order is stable.
+    // Oldest first; path breaks mtime ties so the order is stable. The
+    // sorted listing is reported even when nothing needs evicting
+    // (cache_gc --verbose shows it).
     std::sort(entries.begin(), entries.end(),
               [](const GcEntry &a, const GcEntry &b) {
                   return a.mtime != b.mtime ? a.mtime < b.mtime
                                             : a.path < b.path;
               });
+    out.entries.reserve(entries.size());
+    for (const GcEntry &e : entries)
+        out.entries.push_back({e.path, e.bytes, e.mtime, false});
+
+    if (out.scanned_bytes <= options.max_bytes)
+        return true;
 
     uint64_t remaining = out.scanned_bytes;
-    for (const GcEntry &e : entries) {
+    for (CacheGcEntry &e : out.entries) {
         if (remaining <= options.max_bytes)
             break;
         if (!options.dry_run && std::remove(e.path.c_str()) != 0) {
@@ -89,6 +94,7 @@ runCacheGc(const std::string &dir, const CacheGcOptions &options,
             return false;
         }
         remaining -= e.bytes;
+        e.evicted = true;
         out.evicted_files += 1;
         out.evicted_bytes += e.bytes;
         out.evicted.push_back(e.path);

@@ -31,6 +31,15 @@ struct CacheGcOptions
     bool dry_run = false;
 };
 
+/** One eligible cache file, as seen by the GC scan. */
+struct CacheGcEntry
+{
+    std::string path;
+    uint64_t bytes = 0;
+    int64_t mtime = 0;    ///< seconds since the epoch
+    bool evicted = false; ///< evicted (or would-be, dry run) this pass
+};
+
 /** Outcome of one GC pass. */
 struct CacheGcResult
 {
@@ -40,6 +49,8 @@ struct CacheGcResult
     uint64_t evicted_bytes = 0; ///< bytes reclaimed (ditto)
     /** Evicted paths, oldest first (the eviction order). */
     std::vector<std::string> evicted;
+    /** Every eligible entry, oldest first, evicted or not. */
+    std::vector<CacheGcEntry> entries;
 };
 
 /**

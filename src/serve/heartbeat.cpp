@@ -1,0 +1,362 @@
+/**
+ * @file
+ * Heartbeat writer/reader (see heartbeat.hpp for the contract).
+ */
+
+#include "src/serve/heartbeat.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <dirent.h>
+#include <mutex>
+#include <sys/stat.h>
+#include <time.h>
+#include <unistd.h>
+
+#include "src/serve/sweep_shard.hpp"
+#include "src/stats/metrics.hpp"
+#include "src/trace/cache_io.hpp"
+#include "src/util/check.hpp"
+
+namespace sms {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct HeartbeatState
+{
+    std::mutex mutex;
+    bool configured = false;
+    bool env_checked = false;
+    bool hook_registered = false;
+    std::string dir;
+    uint32_t index = 1;
+    uint32_t count = 1;
+    Clock::time_point epoch = Clock::now();
+    std::atomic<bool> done{false};
+    std::atomic<uint64_t> writes{0};
+};
+
+HeartbeatState &
+state()
+{
+    static HeartbeatState *s = new HeartbeatState; // outlives atexit
+    return *s;
+}
+
+/** Seconds-resolution "now" matching stat() mtimes. */
+double
+wallNow()
+{
+    struct timespec ts;
+    ::clock_gettime(CLOCK_REALTIME, &ts);
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+/** Build the heartbeat document from one metrics snapshot. */
+void
+writeFromSnapshot(const MetricsSnapshot &snap)
+{
+    HeartbeatState &s = state();
+    HeartbeatInfo info;
+    {
+        std::lock_guard<std::mutex> lock(s.mutex);
+        if (!s.configured)
+            return;
+        info.shard_index = s.index;
+        info.shard_count = s.count;
+        info.wall_seconds = std::chrono::duration<double>(
+                                Clock::now() - s.epoch)
+                                .count();
+    }
+    info.pid = snap.pid;
+    info.seq = snap.seq;
+    info.done = s.done.load(std::memory_order_relaxed);
+    info.cells_owned = snap.counterOr("sweep.cells_owned", 0);
+    info.cells_done = snap.counterOr("sweep.cells_done", 0);
+    for (const auto &c : snap.counters)
+        info.counters[c.first] = c.second;
+    std::string error;
+    if (!writeHeartbeat(heartbeatDir(), info, error))
+        warn("heartbeat not written: %s", error.c_str());
+    else
+        s.writes.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace
+
+std::string
+heartbeatPath(const std::string &dir, uint32_t index)
+{
+    return dir + "/shard-" + std::to_string(index) + ".hb";
+}
+
+void
+heartbeatConfigure(const std::string &dir, uint32_t shard_index,
+                   uint32_t shard_count)
+{
+    HeartbeatState &s = state();
+    bool register_hook = false;
+    {
+        std::lock_guard<std::mutex> lock(s.mutex);
+        if (!s.configured)
+            s.epoch = Clock::now();
+        s.configured = true;
+        s.dir = dir;
+        s.index = shard_index < 1 ? 1 : shard_index;
+        s.count = shard_count < 1 ? 1 : shard_count;
+        if (!s.hook_registered) {
+            s.hook_registered = true;
+            register_hook = true;
+        }
+    }
+    if (register_hook)
+        metricsAddSampleHook(writeFromSnapshot);
+    metricsEnsureSampler(); // turns the metrics gate on
+}
+
+void
+heartbeatInitFromEnv()
+{
+    HeartbeatState &s = state();
+    {
+        std::lock_guard<std::mutex> lock(s.mutex);
+        if (s.env_checked)
+            return;
+        s.env_checked = true;
+    }
+    const char *dir = std::getenv("SMS_HEARTBEAT_DIR");
+    if (!dir || !*dir)
+        return;
+    SweepShardSpec shard = sweepShardSpec();
+    uint32_t index = shard.active() ? shard.index : 1;
+    uint32_t count = shard.active() ? shard.count : 1;
+    heartbeatConfigure(dir, index, count);
+}
+
+bool
+heartbeatActive()
+{
+    HeartbeatState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    return s.configured;
+}
+
+std::string
+heartbeatDir()
+{
+    HeartbeatState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    return s.configured ? s.dir : std::string();
+}
+
+uint64_t
+heartbeatWriteCount()
+{
+    return state().writes.load(std::memory_order_relaxed);
+}
+
+void
+heartbeatNoteCellsOwned(uint64_t owned)
+{
+    static MetricCounter &counter = metricCounter("sweep.cells_owned");
+    counter.add(owned);
+}
+
+void
+heartbeatNoteCellDone()
+{
+    static MetricCounter &counter = metricCounter("sweep.cells_done");
+    counter.add(1);
+}
+
+void
+heartbeatFinish()
+{
+    HeartbeatState &s = state();
+    {
+        std::lock_guard<std::mutex> lock(s.mutex);
+        if (!s.configured)
+            return;
+    }
+    s.done.store(true, std::memory_order_relaxed);
+    metricsFlushNow(); // the sample hook writes the final heartbeat
+}
+
+bool
+writeHeartbeat(const std::string &dir, const HeartbeatInfo &info,
+               std::string &error)
+{
+    if (!ensureDir(dir)) {
+        error = strprintf("mkdir %s: %s", dir.c_str(),
+                          std::strerror(errno));
+        return false;
+    }
+    JsonValue doc = JsonValue::object();
+    doc["schema"] = kHeartbeatSchema;
+    JsonValue shard = JsonValue::object();
+    shard["index"] = info.shard_index;
+    shard["count"] = info.shard_count;
+    doc["shard"] = std::move(shard);
+    doc["pid"] = static_cast<long long>(info.pid);
+    doc["seq"] = info.seq;
+    doc["wall_seconds"] = info.wall_seconds;
+    doc["cells_owned"] = info.cells_owned;
+    doc["cells_done"] = info.cells_done;
+    doc["done"] = info.done;
+    doc["counters"] = info.counters;
+    std::string path = heartbeatPath(dir, info.shard_index);
+    if (!writeFileAtomic(path, doc.dump() + "\n")) {
+        error = strprintf("write %s failed", path.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+readHeartbeat(const std::string &path, HeartbeatInfo &info,
+              std::string &error)
+{
+    std::string text;
+    if (!readFile(path, text)) {
+        error = strprintf("%s: unreadable", path.c_str());
+        return false;
+    }
+    JsonValue doc;
+    if (!JsonValue::parse(text, doc, error)) {
+        error = strprintf("%s: torn or invalid JSON (%s)", path.c_str(),
+                          error.c_str());
+        return false;
+    }
+    if (doc.stringOr("schema", "") != kHeartbeatSchema) {
+        error = strprintf("%s: schema is not %s", path.c_str(),
+                          kHeartbeatSchema);
+        return false;
+    }
+    const JsonValue *shard = doc.find("shard");
+    if (!shard || !shard->isObject()) {
+        error = strprintf("%s: no shard block", path.c_str());
+        return false;
+    }
+    info = HeartbeatInfo{};
+    info.shard_index =
+        static_cast<uint32_t>(shard->numberOr("index", 0));
+    info.shard_count =
+        static_cast<uint32_t>(shard->numberOr("count", 0));
+    if (info.shard_index < 1 || info.shard_count < 1 ||
+        info.shard_index > info.shard_count) {
+        error = strprintf("%s: shard identity %u/%u out of range",
+                          path.c_str(), info.shard_index,
+                          info.shard_count);
+        return false;
+    }
+    info.pid = static_cast<long>(doc.numberOr("pid", 0));
+    info.seq = static_cast<uint64_t>(doc.numberOr("seq", 0));
+    info.wall_seconds = doc.numberOr("wall_seconds", 0.0);
+    info.cells_owned =
+        static_cast<uint64_t>(doc.numberOr("cells_owned", 0));
+    info.cells_done =
+        static_cast<uint64_t>(doc.numberOr("cells_done", 0));
+    const JsonValue *done = doc.find("done");
+    info.done = done && done->isBool() && done->asBool();
+    const JsonValue *counters = doc.find("counters");
+    if (counters && counters->isObject())
+        info.counters = *counters;
+    return true;
+}
+
+bool
+readHeartbeatDir(const std::string &dir,
+                 std::vector<HeartbeatView> &out, size_t &skipped,
+                 std::string &error)
+{
+    out.clear();
+    skipped = 0;
+    DIR *d = ::opendir(dir.c_str());
+    if (!d) {
+        error = strprintf("opendir %s: %s", dir.c_str(),
+                          std::strerror(errno));
+        return false;
+    }
+    double now = wallNow();
+    while (struct dirent *ent = ::readdir(d)) {
+        std::string name = ent->d_name;
+        // Only finished heartbeat files: atomic-write temporaries
+        // (*.tmp.<pid>.<serial>) are in-flight writes, not state.
+        if (name.compare(0, 6, "shard-") != 0 ||
+            name.size() < 9 ||
+            name.compare(name.size() - 3, 3, ".hb") != 0 ||
+            name.find(".tmp.") != std::string::npos)
+            continue;
+        HeartbeatView view;
+        view.path = dir + "/" + name;
+        std::string read_error;
+        if (!readHeartbeat(view.path, view.info, read_error)) {
+            ++skipped; // torn/foreign file: skip, never trust
+            continue;
+        }
+        struct stat st;
+        if (::stat(view.path.c_str(), &st) == 0) {
+            double mtime =
+                static_cast<double>(st.st_mtim.tv_sec) +
+                static_cast<double>(st.st_mtim.tv_nsec) * 1e-9;
+            view.age_seconds = now > mtime ? now - mtime : 0.0;
+        }
+        out.push_back(std::move(view));
+    }
+    ::closedir(d);
+    std::sort(out.begin(), out.end(),
+              [](const HeartbeatView &a, const HeartbeatView &b) {
+                  return a.info.shard_index < b.info.shard_index;
+              });
+    return true;
+}
+
+JsonValue
+heartbeatSummaryJson(const std::string &dir)
+{
+    std::vector<HeartbeatView> views;
+    size_t skipped = 0;
+    std::string error;
+    if (!readHeartbeatDir(dir, views, skipped, error) || views.empty())
+        return JsonValue();
+    JsonValue summary = JsonValue::object();
+    summary["dir"] = dir;
+    uint32_t count = 0;
+    for (const HeartbeatView &v : views)
+        count = std::max(count, v.info.shard_count);
+    std::vector<bool> complete(count, false);
+    JsonValue shards = JsonValue::array();
+    for (const HeartbeatView &v : views) {
+        const HeartbeatInfo &info = v.info;
+        JsonValue row = JsonValue::object();
+        row["index"] = info.shard_index;
+        row["count"] = info.shard_count;
+        row["pid"] = static_cast<long long>(info.pid);
+        row["cells_owned"] = info.cells_owned;
+        row["cells_done"] = info.cells_done;
+        row["done"] = info.done;
+        row["wall_seconds"] = info.wall_seconds;
+        row["seq"] = info.seq;
+        shards.push(std::move(row));
+        if (info.shard_index >= 1 && info.shard_index <= count &&
+            info.done && info.cells_done >= info.cells_owned)
+            complete[info.shard_index - 1] = true;
+    }
+    summary["shards"] = std::move(shards);
+    bool all = true;
+    for (bool c : complete)
+        all = all && c;
+    summary["complete"] = all;
+    if (skipped > 0)
+        summary["skipped_files"] = skipped;
+    return summary;
+}
+
+} // namespace sms

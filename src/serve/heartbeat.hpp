@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Per-shard heartbeat files for live sweep observability.
+ *
+ * Each shard worker (and a plain single-process run, as shard 1/1)
+ * periodically writes one small JSON document — schema
+ * "sms-heartbeat-1" — into the heartbeat directory: shard identity,
+ * pid, cells done/owned, the last metrics-counter snapshot, and wall
+ * time. Writes go through writeFileAtomic() (write-temp + rename), so
+ * a reader never observes a half-written file; a torn or foreign file
+ * fails validation and is skipped, never trusted.
+ *
+ * Consumers:
+ *  - the fork/exec shard coordinator (src/serve/sweep_shard.cpp)
+ *    polls the directory to report per-shard progress and flag
+ *    stalled workers instead of waiting silently on waitpid;
+ *  - tools/sweep_top renders live progress bars from the same files
+ *    (and post-mortem state after the run, since nothing deletes
+ *    them);
+ *  - tools/sweep_merge and the coordinator fold the final heartbeats
+ *    into the merged record's throughput block.
+ *
+ * Enabled by SMS_HEARTBEAT_DIR (created on first write) or
+ * programmatically via heartbeatConfigure(). The writer rides the
+ * metrics sampler (src/stats/metrics.hpp): configuring a heartbeat
+ * turns the metrics gate on and registers a sample hook, so heartbeat
+ * counters are exactly the sms-metrics-1 counters.
+ */
+
+#ifndef SMS_SERVE_HEARTBEAT_HPP
+#define SMS_SERVE_HEARTBEAT_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/stats/report.hpp"
+
+namespace sms {
+
+/** Schema identifier of one heartbeat file. */
+inline constexpr const char *kHeartbeatSchema = "sms-heartbeat-1";
+
+/** One heartbeat document. */
+struct HeartbeatInfo
+{
+    uint32_t shard_index = 1; ///< 1-based (1/1 for unsharded runs)
+    uint32_t shard_count = 1;
+    long pid = 0;
+    uint64_t seq = 0;         ///< metrics sample sequence
+    double wall_seconds = 0;  ///< since the heartbeat was configured
+    uint64_t cells_owned = 0; ///< sweep cells this shard owns
+    uint64_t cells_done = 0;  ///< cells finished (simulated or cached)
+    bool done = false;        ///< worker finished its record
+    /** Flat metrics-counter snapshot (name -> value). */
+    JsonValue counters = JsonValue::object();
+
+    /** Fraction of owned cells finished, in [0, 1]. */
+    double
+    progress() const
+    {
+        return cells_owned
+                   ? static_cast<double>(cells_done) / cells_owned
+                   : (done ? 1.0 : 0.0);
+    }
+};
+
+/** A heartbeat read back from disk, with its file freshness. */
+struct HeartbeatView
+{
+    HeartbeatInfo info;
+    std::string path;
+    double age_seconds = 0; ///< now - file mtime at read time
+};
+
+/** Heartbeat file path of one shard: `<dir>/shard-<index>.hb`. */
+std::string heartbeatPath(const std::string &dir, uint32_t index);
+
+/**
+ * Start heartbeating into @p dir as shard index/count. Creates the
+ * directory, enables the metrics gate, starts the metrics sampler if
+ * needed, and registers the per-sample writer. Idempotent; a second
+ * call with a different identity updates it.
+ */
+void heartbeatConfigure(const std::string &dir, uint32_t shard_index,
+                        uint32_t shard_count);
+
+/**
+ * Read SMS_HEARTBEAT_DIR and configure heartbeating under the current
+ * sweep shard identity (sweepShardSpec(); 1/1 when unsharded).
+ * Idempotent: only the first call acts. Does nothing when the
+ * variable is unset.
+ */
+void heartbeatInitFromEnv();
+
+/** Is a heartbeat writer configured? */
+bool heartbeatActive();
+
+/** The configured heartbeat directory ("" when inactive). */
+std::string heartbeatDir();
+
+/** Heartbeat files written by this process so far. */
+uint64_t heartbeatWriteCount();
+
+/**
+ * Record sweep progress for the next heartbeats (also mirrored as the
+ * metrics counters sweep.cells_owned / sweep.cells_done).
+ */
+void heartbeatNoteCellsOwned(uint64_t owned);
+void heartbeatNoteCellDone();
+
+/**
+ * Mark this worker finished and synchronously write a final heartbeat
+ * (done = true, final counters). Safe to call when inactive (no-op).
+ */
+void heartbeatFinish();
+
+/**
+ * Serialize @p info and atomically write it to its path under @p dir.
+ * Creates the directory. @return false with @p error set on I/O
+ * failure.
+ */
+bool writeHeartbeat(const std::string &dir, const HeartbeatInfo &info,
+                    std::string &error);
+
+/**
+ * Parse one heartbeat file. A missing, torn (half-written JSON), or
+ * foreign file fails validation — @return false with @p error set —
+ * and must be skipped by directory scans, never trusted.
+ */
+bool readHeartbeat(const std::string &path, HeartbeatInfo &info,
+                   std::string &error);
+
+/**
+ * Scan @p dir for `shard-*.hb` files, skipping atomic-write
+ * temporaries and any file that fails validation (@p skipped counts
+ * them). Results are sorted by shard index. @return false with
+ * @p error only when the directory itself cannot be read.
+ */
+bool readHeartbeatDir(const std::string &dir,
+                      std::vector<HeartbeatView> &out, size_t &skipped,
+                      std::string &error);
+
+/**
+ * Fold the final heartbeats of @p dir into a JSON summary for the
+ * merged record's throughput block: per-shard rows (index, pid, cells
+ * owned/done, done flag, wall seconds) plus a `complete` flag — true
+ * when every shard 1..count is present, done, and finished all owned
+ * cells. Returns a Null value when the directory holds no readable
+ * heartbeats.
+ */
+JsonValue heartbeatSummaryJson(const std::string &dir);
+
+} // namespace sms
+
+#endif // SMS_SERVE_HEARTBEAT_HPP

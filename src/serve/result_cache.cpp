@@ -12,6 +12,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "src/stats/metrics.hpp"
 #include "src/trace/cache_io.hpp"
 #include "src/util/check.hpp"
 
@@ -25,6 +26,23 @@ std::atomic<uint64_t> g_hits{0};
 std::atomic<uint64_t> g_misses{0};
 std::atomic<uint64_t> g_stores{0};
 std::atomic<uint64_t> g_failures{0};
+
+// Pull-collector: publish the existing cache counters into metrics
+// snapshots without touching the lookup/store hot paths.
+const bool g_metrics_collector_registered = [] {
+    metricsAddCollector(
+        [](const std::function<void(const char *, uint64_t)> &sink) {
+            sink("result_cache.hits",
+                 g_hits.load(std::memory_order_relaxed));
+            sink("result_cache.misses",
+                 g_misses.load(std::memory_order_relaxed));
+            sink("result_cache.stores",
+                 g_stores.load(std::memory_order_relaxed));
+            sink("result_cache.failures",
+                 g_failures.load(std::memory_order_relaxed));
+        });
+    return true;
+}();
 
 /**
  * Hash of the structural constants that shape the serialized counters;

@@ -6,20 +6,28 @@
 
 #include "src/serve/sweep_shard.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <dirent.h>
 #include <limits>
 #include <map>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "src/serve/heartbeat.hpp"
 #include "src/stats/cycle_accounting.hpp"
 #include "src/stats/histogram.hpp"
+#include "src/trace/cache_io.hpp"
 #include "src/util/check.hpp"
+
+extern char **environ;
 
 namespace sms {
 
@@ -127,6 +135,35 @@ mergeThroughput(const std::vector<const JsonValue *> &blocks)
     tl["events_recorded"] = sumField(tls, "events_recorded");
     tl["events_dropped"] = sumField(tls, "events_dropped");
     tp["timeline"] = std::move(tl);
+
+    // The metrics block exists only in telemetry-enabled records; fold
+    // it only when some shard carried one, so telemetry-off merges stay
+    // byte-identical to pre-telemetry records.
+    auto mets = subBlocks(blocks, "metrics");
+    bool any_metrics = false;
+    for (const JsonValue *m : mets)
+        any_metrics = any_metrics || m != nullptr;
+    if (any_metrics) {
+        JsonValue mv = JsonValue::object();
+        mv["enabled"] = orField(mets, "enabled");
+        std::string mpath, hb_dir;
+        double interval = 0.0;
+        for (const JsonValue *m : mets)
+            if (m) {
+                if (mpath.empty())
+                    mpath = m->stringOr("path", "");
+                if (hb_dir.empty())
+                    hb_dir = m->stringOr("heartbeat_dir", "");
+                if (interval == 0.0)
+                    interval = m->numberOr("interval_ms", 0.0);
+            }
+        mv["path"] = mpath;
+        mv["interval_ms"] = interval;
+        mv["samples"] = sumField(mets, "samples");
+        mv["heartbeat_dir"] = hb_dir;
+        mv["heartbeat_writes"] = sumField(mets, "heartbeat_writes");
+        tp["metrics"] = std::move(mv);
+    }
     return tp;
 }
 
@@ -500,6 +537,90 @@ mergeShardRecords(const std::vector<JsonValue> &shards, JsonValue &merged,
     return true;
 }
 
+namespace {
+
+/** Human-readable decode of a waitpid() status. */
+std::string
+describeExitStatus(int status)
+{
+    if (WIFEXITED(status)) {
+        int code = WEXITSTATUS(status);
+        if (code == 127)
+            return "exited with status 127 (exec of the worker binary "
+                   "likely failed)";
+        return strprintf("exited with status %d", code);
+    }
+    if (WIFSIGNALED(status))
+        return strprintf("was killed by signal %d (%s)",
+                         WTERMSIG(status),
+                         strsignal(WTERMSIG(status)));
+    return strprintf("ended with unrecognized wait status 0x%x",
+                     status);
+}
+
+/** The sampler period the workers will use (mirrors metrics.cpp). */
+uint32_t
+metricsIntervalMsFromEnv()
+{
+    const char *env = std::getenv("SMS_METRICS_INTERVAL_MS");
+    if (env && *env) {
+        char *end = nullptr;
+        unsigned long v = std::strtoul(env, &end, 10);
+        if (end && !*end && v >= 1 && v <= 3600000)
+            return static_cast<uint32_t>(v);
+    }
+    return 250;
+}
+
+/** Delete leftover `shard-*.hb` files of a previous coordinator run. */
+void
+clearHeartbeatDir(const std::string &dir)
+{
+    DIR *d = ::opendir(dir.c_str());
+    if (!d)
+        return;
+    std::vector<std::string> victims;
+    while (struct dirent *e = ::readdir(d)) {
+        std::string name = e->d_name;
+        if (name.rfind("shard-", 0) == 0 &&
+            name.size() > 3 &&
+            name.compare(name.size() - 3, 3, ".hb") == 0)
+            victims.push_back(dir + "/" + name);
+    }
+    ::closedir(d);
+    for (const std::string &v : victims)
+        std::remove(v.c_str());
+}
+
+/**
+ * One status line over the current heartbeats: a ten-cell progress bar
+ * plus done/owned counts per shard, and a STALLED marker when a
+ * heartbeat has not been refreshed for @p stall_after seconds.
+ */
+std::string
+heartbeatProgressLine(const std::vector<HeartbeatView> &views,
+                      double stall_after)
+{
+    std::string line = "shards:";
+    for (const HeartbeatView &v : views) {
+        double p = v.info.progress();
+        int fill = static_cast<int>(p * 10.0 + 0.5);
+        fill = fill < 0 ? 0 : fill > 10 ? 10 : fill;
+        line += strprintf(
+            " %u:[%.*s%.*s] %llu/%llu", v.info.shard_index, fill,
+            "##########", 10 - fill, "..........",
+            static_cast<unsigned long long>(v.info.cells_done),
+            static_cast<unsigned long long>(v.info.cells_owned));
+        if (v.info.done)
+            line += " done";
+        else if (v.age_seconds > stall_after)
+            line += " STALLED";
+    }
+    return line;
+}
+
+} // namespace
+
 void
 runShardCoordinator(uint32_t workers, const std::string &json_path,
                     int argc, char **argv)
@@ -516,6 +637,26 @@ runShardCoordinator(uint32_t workers, const std::string &json_path,
         n > 0 ? std::string(exe, static_cast<size_t>(n))
               : std::string(argv[0]);
 
+    // Heartbeat watching: honor an explicit SMS_HEARTBEAT_DIR; when
+    // only SMS_METRICS asked for telemetry, default the heartbeats next
+    // to the merged record so sweep_top has something to watch. With
+    // neither set, telemetry stays completely off.
+    const char *hb_env = std::getenv("SMS_HEARTBEAT_DIR");
+    const char *metrics_env = std::getenv("SMS_METRICS");
+    std::string hb_dir;
+    if (hb_env && *hb_env)
+        hb_dir = hb_env;
+    else if (metrics_env && *metrics_env)
+        hb_dir = json_path + ".hb";
+    if (!hb_dir.empty()) {
+        if (ensureDir(hb_dir))
+            clearHeartbeatDir(hb_dir);
+        else
+            warn("heartbeat directory %s not created; live shard "
+                 "progress will be unavailable",
+                 hb_dir.c_str());
+    }
+
     std::vector<std::string> worker_paths;
     std::vector<pid_t> pids;
     for (uint32_t i = 1; i <= workers; ++i) {
@@ -525,6 +666,35 @@ runShardCoordinator(uint32_t workers, const std::string &json_path,
         std::string shard_flag = "--shards=" + std::to_string(i) + "/" +
                                  std::to_string(workers);
         std::string json_flag = "--json=" + wpath;
+
+        // Per-worker environment, prepared before fork (building it in
+        // the child would malloc between fork and exec): the shared
+        // heartbeat directory, and a per-shard metrics path so the
+        // workers' series do not interleave in one file (a
+        // sms-metrics-1 stream is single-pid by contract).
+        std::vector<std::string> env_strings;
+        for (char **e = environ; *e; ++e) {
+            if (!hb_dir.empty() &&
+                std::strncmp(*e, "SMS_HEARTBEAT_DIR=", 18) == 0)
+                continue;
+            if (metrics_env &&
+                std::strncmp(*e, "SMS_METRICS=", 12) == 0)
+                continue;
+            env_strings.push_back(*e);
+        }
+        if (!hb_dir.empty())
+            env_strings.push_back("SMS_HEARTBEAT_DIR=" + hb_dir);
+        if (metrics_env && *metrics_env) {
+            std::string mpath =
+                std::string(metrics_env) + ".shard" + std::to_string(i);
+            std::remove(mpath.c_str());
+            env_strings.push_back("SMS_METRICS=" + mpath);
+        }
+        std::vector<char *> child_env;
+        for (std::string &s : env_strings)
+            child_env.push_back(const_cast<char *>(s.c_str()));
+        child_env.push_back(nullptr);
+
         pid_t pid = ::fork();
         if (pid < 0)
             fatal("fork: %s", std::strerror(errno));
@@ -536,8 +706,9 @@ runShardCoordinator(uint32_t workers, const std::string &json_path,
             child_argv.push_back(const_cast<char *>(shard_flag.c_str()));
             child_argv.push_back(const_cast<char *>(json_flag.c_str()));
             child_argv.push_back(nullptr);
-            ::execv(exe_path.c_str(), child_argv.data());
-            std::fprintf(stderr, "execv %s: %s\n", exe_path.c_str(),
+            ::execve(exe_path.c_str(), child_argv.data(),
+                     child_env.data());
+            std::fprintf(stderr, "execve %s: %s\n", exe_path.c_str(),
                          std::strerror(errno));
             ::_exit(127);
         }
@@ -545,14 +716,95 @@ runShardCoordinator(uint32_t workers, const std::string &json_path,
         worker_paths.push_back(std::move(wpath));
     }
 
-    for (uint32_t i = 0; i < workers; ++i) {
-        int status = 0;
-        if (::waitpid(pids[i], &status, 0) < 0)
-            fatal("waitpid shard %u: %s", i + 1,
-                  std::strerror(errno));
-        if (!WIFEXITED(status) || WEXITSTATUS(status) != 0)
-            fatal("shard worker %u/%u (pid %ld) failed with status %d",
-                  i + 1, workers, static_cast<long>(pids[i]), status);
+    // Reap with WNOHANG instead of blocking: between polls the
+    // coordinator reads the heartbeat directory to report per-shard
+    // progress and flag workers that stopped heartbeating.
+    const double stall_after =
+        std::max(5.0, 10.0 * metricsIntervalMsFromEnv() / 1000.0);
+    std::vector<bool> reaped(workers, false);
+    std::vector<bool> stall_warned(workers, false);
+    uint32_t live = workers;
+    bool any_failed = false;
+    uint32_t fail_index = 0;
+    pid_t fail_pid = 0;
+    int fail_status = 0;
+    std::string last_line;
+    auto last_scan = std::chrono::steady_clock::now() -
+                     std::chrono::hours(1);
+    while (live > 0) {
+        for (uint32_t i = 0; i < workers && !any_failed; ++i) {
+            if (reaped[i])
+                continue;
+            int status = 0;
+            pid_t r = ::waitpid(pids[i], &status, WNOHANG);
+            if (r < 0)
+                fatal("waitpid shard %u: %s", i + 1,
+                      std::strerror(errno));
+            if (r == 0)
+                continue;
+            reaped[i] = true;
+            --live;
+            if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+                any_failed = true;
+                fail_index = i + 1;
+                fail_pid = pids[i];
+                fail_status = status;
+            }
+        }
+        if (any_failed || live == 0)
+            break;
+
+        auto now = std::chrono::steady_clock::now();
+        if (!hb_dir.empty() &&
+            now - last_scan >= std::chrono::seconds(1)) {
+            last_scan = now;
+            std::vector<HeartbeatView> views;
+            size_t skipped = 0;
+            std::string herr;
+            if (readHeartbeatDir(hb_dir, views, skipped, herr)) {
+                std::string line =
+                    heartbeatProgressLine(views, stall_after);
+                if (line != last_line) {
+                    std::printf("%s\n", line.c_str());
+                    std::fflush(stdout);
+                    last_line = line;
+                }
+                for (const HeartbeatView &v : views) {
+                    uint32_t idx = v.info.shard_index;
+                    if (idx < 1 || idx > workers)
+                        continue;
+                    bool stalled = !v.info.done &&
+                                   !reaped[idx - 1] &&
+                                   v.age_seconds > stall_after;
+                    if (stalled && !stall_warned[idx - 1])
+                        warn("shard worker %u/%u (pid %ld) has not "
+                             "heartbeat for %.0f s; it may be stalled",
+                             idx, workers, v.info.pid,
+                             v.age_seconds);
+                    stall_warned[idx - 1] = stalled;
+                }
+            }
+        }
+        ::usleep(100000);
+    }
+
+    if (any_failed) {
+        // Name the casualty precisely, then take the survivors down —
+        // their partial records can never merge without the failed
+        // shard's cells.
+        for (uint32_t i = 0; i < workers; ++i)
+            if (!reaped[i])
+                ::kill(pids[i], SIGTERM);
+        for (uint32_t i = 0; i < workers; ++i)
+            if (!reaped[i]) {
+                int status = 0;
+                ::waitpid(pids[i], &status, 0);
+                reaped[i] = true;
+            }
+        fatal("shard worker %u/%u (pid %ld) %s; the remaining workers "
+              "were terminated",
+              fail_index, workers, static_cast<long>(fail_pid),
+              describeExitStatus(fail_status).c_str());
     }
 
     std::vector<JsonValue> records;
@@ -569,6 +821,14 @@ runShardCoordinator(uint32_t workers, const std::string &json_path,
     std::string err;
     if (!mergeShardRecords(records, merged, err))
         fatal("shard merge failed: %s", err.c_str());
+    // Fold the workers' final heartbeats into the merged throughput
+    // block (absent when telemetry was off, keeping the record
+    // byte-identical to pre-telemetry merges).
+    if (!hb_dir.empty()) {
+        JsonValue hb = heartbeatSummaryJson(hb_dir);
+        if (!hb.isNull())
+            merged["throughput"]["heartbeats"] = std::move(hb);
+    }
     if (!appendJsonLine(json_path, merged, err))
         fatal("merged record not written: %s", err.c_str());
     for (const std::string &wpath : worker_paths)

@@ -15,6 +15,7 @@
 #include "src/bvh/stackless.hpp"
 #include "src/sim/ray_predictor.hpp"
 #include "src/sim/traversal_tape.hpp"
+#include "src/stats/metrics.hpp"
 #include "src/stats/timeline.hpp"
 #include "src/util/check.hpp"
 
@@ -89,6 +90,17 @@ struct JobState
 
 namespace {
 std::atomic<uint64_t> g_simulate_calls{0};
+
+// Pull-collector: the call counter already exists for tests, so the
+// metrics sampler reads it instead of adding a second hot-path add.
+const bool g_sim_collector_registered = [] {
+    metricsAddCollector(
+        [](const std::function<void(const char *, uint64_t)> &sink) {
+            sink("sim.simulate_calls",
+                 g_simulate_calls.load(std::memory_order_relaxed));
+        });
+    return true;
+}();
 } // namespace
 
 uint64_t
@@ -544,6 +556,34 @@ simulateJobs(const Scene &scene, const WideBvh &bvh,
         noteTapeRecorded(*record);
     if (replay)
         noteTapeReplayed(*replay);
+
+    // Live telemetry: retire this run's headline counters into the
+    // metrics registry. Per simulateJobs() call, not per cycle, so the
+    // cost is a handful of relaxed adds — and nothing at all when the
+    // gate is off.
+    if (metricsOn()) {
+        static MetricCounter &m_cycles =
+            metricCounter("sim.cycles_retired");
+        static MetricCounter &m_instr =
+            metricCounter("sim.instructions_retired");
+        static MetricCounter &m_rays = metricCounter("sim.rays_retired");
+        static MetricCounter &m_jobs = metricCounter("sim.jobs_retired");
+        static MetricCounter &m_dram_wait =
+            metricCounter("sim.dram_queue_wait_cycles");
+        static MetricCounter &m_offchip =
+            metricCounter("sim.offchip_accesses");
+        static MetricGauge &m_dram_depth =
+            metricGauge("sim.dram_max_queue_wait");
+        m_cycles.add(result.cycles);
+        m_instr.add(result.instructions);
+        m_rays.add(result.rays);
+        m_jobs.add(result.jobs);
+        m_dram_wait.add(result.dram.queue_wait_cycles);
+        m_offchip.add(result.offchip_accesses);
+        m_dram_depth.max(
+            static_cast<int64_t>(result.dram.max_queue_wait));
+    }
+
     if (tl) {
         // Stray emissions after this run fall back to the harness pid.
         TimelineContext &ctx = timelineContext();

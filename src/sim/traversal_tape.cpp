@@ -10,6 +10,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "src/stats/metrics.hpp"
+
 namespace sms {
 
 namespace {
@@ -20,6 +22,25 @@ std::atomic<uint64_t> g_bytes{0};
 std::atomic<uint64_t> g_disk_loads{0};
 std::atomic<uint64_t> g_disk_stores{0};
 std::atomic<uint64_t> g_failures{0};
+
+// Pull-collector: publish the existing tape counters into metrics
+// snapshots without touching the record/replay hot paths.
+const bool g_metrics_collector_registered = [] {
+    metricsAddCollector(
+        [](const std::function<void(const char *, uint64_t)> &sink) {
+            sink("tape.jobs_recorded",
+                 g_jobs_recorded.load(std::memory_order_relaxed));
+            sink("tape.jobs_replayed",
+                 g_jobs_replayed.load(std::memory_order_relaxed));
+            sink("tape.disk_loads",
+                 g_disk_loads.load(std::memory_order_relaxed));
+            sink("tape.disk_stores",
+                 g_disk_stores.load(std::memory_order_relaxed));
+            sink("tape.failures",
+                 g_failures.load(std::memory_order_relaxed));
+        });
+    return true;
+}();
 
 uint64_t
 hashU32(uint64_t h, uint32_t v)

@@ -1,0 +1,516 @@
+/**
+ * @file
+ * Metrics registry and sampler (see metrics.hpp for the model).
+ */
+
+#include "src/stats/metrics.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unistd.h>
+
+#include "src/stats/report.hpp"
+#include "src/util/check.hpp"
+#include "src/util/parallel.hpp"
+
+namespace sms {
+
+namespace detail {
+std::atomic<uint32_t> g_metrics_on{0};
+} // namespace detail
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** Registry + sampler state, all behind one mutex except the metric
+ *  cells themselves (which are the lock-free hot path). */
+struct MetricsState
+{
+    std::mutex mutex;
+    std::map<std::string, std::unique_ptr<MetricCounter>> counters;
+    std::map<std::string, std::unique_ptr<MetricGauge>> gauges;
+    std::map<std::string, std::unique_ptr<MetricHistogram>> histograms;
+    std::vector<MetricsCollector> collectors;
+    std::vector<MetricsSampleHook> hooks;
+
+    // Sampler.
+    std::thread sampler;
+    std::condition_variable wake;
+    std::mutex sampler_mutex;
+    bool stop = false;
+    MetricsConfig config;
+    bool configured = false;
+    bool env_checked = false;
+    bool atexit_registered = false;
+    Clock::time_point epoch = Clock::now();
+    uint64_t seq = 0;
+    uint64_t samples = 0;
+
+    // Serializes flushes (sampler tick vs metricsFlushNow vs exit).
+    std::mutex flush_mutex;
+};
+
+MetricsState &
+state()
+{
+    static MetricsState *s = new MetricsState; // never destroyed: the
+    return *s; // sampler and atexit hooks may outlive static dtors
+}
+
+uint32_t
+intervalFromEnv()
+{
+    const char *env = std::getenv("SMS_METRICS_INTERVAL_MS");
+    if (!env || !*env)
+        return 250;
+    char *end = nullptr;
+    unsigned long v = std::strtoul(env, &end, 10);
+    if (!end || *end || v < 1 || v > 3600000) {
+        warn("SMS_METRICS_INTERVAL_MS='%s' is not an interval in "
+             "1..3600000 ms; using 250",
+             env);
+        return 250;
+    }
+    return static_cast<uint32_t>(v);
+}
+
+/** Take a snapshot (seq/wall stamped under the registry mutex). */
+MetricsSnapshot
+takeSnapshot(MetricsState &s)
+{
+    MetricsSnapshot snap;
+    std::lock_guard<std::mutex> lock(s.mutex);
+    snap.seq = ++s.seq;
+    ++s.samples;
+    snap.wall_ms = std::chrono::duration<double, std::milli>(
+                       Clock::now() - s.epoch)
+                       .count();
+    snap.pid = static_cast<long>(::getpid());
+    for (const auto &c : s.counters)
+        snap.counters.emplace_back(c.first, c.second->value());
+    for (const auto &g : s.gauges)
+        snap.gauges.emplace_back(g.first, g.second->value());
+    for (const auto &h : s.histograms) {
+        MetricsSnapshot::Hist hist;
+        hist.name = h.first;
+        hist.bounds = h.second->bounds();
+        hist.counts = h.second->counts();
+        snap.histograms.push_back(std::move(hist));
+    }
+    for (const MetricsCollector &collector : s.collectors)
+        collector([&snap](const char *name, uint64_t value) {
+            snap.counters.emplace_back(name, value);
+        });
+    std::sort(snap.counters.begin(), snap.counters.end());
+    return snap;
+}
+
+/** One sampler tick / forced flush: write the line, run the hooks. */
+void
+flushOnce(MetricsState &s)
+{
+    std::string path;
+    std::vector<MetricsSampleHook> hooks;
+    {
+        std::lock_guard<std::mutex> lock(s.sampler_mutex);
+        path = s.config.path;
+    }
+    {
+        std::lock_guard<std::mutex> lock(s.mutex);
+        hooks = s.hooks;
+    }
+    std::lock_guard<std::mutex> flush_lock(s.flush_mutex);
+    MetricsSnapshot snap = takeSnapshot(s);
+    if (!path.empty()) {
+        std::string error;
+        if (!appendJsonLine(path, toJson(snap), error))
+            warn("metrics sample not written: %s", error.c_str());
+    }
+    for (const MetricsSampleHook &hook : hooks)
+        hook(snap);
+}
+
+void
+samplerMain()
+{
+    MetricsState &s = state();
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(s.sampler_mutex);
+            s.wake.wait_for(
+                lock, std::chrono::milliseconds(s.config.interval_ms),
+                [&] { return s.stop; });
+            if (s.stop)
+                return;
+        }
+        flushOnce(s);
+    }
+}
+
+/** parallelFor occupancy hooks (installed on first configure). */
+void
+parallelBeginHook(unsigned threads, size_t n)
+{
+    static MetricGauge &active = metricGauge("parallel.workers_active");
+    static MetricCounter &regions = metricCounter("parallel.regions");
+    static MetricCounter &iters = metricCounter("parallel.iterations");
+    active.add(static_cast<int64_t>(threads));
+    regions.add(1);
+    iters.add(n);
+}
+
+void
+parallelEndHook(unsigned threads, size_t)
+{
+    static MetricGauge &active = metricGauge("parallel.workers_active");
+    active.add(-static_cast<int64_t>(threads));
+}
+
+void
+stopSamplerLocked(MetricsState &s, std::unique_lock<std::mutex> &lock)
+{
+    if (!s.sampler.joinable())
+        return;
+    s.stop = true;
+    s.wake.notify_all();
+    lock.unlock();
+    s.sampler.join();
+    lock.lock();
+    s.sampler = std::thread();
+    s.stop = false;
+}
+
+} // namespace
+
+MetricHistogram::MetricHistogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1)
+{
+    SMS_ASSERT(!bounds_.empty(), "histogram needs at least one bound");
+    for (size_t i = 1; i < bounds_.size(); ++i)
+        SMS_ASSERT(bounds_[i - 1] < bounds_[i],
+                   "histogram bounds must be strictly increasing");
+    for (auto &c : counts_)
+        c.store(0, std::memory_order_relaxed);
+}
+
+void
+MetricHistogram::observe(double v)
+{
+    if (!metricsOn())
+        return;
+    size_t bucket = static_cast<size_t>(
+        std::lower_bound(bounds_.begin(), bounds_.end(), v) -
+        bounds_.begin());
+    counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<uint64_t>
+MetricHistogram::counts() const
+{
+    std::vector<uint64_t> out(counts_.size());
+    for (size_t i = 0; i < counts_.size(); ++i)
+        out[i] = counts_[i].load(std::memory_order_relaxed);
+    return out;
+}
+
+MetricCounter &
+metricCounter(const std::string &name)
+{
+    MetricsState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    auto &slot = s.counters[name];
+    if (!slot)
+        slot = std::make_unique<MetricCounter>();
+    return *slot;
+}
+
+MetricGauge &
+metricGauge(const std::string &name)
+{
+    MetricsState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    auto &slot = s.gauges[name];
+    if (!slot)
+        slot = std::make_unique<MetricGauge>();
+    return *slot;
+}
+
+MetricHistogram &
+metricHistogram(const std::string &name,
+                const std::vector<double> &bounds)
+{
+    MetricsState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    auto &slot = s.histograms[name];
+    if (!slot)
+        slot = std::make_unique<MetricHistogram>(bounds);
+    else if (slot->bounds() != bounds)
+        fatal("metric histogram '%s' re-registered with different "
+              "bounds",
+              name.c_str());
+    return *slot;
+}
+
+uint64_t
+MetricsSnapshot::counterOr(const std::string &name,
+                           uint64_t fallback) const
+{
+    auto it = std::lower_bound(
+        counters.begin(), counters.end(), name,
+        [](const auto &entry, const std::string &key) {
+            return entry.first < key;
+        });
+    if (it != counters.end() && it->first == name)
+        return it->second;
+    return fallback;
+}
+
+void
+metricsAddCollector(MetricsCollector collector)
+{
+    MetricsState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.collectors.push_back(std::move(collector));
+}
+
+void
+metricsAddSampleHook(MetricsSampleHook hook)
+{
+    MetricsState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.hooks.push_back(std::move(hook));
+}
+
+void
+metricsConfigure(const MetricsConfig &config)
+{
+    MetricsState &s = state();
+    std::unique_lock<std::mutex> lock(s.sampler_mutex);
+    if (s.configured && s.sampler.joinable() &&
+        s.config.path == config.path &&
+        s.config.interval_ms == config.interval_ms)
+        return;
+    stopSamplerLocked(s, lock);
+    s.config = config;
+    if (s.config.interval_ms < 1)
+        s.config.interval_ms = 1;
+    if (!s.configured)
+        s.epoch = Clock::now();
+    s.configured = true;
+    detail::g_metrics_on.store(1, std::memory_order_relaxed);
+    setParallelForHooks(parallelBeginHook, parallelEndHook);
+    s.sampler = std::thread(samplerMain);
+    if (!s.atexit_registered) {
+        s.atexit_registered = true;
+        std::atexit([] { metricsShutdown(); });
+    }
+}
+
+void
+metricsInitFromEnv()
+{
+    MetricsState &s = state();
+    {
+        std::lock_guard<std::mutex> lock(s.sampler_mutex);
+        if (s.env_checked)
+            return;
+        s.env_checked = true;
+    }
+    const char *path = std::getenv("SMS_METRICS");
+    if (!path || !*path)
+        return;
+    MetricsConfig config;
+    config.path = path;
+    config.interval_ms = intervalFromEnv();
+    metricsConfigure(config);
+}
+
+void
+metricsEnsureSampler()
+{
+    MetricsState &s = state();
+    {
+        std::lock_guard<std::mutex> lock(s.sampler_mutex);
+        if (s.configured && s.sampler.joinable())
+            return;
+    }
+    MetricsConfig config;
+    config.interval_ms = intervalFromEnv();
+    metricsConfigure(config);
+}
+
+bool
+metricsActive()
+{
+    MetricsState &s = state();
+    std::lock_guard<std::mutex> lock(s.sampler_mutex);
+    return s.configured &&
+           detail::g_metrics_on.load(std::memory_order_relaxed) != 0;
+}
+
+MetricsStats
+metricsStats()
+{
+    MetricsState &s = state();
+    MetricsStats out;
+    {
+        std::lock_guard<std::mutex> lock(s.sampler_mutex);
+        out.enabled = s.configured;
+        out.path = s.config.path;
+        out.interval_ms = s.config.interval_ms;
+    }
+    std::lock_guard<std::mutex> lock(s.mutex);
+    out.samples = s.samples;
+    return out;
+}
+
+void
+metricsFlushNow()
+{
+    MetricsState &s = state();
+    {
+        std::lock_guard<std::mutex> lock(s.sampler_mutex);
+        if (!s.configured ||
+            detail::g_metrics_on.load(std::memory_order_relaxed) == 0)
+            return;
+    }
+    flushOnce(s);
+}
+
+void
+metricsShutdown()
+{
+    MetricsState &s = state();
+    std::unique_lock<std::mutex> lock(s.sampler_mutex);
+    if (!s.configured)
+        return;
+    bool was_on =
+        detail::g_metrics_on.load(std::memory_order_relaxed) != 0;
+    stopSamplerLocked(s, lock);
+    s.configured = false;
+    lock.unlock();
+    if (was_on)
+        flushOnce(s); // final sample while the gate is still on
+    detail::g_metrics_on.store(0, std::memory_order_relaxed);
+}
+
+MetricsSnapshot
+metricsSnapshot()
+{
+    return takeSnapshot(state());
+}
+
+JsonValue
+toJson(const MetricsSnapshot &snapshot)
+{
+    JsonValue line = JsonValue::object();
+    line["schema"] = kMetricsSchema;
+    line["pid"] = static_cast<long long>(snapshot.pid);
+    line["seq"] = snapshot.seq;
+    line["wall_ms"] = snapshot.wall_ms;
+    JsonValue counters = JsonValue::object();
+    for (const auto &c : snapshot.counters)
+        counters[c.first] = c.second;
+    line["counters"] = std::move(counters);
+    JsonValue gauges = JsonValue::object();
+    for (const auto &g : snapshot.gauges)
+        gauges[g.first] = static_cast<long long>(g.second);
+    line["gauges"] = std::move(gauges);
+    JsonValue hists = JsonValue::object();
+    for (const auto &h : snapshot.histograms) {
+        JsonValue hist = JsonValue::object();
+        JsonValue bounds = JsonValue::array();
+        for (double b : h.bounds)
+            bounds.push(JsonValue(b));
+        hist["bounds"] = std::move(bounds);
+        JsonValue counts = JsonValue::array();
+        for (uint64_t c : h.counts)
+            counts.push(JsonValue(c));
+        hist["counts"] = std::move(counts);
+        hists[h.name] = std::move(hist);
+    }
+    line["histograms"] = std::move(hists);
+    return line;
+}
+
+bool
+validateMetricsSeries(const std::vector<JsonValue> &lines,
+                      std::string &error)
+{
+    if (lines.empty()) {
+        error = "metrics series is empty";
+        return false;
+    }
+    double pid = -1;
+    uint64_t last_seq = 0;
+    double last_wall = -1.0;
+    std::map<std::string, uint64_t> last_counters;
+    for (size_t i = 0; i < lines.size(); ++i) {
+        const JsonValue &line = lines[i];
+        auto where = [&](const char *what) {
+            error = strprintf("line %zu: %s", i + 1, what);
+        };
+        if (line.stringOr("schema", "") != kMetricsSchema) {
+            where("schema is not sms-metrics-1");
+            return false;
+        }
+        double line_pid = line.numberOr("pid", -1);
+        if (pid < 0)
+            pid = line_pid;
+        else if (line_pid != pid) {
+            where("mixes samples from different pids (shard workers "
+                  "must write distinct series)");
+            return false;
+        }
+        uint64_t seq =
+            static_cast<uint64_t>(line.numberOr("seq", 0));
+        if (seq <= last_seq && i > 0) {
+            where("seq is not strictly increasing");
+            return false;
+        }
+        if (seq == 0) {
+            where("seq is missing or zero");
+            return false;
+        }
+        last_seq = seq;
+        double wall = line.numberOr("wall_ms", -1.0);
+        if (wall < 0 || wall < last_wall) {
+            where("wall_ms is missing or decreasing");
+            return false;
+        }
+        last_wall = wall;
+        const JsonValue *counters = line.find("counters");
+        if (!counters || !counters->isObject()) {
+            where("counters object is missing");
+            return false;
+        }
+        for (const auto &m : counters->members()) {
+            if (!m.second.isNumber()) {
+                where("counter value is not a number");
+                return false;
+            }
+            uint64_t v = m.second.asU64();
+            auto it = last_counters.find(m.first);
+            if (it != last_counters.end() && v < it->second) {
+                error = strprintf("line %zu: counter '%s' went "
+                                  "backwards (%llu -> %llu)",
+                                  i + 1, m.first.c_str(),
+                                  static_cast<unsigned long long>(
+                                      it->second),
+                                  static_cast<unsigned long long>(v));
+                return false;
+            }
+            last_counters[m.first] = v;
+        }
+    }
+    return true;
+}
+
+} // namespace sms

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "src/sim/ray_reorder.hpp"
+#include "src/stats/metrics.hpp"
 #include "src/trace/cache_io.hpp"
 #include "src/util/check.hpp"
 
@@ -34,6 +35,23 @@ std::atomic<uint64_t> g_hits{0};
 std::atomic<uint64_t> g_misses{0};
 std::atomic<uint64_t> g_stores{0};
 std::atomic<uint64_t> g_failures{0};
+
+// Pull-collector: publish the existing cache counters into metrics
+// snapshots without touching the lookup/store hot paths.
+const bool g_metrics_collector_registered = [] {
+    metricsAddCollector(
+        [](const std::function<void(const char *, uint64_t)> &sink) {
+            sink("workload_cache.hits",
+                 g_hits.load(std::memory_order_relaxed));
+            sink("workload_cache.misses",
+                 g_misses.load(std::memory_order_relaxed));
+            sink("workload_cache.stores",
+                 g_stores.load(std::memory_order_relaxed));
+            sink("workload_cache.failures",
+                 g_failures.load(std::memory_order_relaxed));
+        });
+    return true;
+}();
 
 /**
  * Hash of everything that determines snapshot content besides the key:

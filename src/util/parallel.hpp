@@ -56,6 +56,51 @@ defaultThreadCount()
 }
 
 /**
+ * Optional occupancy instrumentation. The metrics layer (which sits
+ * above this header in the link order, so it cannot be called
+ * directly from here) installs begin/end hooks that publish the
+ * worker count and iteration total of each parallelFor region as
+ * gauges/counters. Null by default: one relaxed load per region is
+ * the entire cost when telemetry is off.
+ */
+using ParallelForHook = void (*)(unsigned threads, size_t n);
+
+namespace detail {
+inline std::atomic<ParallelForHook> g_parallel_begin{nullptr};
+inline std::atomic<ParallelForHook> g_parallel_end{nullptr};
+} // namespace detail
+
+/** Install (or clear, with nullptrs) the region hooks. */
+inline void
+setParallelForHooks(ParallelForHook begin, ParallelForHook end)
+{
+    detail::g_parallel_begin.store(begin, std::memory_order_relaxed);
+    detail::g_parallel_end.store(end, std::memory_order_relaxed);
+}
+
+namespace detail {
+/** Runs the begin hook now and the end hook at scope exit. */
+struct ParallelRegionScope
+{
+    unsigned threads;
+    size_t n;
+    ParallelRegionScope(unsigned threads_, size_t n_)
+        : threads(threads_), n(n_)
+    {
+        if (ParallelForHook hook =
+                g_parallel_begin.load(std::memory_order_relaxed))
+            hook(threads, n);
+    }
+    ~ParallelRegionScope()
+    {
+        if (ParallelForHook hook =
+                g_parallel_end.load(std::memory_order_relaxed))
+            hook(threads, n);
+    }
+};
+} // namespace detail
+
+/**
  * Run fn(i) for i in [0, n) across up to @p threads workers.
  * Blocks until all iterations finish. fn must be thread-safe.
  *
@@ -82,6 +127,7 @@ parallelFor(size_t n, const std::function<void(size_t)> &fn,
     size_t chunks = (n + chunk - 1) / chunk;
     if (threads > chunks)
         threads = static_cast<unsigned>(chunks);
+    detail::ParallelRegionScope region(threads, n);
     if (threads <= 1) {
         for (size_t i = 0; i < n; ++i)
             fn(i);

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Tests for the per-shard heartbeat files: write/read round-trip, the
+ * torn-write contract (a reader must skip half-written or foreign
+ * files, never trust them), directory scans, the completion summary,
+ * and the end-to-end configure -> progress notes -> finish flow over
+ * the metrics sampler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/serve/heartbeat.hpp"
+#include "src/stats/metrics.hpp"
+#include "src/stats/report.hpp"
+#include "src/trace/cache_io.hpp"
+
+namespace sms {
+namespace {
+
+/** Fresh scratch directory per test. */
+std::string
+scratchDir(const std::string &name)
+{
+    std::string dir = ::testing::TempDir() + "hb_" + name;
+    std::string cmd = "rm -rf '" + dir + "'";
+    EXPECT_EQ(std::system(cmd.c_str()), 0);
+    EXPECT_TRUE(ensureDir(dir));
+    return dir;
+}
+
+HeartbeatInfo
+sampleInfo(uint32_t index, uint32_t count)
+{
+    HeartbeatInfo info;
+    info.shard_index = index;
+    info.shard_count = count;
+    info.pid = 4242;
+    info.seq = 17;
+    info.wall_seconds = 1.5;
+    info.cells_owned = 12;
+    info.cells_done = 7;
+    info.done = false;
+    info.counters["sim.cycles_retired"] = 123456u;
+    return info;
+}
+
+TEST(Heartbeat, PathLayout)
+{
+    EXPECT_EQ(heartbeatPath("/tmp/hb", 3), "/tmp/hb/shard-3.hb");
+}
+
+TEST(Heartbeat, WriteReadRoundTrip)
+{
+    std::string dir = scratchDir("roundtrip");
+    HeartbeatInfo info = sampleInfo(2, 4);
+    std::string error;
+    ASSERT_TRUE(writeHeartbeat(dir, info, error)) << error;
+
+    HeartbeatInfo back;
+    ASSERT_TRUE(readHeartbeat(heartbeatPath(dir, 2), back, error))
+        << error;
+    EXPECT_EQ(back.shard_index, 2u);
+    EXPECT_EQ(back.shard_count, 4u);
+    EXPECT_EQ(back.pid, 4242);
+    EXPECT_EQ(back.seq, 17u);
+    EXPECT_DOUBLE_EQ(back.wall_seconds, 1.5);
+    EXPECT_EQ(back.cells_owned, 12u);
+    EXPECT_EQ(back.cells_done, 7u);
+    EXPECT_FALSE(back.done);
+    EXPECT_EQ(back.counters.numberOr("sim.cycles_retired", 0.0),
+              123456.0);
+    EXPECT_DOUBLE_EQ(back.progress(), 7.0 / 12.0);
+}
+
+TEST(Heartbeat, ReaderRejectsTornAndForeignFiles)
+{
+    std::string dir = scratchDir("torn");
+    HeartbeatInfo info;
+    std::string error;
+
+    // A torn write: valid prefix of a real document, cut mid-JSON.
+    {
+        std::ofstream torn(heartbeatPath(dir, 1));
+        torn << "{\"schema\": \"sms-heartbeat-1\", \"shard\": {\"ind";
+    }
+    EXPECT_FALSE(readHeartbeat(heartbeatPath(dir, 1), info, error));
+    EXPECT_NE(error.find("torn or invalid"), std::string::npos);
+
+    // Valid JSON of some other schema.
+    {
+        std::ofstream foreign(heartbeatPath(dir, 2));
+        foreign << "{\"schema\": \"sms-bench-1\"}\n";
+    }
+    EXPECT_FALSE(readHeartbeat(heartbeatPath(dir, 2), info, error));
+    EXPECT_NE(error.find("schema"), std::string::npos);
+
+    // Out-of-range shard identity.
+    {
+        std::ofstream bad(heartbeatPath(dir, 3));
+        bad << "{\"schema\": \"sms-heartbeat-1\", \"shard\": "
+               "{\"index\": 5, \"count\": 2}}\n";
+    }
+    EXPECT_FALSE(readHeartbeat(heartbeatPath(dir, 3), info, error));
+
+    EXPECT_FALSE(readHeartbeat(dir + "/shard-9.hb", info, error));
+}
+
+TEST(Heartbeat, DirectoryScanSkipsTornAndTemporaries)
+{
+    std::string dir = scratchDir("scan");
+    std::string error;
+    ASSERT_TRUE(writeHeartbeat(dir, sampleInfo(2, 3), error)) << error;
+    ASSERT_TRUE(writeHeartbeat(dir, sampleInfo(1, 3), error)) << error;
+
+    // A torn heartbeat is counted as skipped; an atomic-write
+    // temporary (in-flight rename) is ignored without counting.
+    {
+        std::ofstream torn(heartbeatPath(dir, 3));
+        torn << "{\"schema\": \"sms-heart";
+    }
+    {
+        std::ofstream tmp(dir + "/shard-1.hb.tmp.123.7");
+        tmp << "half-written";
+    }
+    {
+        std::ofstream other(dir + "/notes.txt");
+        other << "not a heartbeat";
+    }
+
+    std::vector<HeartbeatView> views;
+    size_t skipped = 0;
+    ASSERT_TRUE(readHeartbeatDir(dir, views, skipped, error)) << error;
+    ASSERT_EQ(views.size(), 2u);
+    EXPECT_EQ(skipped, 1u);
+    // Sorted by shard index.
+    EXPECT_EQ(views[0].info.shard_index, 1u);
+    EXPECT_EQ(views[1].info.shard_index, 2u);
+    EXPECT_GE(views[0].age_seconds, 0.0);
+
+    std::vector<HeartbeatView> none;
+    EXPECT_FALSE(
+        readHeartbeatDir(dir + "/missing", none, skipped, error));
+}
+
+TEST(Heartbeat, SummaryTracksCompleteness)
+{
+    std::string dir = scratchDir("summary");
+    std::string error;
+    HeartbeatInfo a = sampleInfo(1, 2);
+    a.cells_done = a.cells_owned;
+    a.done = true;
+    HeartbeatInfo b = sampleInfo(2, 2);
+    ASSERT_TRUE(writeHeartbeat(dir, a, error)) << error;
+    ASSERT_TRUE(writeHeartbeat(dir, b, error)) << error;
+
+    JsonValue summary = heartbeatSummaryJson(dir);
+    ASSERT_TRUE(summary.isObject());
+    const JsonValue *shards = summary.find("shards");
+    ASSERT_TRUE(shards && shards->isArray());
+    EXPECT_EQ(shards->size(), 2u);
+    const JsonValue *complete = summary.find("complete");
+    ASSERT_TRUE(complete && complete->isBool());
+    EXPECT_FALSE(complete->asBool()); // shard 2 is not done
+
+    b.cells_done = b.cells_owned;
+    b.done = true;
+    ASSERT_TRUE(writeHeartbeat(dir, b, error)) << error;
+    summary = heartbeatSummaryJson(dir);
+    ASSERT_TRUE(summary.isObject());
+    EXPECT_TRUE(summary.find("complete")->asBool());
+
+    // No readable heartbeats -> Null (callers omit the block).
+    EXPECT_TRUE(heartbeatSummaryJson(dir + "/missing").isNull());
+}
+
+TEST(Heartbeat, EndToEndConfigureProgressFinish)
+{
+    std::string dir = scratchDir("endtoend");
+    EXPECT_FALSE(heartbeatActive());
+    heartbeatConfigure(dir, 1, 1);
+    EXPECT_TRUE(heartbeatActive());
+    EXPECT_TRUE(metricsOn()); // heartbeats ride the metrics sampler
+    EXPECT_EQ(heartbeatDir(), dir);
+
+    heartbeatNoteCellsOwned(3);
+    heartbeatNoteCellDone();
+    heartbeatNoteCellDone();
+    heartbeatNoteCellDone();
+    heartbeatFinish(); // synchronous final write
+
+    EXPECT_GE(heartbeatWriteCount(), 1u);
+    HeartbeatInfo info;
+    std::string error;
+    ASSERT_TRUE(readHeartbeat(heartbeatPath(dir, 1), info, error))
+        << error;
+    EXPECT_TRUE(info.done);
+    EXPECT_EQ(info.cells_owned, 3u);
+    EXPECT_EQ(info.cells_done, 3u);
+    EXPECT_DOUBLE_EQ(info.progress(), 1.0);
+
+    JsonValue summary = heartbeatSummaryJson(dir);
+    ASSERT_TRUE(summary.isObject());
+    EXPECT_TRUE(summary.find("complete")->asBool());
+}
+
+} // namespace
+} // namespace sms

@@ -5,12 +5,13 @@
  * cache entries .res, plus orphaned atomic-write temporaries).
  *
  * Usage:
- *   cache_gc <dir> --max-bytes N [--dry-run]
+ *   cache_gc <dir> --max-bytes N [--dry-run] [--verbose]
  *
  * Eligible files are evicted oldest-mtime-first (path as tie-break)
  * until the directory's eligible bytes fit under --max-bytes. Files
  * with other names are never touched. --dry-run prints what would be
- * evicted without deleting anything.
+ * evicted without deleting anything. --verbose lists every eligible
+ * entry (bytes, mtime age, eviction decision), oldest first.
  *
  * Exit codes: 0 = budget met (possibly after evictions), 2 = usage or
  * I/O error.
@@ -19,6 +20,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <string>
 
 #include "src/serve/cache_gc.hpp"
@@ -30,8 +32,34 @@ namespace {
 void
 usage(const char *argv0)
 {
-    std::fprintf(stderr,
-                 "usage: %s <dir> --max-bytes N [--dry-run]\n", argv0);
+    std::fprintf(
+        stderr,
+        "usage: %s <dir> --max-bytes N [--dry-run] [--verbose]\n",
+        argv0);
+}
+
+/** "3d 2h", "5h 7m", "12m", "40s" — coarse age for the listing. */
+std::string
+humanAge(int64_t seconds)
+{
+    if (seconds < 0)
+        seconds = 0;
+    char buf[48];
+    if (seconds >= 86400)
+        std::snprintf(buf, sizeof buf, "%lldd %lldh",
+                      static_cast<long long>(seconds / 86400),
+                      static_cast<long long>(seconds % 86400 / 3600));
+    else if (seconds >= 3600)
+        std::snprintf(buf, sizeof buf, "%lldh %lldm",
+                      static_cast<long long>(seconds / 3600),
+                      static_cast<long long>(seconds % 3600 / 60));
+    else if (seconds >= 60)
+        std::snprintf(buf, sizeof buf, "%lldm",
+                      static_cast<long long>(seconds / 60));
+    else
+        std::snprintf(buf, sizeof buf, "%llds",
+                      static_cast<long long>(seconds));
+    return buf;
 }
 
 } // namespace
@@ -42,9 +70,12 @@ main(int argc, char **argv)
     std::string dir;
     CacheGcOptions options;
     bool have_budget = false;
+    bool verbose = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--dry-run") == 0) {
             options.dry_run = true;
+        } else if (std::strcmp(argv[i], "--verbose") == 0) {
+            verbose = true;
         } else if (std::strcmp(argv[i], "--max-bytes") == 0 &&
                    i + 1 < argc) {
             char *end = nullptr;
@@ -83,10 +114,22 @@ main(int argc, char **argv)
         std::fprintf(stderr, "cache_gc: %s\n", error.c_str());
         return 2;
     }
-    for (const std::string &path : result.evicted)
-        std::printf("%s %s\n",
-                    options.dry_run ? "would evict" : "evicted",
-                    path.c_str());
+    if (verbose) {
+        int64_t now = static_cast<int64_t>(std::time(nullptr));
+        for (const CacheGcEntry &e : result.entries)
+            std::printf("%-11s %12llu bytes  age %-8s %s\n",
+                        e.evicted ? (options.dry_run ? "would-evict"
+                                                     : "evict")
+                                  : "keep",
+                        static_cast<unsigned long long>(e.bytes),
+                        humanAge(now - e.mtime).c_str(),
+                        e.path.c_str());
+    } else {
+        for (const std::string &path : result.evicted)
+            std::printf("%s %s\n",
+                        options.dry_run ? "would evict" : "evicted",
+                        path.c_str());
+    }
     std::printf("%s: %llu files / %llu bytes eligible, %s %llu files "
                 "/ %llu bytes (budget %llu)\n",
                 dir.c_str(),

@@ -6,7 +6,8 @@
  * output JSONL file.
  *
  * Usage:
- *   sweep_merge --out <merged.json> <shard1.json> ... <shardN.json>
+ *   sweep_merge --out <merged.json> [--heartbeats <dir>]
+ *               <shard1.json> ... <shardN.json>
  *
  * The LAST record of each input file is merged (the most recent run).
  * The merge validates that every shard 1..N is present exactly once,
@@ -18,6 +19,12 @@
  * in-process; this tool covers workers launched by hand or by a
  * cluster scheduler.
  *
+ * --heartbeats <dir> folds the final sms-heartbeat-1 files of the
+ * workers' SMS_HEARTBEAT_DIR into the merged record's throughput block
+ * (a "heartbeats" summary: per-shard cells done/owned, wall seconds,
+ * and a completeness flag), matching what the in-bench coordinator
+ * emits.
+ *
  * Exit codes: 0 = merged record appended, 1 = merge rejected
  * (incomplete/overlapping shards, conservation violation), 2 = usage
  * or I/O error.
@@ -28,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "src/serve/heartbeat.hpp"
 #include "src/serve/sweep_shard.hpp"
 #include "src/stats/report.hpp"
 
@@ -37,16 +45,22 @@ int
 main(int argc, char **argv)
 {
     std::string out_path;
+    std::string hb_dir;
     std::vector<const char *> inputs;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
             out_path = argv[++i];
         } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
             out_path = argv[i] + 6;
+        } else if (std::strcmp(argv[i], "--heartbeats") == 0 &&
+                   i + 1 < argc) {
+            hb_dir = argv[++i];
+        } else if (std::strncmp(argv[i], "--heartbeats=", 13) == 0) {
+            hb_dir = argv[i] + 13;
         } else if (std::strncmp(argv[i], "--", 2) == 0) {
             std::fprintf(stderr,
-                         "usage: %s --out <merged.json> <shard1.json> "
-                         "... <shardN.json>\n",
+                         "usage: %s --out <merged.json> [--heartbeats "
+                         "<dir>] <shard1.json> ... <shardN.json>\n",
                          argv[0]);
             return 2;
         } else {
@@ -55,8 +69,8 @@ main(int argc, char **argv)
     }
     if (out_path.empty() || inputs.empty()) {
         std::fprintf(stderr,
-                     "usage: %s --out <merged.json> <shard1.json> ... "
-                     "<shardN.json>\n",
+                     "usage: %s --out <merged.json> [--heartbeats "
+                     "<dir>] <shard1.json> ... <shardN.json>\n",
                      argv[0]);
         return 2;
     }
@@ -83,6 +97,16 @@ main(int argc, char **argv)
         std::fprintf(stderr, "sweep_merge: merge rejected: %s\n",
                      error.c_str());
         return 1;
+    }
+    if (!hb_dir.empty()) {
+        JsonValue hb = heartbeatSummaryJson(hb_dir);
+        if (hb.isNull()) {
+            std::fprintf(stderr,
+                         "sweep_merge: %s: no readable heartbeats\n",
+                         hb_dir.c_str());
+            return 2;
+        }
+        merged["throughput"]["heartbeats"] = std::move(hb);
     }
     if (!appendJsonLine(out_path, merged, error)) {
         std::fprintf(stderr, "sweep_merge: %s: %s\n", out_path.c_str(),

@@ -1,0 +1,288 @@
+/**
+ * @file
+ * sweep_top — live (or one-shot) monitor over the per-shard heartbeat
+ * files a sharded sweep writes under SMS_HEARTBEAT_DIR (see
+ * src/serve/heartbeat.hpp). Renders one row per shard: a progress bar
+ * over cells done/owned, the simulated-cycle rate from the heartbeat's
+ * counter snapshot, the heartbeat age, and a STALLED flag when a shard
+ * stopped refreshing its file.
+ *
+ * Usage:
+ *   sweep_top <hb-dir> [--once] [--interval-ms N] [--stall-seconds S]
+ *             [--expect-shards N] [--require-complete]
+ *             [--check-metrics FILE]...
+ *
+ * Modes:
+ *  - live (default): redraw every --interval-ms (1000) until every
+ *    expected shard reports done with all owned cells finished, then
+ *    exit 0. Works post-mortem too — nothing deletes heartbeats, so
+ *    pointing it at a finished run's directory shows the final state.
+ *  - --once: render a single snapshot and exit immediately; with
+ *    --require-complete the exit code asserts the run finished. This
+ *    is the CI form.
+ *
+ * --check-metrics FILE (repeatable) additionally validates FILE as an
+ * sms-metrics-1 JSONL series (schema tag on every line, single pid,
+ * strictly increasing seq, non-decreasing wall clock, monotonic
+ * counters) and fails the run on the first violation.
+ *
+ * Exit codes: 0 = ok (complete when completeness was required),
+ * 1 = incomplete/stalled shards or an invalid metrics series,
+ * 2 = usage or I/O error.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "src/serve/heartbeat.hpp"
+#include "src/stats/metrics.hpp"
+#include "src/stats/report.hpp"
+
+using namespace sms;
+
+namespace {
+
+struct Options
+{
+    std::string dir;
+    bool once = false;
+    bool require_complete = false;
+    uint32_t interval_ms = 1000;
+    double stall_seconds = 5.0;
+    uint32_t expect_shards = 0; ///< 0 = whatever the directory holds
+    std::vector<std::string> metrics_files;
+};
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s <hb-dir> [--once] [--interval-ms N]\n"
+        "          [--stall-seconds S] [--expect-shards N]\n"
+        "          [--require-complete] [--check-metrics FILE]...\n",
+        argv0);
+    return 2;
+}
+
+bool
+parseU32(const char *s, uint32_t &out)
+{
+    char *end = nullptr;
+    unsigned long v = std::strtoul(s, &end, 10);
+    if (!end || *end || v < 1 || v > 3600000)
+        return false;
+    out = static_cast<uint32_t>(v);
+    return true;
+}
+
+/** "1.23G", "45.6M", "789k", "12" — compact rate for one table cell. */
+std::string
+humanRate(double v)
+{
+    char buf[32];
+    if (v >= 1e9)
+        std::snprintf(buf, sizeof buf, "%.2fG", v / 1e9);
+    else if (v >= 1e6)
+        std::snprintf(buf, sizeof buf, "%.1fM", v / 1e6);
+    else if (v >= 1e3)
+        std::snprintf(buf, sizeof buf, "%.0fk", v / 1e3);
+    else
+        std::snprintf(buf, sizeof buf, "%.0f", v);
+    return buf;
+}
+
+/** All expected shards present, done, and fully swept? */
+bool
+runComplete(const std::vector<HeartbeatView> &views,
+            uint32_t expect_shards)
+{
+    if (views.empty())
+        return false;
+    uint32_t want = expect_shards;
+    if (want == 0)
+        want = views[0].info.shard_count;
+    std::vector<bool> seen(want, false);
+    for (const HeartbeatView &v : views) {
+        if (v.info.shard_index < 1 || v.info.shard_index > want)
+            return false;
+        seen[v.info.shard_index - 1] = true;
+        if (!v.info.done || v.info.cells_done < v.info.cells_owned)
+            return false;
+    }
+    for (bool s : seen)
+        if (!s)
+            return false;
+    return true;
+}
+
+/** Render one snapshot of the directory; true when the run completed. */
+bool
+render(const Options &opt, bool clear_screen, bool &io_error)
+{
+    std::vector<HeartbeatView> views;
+    size_t skipped = 0;
+    std::string error;
+    io_error = false;
+    if (!readHeartbeatDir(opt.dir, views, skipped, error)) {
+        std::fprintf(stderr, "sweep_top: %s: %s\n", opt.dir.c_str(),
+                     error.c_str());
+        io_error = true;
+        return false;
+    }
+    if (clear_screen)
+        std::printf("\033[H\033[2J");
+    if (views.empty()) {
+        std::printf("no heartbeats in %s yet (%zu unreadable)\n",
+                    opt.dir.c_str(), skipped);
+        std::fflush(stdout);
+        return false;
+    }
+    std::printf("%-6s %-8s %-22s %13s %6s %9s %6s  %s\n", "shard",
+                "pid", "progress", "cells", "%", "cyc/s", "age",
+                "state");
+    for (const HeartbeatView &v : views) {
+        double p = v.info.progress();
+        int fill = static_cast<int>(p * 20.0 + 0.5);
+        fill = fill < 0 ? 0 : fill > 20 ? 20 : fill;
+        char bar[24];
+        std::snprintf(bar, sizeof bar, "[%.*s%.*s]", fill,
+                      "####################", 20 - fill,
+                      "....................");
+        double cycles =
+            v.info.counters.numberOr("sim.cycles_retired", 0.0);
+        double rate = v.info.wall_seconds > 0.0
+                          ? cycles / v.info.wall_seconds
+                          : 0.0;
+        const char *state =
+            v.info.done ? "done"
+            : v.age_seconds > opt.stall_seconds ? "STALLED"
+                                                : "running";
+        std::printf("%2u/%-3u %-8ld %-22s %5llu/%-7llu %5.1f %9s "
+                    "%5.1fs  %s\n",
+                    v.info.shard_index, v.info.shard_count, v.info.pid,
+                    bar,
+                    static_cast<unsigned long long>(v.info.cells_done),
+                    static_cast<unsigned long long>(v.info.cells_owned),
+                    100.0 * p, humanRate(rate).c_str(), v.age_seconds,
+                    state);
+    }
+    if (skipped)
+        std::printf("(%zu unreadable heartbeat file%s skipped)\n",
+                    skipped, skipped == 1 ? "" : "s");
+    std::fflush(stdout);
+    return runComplete(views, opt.expect_shards);
+}
+
+/** Validate one sms-metrics-1 series file; true when it passes. */
+bool
+checkMetricsFile(const std::string &path)
+{
+    std::vector<JsonValue> lines;
+    std::string error;
+    if (!readJsonLines(path, lines, error)) {
+        std::fprintf(stderr, "sweep_top: %s: %s\n", path.c_str(),
+                     error.c_str());
+        return false;
+    }
+    if (lines.empty()) {
+        std::fprintf(stderr, "sweep_top: %s: empty metrics series\n",
+                     path.c_str());
+        return false;
+    }
+    if (!validateMetricsSeries(lines, error)) {
+        std::fprintf(stderr, "sweep_top: %s: invalid series: %s\n",
+                     path.c_str(), error.c_str());
+        return false;
+    }
+    std::printf("metrics %s: %zu samples, series valid\n", path.c_str(),
+                lines.size());
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (std::strcmp(a, "--once") == 0) {
+            opt.once = true;
+        } else if (std::strcmp(a, "--require-complete") == 0) {
+            opt.require_complete = true;
+        } else if (std::strncmp(a, "--interval-ms=", 14) == 0) {
+            if (!parseU32(a + 14, opt.interval_ms))
+                return usage(argv[0]);
+        } else if (std::strcmp(a, "--interval-ms") == 0 &&
+                   i + 1 < argc) {
+            if (!parseU32(argv[++i], opt.interval_ms))
+                return usage(argv[0]);
+        } else if (std::strncmp(a, "--stall-seconds=", 16) == 0) {
+            opt.stall_seconds = std::atof(a + 16);
+        } else if (std::strcmp(a, "--stall-seconds") == 0 &&
+                   i + 1 < argc) {
+            opt.stall_seconds = std::atof(argv[++i]);
+        } else if (std::strncmp(a, "--expect-shards=", 16) == 0) {
+            if (!parseU32(a + 16, opt.expect_shards))
+                return usage(argv[0]);
+        } else if (std::strcmp(a, "--expect-shards") == 0 &&
+                   i + 1 < argc) {
+            if (!parseU32(argv[++i], opt.expect_shards))
+                return usage(argv[0]);
+        } else if (std::strncmp(a, "--check-metrics=", 16) == 0) {
+            opt.metrics_files.push_back(a + 16);
+        } else if (std::strcmp(a, "--check-metrics") == 0 &&
+                   i + 1 < argc) {
+            opt.metrics_files.push_back(argv[++i]);
+        } else if (std::strncmp(a, "--", 2) == 0) {
+            return usage(argv[0]);
+        } else if (opt.dir.empty()) {
+            opt.dir = a;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    if (opt.dir.empty() && opt.metrics_files.empty())
+        return usage(argv[0]);
+
+    bool complete = true;
+    if (!opt.dir.empty()) {
+        if (opt.once) {
+            bool io_error = false;
+            complete = render(opt, false, io_error);
+            if (io_error)
+                return 2;
+        } else {
+            // Live: redraw until the run completes. The screen is
+            // cleared per frame only on a tty; a redirected stream gets
+            // appended frames instead of control codes.
+            bool tty = ::isatty(1) != 0;
+            for (;;) {
+                bool io_error = false;
+                complete = render(opt, tty, io_error);
+                if (io_error)
+                    return 2;
+                if (complete)
+                    break;
+                ::usleep(static_cast<useconds_t>(opt.interval_ms) *
+                         1000);
+            }
+        }
+    }
+
+    bool metrics_ok = true;
+    for (const std::string &path : opt.metrics_files)
+        metrics_ok = checkMetricsFile(path) && metrics_ok;
+
+    if (!metrics_ok)
+        return 1;
+    if (opt.require_complete && !complete)
+        return 1;
+    return 0;
+}
